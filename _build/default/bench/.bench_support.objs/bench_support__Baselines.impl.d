@@ -1,0 +1,1 @@
+bench/baselines.ml: Array Char Float String Tensor Wolf_runtime Wolf_wexpr

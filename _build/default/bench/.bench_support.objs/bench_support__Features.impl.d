@@ -1,0 +1,1 @@
+bench/features.ml: Expr Filename Fun List Parser Pipeline Type_env Wir Wolf_backends Wolf_base Wolf_compiler Wolf_runtime Wolf_wexpr Wolfram

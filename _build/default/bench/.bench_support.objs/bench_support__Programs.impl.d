@@ -1,0 +1,1 @@
+bench/programs.ml: Array Char Expr Parser Pattern String Symbol Tensor Wolf_compiler Wolf_runtime Wolf_wexpr

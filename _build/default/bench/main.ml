@@ -1,0 +1,511 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (see DESIGN.md experiments E1–E9 and EXPERIMENTS.md for
+   paper-vs-measured).  One Bechamel test per measured arm; custom printing
+   reproduces the paper's normalised presentation.
+
+   Usage: main.exe [fig2|table1|fig1|findroot|ablation-inline|ablation-abort|
+                    ablation-consts|compile-time|all] [--quick|--paper] *)
+
+open Wolf_wexpr
+open Wolf_compiler
+open Wolf_runtime
+module B = Wolf_backends
+module P = Bench_support.Programs
+module H = Bench_support.Baselines
+
+(* ------------------------------------------------------------------ *)
+(* Measurement via Bechamel                                            *)
+
+let quota = ref 0.6
+
+let measure name (f : unit -> unit) : float =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second !quota) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let estimate = ref nan in
+  Hashtbl.iter
+    (fun _ v ->
+       match Analyze.OLS.estimates v with
+       | Some (e :: _) -> estimate := e
+       | _ -> ())
+    results;
+  if Float.is_nan !estimate then begin
+    (* very slow runs: a single timed execution *)
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  end
+  else !estimate /. 1e9 (* monotonic clock reports nanoseconds *)
+
+(* ------------------------------------------------------------------ *)
+(* Workload sizes                                                      *)
+
+type sizes = {
+  fnv_len : int;
+  dot_n : int;
+  blur_n : int;
+  hist_n : int;
+  primeq_limit : int;
+  qsort_n : int;
+  walk_len : int;
+}
+
+(* Paper scale: FNV1a 10^6 chars, Dot 1000², Blur 1000², Histogram 10^6,
+   PrimeQ range 10^6, QSort 2^15, random walk 10^5. *)
+let paper_sizes =
+  { fnv_len = 1_000_000; dot_n = 1000; blur_n = 1000; hist_n = 1_000_000;
+    primeq_limit = 1_000_000; qsort_n = 32768; walk_len = 100_000 }
+
+let default_sizes =
+  { fnv_len = 300_000; dot_n = 300; blur_n = 400; hist_n = 300_000;
+    primeq_limit = 120_000; qsort_n = 2048; walk_len = 20_000 }
+
+let quick_sizes =
+  { fnv_len = 50_000; dot_n = 100; blur_n = 120; hist_n = 50_000;
+    primeq_limit = 20_000; qsort_n = 512; walk_len = 4_000 }
+
+let sizes = ref default_sizes
+
+(* ------------------------------------------------------------------ *)
+
+let compile_pipeline ?(options = Options.default) ?type_env ~name src_or_expr =
+  match src_or_expr with
+  | `Src src -> Pipeline.compile ~options ?type_env ~name (Parser.parse src)
+  | `Expr e -> Pipeline.compile ~options ?type_env ~name e
+
+let best_native c =
+  match B.Jit.compile c with
+  | Ok f -> (f, "jit")
+  | Error _ -> (B.Native.compile c, "threaded")
+
+let print_table ~title ~columns rows =
+  Printf.printf "\n== %s ==\n" title;
+  Printf.printf "%-14s" "benchmark";
+  List.iter (fun c -> Printf.printf " %14s" c) columns;
+  Printf.printf "\n";
+  List.iter
+    (fun (name, cells) ->
+       Printf.printf "%-14s" name;
+       List.iter (fun c -> Printf.printf " %14s" c) cells;
+       Printf.printf "\n")
+    rows;
+  Printf.printf "%!"
+
+let ratio base = function
+  | None -> "not repr."
+  | Some s ->
+    if base <= 0.0 then "-"
+    else Printf.sprintf "%.2fx" (s /. base)
+
+let secs = function
+  | None -> "not repr."
+  | Some s ->
+    if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+    else if s < 1.0 then Printf.sprintf "%.2fms" (s *. 1e3)
+    else Printf.sprintf "%.2fs" s
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                            *)
+
+type fig2_row = {
+  bname : string;
+  hand : float;
+  compiled : float;         (* new compiler, abort checks on *)
+  compiled_noabort : float;
+  bytecode : float option;
+  backend_used : string;
+  paper_note : string;
+}
+
+let run_with f args () = ignore (f args)
+
+let fig2_benchmarks () =
+  let s = !sizes in
+  let no_abort = { Options.default with abort_handling = false } in
+  let rows = ref [] in
+  let add row = rows := row :: !rows in
+
+  (* FNV1a *)
+  let str = P.fnv_string s.fnv_len in
+  let codes = Tensor.of_int_array (Array.init s.fnv_len (fun i -> Char.code str.[i])) in
+  let c = compile_pipeline ~name:"fnv1a" (`Src P.fnv1a_src) in
+  let cn = compile_pipeline ~options:no_abort ~name:"fnv1a" (`Src P.fnv1a_src) in
+  let f, backend = best_native c in
+  let fn, _ = best_native cn in
+  let w = B.Wvm.compile (Parser.parse P.fnv1a_wvm_src) in
+  add
+    { bname = "FNV1a";
+      hand = measure "fnv1a/hand" (fun () -> ignore (H.fnv1a str));
+      compiled = measure "fnv1a/compiled" (run_with f.call [| Rtval.Str str |]);
+      compiled_noabort = measure "fnv1a/noabort" (run_with fn.call [| Rtval.Str str |]);
+      bytecode =
+        Some (measure "fnv1a/wvm" (run_with (B.Wvm.call_values w) [| Rtval.Tensor codes |]));
+      backend_used = backend;
+      paper_note = "~1x; bytecode needs the int64-vector workaround" };
+
+  (* Mandelbrot *)
+  let margs = [| Rtval.Real (-1.0); Rtval.Real 1.0; Rtval.Real (-1.0); Rtval.Real 0.5;
+                 Rtval.Real 0.1 |] in
+  let c = compile_pipeline ~name:"mandel" (`Src P.mandelbrot_src) in
+  let cn = compile_pipeline ~options:no_abort ~name:"mandel" (`Src P.mandelbrot_src) in
+  let f, backend = best_native c in
+  let fn, _ = best_native cn in
+  let w = B.Wvm.compile (Parser.parse P.mandelbrot_src) in
+  add
+    { bname = "Mandelbrot";
+      hand = measure "mandel/hand" (fun () -> ignore (H.mandelbrot (-1.0) 1.0 (-1.0) 0.5 0.1));
+      compiled = measure "mandel/compiled" (run_with f.call margs);
+      compiled_noabort = measure "mandel/noabort" (run_with fn.call margs);
+      bytecode = Some (measure "mandel/wvm" (run_with (B.Wvm.call_values w) margs));
+      backend_used = backend;
+      paper_note = "~1x; abort overhead insignificant" };
+
+  (* Dot *)
+  let m = P.random_matrix s.dot_n in
+  let dargs = [| Rtval.Tensor m; Rtval.Tensor m |] in
+  let c = compile_pipeline ~name:"dot" (`Src P.dot_src) in
+  let cn = compile_pipeline ~options:no_abort ~name:"dot" (`Src P.dot_src) in
+  let f, backend = best_native c in
+  let fn, _ = best_native cn in
+  let w = B.Wvm.compile (Parser.parse P.dot_src) in
+  add
+    { bname = "Dot";
+      hand = measure "dot/hand" (fun () -> ignore (H.dot m m));
+      compiled = measure "dot/compiled" (run_with f.call dargs);
+      compiled_noabort = measure "dot/noabort" (run_with fn.call dargs);
+      bytecode = Some (measure "dot/wvm" (run_with (B.Wvm.call_values w) dargs));
+      backend_used = backend;
+      paper_note = "all ~1x: every path calls the same dgemm (the MKL role)" };
+
+  (* Blur *)
+  let img = P.random_image s.blur_n in
+  let c = compile_pipeline ~name:"blur" (`Src P.blur_src) in
+  let cn = compile_pipeline ~options:no_abort ~name:"blur" (`Src P.blur_src) in
+  let f, backend = best_native c in
+  let fn, _ = best_native cn in
+  let w = B.Wvm.compile (Parser.parse P.blur_src) in
+  let bargs () = [| Rtval.Tensor (Tensor.copy img); Rtval.Int s.blur_n |] in
+  add
+    { bname = "Blur";
+      hand = measure "blur/hand" (fun () -> ignore (H.blur img s.blur_n));
+      compiled = measure "blur/compiled" (fun () -> ignore (f.call (bargs ())));
+      compiled_noabort = measure "blur/noabort" (fun () -> ignore (fn.call (bargs ())));
+      bytecode = Some (measure "blur/wvm" (fun () -> ignore (B.Wvm.call_values w (bargs ()))));
+      backend_used = backend;
+      paper_note = "abort checking adds considerable overhead (paper)" };
+
+  (* Histogram *)
+  let data = P.histogram_data s.hist_n in
+  let hargs = [| Rtval.Tensor data |] in
+  let c = compile_pipeline ~name:"hist" (`Src P.histogram_src) in
+  let cn = compile_pipeline ~options:no_abort ~name:"hist" (`Src P.histogram_src) in
+  let f, backend = best_native c in
+  let fn, _ = best_native cn in
+  let w = B.Wvm.compile (Parser.parse P.histogram_src) in
+  add
+    { bname = "Histogram";
+      hand = measure "hist/hand" (fun () -> ignore (H.histogram data));
+      compiled = measure "hist/compiled" (run_with f.call hargs);
+      compiled_noabort = measure "hist/noabort" (run_with fn.call hargs);
+      bytecode = Some (measure "hist/wvm" (run_with (B.Wvm.call_values w) hargs));
+      backend_used = backend;
+      paper_note = "abort checks inhibit vectorised loads (paper)" };
+
+  (* PrimeQ *)
+  let seed = P.make_seed_table () in
+  let env = P.primeq_type_env () in
+  let c = compile_pipeline ~type_env:env ~name:"primeq" (`Expr (P.primeq_expr ())) in
+  let cn =
+    compile_pipeline ~options:no_abort ~type_env:env ~name:"primeq"
+      (`Expr (P.primeq_expr ()))
+  in
+  let f, backend = best_native c in
+  let fn, _ = best_native cn in
+  let pargs = [| Rtval.Int s.primeq_limit |] in
+  add
+    { bname = "PrimeQ";
+      hand = measure "primeq/hand" (fun () -> ignore (H.primeq_count ~seed s.primeq_limit));
+      compiled = measure "primeq/compiled" (run_with f.call pargs);
+      compiled_noabort = measure "primeq/noabort" (run_with fn.call pargs);
+      bytecode = None; (* user-declared helper functions: not bytecode-compilable *)
+      backend_used = backend;
+      paper_note = "paper: 1.5x (constant-array handling; see ablation-consts)" };
+
+  (* QSort: one program unit (driver creating the comparator + the
+     recursive sort declared in the type environment), as the paper
+     compiles it; the bytecode compiler rejects the function value. *)
+  let lst = P.sorted_list s.qsort_n in
+  let no_abort = { Options.default with Options.abort_handling = false } in
+  let c =
+    compile_pipeline ~type_env:(P.qsort_type_env ()) ~name:"qsortmain"
+      (`Src P.qsort_driver_src)
+  in
+  let cn =
+    compile_pipeline ~options:no_abort ~type_env:(P.qsort_type_env ())
+      ~name:"qsortmain" (`Src P.qsort_driver_src)
+  in
+  let f, backend = best_native c in
+  let fn, _ = best_native cn in
+  let qargs = [| Rtval.Tensor lst |] in
+  let arr = Array.init s.qsort_n (fun i -> i + 1) in
+  add
+    { bname = "QSort";
+      hand = measure "qsort/hand" (fun () -> ignore (H.qsort ( < ) arr));
+      compiled = measure "qsort/compiled" (run_with f.call qargs);
+      compiled_noabort = measure "qsort/noabort" (run_with fn.call qargs);
+      bytecode = None; (* function values are not representable (paper L1) *)
+      backend_used = backend;
+      paper_note = "paper: 1.2x (immutability copies); bytecode not repr." };
+
+  List.rev !rows
+
+let fig2 () =
+  B.Compiled_function.quiet := true;
+  let rows = fig2_benchmarks () in
+  print_table ~title:"Figure 2: slowdown normalised to the hand-written baseline"
+    ~columns:[ "hand"; "compiled"; "no-abort"; "bytecode"; "backend" ]
+    (List.map
+       (fun r ->
+          ( r.bname,
+            [ secs (Some r.hand);
+              ratio r.hand (Some r.compiled);
+              ratio r.hand (Some r.compiled_noabort);
+              ratio r.hand r.bytecode;
+              r.backend_used ] ))
+       rows);
+  Printf.printf "\npaper expectations:\n";
+  List.iter (fun r -> Printf.printf "  %-10s %s\n" r.bname r.paper_note) rows;
+  Printf.printf
+    "(the paper caps bytecode bars at 2.5x in the plot; raw ratios shown here)\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+
+let table1 () =
+  Printf.printf "\n== Table 1: features and objectives (probed, not asserted) ==\n";
+  Printf.printf "%-36s %-14s %s\n" "Objective" "New Compiler" "Bytecode Compiler";
+  List.iter
+    (fun (name, nw, wv) ->
+       let pretty = function
+         | Bench_support.Features.Full -> "yes"
+         | Bench_support.Features.Partial -> "limited (*)"
+         | Bench_support.Features.None_ -> "no (x)"
+       in
+       Printf.printf "%-36s %-14s %s\n" name (pretty nw) (pretty wv))
+    (Bench_support.Features.all ());
+  Printf.printf "%!"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 / E3: random walk                                          *)
+
+let fig1 () =
+  B.Compiled_function.quiet := true;
+  let len = !sizes.walk_len in
+  let interp_fn = Wolfram.interpret_expr (Parser.parse P.random_walk_interpreted_src) in
+  let t_interp =
+    measure "walk/interp" (fun () ->
+        Rand.seed 5;
+        ignore (Wolfram.interpret_expr (Expr.Normal (interp_fn, [| Expr.Int len |]))))
+  in
+  let w = B.Wvm.compile (Parser.parse P.random_walk_compiled_src) in
+  let t_wvm =
+    measure "walk/wvm" (fun () ->
+        Rand.seed 5;
+        ignore (B.Wvm.call_values w [| Rtval.Int len |]))
+  in
+  let c = compile_pipeline ~name:"walk" (`Src P.random_walk_compiled_src) in
+  let f, backend = best_native c in
+  let t_new =
+    measure "walk/new" (fun () ->
+        Rand.seed 5;
+        ignore (f.call [| Rtval.Int len |]))
+  in
+  let t_hand =
+    measure "walk/hand" (fun () ->
+        Rand.seed 5;
+        ignore (H.random_walk len))
+  in
+  print_table ~title:(Printf.sprintf "Figure 1 (E3): random walk, len = %d" len)
+    ~columns:[ "seconds"; "speedup" ]
+    [ ("interpreted", [ secs (Some t_interp); "1.00x" ]);
+      ("bytecode", [ secs (Some t_wvm); Printf.sprintf "%.2fx" (t_interp /. t_wvm) ]);
+      (Printf.sprintf "compiled/%s" backend,
+       [ secs (Some t_new); Printf.sprintf "%.2fx" (t_interp /. t_new) ]);
+      ("hand-written", [ secs (Some t_hand); Printf.sprintf "%.2fx" (t_interp /. t_hand) ]) ];
+  Printf.printf "paper: bytecode ~2x over interpreted at len 100000\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* E4: FindRoot auto-compilation                                       *)
+
+let findroot () =
+  let eq = P.findroot_src in
+  Wolf_runtime.Hooks.auto_compile_enabled := false;
+  let t_off = measure "findroot/off" (fun () -> ignore (Wolfram.interpret eq)) in
+  Wolf_runtime.Hooks.auto_compile_enabled := true;
+  let t_on = measure "findroot/on" (fun () -> ignore (Wolfram.interpret eq)) in
+  print_table ~title:"FindRoot[Sin[x] + E^x, {x, 0}] auto-compilation (E4)"
+    ~columns:[ "seconds"; "speedup" ]
+    [ ("interpreted", [ secs (Some t_off); "1.00x" ]);
+      ("auto-compiled", [ secs (Some t_on); Printf.sprintf "%.2fx" (t_off /. t_on) ]) ];
+  Printf.printf "paper: 1.6x\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* E5: inlining ablation (Mandelbrot)                                  *)
+
+let ablation_inline () =
+  let margs = [| Rtval.Real (-1.0); Rtval.Real 1.0; Rtval.Real (-1.0); Rtval.Real 0.5;
+                 Rtval.Real 0.1 |] in
+  let c = compile_pipeline ~name:"mandel" (`Src P.mandelbrot_src) in
+  let c0 =
+    compile_pipeline
+      ~options:{ Options.default with inline_level = 0 }
+      ~name:"mandel" (`Src P.mandelbrot_src)
+  in
+  (* both arms use the best backend; with inlining off, every primitive goes
+     through the boxed runtime dispatch — the paper's function-call overhead *)
+  let f, _ = best_native c in
+  let f0, _ = best_native c0 in
+  let t = measure "inline/on" (run_with f.call margs) in
+  let t0 = measure "inline/off" (run_with f0.call margs) in
+  print_table ~title:"Mandelbrot with primitive inlining disabled (E5)"
+    ~columns:[ "seconds"; "slowdown" ]
+    [ ("inlining on", [ secs (Some t); "1.00x" ]);
+      ("inlining off", [ secs (Some t0); Printf.sprintf "%.2fx" (t0 /. t) ]) ];
+  Printf.printf "paper: ~10x\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* E6: abort-handling ablation                                         *)
+
+let ablation_abort () =
+  B.Compiled_function.quiet := true;
+  let rows = fig2_benchmarks () in
+  print_table ~title:"Abort-check overhead per benchmark (E6)"
+    ~columns:[ "with abort"; "without"; "overhead" ]
+    (List.map
+       (fun r ->
+          ( r.bname,
+            [ secs (Some r.compiled);
+              secs (Some r.compiled_noabort);
+              Printf.sprintf "%.1f%%"
+                (100.0 *. ((r.compiled /. r.compiled_noabort) -. 1.0)) ] ))
+       rows);
+  Printf.printf
+    "paper: considerable for Blur, vector-load inhibition for Histogram, \
+     insignificant for Mandelbrot\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* E7: constant-array handling (PrimeQ)                                *)
+
+let ablation_consts () =
+  (* The Fig 2 PrimeQ benchmark with the constant seed table re-materialised
+     on every evaluation instead of kept static.  The paper does not specify
+     the engine's exact re-materialisation granularity; ours is per function
+     entry, so the magnitude differs (see EXPERIMENTS.md), but the direction
+     and the fix (static constants) are the paper's. *)
+  let env = P.primeq_type_env () in
+  let limit = !sizes.primeq_limit in
+  let c_static = compile_pipeline ~type_env:env ~name:"primeq" (`Expr (P.primeq_expr ())) in
+  let c_dynamic =
+    compile_pipeline
+      ~options:{ Options.default with static_constants = false }
+      ~type_env:(P.primeq_type_env ()) ~name:"primeq" (`Expr (P.primeq_expr ()))
+  in
+  let f, _ = best_native c_static in
+  let f0, _ = best_native c_dynamic in
+  let t = measure "consts/static" (run_with f.call [| Rtval.Int limit |]) in
+  let t0 = measure "consts/dynamic" (run_with f0.call [| Rtval.Int limit |]) in
+  print_table ~title:"PrimeQ constant-array handling (E7)"
+    ~columns:[ "seconds"; "slowdown" ]
+    [ ("static consts", [ secs (Some t); "1.00x" ]);
+      ("per-call copy", [ secs (Some t0); Printf.sprintf "%.2fx" (t0 /. t) ]) ];
+  Printf.printf
+    "paper: 1.5x degradation from non-optimal constant arrays (our per-call \
+     mode; static mode is the paper's 'fixed in the upcoming version')\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* E8: compilation time and per-pass breakdown                         *)
+
+let compile_time () =
+  let specs =
+    [ ("fnv1a", `Src P.fnv1a_src, None);
+      ("mandelbrot", `Src P.mandelbrot_src, None);
+      ("dot", `Src P.dot_src, None);
+      ("blur", `Src P.blur_src, None);
+      ("histogram", `Src P.histogram_src, None);
+      ("primeq", `Expr (P.primeq_expr ()), Some (P.primeq_type_env ())) ]
+  in
+  Printf.printf "\n== Compilation time per benchmark (E8) ==\n";
+  let totals = Hashtbl.create 16 in
+  List.iter
+    (fun (name, src, env) ->
+       let t0 = Unix.gettimeofday () in
+       let c = compile_pipeline ?type_env:env ~name src in
+       let total = Unix.gettimeofday () -. t0 in
+       Printf.printf "%-12s total %8.2fms  (%d program functions)\n" name (total *. 1e3)
+         (List.length c.Pipeline.program.Wir.funcs);
+       List.iter
+         (fun (pass, t) ->
+            Hashtbl.replace totals pass
+              (t +. Option.value ~default:0.0 (Hashtbl.find_opt totals pass)))
+         c.Pipeline.timings)
+    specs;
+  Printf.printf "\nper-pass totals across benchmarks:\n";
+  Hashtbl.fold (fun pass t acc -> (pass, t) :: acc) totals []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.iter (fun (pass, t) -> Printf.printf "  %-22s %8.2fms\n" pass (t *. 1e3));
+  Printf.printf "%!"
+
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [all|fig2|table1|fig1|findroot|ablation-inline|\n\
+    \                 ablation-abort|ablation-consts|compile-time] [--quick|--paper]"
+
+let () =
+  Wolfram.init ();
+  let args = Array.to_list Sys.argv in
+  if List.mem "--paper" args then sizes := paper_sizes;
+  if List.mem "--quick" args then begin
+    sizes := quick_sizes;
+    quota := 0.25
+  end;
+  let commands =
+    List.filter
+      (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
+      (List.tl args)
+  in
+  let run = function
+    | "fig2" -> fig2 ()
+    | "table1" -> table1 ()
+    | "fig1" -> fig1 ()
+    | "findroot" -> findroot ()
+    | "ablation-inline" -> ablation_inline ()
+    | "ablation-abort" -> ablation_abort ()
+    | "ablation-consts" -> ablation_consts ()
+    | "compile-time" -> compile_time ()
+    | "all" ->
+      table1 ();
+      fig2 ();
+      fig1 ();
+      findroot ();
+      ablation_inline ();
+      ablation_abort ();
+      ablation_consts ();
+      compile_time ()
+    | "help" | "-h" | "--help" -> usage ()
+    | other ->
+      Printf.printf "unknown command %s\n" other;
+      usage ();
+      exit 2
+  in
+  match commands with
+  | [] -> run "all"
+  | cmds -> List.iter run cmds

@@ -1,0 +1,271 @@
+(* The seven benchmarks of the paper's Figure 2, written in the Wolfram
+   Language subset, plus the Figure 1 random walk and the FindRoot equation
+   (experiments E1, E3, E4 in DESIGN.md).  Each benchmark provides the
+   source for the new compiler and, where representable, the bytecode
+   compiler variant (FNV1a uses the paper's integer-vector workaround;
+   QSort cannot be expressed at all, reproducing L1). *)
+
+open Wolf_wexpr
+
+(* ------------------------------------------------------------------ *)
+
+let fnv1a_src = {|
+Function[{Typed[s, "String"]},
+ Module[{hash = 2166136261, i = 1, n = StringLength[s]},
+  While[i <= n,
+   hash = BitAnd[BitXor[hash, StringByte[s, i]] * 16777619, 4294967295];
+   i = i + 1];
+  hash]]
+|}
+
+(* The bytecode compiler cannot touch strings: the paper's workaround
+   represents them as an integer vector of character codes. *)
+let fnv1a_wvm_src = {|
+Function[{Typed[codes, "PackedArray"["Integer64", 1]]},
+ Module[{hash = 2166136261, i = 1, n = Length[codes]},
+  While[i <= n,
+   hash = BitAnd[BitXor[hash, codes[[i]]] * 16777619, 4294967295];
+   i = i + 1];
+  hash]]
+|}
+
+let mandelbrot_src = {|
+Function[{Typed[x0, "Real64"], Typed[x1, "Real64"],
+          Typed[y0, "Real64"], Typed[y1, "Real64"], Typed[step, "Real64"]},
+ Module[{total = 0, x = x0, y = y0, zr = 0.0, zi = 0.0, t = 0.0, iters = 0},
+  While[x <= x1,
+   y = y0;
+   While[y <= y1,
+    zr = 0.0; zi = 0.0; iters = 0;
+    While[iters < 1000 && zr*zr + zi*zi < 4.0,
+     t = zr*zr - zi*zi + x;
+     zi = 2.0*zr*zi + y;
+     zr = t;
+     iters = iters + 1];
+    total = total + iters;
+    y = y + step];
+   x = x + step];
+  total]]
+|}
+
+let dot_src = {|
+Function[{Typed[a, "PackedArray"["Real64", 2]], Typed[b, "PackedArray"["Real64", 2]]},
+ a . b]
+|}
+
+let blur_src = {|
+Function[{Typed[img, "PackedArray"["Real64", 2]], Typed[n, "MachineInteger"]},
+ Module[{out = img*0.0, i = 2, j = 2},
+  While[i < n,
+   j = 2;
+   While[j < n,
+    out[[i, j]] =
+      (img[[i-1, j-1]] + 2.0*img[[i-1, j]] + img[[i-1, j+1]]
+       + 2.0*img[[i, j-1]] + 4.0*img[[i, j]] + 2.0*img[[i, j+1]]
+       + img[[i+1, j-1]] + 2.0*img[[i+1, j]] + img[[i+1, j+1]]) / 16.0;
+    j = j + 1];
+   i = i + 1];
+  out]]
+|}
+
+let histogram_src = {|
+Function[{Typed[data, "PackedArray"["Integer64", 1]]},
+ Module[{bins = ConstantArray[0, 256], i = 1, n = Length[data], b = 0},
+  While[i <= n,
+   b = data[[i]] + 1;
+   bins[[b]] = bins[[b]] + 1;
+   i = i + 1];
+  bins]]
+|}
+
+(* PrimeQ: Miller–Rabin (witnesses 2 and 3 are exact below 1,373,653) with a
+   2^14 seed table embedded as a constant array (paper §6).  PowerMod64 and
+   MillerRabinPrimeQ64 are declared in the type environment with Wolfram
+   implementations, exercising function resolution's instantiation path. *)
+let powmod_spec = {|TypeSpecifier[{"Integer64", "Integer64", "Integer64"} -> "Integer64"]|}
+let powmod_impl = {|
+Function[{b0, e0, m},
+ Module[{result = 1, b = Mod[b0, m], e = e0},
+  While[e > 0,
+   If[Mod[e, 2] == 1, result = Mod[result*b, m]];
+   b = Mod[b*b, m];
+   e = Quotient[e, 2]];
+  result]]
+|}
+
+let mrprime_spec = {|TypeSpecifier[{"Integer64"} -> "Integer64"]|}
+let mrprime_impl = {|
+Function[{k},
+ If[k < 2, 0,
+  If[k < 4, 1,
+   If[Mod[k, 2] == 0, 0,
+    Module[{d = k - 1, s = 0, prime = 1, wi = 1, a = 0, x = 0, r = 0, found = 0,
+            witnesses = {2, 3}},
+     While[Mod[d, 2] == 0, d = Quotient[d, 2]; s = s + 1];
+     While[wi <= 2 && prime == 1,
+      a = witnesses[[wi]];
+      If[Mod[a, k] != 0,
+       x = PowerMod64[a, d, k];
+       If[x != 1 && x != k - 1,
+        found = 0; r = 1;
+        While[r < s && found == 0,
+         x = Mod[x*x, k];
+         If[x == k - 1, found = 1];
+         r = r + 1];
+        If[found == 0, prime = 0]]];
+      wi = wi + 1];
+     prime]]]]]
+|}
+
+(* limit and the constant seed table are baked in via substitution *)
+let primeq_template = {|
+Function[{Typed[limit, "MachineInteger"]},
+ Module[{count = 0, k = 2, seed = SeedTableConstant, seedn = 0},
+  seedn = Length[seed];
+  While[k <= limit,
+   If[k <= seedn,
+    count = count + seed[[k]],
+    count = count + MillerRabinPrimeQ64[k]];
+   k = k + 1];
+  count]]
+|}
+
+let seed_table_size = 16384 (* 2^14, as in the paper *)
+
+let make_seed_table () =
+  (* primality table computed "by the interpreter" (here: directly) *)
+  let sieve = Array.make (seed_table_size + 1) true in
+  sieve.(0) <- false;
+  if seed_table_size >= 1 then sieve.(1) <- false;
+  for i = 2 to seed_table_size do
+    if sieve.(i) then begin
+      let j = ref (i * i) in
+      while !j <= seed_table_size do
+        sieve.(!j) <- false;
+        j := !j + i
+      done
+    end
+  done;
+  (* 1-indexed in the program: entry k answers "is k prime" *)
+  Tensor.of_int_array (Array.init seed_table_size (fun i -> if sieve.(i + 1) then 1 else 0))
+
+let primeq_expr () =
+  let table = make_seed_table () in
+  let template = Parser.parse primeq_template in
+  Pattern.substitute
+    [ (Symbol.intern "SeedTableConstant", Expr.Tensor table) ]
+    template
+
+let primeq_type_env () =
+  let env = Wolf_compiler.Type_env.create ~parent:(Wolf_compiler.Type_env.builtin ()) "primeq" in
+  Wolf_compiler.Type_env.declare_wolfram env "PowerMod64"
+    ~spec:(Parser.parse powmod_spec) ~body:(Parser.parse powmod_impl);
+  Wolf_compiler.Type_env.declare_wolfram env "MillerRabinPrimeQ64"
+    ~spec:(Parser.parse mrprime_spec) ~body:(Parser.parse mrprime_impl);
+  env
+
+(* QSort as a single compiled program: the comparator is created inside the
+   compiled code, so comparator calls are direct (the paper compiles the whole
+   program as one unit); recursion goes through the type environment. *)
+let qsort_decl_spec = {|TypeSpecifier[{{"Integer64", "Integer64"} -> "Boolean", "PackedArray"["Integer64", 1]} -> "PackedArray"["Integer64", 1]]|}
+
+let qsort_driver_src = {|
+Function[{Typed[lst, "PackedArray"["Integer64", 1]]},
+ QSortI64[Function[{a, b}, a < b], lst]]
+|}
+
+let qsort_src = {|
+Function[{Typed[cmp, {"Integer64", "Integer64"} -> "Boolean"],
+          Typed[lst, "PackedArray"["Integer64", 1]]},
+ Module[{n = Length[lst]},
+  If[n <= 1, lst,
+   Module[{pivot = lst[[1]], left = ConstantArray[0, n], right = ConstantArray[0, n],
+           nl = 0, nr = 0, i = 2, v = 0},
+    While[i <= n,
+     v = lst[[i]];
+     If[cmp[v, pivot],
+      (nl = nl + 1; left[[nl]] = v),
+      (nr = nr + 1; right[[nr]] = v)];
+     i = i + 1];
+    Join[Append[qsort[cmp, Take[left, nl]], pivot], qsort[cmp, Take[right, nr]]]]]]]
+|}
+
+(* same body with recursion through the declared name *)
+let qsort_impl_src = {|
+Function[{cmp, lst},
+ Module[{n = Length[lst]},
+  If[n <= 1, lst,
+   Module[{pivot = lst[[1]], left = ConstantArray[0, n], right = ConstantArray[0, n],
+           nl = 0, nr = 0, i = 2, v = 0},
+    While[i <= n,
+     v = lst[[i]];
+     If[cmp[v, pivot],
+      (nl = nl + 1; left[[nl]] = v),
+      (nr = nr + 1; right[[nr]] = v)];
+     i = i + 1];
+    Join[Append[QSortI64[cmp, Take[left, nl]], pivot],
+         QSortI64[cmp, Take[right, nr]]]]]]]
+|}
+
+let less_fn_src = {|Function[{Typed[a, "MachineInteger"], Typed[b, "MachineInteger"]}, a < b]|}
+
+let qsort_type_env () =
+  let env =
+    Wolf_compiler.Type_env.create ~parent:(Wolf_compiler.Type_env.builtin ()) "qsort"
+  in
+  Wolf_compiler.Type_env.declare_wolfram env "QSortI64"
+    ~spec:(Parser.parse qsort_decl_spec)
+    ~body:(Parser.parse qsort_impl_src);
+  env
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 random walk (E3)                                           *)
+
+let random_walk_interpreted_src = {|
+Function[{len},
+ NestList[
+  Module[{arg = RandomReal[{0, 2*Pi}]}, {-Cos[arg], Sin[arg]} + #]&,
+  {0.0, 0.0},
+  len]]
+|}
+
+(* Loop form for the compilers: same draws from the shared PRNG, packed
+   output.  6.283185307179586 = 2π (the WVM has no symbolic constants). *)
+let random_walk_compiled_src = {|
+Function[{Typed[len, "MachineInteger"]},
+ Module[{out = ConstantArray[0.0, len + 1, 2], x = 0.0, y = 0.0, i = 1, arg = 0.0},
+  While[i <= len,
+   arg = RandomReal[{0.0, 6.283185307179586}];
+   x = x - Cos[arg];
+   y = y + Sin[arg];
+   out[[i + 1, 1]] = x;
+   out[[i + 1, 2]] = y;
+   i = i + 1];
+  out]]
+|}
+
+(* FindRoot equation (E4) *)
+let findroot_src = "FindRoot[Sin[x] + E^x, {x, 0}]"
+
+(* ------------------------------------------------------------------ *)
+(* Input generators (all paths share the deterministic PRNG stream)    *)
+
+let fnv_string n =
+  Wolf_runtime.Rand.seed 7;
+  String.init n (fun _ -> Char.chr (33 + Wolf_runtime.Rand.int_range 0 90))
+
+let random_matrix n =
+  Wolf_runtime.Rand.seed 11;
+  Tensor.create_real [| n; n |]
+    (Array.init (n * n) (fun _ -> Wolf_runtime.Rand.uniform ()))
+
+let random_image n =
+  Wolf_runtime.Rand.seed 13;
+  Tensor.create_real [| n; n |]
+    (Array.init (n * n) (fun _ -> Wolf_runtime.Rand.uniform ()))
+
+let histogram_data n =
+  Wolf_runtime.Rand.seed 17;
+  Tensor.of_int_array (Array.init n (fun _ -> Wolf_runtime.Rand.int_range 0 255))
+
+let sorted_list n = Tensor.of_int_array (Array.init n (fun i -> i + 1))

@@ -1,0 +1,164 @@
+(* wolfc — command-line front end to the compiler, mirroring the artifact
+   appendix workflow:
+
+     wolfc emit  --stage ast|wir|twir|bytecode|c|ocaml  [-e EXPR | FILE]
+     wolfc run   [-e EXPR | FILE] --args 1,2.5,...      (compile and call)
+     wolfc eval  [-e EXPR | FILE]                       (interpret)
+     wolfc repl                                         (interactive session)
+*)
+
+open Cmdliner
+open Wolf_wexpr
+
+let read_program expr_opt file_opt =
+  match expr_opt, file_opt with
+  | Some e, _ -> e
+  | None, Some f ->
+    let ic = open_in f in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  | None, None -> failwith "provide a program with -e or a FILE argument"
+
+let options_of ~no_abort ~no_inline ~opt_level ~self =
+  { Wolf_compiler.Options.default with
+    abort_handling = not no_abort;
+    inline_level = (if no_inline then 0 else 1);
+    opt_level;
+    self_name = self }
+
+(* shared flags *)
+let expr_arg =
+  Arg.(value & opt (some string) None & info [ "e"; "expression" ] ~docv:"EXPR"
+         ~doc:"Program text (otherwise read from FILE).")
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let no_abort = Arg.(value & flag & info [ "no-abort" ] ~doc:"Disable abort checks (F3).")
+let no_inline = Arg.(value & flag & info [ "no-inline" ] ~doc:"Disable inlining (E5).")
+let opt_level = Arg.(value & opt int 1 & info [ "O" ] ~docv:"N" ~doc:"Optimisation level (0/1).")
+let self = Arg.(value & opt (some string) None & info [ "self" ] ~docv:"NAME"
+                  ~doc:"Treat calls to NAME as recursive self-references (e.g. cfib).")
+
+let stage_arg =
+  let stages =
+    [ ("ast", `Ast); ("wir", `Wir); ("twir", `Twir); ("bytecode", `Bytecode);
+      ("c", `C); ("ocaml", `OCaml) ]
+  in
+  Arg.(value & opt (enum stages) `Twir & info [ "stage" ] ~docv:"STAGE"
+         ~doc:"Representation to print: ast, wir, twir, bytecode, c, ocaml.")
+
+let emit_cmd =
+  let run stage expr file no_abort no_inline opt_level self =
+    Wolfram.init ();
+    let src = read_program expr file in
+    let options = options_of ~no_abort ~no_inline ~opt_level ~self in
+    (match stage with
+     | `Ast -> print_endline (Wolfram.compile_to_ast ~options src)
+     | `Wir -> print_string (Wolfram.compile_to_ir ~options ~optimize:false src)
+     | `Twir -> print_string (Wolfram.compile_to_ir ~options ~optimize:true src)
+     | `Bytecode ->
+       print_string (Wolf_backends.Wvm.dump (Wolf_backends.Wvm.compile (Parser.parse src)))
+     | `C ->
+       (match Wolfram.export_string ~options ~format:`C src with
+        | Ok s -> print_string s
+        | Error e -> prerr_endline e; exit 1)
+     | `OCaml ->
+       (match Wolfram.export_string ~options ~format:`OCaml src with
+        | Ok s -> print_string s
+        | Error e -> prerr_endline e; exit 1));
+    0
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Print an intermediate representation (CompileToAST/CompileToIR/FunctionCompileExportString).")
+    Term.(const run $ stage_arg $ expr_arg $ file_arg $ no_abort $ no_inline
+          $ opt_level $ self)
+
+let parse_call_args s =
+  if s = "" then []
+  else
+    String.split_on_char ',' s
+    |> List.map (fun a ->
+        let a = String.trim a in
+        match int_of_string_opt a with
+        | Some i -> Expr.Int i
+        | None ->
+          (match float_of_string_opt a with
+           | Some r -> Expr.Real r
+           | None ->
+             if String.length a >= 2 && a.[0] = '{' then Parser.parse a
+             else Expr.Str a))
+
+let target_arg =
+  let targets =
+    [ ("jit", Wolfram.Jit); ("threaded", Wolfram.Threaded); ("bytecode", Wolfram.Bytecode) ]
+  in
+  Arg.(value & opt (enum targets) Wolfram.Jit & info [ "target" ] ~docv:"T"
+         ~doc:"Backend: jit (default), threaded, bytecode.")
+
+let run_cmd =
+  let run expr file args target no_abort no_inline opt_level self =
+    Wolfram.init ();
+    let src = read_program expr file in
+    let options = options_of ~no_abort ~no_inline ~opt_level ~self in
+    let cf = Wolfram.function_compile ~options ~target (Parser.parse src) in
+    let call_args = parse_call_args args in
+    print_endline (Form.input_form (Wolfram.call cf call_args));
+    0
+  in
+  let args_arg =
+    Arg.(value & opt string "" & info [ "args" ] ~docv:"A,B,…"
+           ~doc:"Comma-separated arguments (ints, reals, strings, {lists}).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"FunctionCompile a program and apply it.")
+    Term.(const run $ expr_arg $ file_arg $ args_arg $ target_arg $ no_abort
+          $ no_inline $ opt_level $ self)
+
+let eval_cmd =
+  let run expr file =
+    Wolfram.init ();
+    let src = read_program expr file in
+    print_endline (Form.input_form (Wolfram.interpret src));
+    0
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Evaluate with the interpreter (no compilation).")
+    Term.(const run $ expr_arg $ file_arg)
+
+let repl_cmd =
+  let run () =
+    Wolfram.init ();
+    Printf.printf "Wolfram Language compiler reproduction — compiler v%s, engine v%s\n"
+      (fst Wolf_backends.Compiled_function.versions)
+      (snd Wolf_backends.Compiled_function.versions);
+    print_endline "Ctrl-D to quit; expressions are interpreted; \
+                   FunctionCompile via the library API.";
+    let n = ref 0 in
+    (try
+       while true do
+         incr n;
+         Printf.printf "In[%d]:= %!" !n;
+         let line = input_line stdin in
+         if String.trim line <> "" then begin
+           match
+             Wolf_base.Abort_signal.with_abort_protection (fun () ->
+                 Wolfram.interpret line)
+           with
+           | Ok v -> Printf.printf "Out[%d]= %s\n\n" !n (Form.input_form v)
+           | Error e -> Printf.printf "Error: %s\n\n" (Printexc.to_string e)
+         end
+       done
+     with End_of_file -> print_newline ());
+    0
+  in
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive interpreter session.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "wolfc" ~version:(fst Wolf_backends.Compiled_function.versions)
+      ~doc:"Wolfram Language compiler reproduction (CGO 2020)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ emit_cmd; run_cmd; eval_cmd; repl_cmd ]))

@@ -1,0 +1,1 @@
+examples/extend_compiler.ml: Expr Form List Macro Parser Pipeline Printf String Type_env Wir Wolf_base Wolf_compiler Wolf_wexpr Wolfram

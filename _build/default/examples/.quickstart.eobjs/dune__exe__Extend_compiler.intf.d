@@ -1,0 +1,1 @@
+examples/extend_compiler.mli:

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array Expr Form Parser Printf Rand Rtval String Symbol Sys Tensor Unix Wolf_kernel Wolf_runtime Wolf_wexpr Wolfram

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Expr Form List Parser Printf String Wolf_base Wolf_compiler Wolf_runtime Wolf_wexpr Wolfram

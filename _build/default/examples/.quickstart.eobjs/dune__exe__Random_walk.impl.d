@@ -1,0 +1,1 @@
+examples/random_walk.ml: Array Expr Form Format Parser Printf Rand Rtval String Sys Tensor Unix Wolf_runtime Wolf_wexpr Wolfram

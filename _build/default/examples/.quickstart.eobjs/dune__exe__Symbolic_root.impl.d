@@ -1,0 +1,1 @@
+examples/symbolic_root.ml: Expr Form List Parser Printf String Unix Wolf_runtime Wolf_wexpr Wolfram

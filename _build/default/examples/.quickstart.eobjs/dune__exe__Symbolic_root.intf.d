@@ -1,0 +1,1 @@
+examples/symbolic_root.mli:

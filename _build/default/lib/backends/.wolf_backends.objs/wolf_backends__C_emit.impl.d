@@ -1,0 +1,1 @@
+lib/backends/c_emit.ml: Array Buffer Hashtbl List Option Pipeline Printf String Types Wir Wolf_compiler Wolf_runtime

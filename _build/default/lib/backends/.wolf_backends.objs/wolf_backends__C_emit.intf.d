@@ -1,0 +1,1 @@
+lib/backends/c_emit.mli: Wolf_compiler Wolf_runtime

@@ -1,0 +1,1 @@
+lib/backends/compiled_function.ml: Array Errors Expr Hooks List Option Printf Rtval Tensor Types Wolf_base Wolf_compiler Wolf_runtime Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/backends/compiled_function.mli: Expr Rtval Types Wolf_compiler Wolf_runtime Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/backends/jit.ml: Array Dynlink Filename List Obj Ocaml_emit Option Printexc Printf Rtval String Sys Unix Wolf_compiler Wolf_plugin Wolf_runtime

@@ -1,0 +1,1 @@
+lib/backends/jit.mli: Rtval Wolf_compiler Wolf_runtime

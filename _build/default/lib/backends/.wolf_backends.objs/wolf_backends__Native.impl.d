@@ -1,0 +1,1 @@
+lib/backends/native.ml: Abort_signal Array Char Checked Errors Float Hashtbl Hooks List Options Pipeline Prims Printf Rtval String Types Wir Wolf_base Wolf_compiler Wolf_runtime Wolf_wexpr

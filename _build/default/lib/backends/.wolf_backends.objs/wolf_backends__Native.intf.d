@@ -1,0 +1,1 @@
+lib/backends/native.mli: Rtval Wolf_compiler Wolf_runtime

@@ -1,0 +1,1 @@
+lib/backends/ocaml_emit.ml: Analysis Array Buffer Float Hashtbl List Pipeline Printf Rtval String Types Wir Wolf_compiler Wolf_runtime

@@ -1,0 +1,1 @@
+lib/backends/ocaml_emit.mli: Wolf_compiler Wolf_runtime

@@ -1,0 +1,1 @@
+lib/backends/wvm.mli: Expr Rtval Wolf_runtime Wolf_wexpr

@@ -1,0 +1,23 @@
+(** Standalone C export (objective F10, the
+    [FunctionCompileExportString[…, "C"]] analogue).
+
+    Emits a self-contained C translation unit: a miniature tensor runtime,
+    overflow-checked arithmetic via compiler builtins, and one C function per
+    program function with the CFG rendered as labelled blocks and gotos.  As
+    in the paper's standalone mode, interpreter integration and abortability
+    are disabled: programs using [KernelCall] or [Expression] values are
+    rejected, and [AbortCheck]s are elided. *)
+
+type emitted = {
+  source : string;
+  entry_name : string;      (** C symbol of the compiled entry point *)
+}
+
+val emit : Wolf_compiler.Pipeline.compiled -> (emitted, string) result
+
+val emit_with_driver :
+  Wolf_compiler.Pipeline.compiled -> args:Wolf_runtime.Rtval.t list ->
+  (emitted, string) result
+(** Additionally emits a [main] that calls the entry with the given scalar
+    arguments and prints the result — used by the differential test that
+    compiles the export with the system C compiler and compares output. *)

@@ -1,0 +1,134 @@
+open Wolf_runtime
+
+let counter = ref 0
+
+(* Locate the dune build tree to find the host libraries' .cmi files. *)
+let find_build_root () =
+  let rec search dir depth =
+    if depth > 8 then None
+    else begin
+      let candidate = Filename.concat dir "_build/default/lib" in
+      if Sys.file_exists candidate && Sys.is_directory candidate then
+        Some (Filename.concat dir "_build/default")
+      else begin
+        let parent = Filename.dirname dir in
+        if parent = dir then None else search parent (depth + 1)
+      end
+    end
+  in
+  let from_exe =
+    let exe = Sys.executable_name in
+    search (Filename.dirname exe) 0
+  in
+  match from_exe with
+  | Some _ as r -> r
+  | None -> search (Sys.getcwd ()) 0
+
+let include_dirs () =
+  match find_build_root () with
+  | None -> None
+  | Some root ->
+    let libs =
+      [ "lib/base/.wolf_base.objs/byte";
+        "lib/wexpr/.wolf_wexpr.objs/byte";
+        "lib/runtime/.wolf_runtime.objs/byte";
+        "lib/plugin_api/.wolf_plugin_api.objs/byte" ]
+    in
+    let dirs = List.map (Filename.concat root) libs in
+    if List.for_all Sys.file_exists dirs then Some dirs else None
+
+let ocamlopt () =
+  let candidates = [ "ocamlfind ocamlopt"; "ocamlopt.opt"; "ocamlopt" ] in
+  List.find_opt
+    (fun c ->
+       let cmd = Printf.sprintf "%s -version >/dev/null 2>&1" c in
+       Sys.command cmd = 0)
+    (List.tl candidates) (* prefer plain ocamlopt; ocamlfind adds noise *)
+  |> function
+  | Some c -> Some c
+  | None -> List.find_opt (fun c -> Sys.command (c ^ " -version >/dev/null 2>&1") = 0) candidates
+
+let sessions_dir () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "wolfram-compiler-jit" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  dir
+
+let available () =
+  Dynlink.is_native && Option.is_some (include_dirs ()) && Option.is_some (ocamlopt ())
+
+let compile_to_cmxs (c : Wolf_compiler.Pipeline.compiled) =
+  match include_dirs (), ocamlopt () with
+  | None, _ -> Error "JIT unavailable: cannot locate the dune build tree (.cmi files)"
+  | _, None -> Error "JIT unavailable: no ocamlopt on PATH"
+  | Some dirs, Some compiler ->
+    incr counter;
+    let module_name = Printf.sprintf "Wolfjit_%d_%d" (Unix.getpid ()) !counter in
+    let emitted = Ocaml_emit.emit ~module_name c in
+    let dir = sessions_dir () in
+    let ml = Filename.concat dir (String.lowercase_ascii module_name ^ ".ml") in
+    let cmxs = Filename.concat dir (String.lowercase_ascii module_name ^ ".cmxs") in
+    let oc = open_out ml in
+    output_string oc emitted.source;
+    close_out oc;
+    let includes = String.concat " " (List.map (Printf.sprintf "-I %s") dirs) in
+    let log = ml ^ ".log" in
+    let cmd =
+      Printf.sprintf "%s -w -a -O2 %s -shared -o %s %s >%s 2>&1" compiler includes
+        (Filename.quote cmxs) (Filename.quote ml) (Filename.quote log)
+    in
+    let cmd =
+      (* -O2 only exists under flambda; retry without it on failure *)
+      if Sys.command cmd = 0 then None
+      else begin
+        let cmd2 =
+          Printf.sprintf "%s -w -a %s -shared -o %s %s >%s 2>&1" compiler includes
+            (Filename.quote cmxs) (Filename.quote ml) (Filename.quote log)
+        in
+        if Sys.command cmd2 = 0 then None else Some cmd2
+      end
+    in
+    (match cmd with
+     | Some _ ->
+       let diag =
+         try
+           let ic = open_in log in
+           let n = in_channel_length ic in
+           let s = really_input_string ic (min n 2000) in
+           close_in ic;
+           s
+         with _ -> "(no diagnostic)"
+       in
+       Error (Printf.sprintf "ocamlopt failed:\n%s" diag)
+     | None -> Ok (emitted, cmxs))
+
+let compile c =
+  match compile_to_cmxs c with
+  | Error _ as e -> e
+  | Ok (emitted, cmxs) ->
+    (* host-side constants must be visible before the module initialises *)
+    List.iter
+      (fun (key, rt) -> Wolf_plugin.register key (Obj.repr (rt : Rtval.t)))
+      emitted.Ocaml_emit.constants;
+    (match Dynlink.loadfile_private cmxs with
+     | () ->
+       (match Wolf_plugin.lookup emitted.Ocaml_emit.entry_symbol with
+        | Some entry ->
+          let call : Rtval.t array -> Rtval.t = Obj.obj entry in
+          let main = Wolf_compiler.Wir.main c.Wolf_compiler.Pipeline.program in
+          Ok { Rtval.arity = Array.length main.Wolf_compiler.Wir.fparams; call }
+        | None -> Error "JIT: plugin loaded but entry symbol missing")
+     | exception Dynlink.Error e -> Error ("Dynlink: " ^ Dynlink.error_message e)
+     | exception e -> Error ("Dynlink: " ^ Printexc.to_string e))
+
+let export_library c ~path =
+  match compile_to_cmxs c with
+  | Error _ as e -> e
+  | Ok (emitted, cmxs) ->
+    let ic = open_in_bin cmxs in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    let oc = open_out_bin path in
+    output_string oc contents;
+    close_out oc;
+    Ok emitted.Ocaml_emit.entry_symbol

@@ -1,0 +1,29 @@
+(** The ocamlopt JIT — this repo's stand-in for the paper's LLVM ORC JIT
+    (see DESIGN.md substitutions).
+
+    The emitted OCaml module ({!Ocaml_emit}) is compiled to a native shared
+    object with [ocamlopt -shared] against the host build's interfaces and
+    loaded with [Dynlink]; its entry point registers itself through
+    {!Wolf_plugin}.  Compilation happens once per FunctionCompile, like an
+    LLVM JIT's module finalisation.
+
+    [available] is false when the toolchain or the build tree cannot be
+    found (e.g. an installed binary far from its _build directory); callers
+    fall back to the {!Native} threaded backend. *)
+
+open Wolf_runtime
+
+val available : unit -> bool
+
+val compile : Wolf_compiler.Pipeline.compiled -> (Rtval.closure, string) result
+(** Returns [Error reason] (toolchain missing, compile failure with the
+    ocamlopt diagnostic) rather than raising; JIT failures must never break
+    compilation, only deoptimise it. *)
+
+val export_library : Wolf_compiler.Pipeline.compiled -> path:string -> (string, string) result
+(** [FunctionCompileExportLibrary] analogue: leave the compiled shared
+    object at [path] and return the entry symbol; the object can be loaded
+    into a later session with [Dynlink]. *)
+
+val sessions_dir : unit -> string
+(** Scratch directory used for generated sources and objects. *)

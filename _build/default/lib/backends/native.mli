@@ -1,0 +1,21 @@
+(** Threaded-code native backend.
+
+    Compiles TWIR into OCaml closures over typed register files: machine
+    integers and reals live unboxed in [int array] / [float array] register
+    banks; strings, arrays, expressions and closures in a boxed bank.  Each
+    basic block becomes one fused closure returning the next block index, so
+    execution has no per-instruction dispatch — only the residual indirect
+    call per emitted operation.
+
+    Hot scalar primitives are open-coded against the unboxed banks when
+    [inline_level > 0]; with inlining disabled every primitive goes through
+    the boxed {!Wolf_runtime.Prims} dispatch, which is exactly the overhead
+    the paper's inlining ablation measures (E5). *)
+
+open Wolf_runtime
+
+val compile : Wolf_compiler.Pipeline.compiled -> Rtval.closure
+(** Compile the program's main function (the other program functions are
+    compiled as call targets).  The closure raises
+    [Wolf_base.Errors.Runtime_error] on numerical failure and
+    [Wolf_base.Abort_signal.Aborted] on user abort. *)

@@ -1,0 +1,19 @@
+(** OCaml source emission from TWIR — the code generator behind the
+    ocamlopt JIT ({!Jit}) and the [FunctionCompileExportString[…,"OCaml"]]
+    analogue.
+
+    Each program function becomes a typed OCaml function; basic blocks
+    become mutually recursive local functions whose parameters are the block
+    parameters plus the block's live-in variables, so SSA dominance maps
+    onto lexical scope and jumps become tail calls.  Machine numbers stay
+    unboxed; open-coded primitives mirror {!Native}'s fast paths; anything
+    else dispatches through [Wolf_runtime.Prims]. *)
+
+type emitted = {
+  source : string;            (** complete OCaml compilation unit *)
+  entry_symbol : string;      (** Wolf_plugin registration key of the entry *)
+  constants : (string * Wolf_runtime.Rtval.t) list;
+      (** plugin-table constants the host must register before loading *)
+}
+
+val emit : module_name:string -> Wolf_compiler.Pipeline.compiled -> emitted

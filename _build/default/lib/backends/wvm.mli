@@ -1,0 +1,35 @@
+(** The legacy bytecode compiler and Wolfram Virtual Machine — the paper's
+    baseline (§2.2), rebuilt with its documented cost model and limitations:
+
+    - fixed datatypes only (machine int64, real, complex, boolean, and
+      tensors thereof); unknown argument types are assumed Real;
+    - boxed registers with per-instruction dispatch, no inlining;
+    - copy-on-read for tensor slices;
+    - no strings and no function values (L1 Expressiveness: [Compile_error]);
+    - unsupported expressions fall back to an embedded interpreter escape;
+    - runtime numerical errors revert the call to the interpreter (F2);
+    - an abort check per backward jump (F3).
+
+    [compile] is the [Compile[…]] analogue; the instruction listing can be
+    rendered like the paper's [CompiledFunction] InputForm dump. *)
+
+open Wolf_wexpr
+open Wolf_runtime
+
+type compiled_function
+
+val compile : ?name:string -> Expr.t -> compiled_function
+(** Compile [Function[{args…}, body]]; parameters may carry [Typed]
+    annotations restricted to the WVM datatypes, otherwise Real is assumed.
+    @raise Wolf_base.Errors.Compile_error for unsupported parameter types. *)
+
+val call : compiled_function -> Expr.t array -> Expr.t
+(** Run in the VM; runtime errors revert to the interpreter. *)
+
+val call_values : compiled_function -> Rtval.t array -> Rtval.t
+(** Raw VM entry; raises on runtime failures. *)
+
+val arity : compiled_function -> int
+val instruction_count : compiled_function -> int
+val dump : compiled_function -> string
+(** Serialised form in the spirit of the paper's CompiledFunction dump. *)

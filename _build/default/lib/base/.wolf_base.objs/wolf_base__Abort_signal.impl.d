@@ -1,0 +1,1 @@
+lib/base/abort_signal.ml:

@@ -1,0 +1,1 @@
+lib/base/bignum.ml: Array Buffer Format Hashtbl List Printf String

@@ -1,0 +1,31 @@
+exception Aborted
+
+let flag = ref false
+let count = ref 0
+let trigger_at = ref (-1)
+
+let request () = flag := true
+let clear () = flag := false; trigger_at := -1
+let requested () = !flag
+
+let check () =
+  incr count;
+  if !trigger_at >= 0 && !count >= !trigger_at then begin
+    trigger_at := -1;
+    flag := true
+  end;
+  if !flag then raise Aborted
+
+let checks_performed () = !count
+let reset_stats () = count := 0
+let abort_after n = trigger_at := !count + n
+
+let internal_flag = flag
+let internal_count = count
+let internal_trigger = trigger_at
+
+let with_abort_protection f =
+  match f () with
+  | v -> Ok v
+  | exception Aborted -> clear (); Error Aborted
+  | exception e -> clear (); Error e

@@ -1,0 +1,43 @@
+(** User-abort signalling (objective F3).
+
+    The Wolfram Notebook lets the user abort a running evaluation without
+    killing the session.  The interpreter polls this flag between rewrite
+    steps; compiled code polls it at loop headers and function prologues
+    (inserted by {!Wolf_compiler.Abort_pass}). *)
+
+exception Aborted
+
+val request : unit -> unit
+(** Ask the current evaluation to stop at its next abort check. *)
+
+val clear : unit -> unit
+
+val requested : unit -> bool
+
+val check : unit -> unit
+(** @raise Aborted if an abort was requested (the flag stays set so nested
+    evaluations unwind; the session clears it when it regains control). *)
+
+val checks_performed : unit -> int
+(** Number of [check] calls since the last [reset_stats]; used by tests and
+    the abort-overhead ablation to observe where checks were inserted. *)
+
+val reset_stats : unit -> unit
+
+val abort_after : int -> unit
+(** Test hook: arrange for the [n]-th subsequent check to trigger an abort,
+    simulating a user pressing interrupt mid-evaluation. *)
+
+val with_abort_protection : (unit -> 'a) -> ('a, exn) result
+
+(** {2 Cells for generated code}
+
+    JIT-emitted abort checks poll these refs inline (a handful of loads per
+    loop iteration) and only call {!check} on the slow path.  Not for
+    general use. *)
+
+val internal_flag : bool ref
+val internal_count : int ref
+val internal_trigger : int ref
+(** Run a thunk, catching [Aborted] (and clearing the flag), so a session can
+    return to its prompt with its state intact. *)

@@ -1,0 +1,270 @@
+(* Sign-magnitude representation.  The magnitude is a little-endian array of
+   base-10^9 limbs with no trailing zero limb; zero is the empty array with
+   sign 0.  Base 10^9 keeps products of limbs inside a 63-bit [int] and makes
+   decimal conversion trivial; the interpreter only reaches these numbers
+   after a machine-integer overflow, so raw speed is not a concern. *)
+
+let base = 1_000_000_000
+let base_digits = 9
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+let normalize sign mag =
+  let n = Array.length mag in
+  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
+  let hi = top (n - 1) in
+  if hi < 0 then zero
+  else if hi = n - 1 then { sign; mag }
+  else { sign; mag = Array.sub mag 0 (hi + 1) }
+
+let of_int i =
+  if i = 0 then zero
+  else begin
+    let sign = if i < 0 then -1 else 1 in
+    (* min_int negation overflows, so accumulate on negative values. *)
+    let rec limbs acc i =
+      if i = 0 then acc
+      else limbs ((-(i mod base)) :: acc) (i / base)
+    in
+    let l = List.rev (limbs [] (if i < 0 then i else -i)) in
+    { sign; mag = Array.of_list l }
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let sign n = n.sign
+let is_zero n = n.sign = 0
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb + 1 in
+  let r = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let s = !carry + (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) in
+    if s >= base then (r.(i) <- s - base; carry := 1) else (r.(i) <- s; carry := 0)
+  done;
+  r
+
+(* Precondition: cmp_mag a b >= 0. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - !borrow - (if i < lb then b.(i) else 0) in
+    if s < 0 then (r.(i) <- s + base; borrow := 1) else (r.(i) <- s; borrow := 0)
+  done;
+  r
+
+let neg n = if n.sign = 0 then n else { n with sign = -n.sign }
+let abs n = if n.sign < 0 then neg n else n
+
+let rec add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then normalize a.sign (add_mag a.mag b.mag)
+  else begin
+    match cmp_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sign (sub_mag a.mag b.mag)
+    | _ -> add b a
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else begin
+    let la = Array.length a.mag and lb = Array.length b.mag in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.mag.(i) in
+      for j = 0 to lb - 1 do
+        let cur = r.(i + j) + (ai * b.mag.(j)) + !carry in
+        r.(i + j) <- cur mod base;
+        carry := cur / base
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let cur = r.(!k) + !carry in
+        r.(!k) <- cur mod base;
+        carry := cur / base;
+        incr k
+      done
+    done;
+    normalize (a.sign * b.sign) r
+  end
+
+(* Magnitude division by long division on limbs: the partial remainder always
+   fits in two limbs' worth of value per step because we divide limb by limb
+   using the top of the divisor, then correct.  For simplicity (and because
+   these paths are cold) we use repeated schoolbook division where the divisor
+   has one limb, and binary-search quotient digits otherwise. *)
+let divmod_mag_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem * base) + a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (q, !rem)
+
+let mul_mag_small a d =
+  if d = 0 then [||]
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 2) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let cur = (a.(i) * d) + !carry in
+      r.(i) <- cur mod base;
+      carry := cur / base
+    done;
+    let k = ref la in
+    while !carry <> 0 do
+      r.(!k) <- !carry mod base;
+      carry := !carry / base;
+      incr k
+    done;
+    r
+  end
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else if cmp_mag a.mag b.mag < 0 then (zero, a)
+  else if Array.length b.mag = 1 then begin
+    let q, r = divmod_mag_small a.mag b.mag.(0) in
+    let quo = normalize (a.sign * b.sign) q in
+    let rem = if r = 0 then zero else normalize a.sign [| r |] in
+    (quo, rem)
+  end
+  else begin
+    (* Schoolbook long division, binary-searching each quotient limb. *)
+    let la = Array.length a.mag and lb = Array.length b.mag in
+    let q = Array.make (la - lb + 1) 0 in
+    let rem = ref zero in
+    let babs = abs b in
+    for i = la - 1 downto 0 do
+      (* rem := rem * base + a.mag.(i) *)
+      let shifted =
+        if is_zero !rem then [||]
+        else begin
+          let m = !rem.mag in
+          let r = Array.make (Array.length m + 1) 0 in
+          Array.blit m 0 r 1 (Array.length m);
+          r
+        end
+      in
+      let shifted = if Array.length shifted = 0 && a.mag.(i) = 0 then [||]
+        else begin
+          let r = if Array.length shifted = 0 then [| 0 |] else shifted in
+          r.(0) <- a.mag.(i); r
+        end
+      in
+      rem := normalize 1 (Array.copy shifted);
+      if i <= la - lb then begin
+        (* binary search d in [0, base) with d*b <= rem *)
+        let lo = ref 0 and hi = ref (base - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi + 1) / 2 in
+          let prod = normalize 1 (mul_mag_small babs.mag mid) in
+          if compare prod !rem <= 0 then lo := mid else hi := mid - 1
+        done;
+        q.(i) <- !lo;
+        if !lo > 0 then
+          rem := sub !rem (normalize 1 (mul_mag_small babs.mag !lo))
+      end
+    done;
+    let quo = normalize (a.sign * b.sign) q in
+    let rem = if is_zero !rem then zero else { !rem with sign = a.sign } in
+    (quo, rem)
+  end
+
+let pow b e =
+  if e < 0 then invalid_arg "Bignum.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let to_int_opt n =
+  match n.sign with
+  | 0 -> Some 0
+  | s ->
+    (* Accumulate negatively so that min_int is representable. *)
+    let rec go acc i =
+      if i < 0 then Some acc
+      else if acc < min_int / base then None
+      else begin
+        let acc' = (acc * base) - n.mag.(i) in
+        if acc' > acc then None else go acc' (i - 1)
+      end
+    in
+    (match go 0 (Array.length n.mag - 1) with
+     | None -> None
+     | Some v ->
+       if s < 0 then Some v
+       else if v = min_int then None
+       else Some (-v))
+
+let to_string n =
+  if n.sign = 0 then "0"
+  else begin
+    let b = Buffer.create 16 in
+    if n.sign < 0 then Buffer.add_char b '-';
+    let hi = Array.length n.mag - 1 in
+    Buffer.add_string b (string_of_int n.mag.(hi));
+    for i = hi - 1 downto 0 do
+      Buffer.add_string b (Printf.sprintf "%09d" n.mag.(i))
+    done;
+    Buffer.contents b
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bignum.of_string: empty";
+  let neg_p = s.[0] = '-' in
+  let start = if neg_p || s.[0] = '+' then 1 else 0 in
+  if start >= len then invalid_arg "Bignum.of_string: no digits";
+  String.iter
+    (fun c -> if not (c >= '0' && c <= '9') && c <> '-' && c <> '+' then
+        invalid_arg "Bignum.of_string: non-digit")
+    s;
+  let ndigits = len - start in
+  let nlimbs = (ndigits + base_digits - 1) / base_digits in
+  let mag = Array.make nlimbs 0 in
+  let pos = ref len in
+  for i = 0 to nlimbs - 1 do
+    let lo = max start (!pos - base_digits) in
+    mag.(i) <- int_of_string (String.sub s lo (!pos - lo));
+    pos := lo
+  done;
+  normalize (if neg_p then -1 else 1) mag
+
+let hash n = Hashtbl.hash (n.sign, n.mag)
+let pp fmt n = Format.pp_print_string fmt (to_string n)

@@ -1,0 +1,44 @@
+(** Arbitrary-precision signed integers.
+
+    Built from scratch because the sealed environment has no [zarith]; used by
+    the interpreter to honour the Wolfram Language's automatic promotion to
+    arbitrary precision when machine arithmetic overflows (the paper's soft
+    numerical failure mode, objective F2). *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_int : int -> t
+
+(** [to_int_opt n] is [Some i] when [n] fits in an OCaml [int]. *)
+val to_int_opt : t -> int option
+
+val of_string : string -> t
+(** Accepts an optional leading ['-'] followed by decimal digits.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division: [divmod a b = (q, r)] with [a = q*b + r] and
+    [r] carrying the sign of [a] (C semantics, matching [Stdlib.( / )]).
+    @raise Division_by_zero when [b] is zero. *)
+
+val pow : t -> int -> t
+(** [pow b e] for [e >= 0]. @raise Invalid_argument on negative exponent. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Overflow-checked machine-integer arithmetic.
+
+    The paper's runtime checks every machine numerical operation and raises a
+    numeric exception that propagates to the compiled function's wrapper,
+    which then reverts to the interpreter (soft failure, F2).  The interpreter
+    uses the same detection to promote to arbitrary precision instead. *)
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+val neg : int -> int
+val quotient : int -> int -> int
+val modulo : int -> int -> int
+(** All raise [Wolf_base.Errors.Runtime_error Integer_overflow] on overflow
+    and [Runtime_error Division_by_zero] on zero divisors. *)
+
+val pow : int -> int -> int
+(** [pow b e] with [e >= 0]; checked at every step. *)
+
+val round_half_even : float -> int
+(** Wolfram's [Round]: ties go to the even integer. *)
+
+val add_opt : int -> int -> int option
+val sub_opt : int -> int -> int option
+val mul_opt : int -> int -> int option
+(** Non-raising variants used by the interpreter's bignum promotion. *)

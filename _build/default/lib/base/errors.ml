@@ -1,0 +1,18 @@
+type runtime_failure =
+  | Integer_overflow
+  | Division_by_zero
+  | Part_out_of_range of int * int
+  | Invalid_runtime_argument of string
+
+exception Runtime_error of runtime_failure
+exception Compile_error of string
+exception Eval_error of string
+
+let describe_failure = function
+  | Integer_overflow -> "IntegerOverflow"
+  | Division_by_zero -> "DivisionByZero"
+  | Part_out_of_range (i, n) -> Printf.sprintf "PartOutOfRange[%d, %d]" i n
+  | Invalid_runtime_argument s -> Printf.sprintf "InvalidArgument[%s]" s
+
+let compile_errorf fmt = Format.kasprintf (fun s -> raise (Compile_error s)) fmt
+let eval_errorf fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt

@@ -1,0 +1,25 @@
+(** Error taxonomy shared by the interpreter, compiler and runtimes. *)
+
+(** Runtime numerical failures that trigger the soft-failure fallback
+    (objective F2): the compiled-function wrapper catches [Runtime_error]
+    and re-evaluates with the interpreter. *)
+type runtime_failure =
+  | Integer_overflow
+  | Division_by_zero
+  | Part_out_of_range of int * int  (** requested index, length *)
+  | Invalid_runtime_argument of string
+
+exception Runtime_error of runtime_failure
+
+(** Compile-time failures: the pipeline reports these instead of producing
+    code; callers may fall back to the interpreter (gradual compilation). *)
+exception Compile_error of string
+
+(** Interpreter-level evaluation failure (malformed arguments etc.).  The
+    interpreter generally returns expressions unevaluated instead, but hard
+    misuse of builtins raises this. *)
+exception Eval_error of string
+
+val describe_failure : runtime_failure -> string
+val compile_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val eval_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a

@@ -1,0 +1,5 @@
+type t = int ref
+
+let create () = ref 0
+let next t = incr t; !t
+let reset t = t := 0

@@ -1,0 +1,7 @@
+(** Monotonic id supplies (MExpr node ids, SSA variable ids, gensym serials). *)
+
+type t
+
+val create : unit -> t
+val next : t -> int
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/compiler/abort_pass.ml: Analysis List Wir

@@ -1,0 +1,1 @@
+lib/compiler/analysis.ml: Array Hashtbl List Option Wir

@@ -1,0 +1,1 @@
+lib/compiler/binding.ml: Array Errors Expr Hashtbl List Pattern Printf Symbol Types Wolf_base Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/compiler/binding.mli: Expr Symbol Types Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/compiler/infer.ml: Array Errors Hashtbl List Options Printf String Type_env Types Unify Wir Wolf_base Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/compiler/infer.mli: Hashtbl Options Type_env Types Wir

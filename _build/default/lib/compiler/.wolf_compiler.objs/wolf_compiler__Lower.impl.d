@@ -1,0 +1,1 @@
+lib/compiler/lower.ml: Array Binding Errors Expr Hashtbl Id_gen List Option Options Printf String Symbol Types Wir Wolf_base Wolf_runtime Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/compiler/lower.mli: Binding Expr Options Wir Wolf_wexpr

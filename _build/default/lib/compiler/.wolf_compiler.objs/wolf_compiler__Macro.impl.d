@@ -1,0 +1,1 @@
+lib/compiler/macro.ml: Array Errors Expr Hashtbl List Parser Pattern Printf Symbol Wolf_base Wolf_wexpr

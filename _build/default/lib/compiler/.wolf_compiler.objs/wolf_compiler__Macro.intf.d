@@ -1,0 +1,1 @@
+lib/compiler/macro.mli: Expr Wolf_wexpr

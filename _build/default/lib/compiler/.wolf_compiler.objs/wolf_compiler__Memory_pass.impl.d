@@ -1,0 +1,1 @@
+lib/compiler/memory_pass.ml: Analysis Hashtbl List Type_class Wir

@@ -1,0 +1,1 @@
+lib/compiler/memory_pass.mli: Wir

@@ -1,0 +1,1 @@
+lib/compiler/mexpr.ml: Array Expr Form Hashtbl List Option Wolf_base Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/compiler/mexpr.mli: Expr Wolf_wexpr

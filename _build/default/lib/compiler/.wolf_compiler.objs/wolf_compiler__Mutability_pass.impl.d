@@ -1,0 +1,1 @@
+lib/compiler/mutability_pass.ml: Analysis Array Filename Hashtbl List String Wir

@@ -1,0 +1,1 @@
+lib/compiler/mutability_pass.mli: Wir

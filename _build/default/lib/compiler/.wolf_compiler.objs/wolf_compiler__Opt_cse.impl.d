@@ -1,0 +1,1 @@
+lib/compiler/opt_cse.ml: Analysis Array Hashtbl List String Types Wir Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/compiler/opt_cse.mli: Wir

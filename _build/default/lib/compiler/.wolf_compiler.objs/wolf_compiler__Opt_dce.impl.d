@@ -1,0 +1,1 @@
+lib/compiler/opt_dce.ml: Analysis Array Hashtbl List Option String Wir

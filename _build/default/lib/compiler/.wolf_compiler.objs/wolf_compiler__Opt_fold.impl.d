@@ -1,0 +1,1 @@
+lib/compiler/opt_fold.ml: Array Checked Errors Hashtbl List Option Wir Wolf_base

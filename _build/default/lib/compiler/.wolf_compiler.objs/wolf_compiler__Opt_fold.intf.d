@@ -1,0 +1,1 @@
+lib/compiler/opt_fold.mli: Wir

@@ -1,0 +1,1 @@
+lib/compiler/opt_inline.mli: Wir

@@ -1,0 +1,1 @@
+lib/compiler/opt_simplify_cfg.ml: Array Hashtbl List Option Wir

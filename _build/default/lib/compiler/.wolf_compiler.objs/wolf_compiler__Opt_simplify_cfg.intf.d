@@ -1,0 +1,1 @@
+lib/compiler/opt_simplify_cfg.mli: Wir

@@ -1,0 +1,1 @@
+lib/compiler/options.ml: Wolf_wexpr

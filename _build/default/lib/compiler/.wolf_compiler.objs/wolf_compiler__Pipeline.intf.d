@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Expr Hashtbl Infer Macro Mexpr Options Type_env Wir Wolf_wexpr

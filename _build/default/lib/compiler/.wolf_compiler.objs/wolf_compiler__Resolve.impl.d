@@ -1,0 +1,1 @@
+lib/compiler/resolve.ml: Hashtbl Infer List Type_env Wir

@@ -1,0 +1,1 @@
+lib/compiler/resolve.mli: Hashtbl Infer Types Wir Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/compiler/stdlib_decls.ml: Parser Type_env Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/compiler/stdlib_decls.mli: Type_env

@@ -1,0 +1,1 @@
+lib/compiler/type_class.ml: Hashtbl List String Types

@@ -1,0 +1,1 @@
+lib/compiler/type_class.mli: Types

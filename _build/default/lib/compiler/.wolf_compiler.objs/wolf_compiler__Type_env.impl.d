@@ -1,0 +1,1 @@
+lib/compiler/type_env.ml: Expr Hashtbl List String Type_class Types Wolf_wexpr

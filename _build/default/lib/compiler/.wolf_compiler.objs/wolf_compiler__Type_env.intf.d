@@ -1,0 +1,1 @@
+lib/compiler/type_env.mli: Expr Types Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/compiler/types.ml: Array Errors Expr Format Id_gen List Option Printf String Symbol Wolf_base Wolf_wexpr

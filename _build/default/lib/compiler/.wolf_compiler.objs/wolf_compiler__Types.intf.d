@@ -1,0 +1,1 @@
+lib/compiler/types.mli: Format Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/compiler/unify.ml: Array List Printf String Type_class Types

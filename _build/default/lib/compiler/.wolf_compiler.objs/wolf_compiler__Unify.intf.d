@@ -1,0 +1,1 @@
+lib/compiler/unify.mli: Types

@@ -1,0 +1,1 @@
+lib/compiler/wir.ml: Array Expr List Printf String Tensor Types Wolf_base Wolf_wexpr

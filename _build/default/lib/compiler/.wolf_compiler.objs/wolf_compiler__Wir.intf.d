@@ -1,0 +1,1 @@
+lib/compiler/wir.mli: Expr Types Wolf_wexpr

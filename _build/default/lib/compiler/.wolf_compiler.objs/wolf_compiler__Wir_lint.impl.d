@@ -1,0 +1,1 @@
+lib/compiler/wir_lint.ml: Array Format Hashtbl List Printf String Wir Wolf_base

@@ -1,0 +1,1 @@
+lib/compiler/wir_print.ml: Array Buffer List Printf String Types Wir Wolf_wexpr

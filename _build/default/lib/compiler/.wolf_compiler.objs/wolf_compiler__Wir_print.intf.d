@@ -1,0 +1,1 @@
+lib/compiler/wir_print.mli: Wir

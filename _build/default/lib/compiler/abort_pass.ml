@@ -1,0 +1,19 @@
+open Wir
+
+let run (p : program) =
+  List.iter
+    (fun f ->
+       let cfg = Analysis.build_cfg f in
+       let headers = Analysis.loop_headers f cfg in
+       List.iter
+         (fun b ->
+            if List.mem b.label headers then b.instrs <- Abort_check :: b.instrs)
+         f.blocks;
+       let e = entry f in
+       (* prologue check after the argument loads *)
+       let rec insert_after_loads acc = function
+         | (Load_argument _ as i) :: rest -> insert_after_loads (i :: acc) rest
+         | rest -> List.rev_append acc (Abort_check :: rest)
+       in
+       e.instrs <- insert_after_loads [] e.instrs)
+    p.funcs

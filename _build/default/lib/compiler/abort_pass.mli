@@ -1,0 +1,6 @@
+(** Abortable evaluation (paper §4.5, objective F3): instead of checking
+    after every instruction — which would inhibit optimisation — an abort
+    check is inserted at the head of every natural loop (computed from the
+    dominator tree) and in every function prologue (recursion, e.g. cfib). *)
+
+val run : Wir.program -> unit

@@ -1,0 +1,170 @@
+open Wir
+
+type cfg = {
+  order : int array;
+  preds : (int, int list) Hashtbl.t;
+  succs : (int, int list) Hashtbl.t;
+  idom : (int, int) Hashtbl.t;
+}
+
+let build_cfg f =
+  let succs = Hashtbl.create 16 and preds = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+       let ss = successors b.term in
+       Hashtbl.replace succs b.label ss;
+       List.iter
+         (fun s ->
+            let cur = Option.value ~default:[] (Hashtbl.find_opt preds s) in
+            Hashtbl.replace preds s (b.label :: cur))
+         ss)
+    f.blocks;
+  List.iter
+    (fun b ->
+       if not (Hashtbl.mem preds b.label) then Hashtbl.replace preds b.label [])
+    f.blocks;
+  (* reverse postorder from entry *)
+  let visited = Hashtbl.create 16 in
+  let post = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.replace visited l ();
+      List.iter dfs (Option.value ~default:[] (Hashtbl.find_opt succs l));
+      post := l :: !post
+    end
+  in
+  let entry_label = (entry f).label in
+  dfs entry_label;
+  let order = Array.of_list !post in
+  (* Cooper–Harvey–Kennedy iterative dominators *)
+  let rpo_index = Hashtbl.create 16 in
+  Array.iteri (fun i l -> Hashtbl.replace rpo_index l i) order;
+  let idom = Hashtbl.create 16 in
+  Hashtbl.replace idom entry_label entry_label;
+  let intersect a b =
+    let rec go a b =
+      if a = b then a
+      else begin
+        let ia = Hashtbl.find rpo_index a and ib = Hashtbl.find rpo_index b in
+        if ia > ib then go (Hashtbl.find idom a) b
+        else go a (Hashtbl.find idom b)
+      end
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+         if l <> entry_label then begin
+           let ps =
+             List.filter (Hashtbl.mem idom) (Hashtbl.find preds l)
+             |> List.filter (Hashtbl.mem rpo_index)
+           in
+           match ps with
+           | [] -> ()
+           | first :: rest ->
+             let new_idom = List.fold_left intersect first rest in
+             if Hashtbl.find_opt idom l <> Some new_idom then begin
+               Hashtbl.replace idom l new_idom;
+               changed := true
+             end
+           end)
+      order
+  done;
+  { order; preds; succs; idom }
+
+let dominates cfg a b =
+  (* does a dominate b? *)
+  let rec go b =
+    if a = b then true
+    else
+      match Hashtbl.find_opt cfg.idom b with
+      | Some d when d <> b -> go d
+      | _ -> false
+  in
+  go b
+
+let loop_headers f cfg =
+  let headers = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+       List.iter
+         (fun succ -> if dominates cfg succ b.label then Hashtbl.replace headers succ ())
+         (successors b.term))
+    f.blocks;
+  Hashtbl.fold (fun l () acc -> l :: acc) headers []
+  |> List.sort compare
+
+let op_var_ids ops =
+  List.filter_map (function Ovar v -> Some v.vid | Oconst _ -> None) ops
+
+let liveness f =
+  let cfg = build_cfg f in
+  let live_in : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  let live_out_t : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+       Hashtbl.replace live_in b.label (Hashtbl.create 8);
+       Hashtbl.replace live_out_t b.label (Hashtbl.create 8))
+    f.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate blocks in postorder (reverse of rpo) for fast convergence *)
+    for i = Array.length cfg.order - 1 downto 0 do
+      let l = cfg.order.(i) in
+      let b = Wir.find_block f l in
+      let out = Hashtbl.find live_out_t l in
+      List.iter
+        (fun s ->
+           match Hashtbl.find_opt live_in s with
+           | Some si ->
+             Hashtbl.iter
+               (fun v () ->
+                  if not (Hashtbl.mem out v) then begin
+                    Hashtbl.replace out v ();
+                    changed := true
+                  end)
+               si
+           | None -> ())
+        (Hashtbl.find cfg.succs l);
+      (* in = (out - defs) + uses, walking instructions backwards *)
+      let live = Hashtbl.copy out in
+      List.iter (fun v -> Hashtbl.replace live v ()) (op_var_ids (term_uses b.term));
+      List.iter
+        (fun i ->
+           List.iter (fun v -> Hashtbl.remove live v.vid) (instr_defs i);
+           List.iter (fun v -> Hashtbl.replace live v ()) (op_var_ids (instr_uses i)))
+        (List.rev b.instrs);
+      Array.iter (fun v -> Hashtbl.remove live v.vid) b.bparams;
+      let inn = Hashtbl.find live_in l in
+      Hashtbl.iter
+        (fun v () ->
+           if not (Hashtbl.mem inn v) then begin
+             Hashtbl.replace inn v ();
+             changed := true
+           end)
+        live
+    done
+  done;
+  (live_in, live_out_t)
+
+let live_out f = snd (liveness f)
+let live_in f = fst (liveness f)
+
+let use_counts f =
+  let counts = Hashtbl.create 64 in
+  let bump op =
+    match op with
+    | Ovar v ->
+      Hashtbl.replace counts v.vid (1 + Option.value ~default:0 (Hashtbl.find_opt counts v.vid))
+    | Oconst _ -> ()
+  in
+  List.iter
+    (fun b ->
+       List.iter (fun i -> List.iter bump (instr_uses i)) b.instrs;
+       List.iter bump (term_uses b.term))
+    f.blocks;
+  counts

@@ -1,0 +1,28 @@
+(** CFG analyses shared by the optimisation and obligation passes:
+    dominators (Cooper–Harvey–Kennedy), the loop headers derived from back
+    edges (used by {!Abort_pass}, paper §4.5), and per-block liveness (used
+    by {!Memory_pass} and {!Mutability_pass}). *)
+
+type cfg = {
+  order : int array;                  (** reverse postorder of block labels *)
+  preds : (int, int list) Hashtbl.t;
+  succs : (int, int list) Hashtbl.t;
+  idom : (int, int) Hashtbl.t;        (** immediate dominators; entry maps to itself *)
+}
+
+val build_cfg : Wir.func -> cfg
+val dominates : cfg -> int -> int -> bool
+
+val loop_headers : Wir.func -> cfg -> int list
+(** Labels that are the target of a back edge (their source being dominated
+    by the target): the natural-loop headers where abort checks go. *)
+
+val live_out : Wir.func -> (int, (int, unit) Hashtbl.t) Hashtbl.t
+(** Variable ids live out of each block. *)
+
+val live_in : Wir.func -> (int, (int, unit) Hashtbl.t) Hashtbl.t
+(** Variable ids live into each block (excluding the block's own
+    parameters). *)
+
+val use_counts : Wir.func -> (int, int) Hashtbl.t
+(** Total number of uses of each variable id in the function. *)

@@ -1,0 +1,215 @@
+open Wolf_wexpr
+open Wolf_base
+
+type param = {
+  psym : Symbol.t;
+  pspec : Types.scheme option;
+}
+
+type analyzed = {
+  params : param list;
+  ret_spec : Types.scheme option;
+  body : Expr.t;
+  locals : Symbol.t list;
+  escaped : Symbol.t list;
+}
+
+let parse_param e =
+  match e with
+  | Expr.Sym s -> { psym = s; pspec = None }
+  | Expr.Normal (Expr.Sym t, [| Expr.Sym s; spec |]) when Symbol.equal t Expr.Sy.typed ->
+    { psym = s; pspec = Some (Types.parse_spec spec) }
+  | _ -> Errors.compile_errorf "invalid function parameter: %s" (Expr.to_string e)
+
+let param_list e =
+  match e with
+  | Expr.Normal (Expr.Sym l, items) when Symbol.equal l Expr.Sy.list ->
+    Array.to_list items |> List.map parse_param
+  | single -> [ parse_param single ]
+
+(* Highest slot index used outside nested Functions. *)
+let max_slot body =
+  let rec go acc e =
+    match e with
+    | Expr.Normal (Expr.Sym s, [| Expr.Int i |]) when Symbol.equal s Expr.Sy.slot ->
+      max acc i
+    | Expr.Normal (Expr.Sym f, _) when Symbol.equal f Expr.Sy.function_ -> acc
+    | Expr.Normal (h, args) -> Array.fold_left go (go acc h) args
+    | _ -> acc
+  in
+  go 0 body
+
+let subst_slots names body =
+  let rec go e =
+    match e with
+    | Expr.Normal (Expr.Sym s, [| Expr.Int i |]) when Symbol.equal s Expr.Sy.slot ->
+      if i >= 1 && i <= Array.length names then Expr.Sym names.(i - 1)
+      else Errors.compile_errorf "Slot %d exceeds argument count" i
+    | Expr.Normal (Expr.Sym f, _) when Symbol.equal f Expr.Sy.function_ -> e
+    | Expr.Normal (h, args) -> Expr.Normal (go h, Array.map go args)
+    | _ -> e
+  in
+  go body
+
+(* Normalise a Function expression to Function[{p1,…}, body] with named,
+   possibly Typed, parameters. *)
+let normalize_function fexpr =
+  match fexpr with
+  | Expr.Normal (Expr.Sym f, [| body |]) when Symbol.equal f Expr.Sy.function_ ->
+    let n = max_slot body in
+    let names = Array.init n (fun i -> Symbol.fresh (Printf.sprintf "slot%d" (i + 1))) in
+    let params = Expr.list_a (Array.map (fun s -> Expr.Sym s) names) in
+    Expr.Normal (Expr.Sym f, [| params; subst_slots names body |])
+  | Expr.Normal (Expr.Sym f, [| _; _ |]) when Symbol.equal f Expr.Sy.function_ -> fexpr
+  | _ -> Errors.compile_errorf "expected Function[…], got %s" (Expr.to_string fexpr)
+
+let free_symbols e ~bound =
+  let acc = ref [] in
+  let add s =
+    if not (List.exists (Symbol.equal s) bound)
+    && not (List.exists (Symbol.equal s) !acc)
+    then acc := s :: !acc
+  in
+  let rec go e =
+    match e with
+    | Expr.Sym s -> add s
+    | Expr.Normal (h, args) -> go h; Array.iter go args
+    | Expr.Int _ | Expr.Big _ | Expr.Real _ | Expr.Str _ | Expr.Tensor _ -> ()
+  in
+  go e;
+  List.rev !acc
+
+let analyze_function fexpr =
+  let fexpr =
+    match fexpr with
+    | Expr.Normal (Expr.Sym t, [| f; spec |]) when Symbol.equal t Expr.Sy.typed ->
+      (* Typed[Function[...], retspec]; annotate and continue *)
+      ignore spec;
+      f
+    | f -> f
+  in
+  let normalized = normalize_function fexpr in
+  let params_e, body0 =
+    match normalized with
+    | Expr.Normal (_, [| p; b |]) -> (p, b)
+    | _ -> assert false
+  in
+  let params = param_list params_e in
+  let locals = ref [] in
+  let escaped : (int, Symbol.t) Hashtbl.t = Hashtbl.create 8 in
+
+  (* Flatten scoping constructs; [scope] maps user symbols to their renamed
+     unique versions in the current lexical environment. *)
+  let rec walk scope e =
+    match e with
+    | Expr.Sym s ->
+      (match List.assoc_opt (Symbol.id s) scope with
+       | Some fresh -> Expr.Sym fresh
+       | None -> e)
+    | Expr.Normal (Expr.Sym m, [| vars; body |])
+      when Symbol.equal m Expr.Sy.module_ || Symbol.equal m Expr.Sy.block ->
+      (* In fully compiled code Block behaves like Module (no global symbol
+         table to shadow); the paper's compiler does the same. *)
+      flatten_scope scope vars body
+    | Expr.Normal (Expr.Sym w, [| vars; body |]) when Symbol.equal w Expr.Sy.with_ ->
+      substitute_scope scope vars body
+    | Expr.Normal (Expr.Sym f, _) when Symbol.equal f Expr.Sy.function_ ->
+      nested_function scope e
+    | Expr.Normal (h, args) -> Expr.Normal (walk scope h, Array.map (walk scope) args)
+    | Expr.Int _ | Expr.Big _ | Expr.Real _ | Expr.Str _ | Expr.Tensor _ -> e
+
+  and flatten_scope scope vars body =
+    let items =
+      match vars with
+      | Expr.Normal (Expr.Sym l, items) when Symbol.equal l Expr.Sy.list ->
+        Array.to_list items
+      | e -> Errors.compile_errorf "invalid Module variables: %s" (Expr.to_string e)
+    in
+    let inits = ref [] in
+    let scope' =
+      List.fold_left
+        (fun scope item ->
+           match item with
+           | Expr.Sym v ->
+             let fresh = Symbol.fresh (Symbol.name v) in
+             locals := fresh :: !locals;
+             (Symbol.id v, fresh) :: scope
+           | Expr.Normal (Expr.Sym st, [| Expr.Sym v; init |])
+             when Symbol.equal st Expr.Sy.set ->
+             (* the init is evaluated in the outer scope *)
+             let init' = walk scope init in
+             let fresh = Symbol.fresh (Symbol.name v) in
+             locals := fresh :: !locals;
+             inits := Expr.apply "Set" [ Expr.Sym fresh; init' ] :: !inits;
+             (Symbol.id v, fresh) :: scope
+           | e -> Errors.compile_errorf "invalid Module binding: %s" (Expr.to_string e))
+        scope items
+    in
+    let body' = walk scope' body in
+    match List.rev !inits with
+    | [] -> body'
+    | inits -> Expr.apply "CompoundExpression" (inits @ [ body' ])
+
+  and substitute_scope scope vars body =
+    let items =
+      match vars with
+      | Expr.Normal (Expr.Sym l, items) when Symbol.equal l Expr.Sy.list ->
+        Array.to_list items
+      | e -> Errors.compile_errorf "invalid With variables: %s" (Expr.to_string e)
+    in
+    let substs =
+      List.map
+        (function
+          | Expr.Normal (Expr.Sym st, [| Expr.Sym v; init |])
+            when Symbol.equal st Expr.Sy.set ->
+            (v, walk scope init)
+          | e -> Errors.compile_errorf "With variables need values: %s" (Expr.to_string e))
+        items
+    in
+    walk scope (Pattern.substitute substs body)
+
+  and nested_function scope fexpr =
+    let normalized = normalize_function fexpr in
+    let params_e, body =
+      match normalized with
+      | Expr.Normal (_, [| p; b |]) -> (p, b)
+      | _ -> assert false
+    in
+    let inner_params = param_list params_e in
+    (* rename inner parameters apart *)
+    let renames =
+      List.map (fun p -> (Symbol.id p.psym, Symbol.fresh (Symbol.name p.psym))) inner_params
+    in
+    let scope' = renames @ scope in
+    let body' = walk scope' body in
+    (* escape analysis: outer-scope symbols occurring in the inner body *)
+    let inner_bound = List.map snd renames in
+    List.iter
+      (fun s ->
+         if List.exists (fun (_, fresh) -> Symbol.equal fresh s) scope
+         then Hashtbl.replace escaped (Symbol.id s) s)
+      (free_symbols body' ~bound:inner_bound);
+    let params' =
+      Expr.list
+        (List.map2
+           (fun p (_, fresh) ->
+              match p.pspec with
+              | None -> Expr.Sym fresh
+              | Some _ ->
+                (match fexpr with _ -> Expr.Sym fresh))
+           inner_params renames)
+    in
+    Expr.Normal (Expr.Sym Expr.Sy.function_, [| params'; body' |])
+  in
+
+  (* Parameters enter the scope mapped to themselves so nested-capture
+     detection treats them like outer bindings. *)
+  let init_scope = List.map (fun p -> (Symbol.id p.psym, p.psym)) params in
+  let body = walk init_scope body0 in
+  {
+    params;
+    ret_spec = None;
+    body;
+    locals = List.rev !locals;
+    escaped = Hashtbl.fold (fun _ s acc -> s :: acc) escaped [];
+  }

@@ -1,0 +1,32 @@
+(** Binding analysis (paper §4.2, "MExpr Visitor API: Binding Analysis").
+
+    Resolves every scoping construct in a function to be compiled: nested
+    [Module]s are flattened, variables renamed apart (so
+    [Module[{a=1,b=1}, a+b+Module[{a=3},a]]] becomes a single scope with
+    [a], [b], [a1]), [With] substitutes, slots ([#]) of pure functions are
+    normalised to named parameters, and escape analysis marks variables
+    captured by nested [Function]s for closure conversion (F6/paper §4.2). *)
+
+open Wolf_wexpr
+
+type param = {
+  psym : Symbol.t;
+  pspec : Types.scheme option;  (** from [Typed[x, "ty"]] annotations *)
+}
+
+type analyzed = {
+  params : param list;
+  ret_spec : Types.scheme option;
+  body : Expr.t;
+      (** scoping-free: locals are unique symbols initialised with [Set];
+          nested [Function]s are normalised to [Function[{vars}, body]] *)
+  locals : Symbol.t list;          (** every flattened local, in first-def order *)
+  escaped : Symbol.t list;         (** locals/params captured by an inner Function *)
+}
+
+val analyze_function : Expr.t -> analyzed
+(** Input: a [Function[…]] expression (optionally [Typed[…]]-annotated
+    parameters).  @raise Wolf_base.Errors.Compile_error on malformed input. *)
+
+val free_symbols : Expr.t -> bound:Symbol.t list -> Symbol.t list
+(** Free symbols of an expression, for closure-capture computation. *)

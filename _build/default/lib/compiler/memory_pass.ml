@@ -1,0 +1,69 @@
+open Wir
+
+let managed_var v =
+  match v.vty with
+  | Some t -> Type_class.member "MemoryManaged" ~ty:t
+  | None -> false
+
+let managed_op = function
+  | Ovar v -> managed_var v
+  | Oconst _ -> false
+
+let run (p : program) =
+  List.iter
+    (fun f ->
+       let live_out = Analysis.live_out f in
+       (* only aliasing copies open a new reference; releasing anything else
+          (parameters, fresh results) would decrement counts the caller or
+          the allocation itself still owns *)
+       let acquired : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+       List.iter
+         (fun b ->
+            List.iter
+              (function
+                | Copy { dst; src } when managed_var dst && managed_op src ->
+                  Hashtbl.replace acquired dst.vid ()
+                | _ -> ())
+              b.instrs)
+         f.blocks;
+       List.iter
+         (fun b ->
+            let out = Hashtbl.find live_out b.label in
+            (* last textual use index of each managed var within this block *)
+            let last_use : (int, int) Hashtbl.t = Hashtbl.create 8 in
+            List.iteri
+              (fun idx i ->
+                 List.iter
+                   (function
+                     | Ovar v when managed_var v -> Hashtbl.replace last_use v.vid idx
+                     | _ -> ())
+                   (instr_uses i))
+              b.instrs;
+            (* uses in the terminator transfer ownership along the edge *)
+            List.iter
+              (function
+                | Ovar v -> Hashtbl.remove last_use v.vid
+                | Oconst _ -> ())
+              (term_uses b.term);
+            let new_instrs = ref [] in
+            List.iteri
+              (fun idx i ->
+                 (* an aliasing definition opens a second reference *)
+                 (match i with
+                  | Copy { dst; src } when managed_var dst && managed_op src ->
+                    new_instrs := Mem_acquire (Ovar dst) :: i :: !new_instrs
+                  | _ -> new_instrs := i :: !new_instrs);
+                 (* close intervals that end here *)
+                 List.iter
+                   (function
+                     | Ovar v
+                       when Hashtbl.mem acquired v.vid
+                         && Hashtbl.find_opt last_use v.vid = Some idx
+                         && not (Hashtbl.mem out v.vid) ->
+                       new_instrs := Mem_release (Ovar v) :: !new_instrs
+                     | _ -> ())
+                   (instr_uses i))
+              b.instrs;
+            b.instrs <- List.rev !new_instrs)
+         f.blocks)
+    p.funcs

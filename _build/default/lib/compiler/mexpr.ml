@@ -1,0 +1,63 @@
+open Wolf_wexpr
+
+type t = { id : int; desc : desc }
+
+and desc =
+  | Atom of Expr.t
+  | Node of t * t array
+
+let counter = Wolf_base.Id_gen.create ()
+let meta : (int, (string * string) list ref) Hashtbl.t = Hashtbl.create 256
+
+let atom e = { id = Wolf_base.Id_gen.next counter; desc = Atom e }
+let node h args = { id = Wolf_base.Id_gen.next counter; desc = Node (h, args) }
+
+let rec of_expr e =
+  match e with
+  | Expr.Normal (h, args) -> node (of_expr h) (Array.map of_expr args)
+  | Expr.Int _ | Expr.Big _ | Expr.Real _ | Expr.Str _ | Expr.Sym _ | Expr.Tensor _ ->
+    atom e
+
+let rec to_expr m =
+  match m.desc with
+  | Atom e -> e
+  | Node (h, args) -> Expr.Normal (to_expr h, Array.map to_expr args)
+
+let set_prop m key value =
+  match Hashtbl.find_opt meta m.id with
+  | Some cell -> cell := (key, value) :: List.remove_assoc key !cell
+  | None -> Hashtbl.add meta m.id (ref [ (key, value) ])
+
+let get_prop m key =
+  Option.bind (Hashtbl.find_opt meta m.id) (fun cell -> List.assoc_opt key !cell)
+
+let props m =
+  match Hashtbl.find_opt meta m.id with
+  | Some cell -> !cell
+  | None -> []
+
+let rec visit ~pre ?post m =
+  pre m;
+  (match m.desc with
+   | Atom _ -> ()
+   | Node (h, args) ->
+     visit ~pre ?post h;
+     Array.iter (visit ~pre ?post) args);
+  match post with
+  | Some f -> f m
+  | None -> ()
+
+let rec map f m =
+  let rewritten =
+    match m.desc with
+    | Atom _ -> m
+    | Node (h, args) ->
+      let h' = map f h in
+      let args' = Array.map (map f) args in
+      if h' == h && Array.for_all2 ( == ) args' args then m else node h' args'
+  in
+  match f rewritten with
+  | Some m' -> m'
+  | None -> rewritten
+
+let to_string m = Form.input_form (to_expr m)

@@ -1,0 +1,33 @@
+(** MExpr: the compiler's AST (paper §4.2).
+
+    Wraps kernel expressions with node identity so that arbitrary metadata
+    can be attached to any node (used for source tracking, binding results,
+    and error reporting), plus a visitor API for analyses. *)
+
+open Wolf_wexpr
+
+type t = private { id : int; desc : desc }
+
+and desc =
+  | Atom of Expr.t
+  | Node of t * t array
+
+val of_expr : Expr.t -> t
+val to_expr : t -> Expr.t
+
+val atom : Expr.t -> t
+val node : t -> t array -> t
+
+val set_prop : t -> string -> string -> unit
+val get_prop : t -> string -> string option
+val props : t -> (string * string) list
+
+val visit : pre:(t -> unit) -> ?post:(t -> unit) -> t -> unit
+(** Depth-first traversal calling [pre] on entry and [post] on exit. *)
+
+val map : (t -> t option) -> t -> t
+(** Bottom-up rewriting: children first, then the whole node is offered to
+    the callback ([None] keeps it). *)
+
+val to_string : t -> string
+(** InputForm, like the artifact's [CompileToAST[…]["toString"]]. *)

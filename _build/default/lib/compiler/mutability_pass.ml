@@ -1,0 +1,78 @@
+open Wir
+
+(* Definitions that produce a fresh, unaliased value. *)
+let fresh_def = function
+  | Call { callee = Resolved { base; _ }; _ } ->
+    (match base with
+     | "range" | "range2" | "constant_array_int" | "constant_array_real"
+     | "constant_array_int2" | "constant_array_real2" | "array_take"
+     | "to_character_code" | "array_reverse" | "array_join" | "array_append" ->
+       true
+     | _ ->
+       String.length base >= 8 && String.sub base 0 8 = "part_set")
+  | _ -> false
+
+let run (p : program) =
+  let promoted = ref 0 in
+  List.iter
+    (fun f ->
+       (* defs of each var, counts of uses, and whether a var is ever
+          aliased (used by a Copy, closure capture, jump argument or call
+          that could retain it beyond this update) *)
+       let def_instr : (int, instr) Hashtbl.t = Hashtbl.create 32 in
+       let aliased : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+       List.iter
+         (fun b ->
+            List.iter
+              (fun i ->
+                 List.iter (fun v -> Hashtbl.replace def_instr v.vid i) (instr_defs i);
+                 match i with
+                 | Copy { src = Ovar v; _ } | Copy_value { src = Ovar v; _ } ->
+                   Hashtbl.replace aliased v.vid ()
+                 | New_closure { captured; _ } ->
+                   Array.iter
+                     (function Ovar v -> Hashtbl.replace aliased v.vid () | _ -> ())
+                     captured
+                 | _ -> ())
+              b.instrs;
+            List.iter
+              (function Ovar v -> Hashtbl.replace aliased v.vid () | Oconst _ -> ())
+              (term_uses b.term))
+         f.blocks;
+       let counts = Analysis.use_counts f in
+       List.iter
+         (fun b ->
+            b.instrs <-
+              List.map
+                (fun i ->
+                   match i with
+                   | Call { dst; callee = Resolved { base; mangled }; args }
+                     when String.length base >= 8
+                       && String.sub base 0 8 = "part_set"
+                       && not (Filename.check_suffix mangled "_inplace") ->
+                     let rec root_def v =
+                       match Hashtbl.find_opt def_instr v with
+                       | Some (Copy { src = Ovar u; _ })
+                         when Hashtbl.find_opt counts u.vid = Some 1 ->
+                         root_def u.vid
+                       | d -> d
+                     in
+                     (match args.(0) with
+                      | Ovar target
+                        when Hashtbl.find_opt counts target.vid = Some 1
+                          && (not (Hashtbl.mem aliased target.vid))
+                          && (match root_def target.vid with
+                              | Some d -> fresh_def d
+                              | None -> false) ->
+                        incr promoted;
+                        Call
+                          { dst;
+                            callee =
+                              Resolved { base; mangled = mangled ^ "_inplace" };
+                            args }
+                      | _ -> i)
+                   | i -> i)
+                b.instrs)
+         f.blocks)
+    p.funcs;
+  !promoted

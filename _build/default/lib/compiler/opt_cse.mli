@@ -1,0 +1,7 @@
+(** Common sub-expression elimination over pure resolved calls and copies,
+    propagated along the dominator tree (a value computed in a dominator is available in every block it dominates).  Safe on the TWIR
+    because resolved primitives are referentially transparent; it is *not*
+    run on expression-typed operands where the language's mutability
+    semantics could observe sharing (paper §4.3's copy-propagation caveat). *)
+
+val run : Wir.program -> bool

@@ -1,0 +1,76 @@
+open Wir
+
+let pure_instr = function
+  | Copy _ | New_closure _ | Copy_value _ -> true
+  | Call { callee = Resolved { base; _ }; _ } ->
+    (* conservative purity: everything except explicit effects; our primitive
+       set is effect-free apart from randomness and in-place part updates *)
+    not (String.length base >= 6 && String.sub base 0 6 = "random")
+    && not (String.length base >= 8 && String.sub base 0 8 = "part_set")
+  | Call _ -> false
+  | Load_argument _ -> true
+  | Kernel_call _ -> false
+  | Abort_check | Mem_acquire _ | Mem_release _ -> false
+
+let run (p : program) =
+  let changed = ref false in
+  List.iter
+    (fun f ->
+       let pass () =
+         let counts = Analysis.use_counts f in
+         let used v = Option.value ~default:0 (Hashtbl.find_opt counts v.vid) > 0 in
+         let local = ref false in
+         (* drop dead pure instructions (never function parameters) *)
+         let param_ids =
+           Array.to_list f.fparams |> List.map (fun v -> v.vid)
+         in
+         List.iter
+           (fun b ->
+              let before = List.length b.instrs in
+              b.instrs <-
+                List.filter
+                  (fun i ->
+                     match instr_defs i with
+                     | [ dst ]
+                       when pure_instr i && (not (used dst))
+                         && not (List.mem dst.vid param_ids) ->
+                       false
+                     | _ -> true)
+                  b.instrs;
+              if List.length b.instrs <> before then local := true)
+           f.blocks;
+         (* drop unused block parameters *)
+         let counts = Analysis.use_counts f in
+         let used_id vid = Option.value ~default:0 (Hashtbl.find_opt counts vid) > 0 in
+         List.iter
+           (fun b ->
+              let keep = Array.map (fun v -> used_id v.vid) b.bparams in
+              if Array.exists not keep then begin
+                local := true;
+                let filter_args args =
+                  Array.of_list
+                    (List.filteri (fun i _ -> keep.(i)) (Array.to_list args))
+                in
+                b.bparams <- filter_args b.bparams;
+                (* fix all jumps into b *)
+                List.iter
+                  (fun src ->
+                     let fix j =
+                       if j.target = b.label then { j with jargs = filter_args j.jargs }
+                       else j
+                     in
+                     src.term <-
+                       (match src.term with
+                        | Jump j -> Jump (fix j)
+                        | Branch { cond; if_true; if_false } ->
+                          Branch { cond; if_true = fix if_true; if_false = fix if_false }
+                        | t -> t))
+                  f.blocks
+              end)
+           f.blocks;
+         !local
+       in
+       let rec fix () = if pass () then begin changed := true; fix () end in
+       fix ())
+    p.funcs;
+  !changed

@@ -1,0 +1,5 @@
+(** Dead code elimination: removes pure instructions whose results are
+    unused and unused block parameters (with the matching jump arguments),
+    iterating to a fixed point. *)
+
+val run : Wir.program -> bool

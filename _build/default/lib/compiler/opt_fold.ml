@@ -1,0 +1,104 @@
+open Wir
+
+(* Constant evaluation of pure primitives on constant operands.  Overflow or
+   any runtime failure aborts the fold (the check then happens at runtime,
+   preserving soft-failure semantics). *)
+let eval_prim base (args : const array) : const option =
+  let open Wolf_base in
+  let ii f = match args with [| Cint a; Cint b |] -> Some (f a b) | _ -> None in
+  let rr f = match args with [| Creal a; Creal b |] -> Some (f a b) | _ -> None in
+  try
+    match base with
+    | "checked_binary_plus" -> Option.map (fun v -> Cint v) (ii Checked.add)
+    | "checked_binary_subtract" -> Option.map (fun v -> Cint v) (ii Checked.sub)
+    | "checked_binary_times" -> Option.map (fun v -> Cint v) (ii Checked.mul)
+    | "checked_binary_mod" -> Option.map (fun v -> Cint v) (ii Checked.modulo)
+    | "checked_binary_quotient" -> Option.map (fun v -> Cint v) (ii Checked.quotient)
+    | "checked_binary_power" -> Option.map (fun v -> Cint v) (ii Checked.pow)
+    | "binary_plus" -> Option.map (fun v -> Creal v) (rr ( +. ))
+    | "binary_subtract" -> Option.map (fun v -> Creal v) (rr ( -. ))
+    | "binary_times" -> Option.map (fun v -> Creal v) (rr ( *. ))
+    | "binary_divide" -> Option.map (fun v -> Creal v) (rr ( /. ))
+    | "binary_bitand" -> Option.map (fun v -> Cint v) (ii ( land ))
+    | "binary_bitor" -> Option.map (fun v -> Cint v) (ii ( lor ))
+    | "binary_bitxor" -> Option.map (fun v -> Cint v) (ii ( lxor ))
+    | "binary_shiftleft" -> Option.map (fun v -> Cint v) (ii ( lsl ))
+    | "binary_shiftright" -> Option.map (fun v -> Cint v) (ii ( asr ))
+    | "binary_less" -> ii (fun a b -> if a < b then 1 else 0)
+                       |> Option.map (fun v -> Cbool (v = 1))
+    | "binary_greater" -> ii (fun a b -> if a > b then 1 else 0)
+                          |> Option.map (fun v -> Cbool (v = 1))
+    | "binary_less_equal" -> ii (fun a b -> if a <= b then 1 else 0)
+                             |> Option.map (fun v -> Cbool (v = 1))
+    | "binary_greater_equal" -> ii (fun a b -> if a >= b then 1 else 0)
+                                |> Option.map (fun v -> Cbool (v = 1))
+    | "binary_equal" -> ii (fun a b -> if a = b then 1 else 0)
+                        |> Option.map (fun v -> Cbool (v = 1))
+    | "unary_not" -> (match args with [| Cbool b |] -> Some (Cbool (not b)) | _ -> None)
+    | "int_to_real" -> (match args with [| Cint i |] -> Some (Creal (float_of_int i)) | _ -> None)
+    | "unary_sin" -> (match args with [| Creal r |] -> Some (Creal (sin r)) | _ -> None)
+    | "unary_cos" -> (match args with [| Creal r |] -> Some (Creal (cos r)) | _ -> None)
+    | "unary_minus" -> (match args with [| Creal r |] -> Some (Creal (-.r)) | _ -> None)
+    | "checked_unary_minus" ->
+      (match args with [| Cint i |] -> Some (Cint (Checked.neg i)) | _ -> None)
+    | _ -> None
+  with Errors.Runtime_error _ -> None
+
+let run (p : program) =
+  let changed = ref false in
+  List.iter
+    (fun f ->
+       (* map vid -> constant for vars defined as Copy of a constant *)
+       let consts : (int, const) Hashtbl.t = Hashtbl.create 16 in
+       let subst op =
+         match op with
+         | Ovar v ->
+           (match Hashtbl.find_opt consts v.vid with
+            | Some c -> changed := true; Oconst c
+            | None -> op)
+         | Oconst _ -> op
+       in
+       (* collect + rewrite until stable inside the function *)
+       let local_changed = ref true in
+       while !local_changed do
+         local_changed := false;
+         List.iter
+           (fun b ->
+              b.instrs <-
+                List.map
+                  (fun i ->
+                     let i = map_instr_operands subst i in
+                     match i with
+                     | Copy { dst; src = Oconst c } ->
+                       if not (Hashtbl.mem consts dst.vid) then begin
+                         Hashtbl.replace consts dst.vid c;
+                         local_changed := true
+                       end;
+                       i
+                     | Call { dst; callee = Resolved { base; _ }; args }
+                       when Array.for_all (function Oconst _ -> true | Ovar _ -> false) args ->
+                       let cargs =
+                         Array.map (function Oconst c -> c | Ovar _ -> assert false) args
+                       in
+                       (match eval_prim base cargs with
+                        | Some c ->
+                          if not (Hashtbl.mem consts dst.vid) then begin
+                            Hashtbl.replace consts dst.vid c;
+                            local_changed := true;
+                            changed := true
+                          end;
+                          Copy { dst; src = Oconst c }
+                        | None -> i)
+                     | _ -> i)
+                  b.instrs;
+              b.term <- map_term_operands subst b.term;
+              (match b.term with
+               | Branch { cond = Oconst (Cbool c); if_true; if_false } ->
+                 b.term <- Jump (if c then if_true else if_false);
+                 changed := true;
+                 local_changed := true
+               | _ -> ()))
+           f.blocks
+       done)
+    p.funcs;
+  !changed

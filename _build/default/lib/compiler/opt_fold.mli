@@ -1,0 +1,7 @@
+(** Sparse conditional constant propagation, simplified: copies of constants
+    propagate into uses, pure resolved primitives with constant arguments
+    fold, and branches on constant conditions become jumps (dead-branch
+    deletion happens in {!Opt_simplify_cfg}).  Iterates to a fixed point. *)
+
+val run : Wir.program -> bool
+(** Returns true when anything changed. *)

@@ -1,0 +1,8 @@
+(** Function inlining on the TWIR (paper §4.5: functions marked inlinable
+    are inlined at resolution; §6 shows disabling it costs 10× on tight
+    loops).  A call is inlined when the callee is marked [finline], is not
+    (mutually) recursive, and is small; the callee's blocks are cloned with
+    fresh variables, [Load_argument]s become copies of the actual arguments,
+    and returns jump to the split continuation block. *)
+
+val run : max_instrs:int -> Wir.program -> bool

@@ -1,0 +1,68 @@
+open Wir
+
+let drop_unreachable f =
+  let reachable = Hashtbl.create 16 in
+  let rec dfs l =
+    if not (Hashtbl.mem reachable l) then begin
+      Hashtbl.replace reachable l ();
+      List.iter dfs (successors (Wir.find_block f l).term)
+    end
+  in
+  dfs (entry f).label;
+  let before = List.length f.blocks in
+  f.blocks <- List.filter (fun b -> Hashtbl.mem reachable b.label) f.blocks;
+  List.length f.blocks <> before
+
+(* Fuse b -> c when b ends in Jump c and c has no other predecessor: the
+   jump's arguments substitute for c's parameters. *)
+let fuse_once f =
+  let pred_count = Hashtbl.create 16 in
+  let bump l = Hashtbl.replace pred_count l (1 + Option.value ~default:0 (Hashtbl.find_opt pred_count l)) in
+  List.iter (fun b -> List.iter bump (successors b.term)) f.blocks;
+  let entry_label = (entry f).label in
+  let fused = ref false in
+  List.iter
+    (fun b ->
+       if not !fused then
+         match b.term with
+         | Jump j when j.target <> b.label && j.target <> entry_label ->
+           if Hashtbl.find_opt pred_count j.target = Some 1 then begin
+             let c = Wir.find_block f j.target in
+             (* substitute c's params with the jump args *)
+             let mapping = Hashtbl.create 8 in
+             Array.iteri (fun i p -> Hashtbl.replace mapping p.vid j.jargs.(i)) c.bparams;
+             let subst op =
+               match op with
+               | Ovar v ->
+                 (match Hashtbl.find_opt mapping v.vid with
+                  | Some replacement -> replacement
+                  | None -> op)
+               | Oconst _ -> op
+             in
+             b.instrs <- b.instrs @ c.instrs;
+             b.term <- c.term;
+             f.blocks <- List.filter (fun x -> x.label <> c.label) f.blocks;
+             (* c's parameters may be used anywhere c dominated: substitute
+                them function-wide *)
+             List.iter
+               (fun blk ->
+                  blk.instrs <- List.map (map_instr_operands subst) blk.instrs;
+                  blk.term <- map_term_operands subst blk.term)
+               f.blocks;
+             fused := true
+           end
+         | _ -> ())
+    f.blocks;
+  !fused
+
+let run (p : program) =
+  let changed = ref false in
+  List.iter
+    (fun f ->
+       if drop_unreachable f then changed := true;
+       while fuse_once f do
+         changed := true
+       done;
+       ignore (drop_unreachable f))
+    p.funcs;
+  !changed

@@ -1,0 +1,6 @@
+(** CFG clean-up (the paper's dead-branch deletion and basic-block fusion):
+    unreachable blocks are dropped, single-predecessor blocks are fused into
+    that predecessor when it ends in an unconditional jump, and trivial
+    forwarding blocks are threaded. *)
+
+val run : Wir.program -> bool

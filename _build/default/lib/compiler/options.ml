@@ -1,0 +1,28 @@
+type t = {
+  abort_handling : bool;
+  inline_level : int;
+  kernel_escape : bool;
+  opt_level : int;
+  static_constants : bool;
+  memory_management : bool;
+  lint : bool;
+  self_name : string option;
+  target_system : string;
+}
+
+let default = {
+  abort_handling = true;
+  inline_level = 1;
+  kernel_escape = false;
+  opt_level = 1;
+  static_constants = true;
+  memory_management = true;
+  lint = true;
+  self_name = None;
+  target_system = "LLVM";
+}
+
+let to_macro_options t =
+  [ ("AbortHandling", Wolf_wexpr.Expr.bool t.abort_handling);
+    ("TargetSystem", Wolf_wexpr.Expr.str t.target_system);
+    ("InlineLevel", Wolf_wexpr.Expr.int t.inline_level) ]

@@ -1,0 +1,18 @@
+(** FunctionCompile options (paper §4.7: macro rules, passes and type-system
+    definitions can be predicated on these). *)
+
+type t = {
+  abort_handling : bool;     (** insert abort checks (F3); "AbortHandling" *)
+  inline_level : int;        (** 0 = off (the paper's 10× Mandelbrot ablation) *)
+  kernel_escape : bool;      (** auto-escape unknown functions to the kernel *)
+  opt_level : int;           (** 0 = none, 1 = standard TWIR optimisations *)
+  static_constants : bool;   (** false = re-materialise constant arrays per
+                                 call (the paper's PrimeQ 1.5× issue, E7) *)
+  memory_management : bool;  (** insert acquire/release (F7) *)
+  lint : bool;               (** run the SSA linter after each pass *)
+  self_name : string option; (** name for recursive self-reference (cfib) *)
+  target_system : string;    (** e.g. "LLVM", "WVM", "C"; macros may condition on it *)
+}
+
+val default : t
+val to_macro_options : t -> (string * Wolf_wexpr.Expr.t) list

@@ -1,0 +1,125 @@
+open Wolf_wexpr
+
+type user_pass = {
+  pass_name : string;
+  pass_run : Wir.program -> unit;
+}
+
+type compiled = {
+  program : Wir.program;
+  resolution : (string, Infer.resolved) Hashtbl.t;
+  coptions : Options.t;
+  source : Expr.t;
+  expanded : Expr.t;
+  timings : (string * float) list;
+  inplace_updates : int;
+}
+
+let timed timings name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  timings := (name, Unix.gettimeofday () -. t0) :: !timings;
+  r
+
+(* Front half shared by the main entry and Wolfram-implementation
+   instantiation: macro expand, bind, lower. *)
+let front ~options ~macro_env ~name fexpr =
+  let expanded = Macro.expand macro_env ~options:(Options.to_macro_options options) fexpr in
+  let analyzed = Binding.analyze_function expanded in
+  let prog = Lower.lower_function ~options ~name analyzed ~source:fexpr in
+  (expanded, prog)
+
+let optimize ~options ~lint prog =
+  let budget = ref 16 in
+  let changed = ref true in
+  while !changed && !budget > 0 do
+    decr budget;
+    changed := false;
+    if Opt_fold.run prog then changed := true;
+    if lint then Wir_lint.assert_ok "fold" prog;
+    if Opt_simplify_cfg.run prog then changed := true;
+    if lint then Wir_lint.assert_ok "simplify-cfg" prog;
+    if Opt_cse.run prog then changed := true;
+    if lint then Wir_lint.assert_ok "cse" prog;
+    if Opt_dce.run prog then changed := true;
+    if lint then Wir_lint.assert_ok "dce" prog;
+    if options.Options.inline_level > 0 then begin
+      if Opt_inline.run ~max_instrs:48 prog then changed := true;
+      if lint then Wir_lint.assert_ok "inline" prog
+    end
+  done
+
+let compile ?(options = Options.default) ?type_env ?macro_env ?(user_passes = []) ~name
+    fexpr =
+  let env = match type_env with Some e -> e | None -> Stdlib_decls.env () in
+  let menv = match macro_env with Some m -> m | None -> Macro.functional_env () in
+  let timings = ref [] in
+  let expanded, prog =
+    timed timings "macro+binding+lower" (fun () -> front ~options ~macro_env:menv ~name fexpr)
+  in
+  let lint = options.Options.lint in
+  if lint then Wir_lint.assert_ok "lower" prog;
+  let resolution =
+    timed timings "type-inference" (fun () -> Infer.infer ~env ~options prog)
+  in
+  if lint then Wir_lint.assert_ok "infer" prog;
+  (* function resolution: instantiate Wolfram-implemented declarations *)
+  let compile_instance ~name body arg_tys ret_ty =
+    let _, iprog = front ~options ~macro_env:menv ~name body in
+    let main = Wir.main iprog in
+    if Array.length main.Wir.fparams <> Array.length arg_tys then
+      Wolf_base.Errors.compile_errorf
+        "instantiating %s: arity mismatch (%d parameters, %d argument types)" name
+        (Array.length main.Wir.fparams) (Array.length arg_tys);
+    Array.iteri
+      (fun i (v : Wir.var) -> v.Wir.vty <- Some arg_tys.(i))
+      main.Wir.fparams;
+    main.Wir.ret_ty <- Some ret_ty;
+    let sub_table = Infer.infer ~env ~options iprog in
+    Hashtbl.iter (Hashtbl.replace resolution) sub_table;
+    iprog.Wir.funcs
+  in
+  timed timings "function-resolution" (fun () ->
+      Resolve.run ~compile_instance ~table:resolution prog);
+  if lint then Wir_lint.assert_ok "resolve" prog;
+  if options.Options.opt_level > 0 then
+    timed timings "optimization" (fun () -> optimize ~options ~lint prog);
+  List.iter
+    (fun up -> timed timings ("user:" ^ up.pass_name) (fun () -> up.pass_run prog))
+    user_passes;
+  let inplace =
+    timed timings "mutability" (fun () -> Mutability_pass.run prog)
+  in
+  if lint then Wir_lint.assert_ok "mutability" prog;
+  if options.Options.abort_handling then begin
+    timed timings "abort-insertion" (fun () -> Abort_pass.run prog);
+    if lint then Wir_lint.assert_ok "abort" prog
+  end;
+  if options.Options.memory_management then begin
+    timed timings "memory-management" (fun () -> Memory_pass.run prog);
+    if lint then Wir_lint.assert_ok "memory" prog
+  end;
+  timed timings "ground-check" (fun () -> Infer.check_ground prog);
+  prog.Wir.pmeta <-
+    [ ("AbortHandling", string_of_bool options.Options.abort_handling);
+      ("InlineLevel", string_of_int options.Options.inline_level);
+      ("OptimizationLevel", string_of_int options.Options.opt_level) ];
+  {
+    program = prog;
+    resolution;
+    coptions = options;
+    source = fexpr;
+    expanded;
+    timings = List.rev !timings;
+    inplace_updates = inplace;
+  }
+
+let compile_to_ast ?(options = Options.default) ?macro_env fexpr =
+  let menv = match macro_env with Some m -> m | None -> Macro.builtin_env () in
+  Mexpr.of_expr (Macro.expand menv ~options:(Options.to_macro_options options) fexpr)
+
+let compile_to_wir ?(options = Options.default) ?type_env ?macro_env ~name fexpr =
+  ignore type_env;
+  let menv = match macro_env with Some m -> m | None -> Macro.builtin_env () in
+  let _, prog = front ~options ~macro_env:menv ~name fexpr in
+  prog

@@ -1,0 +1,47 @@
+(** The staged compilation pipeline (paper §4):
+
+    MExpr → macro expansion → binding analysis → WIR (SSA) → type inference
+    (TWIR) → function resolution → optimisation → mutability / abort /
+    memory-management passes → a typed program ready for any backend.
+
+    Users can inject passes (§4.7) and supply their own macro and type
+    environments; every stage's wall-clock time is recorded (the paper's
+    benchmark suite measures per-pass times, experiment E8). *)
+
+open Wolf_wexpr
+
+type user_pass = {
+  pass_name : string;
+  pass_run : Wir.program -> unit;
+}
+
+type compiled = {
+  program : Wir.program;
+  resolution : (string, Infer.resolved) Hashtbl.t;
+  coptions : Options.t;
+  source : Expr.t;
+  expanded : Expr.t;           (** after macro expansion (CompileToAST) *)
+  timings : (string * float) list;  (** pass name → seconds, in order *)
+  inplace_updates : int;       (** SetParts proven safe by Mutability_pass *)
+}
+
+val compile :
+  ?options:Options.t ->
+  ?type_env:Type_env.t ->
+  ?macro_env:Macro.env ->
+  ?user_passes:user_pass list ->
+  name:string ->
+  Expr.t ->
+  compiled
+(** [compile ~name fexpr] compiles a [Function[…]] expression.
+    @raise Wolf_base.Errors.Compile_error on any front-end failure. *)
+
+val compile_to_ast :
+  ?options:Options.t -> ?macro_env:Macro.env -> Expr.t -> Mexpr.t
+(** The artifact's [CompileToAST]: macro expansion only. *)
+
+val compile_to_wir :
+  ?options:Options.t -> ?type_env:Type_env.t -> ?macro_env:Macro.env ->
+  name:string -> Expr.t -> Wir.program
+(** The artifact's [CompileToIR[…, "OptimizationLevel" -> None]]: untyped
+    WIR before inference. *)

@@ -1,0 +1,48 @@
+open Wir
+
+let run ~compile_instance ~table (p : program) =
+  (* Instantiate each Wolfram-implemented declaration once per mangled name. *)
+  let instantiated : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec process () =
+    let todo =
+      Hashtbl.fold
+        (fun mangled (info : Infer.resolved) acc ->
+           match info.rdecl.Type_env.impl with
+           | Type_env.Wolfram body when not (Hashtbl.mem instantiated mangled) ->
+             (mangled, body, info) :: acc
+           | _ -> acc)
+        table []
+    in
+    match todo with
+    | [] -> ()
+    | work ->
+      List.iter
+        (fun (mangled, body, (info : Infer.resolved)) ->
+           Hashtbl.replace instantiated mangled ();
+           let funcs =
+             compile_instance ~name:mangled body info.rarg_tys info.rret_ty
+           in
+           List.iter
+             (fun fn -> if Wir.find_func p fn.fname = None then p.funcs <- p.funcs @ [ fn ])
+             funcs)
+        work;
+      (* instance compilation may have resolved further Wolfram calls *)
+      process ()
+  in
+  process ();
+  (* Retarget calls to instantiated Wolfram implementations. *)
+  List.iter
+    (fun f ->
+       List.iter
+         (fun b ->
+            b.instrs <-
+              List.map
+                (fun i ->
+                   match i with
+                   | Call { dst; callee = Resolved { mangled; _ }; args }
+                     when Hashtbl.mem instantiated mangled ->
+                     Call { dst; callee = Func mangled; args }
+                   | i -> i)
+                b.instrs)
+         f.blocks)
+    p.funcs

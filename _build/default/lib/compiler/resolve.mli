@@ -1,0 +1,15 @@
+(** Function resolution (paper §4.5): after inference has chosen a
+    declaration for every call, declarations implemented in the Wolfram
+    Language (like the paper's polymorphic [Min]) are instantiated at their
+    monomorphic types, compiled through the same front end, inserted into
+    the program under their mangled names, and the calls retargeted.
+    Primitive declarations stay as resolved runtime calls. *)
+
+val run :
+  compile_instance:
+    (name:string -> Wolf_wexpr.Expr.t -> Types.t array -> Types.t -> Wir.func list) ->
+  table:(string, Infer.resolved) Hashtbl.t ->
+  Wir.program ->
+  unit
+(** [compile_instance] is supplied by {!Pipeline} (it recursively runs the
+    front half of the pipeline on the implementation body). *)

@@ -1,0 +1,9 @@
+(** The compiler's standard library of Wolfram-implemented declarations
+    (paper §4.4's worked examples): polymorphic, qualifier-constrained
+    functions written in the Wolfram Language and monomorphised on demand by
+    function resolution — exactly how users extend the compiler (F6). *)
+
+val env : unit -> Type_env.t
+(** The default environment used by {!Pipeline.compile}: the primitive
+    builtin environment extended with [Min]/[Max] (the paper's example),
+    [Clip], [Sign], [Mean], [Norm], [ArrayFold] and friends. *)

@@ -1,0 +1,42 @@
+let table : (string, string list ref) Hashtbl.t = Hashtbl.create 32
+
+let declare name ~members =
+  match Hashtbl.find_opt table name with
+  | Some existing ->
+    existing := List.sort_uniq String.compare (members @ !existing)
+  | None -> Hashtbl.add table name (ref members)
+
+let constructor_name ty =
+  match Types.repr ty with
+  | Types.Con (name, _) -> Some name
+  | Types.Lit _ | Types.Fun _ | Types.Var _ -> None
+
+let member cls ~ty =
+  match constructor_name ty with
+  | Some name ->
+    (match Hashtbl.find_opt table cls with
+     | Some members -> List.mem name !members
+     | None -> false)
+  | None -> false
+
+let satisfiable cls ~ty =
+  match Types.repr ty with
+  | Types.Var _ -> true
+  | _ -> member cls ~ty
+
+let classes_of ty =
+  Hashtbl.fold
+    (fun cls _ acc -> if member cls ~ty then cls :: acc else acc)
+    table []
+  |> List.sort String.compare
+
+let install_builtin () =
+  declare "Integral" ~members:[ "Integer64" ];
+  declare "Reals" ~members:[ "Integer64"; "Real64" ];
+  declare "Ordered" ~members:[ "Integer64"; "Real64"; "String" ];
+  declare "Number" ~members:[ "Integer64"; "Real64"; "ComplexReal64" ];
+  declare "Indexed" ~members:[ "PackedArray"; "Expression" ];
+  declare "MemoryManaged" ~members:[ "PackedArray"; "Expression"; "String" ];
+  declare "Container" ~members:[ "PackedArray" ];
+  declare "Equatable"
+    ~members:[ "Integer64"; "Real64"; "ComplexReal64"; "Boolean"; "String"; "Expression" ]

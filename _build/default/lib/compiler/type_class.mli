@@ -1,0 +1,20 @@
+(** Type classes group types implementing the same methods and act as
+    qualifiers on polymorphic declarations (paper §4.4: "Integral",
+    "Ordered", "Reals", "Indexed", "MemoryManaged", …). *)
+
+val declare : string -> members:string list -> unit
+(** Declare (or extend) a class by constructor-name membership. *)
+
+val member : string -> ty:Types.t -> bool
+(** Is the (ground, representative) type a member of the class?
+    Unbound type variables are not members. *)
+
+val satisfiable : string -> ty:Types.t -> bool
+(** Could the type still satisfy the class: true for unbound variables that
+    carry no contradicting evidence, [member] otherwise. *)
+
+val classes_of : Types.t -> string list
+(** All declared classes the ground type belongs to. *)
+
+val install_builtin : unit -> unit
+(** Register the default classes of the builtin type environment. *)

@@ -1,0 +1,77 @@
+open Types
+
+(* Trail entries remember the previous contents of each bound cell so that
+   speculative unification (AlternativeConstraint candidate testing) can be
+   rolled back exactly. *)
+let trail : (tv ref * tv) list ref = ref []
+
+let bind r t =
+  trail := (r, !r) :: !trail;
+  r := Link t
+
+let commit_depth () = List.length !trail
+
+let rec unify a b =
+  let a = repr a and b = repr b in
+  if a == b then Ok ()
+  else
+    match a, b with
+    | Var ({ contents = Unbound ua } as ra), Var { contents = Unbound ub } ->
+      (* Merge qualifier sets onto the surviving variable.  The class merge is
+         monotone (adds constraints); rollback of the binding is what matters
+         for correctness of speculation, and a spuriously widened qualifier
+         set can only reject candidates later, never accept wrong ones. *)
+      ub.classes <- List.sort_uniq String.compare (ua.classes @ ub.classes);
+      bind ra b;
+      Ok ()
+    | Var ({ contents = Unbound u } as r), t | t, Var ({ contents = Unbound u } as r) ->
+      if occurs u.id t then
+        Error ("occurs check: " ^ to_string (Var r) ^ " in " ^ to_string t)
+      else begin
+        let unsatisfied =
+          List.filter (fun cls -> not (Type_class.satisfiable cls ~ty:t)) u.classes
+        in
+        match unsatisfied with
+        | [] ->
+          (* Propagate qualifiers into a variable nested at the top of t. *)
+          (match repr t with
+           | Var { contents = Unbound inner } ->
+             inner.classes <- List.sort_uniq String.compare (u.classes @ inner.classes)
+           | _ -> ());
+          bind r t;
+          Ok ()
+        | cls :: _ ->
+          Error
+            (Printf.sprintf "type %s does not implement class %S" (to_string t) cls)
+      end
+    | Con (n1, a1), Con (n2, a2)
+      when String.equal n1 n2 && Array.length a1 = Array.length a2 ->
+      unify_all a1 a2
+    | Lit x, Lit y when x = y -> Ok ()
+    | Fun (a1, r1), Fun (a2, r2) when Array.length a1 = Array.length a2 ->
+      (match unify_all a1 a2 with
+       | Ok () -> unify r1 r2
+       | Error _ as e -> e)
+    | _ -> Error (Printf.sprintf "cannot unify %s with %s" (to_string a) (to_string b))
+
+and unify_all xs ys =
+  let n = Array.length xs in
+  let rec go i =
+    if i >= n then Ok ()
+    else
+      match unify xs.(i) ys.(i) with
+      | Ok () -> go (i + 1)
+      | Error _ as e -> e
+  in
+  go 0
+
+let speculate f =
+  let saved = !trail in
+  trail := [];
+  let result = match f () with v -> v | exception _ -> None in
+  (match result with
+   | Some _ -> trail := !trail @ saved
+   | None ->
+     List.iter (fun (r, old) -> r := old) !trail;
+     trail := saved);
+  result

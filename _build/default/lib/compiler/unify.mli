@@ -1,0 +1,12 @@
+(** Destructive unification with an undo trail, the engine beneath the
+    EqualityConstraint solver.  Binding a qualified type variable checks its
+    type-class qualifiers; variable-variable bindings merge qualifiers. *)
+
+val unify : Types.t -> Types.t -> (unit, string) result
+
+val speculate : (unit -> 'a option) -> 'a option
+(** Run a thunk; when it returns [None] (or raises), roll back all bindings
+    it made.  Used to test AlternativeConstraint candidates. *)
+
+val commit_depth : unit -> int
+(** Current trail depth (diagnostics/tests). *)

@@ -1,0 +1,11 @@
+(** The IR linter the paper mentions (§4.3 footnote): checks that the SSA
+    property is maintained by every pass — each variable defined exactly
+    once, every use dominated by its definition, jump arities matching block
+    parameters, and no dangling block references. *)
+
+val check_func : Wir.func -> (unit, string list) result
+val check_program : Wir.program -> (unit, string list) result
+
+val assert_ok : string -> Wir.program -> unit
+(** @raise Wolf_base.Errors.Compile_error listing violations, prefixed with
+    the pass name that produced the IR. *)

@@ -1,0 +1,8 @@
+(** Textual WIR/TWIR like the artifact appendix's
+    [CompileToIR[…]["toString"]]: one function module per block DAG,
+    variables as [%n], types after a colon when present. *)
+
+val operand_to_string : Wir.operand -> string
+val instr_to_string : Wir.instr -> string
+val func_to_string : Wir.func -> string
+val program_to_string : Wir.program -> string

@@ -1,0 +1,1 @@
+lib/kernel/builtins_core.ml: Abort_signal Array Attributes Errors Eval Expr List Numeric Option Pattern Symbol Tensor Values Wolf_base Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/kernel/builtins_core.mli: Eval Expr Symbol Wolf_wexpr

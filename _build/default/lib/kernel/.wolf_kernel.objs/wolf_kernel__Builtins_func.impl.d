@@ -1,0 +1,1 @@
+lib/kernel/builtins_func.ml: Array Errors Eval Expr List Option Pattern Symbol Wolf_base Wolf_runtime Wolf_wexpr

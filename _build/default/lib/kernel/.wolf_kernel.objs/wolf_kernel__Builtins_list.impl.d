@@ -1,0 +1,1 @@
+lib/kernel/builtins_list.ml: Array Attributes Builtins_core Errors Eval Expr Float List Numeric Option Pattern Rand Rtval Symbol Tensor Wolf_base Wolf_runtime Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/kernel/builtins_list.mli: Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/kernel/builtins_math.ml: Array Attributes Bignum Checked Errors Eval Expr Float List Numeric String Symbol Tensor Values Wolf_base Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/kernel/builtins_more.ml: Array Attributes Bignum Buffer Builtins_list Errors Eval Expr Float List Numeric Option Pattern String Symbol Tensor Wolf_base Wolf_runtime Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/kernel/builtins_string.ml: Array Attributes Buffer Char Eval Expr Form List Option String Symbol Tensor Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/kernel/builtins_symbolic.ml: Array Attributes Errors Eval Expr Float Form Hashtbl List Numeric Option Pattern String Symbol Wolf_base Wolf_runtime Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/kernel/eval.ml: Abort_signal Array Attributes Errors Expr Hashtbl List Pattern Symbol Values Wolf_base Wolf_runtime Wolf_wexpr

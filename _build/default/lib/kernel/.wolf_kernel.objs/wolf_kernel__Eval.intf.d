@@ -1,0 +1,1 @@
+lib/kernel/eval.mli: Attributes Expr Symbol Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/kernel/numeric.ml: Array Bignum Checked Errors Expr Float Option Stdlib Symbol Tensor Wolf_base Wolf_wexpr

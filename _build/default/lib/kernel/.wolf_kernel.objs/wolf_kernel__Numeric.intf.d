@@ -1,0 +1,1 @@
+lib/kernel/numeric.mli: Expr Wolf_wexpr

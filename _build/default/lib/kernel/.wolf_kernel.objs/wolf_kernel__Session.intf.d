@@ -1,0 +1,1 @@
+lib/kernel/session.mli: Expr Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/kernel/values.ml: Array Expr Hashtbl List Option Symbol Tensor Wolf_runtime Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/kernel/values.mli: Expr Symbol Wolf_runtime Wolf_wexpr

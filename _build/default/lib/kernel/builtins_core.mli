@@ -1,0 +1,19 @@
+(** Control flow, scoping constructs, assignments and [Part] access.
+    Loaded into the evaluator registry by {!Session.init}. *)
+
+open Wolf_wexpr
+
+val install : unit -> unit
+
+val part_get : Expr.t -> int list -> Expr.t
+(** Wolfram [Part] extraction (1-based, negative counts from the end), over
+    both unpacked lists and packed tensors.  Shared with other builtin
+    modules.  @raise Wolf_base.Errors.Runtime_error on range errors. *)
+
+val part_set : Expr.t -> int list -> Expr.t -> Expr.t
+(** Functional part update; packed tensors go through copy-on-write. *)
+
+val iterate :
+  Eval.evaluator -> Expr.t -> (Symbol.t option -> Expr.t -> unit) -> unit
+(** Run a Wolfram iterator spec ([n], [{i, n}], [{i, lo, hi, step}]) calling
+    the body with the iteration variable (if any) and its current value. *)

@@ -1,0 +1,169 @@
+open Wolf_wexpr
+open Wolf_base
+
+(* Apply a function-ish value: Function[...] beta-reduces, anything else
+   (symbol with down values, builtin head) becomes an application that the
+   evaluator rewrites. *)
+let call ev f args =
+  match f with
+  | Expr.Normal (Expr.Sym s, _) when Symbol.equal s Expr.Sy.function_ ->
+    Eval.apply_function ev f args
+  | _ -> ev (Expr.Normal (f, args))
+
+let as_items = function
+  | Expr.Normal (Expr.Sym l, items) when Symbol.equal l Expr.Sy.list -> Some items
+  | Expr.Tensor t ->
+    (match Wolf_runtime.Rtval.tensor_to_expr t with
+     | Expr.Normal (_, items) -> Some items
+     | _ -> None)
+  | _ -> None
+
+let install () =
+  Eval.register "Map" (fun ev args ->
+      match args with
+      | [| f; e |] ->
+        (match e with
+         | Expr.Normal (h, items) ->
+           Some (Expr.Normal (h, Array.map (fun x -> call ev f [| x |]) items))
+         | Expr.Tensor _ ->
+           (match as_items e with
+            | Some items ->
+              Some (Expr.list_a (Array.map (fun x -> call ev f [| x |]) items))
+            | None -> None)
+         | _ -> None)
+      | _ -> None);
+  Eval.register "MapIndexed" (fun ev args ->
+      match args with
+      | [| f; e |] ->
+        (match as_items e with
+         | Some items ->
+           Some
+             (Expr.list_a
+                (Array.mapi
+                   (fun i x -> call ev f [| x; Expr.list [ Expr.Int (i + 1) ] |])
+                   items))
+         | None -> None)
+      | _ -> None);
+  Eval.register "Apply" (fun ev args ->
+      match args with
+      | [| f; e |] ->
+        (match e with
+         | Expr.Normal (_, items) -> Some (call ev f items)
+         | Expr.Tensor _ ->
+           (match as_items e with
+            | Some items -> Some (call ev f items)
+            | None -> None)
+         | _ -> None)
+      | _ -> None);
+  Eval.register "Fold" (fun ev args ->
+      match args with
+      | [| f; init; e |] ->
+        (match as_items e with
+         | Some items ->
+           Some (Array.fold_left (fun acc x -> call ev f [| acc; x |]) init items)
+         | None -> None)
+      | [| f; e |] ->
+        (match as_items e with
+         | Some items when Array.length items > 0 ->
+           let rest = Array.sub items 1 (Array.length items - 1) in
+           Some (Array.fold_left (fun acc x -> call ev f [| acc; x |]) items.(0) rest)
+         | _ -> None)
+      | _ -> None);
+  Eval.register "FoldList" (fun ev args ->
+      match args with
+      | [| f; init; e |] ->
+        (match as_items e with
+         | Some items ->
+           let acc = ref init in
+           let out =
+             Array.append [| init |]
+               (Array.map (fun x -> acc := call ev f [| !acc; x |]; !acc) items)
+           in
+           Some (Expr.list_a out)
+         | None -> None)
+      | _ -> None);
+  Eval.register "Nest" (fun ev args ->
+      match args with
+      | [| f; x; n |] ->
+        (match Expr.int_of n with
+         | Some k when k >= 0 ->
+           let rec go acc i = if i = 0 then acc else go (call ev f [| acc |]) (i - 1) in
+           Some (go x k)
+         | _ -> None)
+      | _ -> None);
+  Eval.register "NestList" (fun ev args ->
+      match args with
+      | [| f; x; n |] ->
+        (match Expr.int_of n with
+         | Some k when k >= 0 ->
+           let out = Array.make (k + 1) x in
+           for i = 1 to k do out.(i) <- call ev f [| out.(i - 1) |] done;
+           Some (Expr.list_a out)
+         | _ -> None)
+      | _ -> None);
+  Eval.register "NestWhile" (fun ev args ->
+      match args with
+      | [| f; x; test |] ->
+        let rec go acc iters =
+          if iters > !Eval.iteration_limit then
+            Errors.eval_errorf "NestWhile: iteration limit"
+          else if Expr.is_true (call ev test [| acc |]) then
+            go (call ev f [| acc |]) (iters + 1)
+          else acc
+        in
+        Some (go x 0)
+      | _ -> None);
+  Eval.register "FixedPoint" (fun ev args ->
+      match args with
+      | [| f; x |] ->
+        let rec go acc iters =
+          if iters > 65536 then Errors.eval_errorf "FixedPoint: no convergence"
+          else begin
+            let next = call ev f [| acc |] in
+            if Expr.equal next acc then acc else go next (iters + 1)
+          end
+        in
+        Some (go x 0)
+      | _ -> None);
+  Eval.register "Select" (fun ev args ->
+      match args with
+      | [| e; pred |] ->
+        (match as_items e with
+         | Some items ->
+           let kept =
+             Array.to_list items
+             |> List.filter (fun x -> Expr.is_true (call ev pred [| x |]))
+           in
+           Some (Expr.list kept)
+         | None -> None)
+      | _ -> None);
+  Eval.register "Count" (fun ev args ->
+      match args with
+      | [| e; pat |] ->
+        (match as_items e with
+         | Some items ->
+           let n =
+             Array.to_list items
+             |> List.filter (fun x ->
+                 Option.is_some (Pattern.match_expr ~eval:ev ~pattern:pat x))
+             |> List.length
+           in
+           Some (Expr.Int n)
+         | None -> None)
+      | _ -> None);
+  Eval.register "AllTrue" (fun ev args ->
+      match args with
+      | [| e; pred |] ->
+        (match as_items e with
+         | Some items ->
+           Some (Expr.bool (Array.for_all (fun x -> Expr.is_true (call ev pred [| x |])) items))
+         | None -> None)
+      | _ -> None);
+  Eval.register "AnyTrue" (fun ev args ->
+      match args with
+      | [| e; pred |] ->
+        (match as_items e with
+         | Some items ->
+           Some (Expr.bool (Array.exists (fun x -> Expr.is_true (call ev pred [| x |])) items))
+         | None -> None)
+      | _ -> None)

@@ -1,0 +1,5 @@
+(** Higher-order builtins: [Map], [Fold], [Nest]/[NestList], [FixedPoint],
+    [Select], [Apply] — the high-level primitives Wolfram programmers use
+    instead of loops (Section 2.1 of the paper). *)
+
+val install : unit -> unit

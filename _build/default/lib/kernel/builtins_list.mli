@@ -1,0 +1,9 @@
+(** List and packed-array builtins: construction ([Range], [Table],
+    [ConstantArray]), structure ([Length], [First], [Join], …), reductions
+    ([Total], [Dot]) and random sampling. *)
+
+val install : unit -> unit
+
+val pack_or_list : Wolf_wexpr.Expr.t array -> Wolf_wexpr.Expr.t
+(** Pack a freshly built homogeneous numeric list into a tensor; heterogeneous
+    content stays an unpacked [List]. *)

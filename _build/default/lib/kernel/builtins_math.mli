@@ -1,0 +1,5 @@
+(** Arithmetic, comparisons, boolean and bitwise operations, elementary
+    functions.  Machine integers promote to {!Wolf_base.Bignum} on overflow
+    — the behaviour compiled code reverts to under soft failure (F2). *)
+
+val install : unit -> unit

@@ -1,0 +1,337 @@
+open Wolf_wexpr
+open Wolf_base
+
+let as_items = function
+  | Expr.Normal (Expr.Sym l, items) when Symbol.equal l Expr.Sy.list -> Some items
+  | Expr.Tensor t ->
+    (match Wolf_runtime.Rtval.tensor_to_expr t with
+     | Expr.Normal (_, items) -> Some items
+     | _ -> None)
+  | _ -> None
+
+let pack = Builtins_list.pack_or_list
+
+(* Wolfram Take/Drop index spec: n (first n), -n (last n), {i, j} (span). *)
+let span_of_spec len spec =
+  match spec with
+  | Expr.Int n when n >= 0 -> Some (0, min n len)
+  | Expr.Int n -> Some (max 0 (len + n), len)
+  | Expr.Normal (Expr.Sym l, [| Expr.Int i; Expr.Int j |])
+    when Symbol.equal l Expr.Sy.list ->
+    let i = if i < 0 then len + i + 1 else i in
+    let j = if j < 0 then len + j + 1 else j in
+    if i >= 1 && j <= len && i <= j + 1 then Some (i - 1, j) else None
+  | _ -> None
+
+let rec flatten_all acc e =
+  match e with
+  | Expr.Normal (Expr.Sym l, items) when Symbol.equal l Expr.Sy.list ->
+    Array.fold_left flatten_all acc items
+  | Expr.Tensor _ ->
+    (match as_items e with
+     | Some items -> Array.fold_left flatten_all acc items
+     | None -> e :: acc)
+  | _ -> e :: acc
+
+let install () =
+  Eval.register "Take" (fun _ args ->
+      match args with
+      | [| e; spec |] ->
+        Option.bind (as_items e) (fun items ->
+            Option.map
+              (fun (lo, hi) -> pack (Array.sub items lo (hi - lo)))
+              (span_of_spec (Array.length items) spec))
+      | _ -> None);
+  Eval.register "Drop" (fun _ args ->
+      match args with
+      | [| e; Expr.Int n |] ->
+        Option.bind (as_items e) (fun items ->
+            let len = Array.length items in
+            if n >= 0 && n <= len then Some (pack (Array.sub items n (len - n)))
+            else if n < 0 && -n <= len then Some (pack (Array.sub items 0 (len + n)))
+            else None)
+      | _ -> None);
+  Eval.register "Flatten" (fun _ args ->
+      match args with
+      | [| e |] ->
+        (match e with
+         | Expr.Normal (Expr.Sym l, _) when Symbol.equal l Expr.Sy.list ->
+           Some (pack (Array.of_list (List.rev (flatten_all [] e))))
+         | Expr.Tensor _ ->
+           Some (pack (Array.of_list (List.rev (flatten_all [] e))))
+         | _ -> None)
+      | _ -> None);
+  Eval.register "Partition" (fun _ args ->
+      match args with
+      | [| e; Expr.Int n |] when n > 0 ->
+        Option.map
+          (fun items ->
+             let groups = Array.length items / n in
+             Expr.list_a
+               (Array.init groups (fun g -> pack (Array.sub items (g * n) n))))
+          (as_items e)
+      | _ -> None);
+  Eval.register "Position" (fun ev args ->
+      match args with
+      | [| e; pat |] ->
+        Option.map
+          (fun items ->
+             let hits = ref [] in
+             Array.iteri
+               (fun i x ->
+                  if Option.is_some (Pattern.match_expr ~eval:ev ~pattern:pat x) then
+                    hits := Expr.list [ Expr.Int (i + 1) ] :: !hits)
+               items;
+             Expr.list (List.rev !hits))
+          (as_items e)
+      | _ -> None);
+  Eval.register "MemberQ" (fun ev args ->
+      match args with
+      | [| e; pat |] ->
+        Option.map
+          (fun items ->
+             Expr.bool
+               (Array.exists
+                  (fun x -> Option.is_some (Pattern.match_expr ~eval:ev ~pattern:pat x))
+                  items))
+          (as_items e)
+      | _ -> None);
+  Eval.register "DeleteDuplicates" (fun _ args ->
+      match args with
+      | [| e |] ->
+        Option.map
+          (fun items ->
+             let seen = ref [] in
+             Array.iter
+               (fun x ->
+                  if not (List.exists (Expr.equal x) !seen) then seen := x :: !seen)
+               items;
+             pack (Array.of_list (List.rev !seen)))
+          (as_items e)
+      | _ -> None);
+  Eval.register "Accumulate" (fun ev args ->
+      match args with
+      | [| e |] ->
+        Option.bind (as_items e) (fun items ->
+            if Array.length items = 0 then Some (Expr.list [])
+            else begin
+              let acc = ref items.(0) in
+              let out =
+                Array.mapi
+                  (fun i x ->
+                     if i = 0 then !acc
+                     else begin
+                       acc := ev (Expr.apply "Plus" [ !acc; x ]);
+                       !acc
+                     end)
+                  items
+              in
+              Some (pack out)
+            end)
+      | _ -> None);
+  Eval.register "Differences" (fun ev args ->
+      match args with
+      | [| e |] ->
+        Option.bind (as_items e) (fun items ->
+            let n = Array.length items in
+            if n = 0 then Some (Expr.list [])
+            else
+              Some
+                (pack
+                   (Array.init (n - 1) (fun i ->
+                        ev (Expr.apply "Subtract" [ items.(i + 1); items.(i) ])))))
+      | _ -> None);
+  Eval.register "Transpose" (fun _ args ->
+      match args with
+      | [| Expr.Tensor t |] when Tensor.rank t = 2 ->
+        let dims = Tensor.dims t in
+        let n = dims.(0) and m = dims.(1) in
+        if Tensor.is_int t then begin
+          let out = Array.init (n * m) (fun k -> Tensor.get_int t (((k mod n) * m) + (k / n))) in
+          Some (Expr.Tensor (Tensor.create_int [| m; n |] out))
+        end
+        else begin
+          let out = Array.init (n * m) (fun k -> Tensor.get_real t (((k mod n) * m) + (k / n))) in
+          Some (Expr.Tensor (Tensor.create_real [| m; n |] out))
+        end
+      | [| Expr.Normal (Expr.Sym l, rows) |]
+        when Symbol.equal l Expr.Sy.list && Array.length rows > 0 ->
+        (match as_items rows.(0) with
+         | Some first ->
+           let m = Array.length first in
+           let cols =
+             Array.init m (fun j ->
+                 Expr.list_a
+                   (Array.map
+                      (fun row ->
+                         match as_items row with
+                         | Some items when Array.length items = m -> items.(j)
+                         | _ -> Errors.eval_errorf "Transpose: ragged rows")
+                      rows))
+           in
+           Some (Expr.list_a cols)
+         | None -> None)
+      | _ -> None);
+  Eval.register "IdentityMatrix" (fun _ args ->
+      match args with
+      | [| Expr.Int n |] when n > 0 ->
+        let flat = Array.make (n * n) 0 in
+        for i = 0 to n - 1 do flat.((i * n) + i) <- 1 done;
+        Some (Expr.Tensor (Tensor.create_int [| n; n |] flat))
+      | _ -> None);
+  Eval.register "Norm" (fun _ args ->
+      match args with
+      | [| e |] ->
+        (match Wolf_runtime.Rtval.of_expr e with
+         | Wolf_runtime.Rtval.Tensor t when Tensor.rank t = 1 ->
+           let s = ref 0.0 in
+           for i = 0 to Tensor.flat_length t - 1 do
+             let x = Tensor.get_real t i in
+             s := !s +. (x *. x)
+           done;
+           Some (Expr.Real (Float.sqrt !s))
+         | _ -> None)
+      | _ -> None);
+  Eval.register "Mean" (fun ev args ->
+      match args with
+      | [| e |] ->
+        Option.bind (as_items e) (fun items ->
+            let n = Array.length items in
+            if n = 0 then None
+            else
+              Some
+                (ev
+                   (Expr.apply "Divide"
+                      [ Expr.normal (Expr.sym "Total") [ e ]; Expr.Int n ])))
+      | _ -> None);
+  (* integer functions *)
+  Eval.register "GCD" ~attrs:[ Attributes.Flat; Attributes.Orderless ] (fun _ args ->
+      let rec gcd a b = if b = 0 then abs a else gcd b (a mod b) in
+      let ints = Array.map Expr.int_of args in
+      if Array.length args >= 1 && Array.for_all Option.is_some ints then
+        Some (Expr.Int (Array.fold_left (fun acc x -> gcd acc (Option.get x)) 0 ints))
+      else None);
+  Eval.register "LCM" ~attrs:[ Attributes.Flat; Attributes.Orderless ] (fun _ args ->
+      let rec gcd a b = if b = 0 then abs a else gcd b (a mod b) in
+      let ints = Array.map Expr.int_of args in
+      if Array.length args >= 1 && Array.for_all Option.is_some ints then
+        Some
+          (Expr.Int
+             (Array.fold_left
+                (fun acc x ->
+                   let x = Option.get x in
+                   if acc = 0 || x = 0 then 0 else abs (acc * x) / gcd acc x)
+                1 ints))
+      else None);
+  Eval.register "Factorial" ~attrs:[ Attributes.Listable ] (fun _ args ->
+      match args with
+      | [| a |] ->
+        (match Expr.int_of a with
+         | Some n when n >= 0 ->
+           let rec go acc k =
+             if k > n then acc else go (Bignum.mul acc (Bignum.of_int k)) (k + 1)
+           in
+           let b = go Bignum.one 2 in
+           (match Bignum.to_int_opt b with
+            | Some i -> Some (Expr.Int i)
+            | None -> Some (Expr.Big b))
+         | _ -> None)
+      | _ -> None);
+  Eval.register "Fibonacci" ~attrs:[ Attributes.Listable ] (fun _ args ->
+      match args with
+      | [| a |] ->
+        (match Expr.int_of a with
+         | Some n when n >= 0 ->
+           let rec go a b k =
+             if k = 0 then a else go b (Bignum.add a b) (k - 1)
+           in
+           let b = go Bignum.zero Bignum.one n in
+           (match Bignum.to_int_opt b with
+            | Some i -> Some (Expr.Int i)
+            | None -> Some (Expr.Big b))
+         | _ -> None)
+      | _ -> None);
+  Eval.register "IntegerDigits" (fun _ args ->
+      match args with
+      | [| a |] ->
+        (match Expr.int_of a with
+         | Some n ->
+           let n = abs n in
+           let rec go acc n = if n = 0 then acc else go ((n mod 10) :: acc) (n / 10) in
+           let ds = if n = 0 then [ 0 ] else go [] n in
+           Some (Expr.Tensor (Tensor.of_int_array (Array.of_list ds)))
+         | None -> None)
+      | _ -> None);
+  Eval.register "FromDigits" (fun _ args ->
+      match args with
+      | [| e |] ->
+        Option.bind (as_items e) (fun items ->
+            let ints = Array.map Expr.int_of items in
+            if Array.for_all Option.is_some ints then
+              Some
+                (Expr.Int
+                   (Array.fold_left (fun acc d -> (acc * 10) + Option.get d) 0 ints))
+            else None)
+      | _ -> None);
+  Eval.register "Sign" ~attrs:[ Attributes.Listable ] (fun _ args ->
+      match args with
+      | [| a |] ->
+        (match Numeric.compare2 a (Expr.Int 0) with
+         | Some c -> Some (Expr.Int (compare c 0))
+         | None -> None)
+      | _ -> None);
+  Eval.register "Clip" (fun _ args ->
+      match args with
+      | [| x; Expr.Normal (Expr.Sym l, [| lo; hi |]) |] when Symbol.equal l Expr.Sy.list ->
+        (match Numeric.compare2 x lo, Numeric.compare2 x hi with
+         | Some c, _ when c < 0 -> Some lo
+         | _, Some c when c > 0 -> Some hi
+         | Some _, Some _ -> Some x
+         | _ -> None)
+      | _ -> None);
+  (* string extras *)
+  Eval.register "StringSplit" (fun _ args ->
+      match args with
+      | [| Expr.Str s; Expr.Str sep |] when sep <> "" ->
+        let parts = ref [] and buf = Buffer.create 8 in
+        let sl = String.length sep in
+        let i = ref 0 in
+        while !i < String.length s do
+          if !i + sl <= String.length s && String.sub s !i sl = sep then begin
+            parts := Buffer.contents buf :: !parts;
+            Buffer.clear buf;
+            i := !i + sl
+          end
+          else begin
+            Buffer.add_char buf s.[!i];
+            incr i
+          end
+        done;
+        parts := Buffer.contents buf :: !parts;
+        Some
+          (Expr.list
+             (List.rev_map (fun p -> Expr.Str p) !parts
+              |> List.filter (function Expr.Str "" -> false | _ -> true)))
+      | _ -> None);
+  Eval.register "StringContainsQ" (fun _ args ->
+      match args with
+      | [| Expr.Str s; Expr.Str sub |] ->
+        let sl = String.length sub and n = String.length s in
+        let rec go i = i + sl <= n && (String.sub s i sl = sub || go (i + 1)) in
+        Some (Expr.bool (sl = 0 || go 0))
+      | _ -> None);
+  Eval.register "StringStartsQ" (fun _ args ->
+      match args with
+      | [| Expr.Str s; Expr.Str p |] ->
+        Some
+          (Expr.bool
+             (String.length p <= String.length s
+              && String.sub s 0 (String.length p) = p))
+      | _ -> None);
+  Eval.register "StringRepeat" (fun _ args ->
+      match args with
+      | [| Expr.Str s; Expr.Int n |] when n >= 0 ->
+        let b = Buffer.create (String.length s * n) in
+        for _ = 1 to n do Buffer.add_string b s done;
+        Some (Expr.Str (Buffer.contents b))
+      | _ -> None)

@@ -1,0 +1,7 @@
+(** Second tier of the builtin library: list structure ([Take], [Drop],
+    [Flatten], [Partition], [Position], [Transpose], …), integer functions
+    ([GCD], [Factorial], [IntegerDigits], …) and statistics — the wide
+    coverage that makes interpreted programs (and their compiled
+    counterparts) natural to write. *)
+
+val install : unit -> unit

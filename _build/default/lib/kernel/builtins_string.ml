@@ -1,0 +1,120 @@
+open Wolf_wexpr
+
+let install () =
+  Eval.register "StringLength" ~attrs:[ Attributes.Listable ] (fun _ args ->
+      match args with
+      | [| Expr.Str s |] -> Some (Expr.Int (String.length s))
+      | _ -> None);
+  Eval.register "StringJoin" ~attrs:[ Attributes.Flat; Attributes.One_identity ]
+    (fun _ args ->
+       let parts =
+         Array.to_list args
+         |> List.map (function Expr.Str s -> Some s | _ -> None)
+       in
+       if List.for_all Option.is_some parts then
+         Some (Expr.Str (String.concat "" (List.map Option.get parts)))
+       else None);
+  Eval.register "StringTake" (fun _ args ->
+      match args with
+      | [| Expr.Str s; Expr.Int n |] ->
+        let len = String.length s in
+        if n >= 0 && n <= len then Some (Expr.Str (String.sub s 0 n))
+        else if n < 0 && -n <= len then Some (Expr.Str (String.sub s (len + n) (-n)))
+        else None
+      | _ -> None);
+  Eval.register "StringDrop" (fun _ args ->
+      match args with
+      | [| Expr.Str s; Expr.Int n |] ->
+        let len = String.length s in
+        if n >= 0 && n <= len then Some (Expr.Str (String.sub s n (len - n)))
+        else if n < 0 && -n <= len then Some (Expr.Str (String.sub s 0 (len + n)))
+        else None
+      | _ -> None);
+  Eval.register "StringReverse" (fun _ args ->
+      match args with
+      | [| Expr.Str s |] ->
+        let n = String.length s in
+        Some (Expr.Str (String.init n (fun i -> s.[n - 1 - i])))
+      | _ -> None);
+  Eval.register "ToCharacterCode" (fun _ args ->
+      match args with
+      | [| Expr.Str s |] ->
+        Some
+          (Expr.Tensor
+             (Tensor.of_int_array (Array.init (String.length s) (fun i -> Char.code s.[i]))))
+      | _ -> None);
+  Eval.register "FromCharacterCode" (fun _ args ->
+      match args with
+      | [| Expr.Int c |] when c >= 0 && c < 256 ->
+        Some (Expr.Str (String.make 1 (Char.chr c)))
+      | [| e |] ->
+        let codes =
+          match e with
+          | Expr.Tensor t when Tensor.is_int t && Tensor.rank t = 1 ->
+            Some (Array.init (Tensor.flat_length t) (fun i -> Tensor.get_int t i))
+          | Expr.Normal (Expr.Sym l, items) when Symbol.equal l Expr.Sy.list ->
+            let ints = Array.map Expr.int_of items in
+            if Array.for_all Option.is_some ints then Some (Array.map Option.get ints)
+            else None
+          | _ -> None
+        in
+        (match codes with
+         | Some cs when Array.for_all (fun c -> c >= 0 && c < 256) cs ->
+           Some (Expr.Str (String.init (Array.length cs) (fun i -> Char.chr cs.(i))))
+         | _ -> None)
+      | _ -> None);
+  Eval.register "Characters" (fun _ args ->
+      match args with
+      | [| Expr.Str s |] ->
+        Some
+          (Expr.list_a
+             (Array.init (String.length s) (fun i -> Expr.Str (String.make 1 s.[i]))))
+      | _ -> None);
+  Eval.register "StringReplace" (fun _ args ->
+      (* literal-string rules only: StringReplace["foobar", "foo" -> "grok"] *)
+      let as_rules e =
+        let rule = function
+          | Expr.Normal (Expr.Sym r, [| Expr.Str from_; Expr.Str to_ |])
+            when Symbol.equal r Expr.Sy.rule ->
+            Some (from_, to_)
+          | _ -> None
+        in
+        match e with
+        | Expr.Normal (Expr.Sym l, items) when Symbol.equal l Expr.Sy.list ->
+          let rs = Array.map rule items in
+          if Array.for_all Option.is_some rs then
+            Some (Array.to_list (Array.map Option.get rs))
+          else None
+        | r -> (match rule r with Some p -> Some [ p ] | None -> None)
+      in
+      let replace_all s (from_, to_) =
+        if from_ = "" then s
+        else begin
+          let b = Buffer.create (String.length s) in
+          let fl = String.length from_ in
+          let i = ref 0 in
+          while !i <= String.length s - fl do
+            if String.sub s !i fl = from_ then begin
+              Buffer.add_string b to_;
+              i := !i + fl
+            end
+            else begin
+              Buffer.add_char b s.[!i];
+              incr i
+            end
+          done;
+          Buffer.add_string b (String.sub s !i (String.length s - !i));
+          Buffer.contents b
+        end
+      in
+      match args with
+      | [| Expr.Str s; rules |] ->
+        (match as_rules rules with
+         | Some rs -> Some (Expr.Str (List.fold_left replace_all s rs))
+         | None -> None)
+      | _ -> None);
+  Eval.register "ToString" (fun _ args ->
+      match args with
+      | [| Expr.Str s |] -> Some (Expr.Str s)
+      | [| e |] -> Some (Expr.Str (Form.input_form e))
+      | _ -> None)

@@ -1,0 +1,5 @@
+(** String builtins.  The paper's FNV1a benchmark iterates over a string's
+    UTF-8 bytes; [ToCharacterCode] provides the bytecode compiler's
+    integer-vector workaround. *)
+
+val install : unit -> unit

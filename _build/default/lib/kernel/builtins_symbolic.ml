@@ -1,0 +1,262 @@
+open Wolf_wexpr
+open Wolf_base
+
+let rules_of e =
+  let rule = function
+    | Expr.Normal (Expr.Sym r, [| lhs; rhs |])
+      when Symbol.equal r Expr.Sy.rule || Symbol.equal r Expr.Sy.rule_delayed ->
+      Some (lhs, rhs)
+    | _ -> None
+  in
+  match e with
+  | Expr.Normal (Expr.Sym l, items) when Symbol.equal l Expr.Sy.list ->
+    let rs = Array.map rule items in
+    if Array.for_all Option.is_some rs then
+      Some (Array.to_list (Array.map Option.get rs))
+    else None
+  | r -> (match rule r with Some p -> Some [ p ] | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic differentiation                                            *)
+
+let sym_e name args = Expr.apply name args
+let num n = Expr.Int n
+
+let rec d expr x =
+  match expr with
+  | Expr.Int _ | Expr.Big _ | Expr.Real _ | Expr.Str _ | Expr.Tensor _ -> num 0
+  | Expr.Sym s -> if Symbol.equal s x then num 1 else num 0
+  | Expr.Normal (Expr.Sym h, args) ->
+    (match Symbol.name h, args with
+     | "Plus", _ -> sym_e "Plus" (Array.to_list (Array.map (fun a -> d a x) args))
+     | "Times", _ ->
+       (* n-ary product rule *)
+       let terms =
+         Array.to_list
+           (Array.mapi
+              (fun i _ ->
+                 let factors =
+                   Array.to_list
+                     (Array.mapi (fun j a -> if i = j then d a x else a) args)
+                 in
+                 sym_e "Times" factors)
+              args)
+       in
+       sym_e "Plus" terms
+     | "Subtract", [| a; b |] -> sym_e "Subtract" [ d a x; d b x ]
+     | "Divide", [| a; b |] ->
+       sym_e "Divide"
+         [ sym_e "Subtract" [ sym_e "Times" [ d a x; b ]; sym_e "Times" [ a; d b x ] ];
+           sym_e "Times" [ b; b ] ]
+     | "Power", [| u; (Expr.Int _ | Expr.Real _ as n) |] ->
+       sym_e "Times"
+         [ n; sym_e "Power" [ u; sym_e "Plus" [ n; num (-1) ] ]; d u x ]
+     | "Power", [| u; v |] ->
+       (* general case: u^v * (v' log u + v u'/u) *)
+       sym_e "Times"
+         [ expr;
+           sym_e "Plus"
+             [ sym_e "Times" [ d v x; sym_e "Log" [ u ] ];
+               sym_e "Divide" [ sym_e "Times" [ v; d u x ]; u ] ] ]
+     | "Sin", [| u |] -> sym_e "Times" [ sym_e "Cos" [ u ]; d u x ]
+     | "Cos", [| u |] ->
+       sym_e "Times" [ num (-1); sym_e "Sin" [ u ]; d u x ]
+     | "Tan", [| u |] ->
+       sym_e "Divide" [ d u x; sym_e "Power" [ sym_e "Cos" [ u ]; num 2 ] ]
+     | "Exp", [| u |] -> sym_e "Times" [ expr; d u x ]
+     | "Log", [| u |] -> sym_e "Divide" [ d u x; u ]
+     | "Sqrt", [| u |] ->
+       sym_e "Divide" [ d u x; sym_e "Times" [ num 2; expr ] ]
+     | _, _ ->
+       if Pattern.free_of expr x then num 0
+       else sym_e "D" [ expr; Expr.Sym x ])
+  | Expr.Normal (_, _) ->
+    if Pattern.free_of expr x then num 0 else sym_e "D" [ expr; Expr.Sym x ]
+
+(* ------------------------------------------------------------------ *)
+(* FindRoot (Newton's method with symbolic derivative)                 *)
+
+let substitute_eval ev expr x v =
+  match ev (Pattern.substitute [ (x, Expr.Real v) ] expr) with
+  | Expr.Real r -> r
+  | Expr.Int i -> float_of_int i
+  | e -> Errors.eval_errorf "FindRoot: non-numeric value %s" (Expr.to_string e)
+
+(* FindRoot is called repeatedly on the same equation in sessions (and in
+   benchmark E4); the symbolic derivative and the evaluators (compiled or
+   interpreted) are cached per (equation, variable, auto-compile mode). *)
+let root_cache :
+  (int, (Expr.t * Symbol.t * bool * (float -> float) * (float -> float)) list ref)
+    Hashtbl.t =
+  Hashtbl.create 16
+
+let find_root ev f x x0 =
+  let f =
+    match f with
+    | Expr.Normal (Expr.Sym eq, [| lhs; rhs |]) when Symbol.name eq = "Equal" ->
+      Expr.apply "Subtract" [ lhs; rhs ]
+    | _ -> f
+  in
+  (* symbolic pre-evaluation resolves constants (E, Pi) so the equation is
+     both differentiable and auto-compilable *)
+  let f = ev f in
+  let auto = !Wolf_runtime.Hooks.auto_compile_enabled in
+  let key = Expr.hash f in
+  let bucket =
+    match Hashtbl.find_opt root_cache key with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      Hashtbl.add root_cache key b;
+      b
+  in
+  let cached =
+    List.find_opt
+      (fun (f', x', auto', _, _) -> auto' = auto && Symbol.equal x' x && Expr.equal f' f)
+      !bucket
+  in
+  let eval_f, eval_f' =
+    match cached with
+    | Some (_, _, _, ef, ef') -> (ef, ef')
+    | None ->
+      let fprime = ev (d f x) in
+      let pair =
+        if auto then begin
+          match
+            !Wolf_runtime.Hooks.auto_compile_scalar f x,
+            !Wolf_runtime.Hooks.auto_compile_scalar fprime x
+          with
+          | Some cf, Some cf' -> (cf, cf')
+          | _ ->
+            ((fun v -> substitute_eval ev f x v),
+             fun v -> substitute_eval ev fprime x v)
+        end
+        else
+          ((fun v -> substitute_eval ev f x v),
+           fun v -> substitute_eval ev fprime x v)
+      in
+      bucket := (f, x, auto, fst pair, snd pair) :: !bucket;
+      pair
+  in
+  let rec newton v iters =
+    if iters > 100 then v
+    else begin
+      let fv = eval_f v in
+      if Float.abs fv < 1e-14 then v
+      else begin
+        let f'v = eval_f' v in
+        if f'v = 0.0 then Errors.eval_errorf "FindRoot: zero derivative"
+        else begin
+          let next = v -. (fv /. f'v) in
+          if Float.abs (next -. v) < 1e-14 then next else newton next (iters + 1)
+        end
+      end
+    end
+  in
+  newton x0 0
+
+let install () =
+  Eval.register "Head" (fun _ args ->
+      match args with [| e |] -> Some (Expr.head e) | _ -> None);
+  Eval.register "AtomQ" (fun _ args ->
+      match args with [| e |] -> Some (Expr.bool (Expr.is_atom e)) | _ -> None);
+  Eval.register "IntegerQ" (fun _ args ->
+      match args with
+      | [| (Expr.Int _ | Expr.Big _) |] -> Some Expr.true_
+      | [| _ |] -> Some Expr.false_
+      | _ -> None);
+  Eval.register "StringQ" (fun _ args ->
+      match args with
+      | [| Expr.Str _ |] -> Some Expr.true_
+      | [| _ |] -> Some Expr.false_
+      | _ -> None);
+  Eval.register "ListQ" (fun _ args ->
+      match args with
+      | [| Expr.Tensor _ |] -> Some Expr.true_
+      | [| Expr.Normal (Expr.Sym l, _) |] when Symbol.equal l Expr.Sy.list ->
+        Some Expr.true_
+      | [| _ |] -> Some Expr.false_
+      | _ -> None);
+  Eval.register "NumberQ" (fun _ args ->
+      match args with
+      | [| e |] -> Some (Expr.bool (Numeric.is_numeric e))
+      | _ -> None);
+  Eval.register "NumericQ" (fun _ args ->
+      match args with
+      | [| e |] -> Some (Expr.bool (Numeric.is_numeric e))
+      | _ -> None);
+  Eval.register "TrueQ" (fun _ args ->
+      match args with [| e |] -> Some (Expr.bool (Expr.is_true e)) | _ -> None);
+  Eval.register "SameQ" (fun _ args ->
+      if Array.length args < 2 then Some Expr.true_
+      else begin
+        let ok = ref true in
+        for i = 0 to Array.length args - 2 do
+          if not (Expr.equal args.(i) args.(i + 1)) then ok := false
+        done;
+        Some (Expr.bool !ok)
+      end);
+  Eval.register "UnsameQ" (fun _ args ->
+      match args with
+      | [| a; b |] -> Some (Expr.bool (not (Expr.equal a b)))
+      | _ -> None);
+  Eval.register "FreeQ" (fun _ args ->
+      match args with
+      | [| e; Expr.Sym s |] -> Some (Expr.bool (Pattern.free_of e s))
+      | _ -> None);
+  Eval.register "MatchQ" (fun ev args ->
+      match args with
+      | [| e; pat |] ->
+        Some (Expr.bool (Option.is_some (Pattern.match_expr ~eval:ev ~pattern:pat e)))
+      | _ -> None);
+  Eval.register "ReplaceAll" (fun ev args ->
+      match args with
+      | [| e; rules |] ->
+        (match rules_of rules with
+         | Some rs -> Some (ev (Pattern.replace_all ~eval:ev ~rules:rs e))
+         | None -> None)
+      | _ -> None);
+  Eval.register "ReplaceRepeated" (fun ev args ->
+      match args with
+      | [| e; rules |] ->
+        (match rules_of rules with
+         | Some rs -> Some (ev (Pattern.replace_repeated ~eval:ev ~rules:rs e))
+         | None -> None)
+      | _ -> None);
+  Eval.register "D" (fun ev args ->
+      match args with
+      | [| f; Expr.Sym x |] -> Some (ev (d f x))
+      | [| f; Expr.Normal (Expr.Sym l, [| Expr.Sym x; n |]) |]
+        when Symbol.equal l Expr.Sy.list ->
+        (match Expr.int_of n with
+         | Some k when k >= 0 ->
+           let rec go e i = if i = 0 then e else go (ev (d e x)) (i - 1) in
+           Some (go f k)
+         | _ -> None)
+      | _ -> None);
+  Eval.register "FindRoot" ~attrs:[ Attributes.Hold_all ] (fun ev args ->
+      match args with
+      | [| f; Expr.Normal (Expr.Sym l, [| Expr.Sym x; x0 |]) |]
+        when Symbol.equal l Expr.Sy.list ->
+        (match Expr.float_of (ev x0) with
+         | Some v0 ->
+           let root = find_root ev f x v0 in
+           Some (Expr.list [ Expr.apply "Rule" [ Expr.Sym x; Expr.Real root ] ])
+         | None -> None)
+      | _ -> None);
+  Eval.register "KernelFunction" (fun _ _ ->
+      (* In the interpreter a KernelFunction escape is the identity: the code
+         is already running in the kernel.  Compiled code lowers it to a
+         callback (objective F9). *)
+      None);
+  Eval.register "Print" (fun _ args ->
+      let parts =
+        Array.to_list args
+        |> List.map (function Expr.Str s -> s | e -> Form.input_form e)
+      in
+      print_endline (String.concat "" parts);
+      Some Expr.null);
+  Eval.register "Throw" (fun _ args ->
+      match args with
+      | [| v |] -> raise (Errors.Eval_error ("uncaught Throw: " ^ Expr.to_string v))
+      | _ -> None)

@@ -1,0 +1,6 @@
+(** Symbolic-computation builtins: structural predicates, rule application
+    ([ReplaceAll]), symbolic differentiation ([D]) and the [FindRoot]
+    numerical solver whose auto-compilation hook reproduces the paper's 1.6×
+    claim (experiment E4). *)
+
+val install : unit -> unit

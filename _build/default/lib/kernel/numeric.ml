@@ -1,0 +1,229 @@
+open Wolf_wexpr
+open Wolf_base
+
+type num =
+  | NInt of int
+  | NBig of Bignum.t
+  | NReal of float
+  | NComplex of float * float
+  | NTensor of Tensor.t
+
+let classify e =
+  match e with
+  | Expr.Int i -> Some (NInt i)
+  | Expr.Big b -> Some (NBig b)
+  | Expr.Real r -> Some (NReal r)
+  | Expr.Tensor t -> Some (NTensor t)
+  | Expr.Normal (Expr.Sym s, [| re; im |]) when Symbol.equal s Expr.Sy.complex ->
+    (match Expr.float_of re, Expr.float_of im with
+     | Some r, Some i -> Some (NComplex (r, i))
+     | _ -> None)
+  | _ -> None
+
+let is_numeric e = Option.is_some (classify e)
+
+let of_big b =
+  match Bignum.to_int_opt b with
+  | Some i -> Expr.Int i
+  | None -> Expr.Big b
+
+let complex re im =
+  if im = 0.0 then Expr.Real re
+  else Expr.Normal (Expr.Sym Expr.Sy.complex, [| Expr.Real re; Expr.Real im |])
+
+let big_of = function
+  | NInt i -> Bignum.of_int i
+  | NBig b -> b
+  | NReal _ | NComplex _ | NTensor _ -> assert false
+
+let real_of = function
+  | NInt i -> float_of_int i
+  | NBig b ->
+    (match Bignum.to_int_opt b with
+     | Some i -> float_of_int i
+     | None -> float_of_string (Bignum.to_string b))
+  | NReal r -> r
+  | NComplex _ | NTensor _ -> assert false
+
+let complex_of = function
+  | NComplex (r, i) -> (r, i)
+  | n -> (real_of n, 0.0)
+
+(* Elementwise tensor combination; scalar operands broadcast. *)
+let tensor_zip fi fr a b =
+  match a, b with
+  | NTensor x, NTensor y ->
+    if Tensor.dims x <> Tensor.dims y then None
+    else if Tensor.is_int x && Tensor.is_int y then begin
+      let n = Tensor.flat_length x in
+      let out = Array.make n 0 in
+      (try
+         for i = 0 to n - 1 do out.(i) <- fi (Tensor.get_int x i) (Tensor.get_int y i) done;
+         Some (Expr.Tensor (Tensor.create_int (Array.copy (Tensor.dims x)) out))
+       with Errors.Runtime_error _ -> None)
+    end
+    else begin
+      let n = Tensor.flat_length x in
+      let out = Array.make n 0.0 in
+      for i = 0 to n - 1 do out.(i) <- fr (Tensor.get_real x i) (Tensor.get_real y i) done;
+      Some (Expr.Tensor (Tensor.create_real (Array.copy (Tensor.dims x)) out))
+    end
+  | NTensor x, (NInt _ | NBig _ | NReal _) ->
+    let s = real_of b and si = (match b with NInt i -> Some i | _ -> None) in
+    if Tensor.is_int x && si <> None then begin
+      let k = Option.get si in
+      let n = Tensor.flat_length x in
+      let out = Array.make n 0 in
+      (try
+         for i = 0 to n - 1 do out.(i) <- fi (Tensor.get_int x i) k done;
+         Some (Expr.Tensor (Tensor.create_int (Array.copy (Tensor.dims x)) out))
+       with Errors.Runtime_error _ -> None)
+    end
+    else begin
+      let n = Tensor.flat_length x in
+      let out = Array.make n 0.0 in
+      for i = 0 to n - 1 do out.(i) <- fr (Tensor.get_real x i) s done;
+      Some (Expr.Tensor (Tensor.create_real (Array.copy (Tensor.dims x)) out))
+    end
+  | (NInt _ | NBig _ | NReal _), NTensor _ ->
+    (* handled by flipping in the callers that are commutative; for the
+       non-commutative ones we rebuild via map *)
+    None
+  | _ -> None
+
+let arith ~int_op ~big_op ~real_op ~complex_op a b =
+  match classify a, classify b with
+  | Some na, Some nb ->
+    (match na, nb with
+     | NComplex _, _ | _, NComplex _ ->
+       let (ar, ai) = complex_of na and (br, bi) = complex_of nb in
+       let (rr, ri) = complex_op (ar, ai) (br, bi) in
+       Some (complex rr ri)
+     | NReal _, (NInt _ | NBig _ | NReal _) | (NInt _ | NBig _), NReal _ ->
+       Some (Expr.Real (real_op (real_of na) (real_of nb)))
+     | NInt x, NInt y ->
+       (match int_op x y with
+        | Some v -> Some (Expr.Int v)
+        | None -> Some (of_big (big_op (Bignum.of_int x) (Bignum.of_int y))))
+     | (NInt _ | NBig _), (NInt _ | NBig _) ->
+       Some (of_big (big_op (big_of na) (big_of nb)))
+     | NTensor _, _ | _, NTensor _ ->
+       let fi x y =
+         match int_op x y with
+         | Some v -> v
+         | None -> raise (Errors.Runtime_error Errors.Integer_overflow)
+       in
+       (match tensor_zip fi real_op na nb with
+        | Some r -> Some r
+        | None ->
+          (* scalar ⊕ tensor (tensor_zip only broadcasts on the right) *)
+          (match na, nb with
+           | (NInt _ | NBig _ | NReal _), NTensor t ->
+             let s = real_of na in
+             Some (Expr.Tensor (Tensor.map_real (fun x -> real_op s x) t))
+           | _ -> None)))
+  | _ -> None
+
+let add2 a b =
+  arith a b
+    ~int_op:Checked.add_opt ~big_op:Bignum.add ~real_op:( +. )
+    ~complex_op:(fun (ar, ai) (br, bi) -> (ar +. br, ai +. bi))
+
+let sub2 a b =
+  arith a b
+    ~int_op:Checked.sub_opt ~big_op:Bignum.sub ~real_op:( -. )
+    ~complex_op:(fun (ar, ai) (br, bi) -> (ar -. br, ai -. bi))
+
+let mul2 a b =
+  arith a b
+    ~int_op:Checked.mul_opt ~big_op:Bignum.mul ~real_op:( *. )
+    ~complex_op:(fun (ar, ai) (br, bi) -> ((ar *. br) -. (ai *. bi), (ar *. bi) +. (ai *. br)))
+
+let div2 a b =
+  match classify a, classify b with
+  | Some (NInt x), Some (NInt y) when y <> 0 ->
+    if x mod y = 0 then Some (Expr.Int (x / y))
+    else Some (Expr.Real (float_of_int x /. float_of_int y))
+  | Some ((NInt _ | NBig _) as na), Some ((NInt _ | NBig _) as nb) ->
+    let bx = big_of na and by = big_of nb in
+    if Bignum.is_zero by then None
+    else begin
+      let q, r = Bignum.divmod bx by in
+      if Bignum.is_zero r then Some (of_big q)
+      else Some (Expr.Real (real_of na /. real_of nb))
+    end
+  | Some (NComplex _ as na), Some nb | Some na, Some (NComplex _ as nb) ->
+    let (ar, ai) = complex_of na and (br, bi) = complex_of nb in
+    let d = (br *. br) +. (bi *. bi) in
+    Some (complex (((ar *. br) +. (ai *. bi)) /. d) (((ai *. br) -. (ar *. bi)) /. d))
+  | Some na, Some nb ->
+    (match na, nb with
+     | NTensor _, _ | _, NTensor _ ->
+       arith a b
+         ~int_op:(fun x y -> if y <> 0 && x mod y = 0 then Some (x / y) else None)
+         ~big_op:(fun x y -> fst (Bignum.divmod x y))
+         ~real_op:( /. )
+         ~complex_op:(fun _ _ -> (nan, nan))
+     | _ -> Some (Expr.Real (real_of na /. real_of nb)))
+  | _ -> None
+
+let pow2 a b =
+  match classify a, classify b with
+  | Some (NInt x), Some (NInt y) when y >= 0 ->
+    (match Checked.pow x y with
+     | v -> Some (Expr.Int v)
+     | exception Errors.Runtime_error Errors.Integer_overflow ->
+       Some (of_big (Bignum.pow (Bignum.of_int x) y)))
+  | Some ((NBig _) as na), Some (NInt y) when y >= 0 ->
+    Some (of_big (Bignum.pow (big_of na) y))
+  | Some (NComplex _ as na), Some (NInt y) ->
+    let (r, i) = complex_of na in
+    let rec go (ar, ai) n =
+      if n = 0 then (1.0, 0.0)
+      else begin
+        let (br, bi) = go (ar, ai) (n / 2) in
+        let (sr, si) = ((br *. br) -. (bi *. bi), 2.0 *. br *. bi) in
+        if n land 1 = 1 then ((sr *. ar) -. (si *. ai), (sr *. ai) +. (si *. ar))
+        else (sr, si)
+      end
+    in
+    if y >= 0 then begin
+      let (rr, ri) = go (r, i) y in
+      Some (complex rr ri)
+    end
+    else None
+  | Some na, Some nb ->
+    (match na, nb with
+     | NTensor _, _ | _, NTensor _ -> None
+     | _ -> Some (Expr.Real (Float.pow (real_of na) (real_of nb))))
+  | _ -> None
+
+let neg e = mul2 (Expr.Int (-1)) e
+
+let abs e =
+  match classify e with
+  | Some (NInt i) ->
+    if i = min_int then Some (of_big (Bignum.abs (Bignum.of_int i)))
+    else Some (Expr.Int (Stdlib.abs i))
+  | Some (NBig b) -> Some (of_big (Bignum.abs b))
+  | Some (NReal r) -> Some (Expr.Real (Float.abs r))
+  | Some (NComplex (r, i)) -> Some (Expr.Real (Float.hypot r i))
+  | Some (NTensor t) -> Some (Expr.Tensor (Tensor.map_real Float.abs t))
+  | None -> None
+
+let compare2 a b =
+  match classify a, classify b with
+  | Some na, Some nb ->
+    (match na, nb with
+     | NComplex _, _ | _, NComplex _ | NTensor _, _ | _, NTensor _ -> None
+     | (NInt _ | NBig _), (NInt _ | NBig _) ->
+       Some (Bignum.compare (big_of na) (big_of nb))
+     | _ -> Some (Float.compare (real_of na) (real_of nb)))
+  | _ -> None
+
+let to_real e =
+  match classify e with
+  | Some (NInt _ | NBig _ | NReal _ as n) -> Some (Expr.Real (real_of n))
+  | Some (NComplex _) -> Some e
+  | Some (NTensor t) -> Some (Expr.Tensor (Tensor.to_real t))
+  | None -> None

@@ -1,0 +1,34 @@
+open Wolf_wexpr
+
+let initialized = ref false
+
+let init () =
+  if not !initialized then begin
+    initialized := true;
+    Builtins_core.install ();
+    Builtins_math.install ();
+    Builtins_list.install ();
+    Builtins_func.install ();
+    Builtins_string.install ();
+    Builtins_more.install ();
+    Builtins_symbolic.install ();
+    Wolf_runtime.Hooks.set_kernel_eval Eval.eval
+  end
+
+let eval e =
+  init ();
+  Eval.eval e
+
+let eval_protected e =
+  init ();
+  Wolf_base.Abort_signal.with_abort_protection (fun () -> Eval.eval e)
+
+let run src = eval (Parser.parse src)
+
+let run_string src = Form.input_form (run src)
+
+let reset () =
+  Values.clear_all ();
+  (* numeric constants live in the value store; reinstate them *)
+  Values.set_own_value (Symbol.intern "Pi") (Expr.Real Float.pi);
+  Values.set_own_value (Symbol.intern "E") (Expr.Real (Float.exp 1.0))

@@ -1,0 +1,25 @@
+(** Session management: builtin installation, the abort-protected top-level
+    evaluation loop the Notebook offers, and parse-and-evaluate helpers. *)
+
+open Wolf_wexpr
+
+val init : unit -> unit
+(** Install all builtins and the {!Wolf_runtime.Hooks} evaluator.
+    Idempotent. *)
+
+val eval : Expr.t -> Expr.t
+(** Evaluate (after [init]); aborts and evaluation errors propagate. *)
+
+val eval_protected : Expr.t -> (Expr.t, exn) result
+(** Top-level Notebook semantics: a user abort (or error) returns the prompt
+    with session state intact — possibly mutated by the aborted computation,
+    as the paper specifies (F3). *)
+
+val run : string -> Expr.t
+(** Parse then evaluate. *)
+
+val run_string : string -> string
+(** Parse, evaluate, print in InputForm; convenience for tests/examples. *)
+
+val reset : unit -> unit
+(** Clear all user definitions (test isolation); builtins survive. *)

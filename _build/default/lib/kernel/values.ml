@@ -1,0 +1,85 @@
+open Wolf_wexpr
+
+type rule = { lhs : Expr.t; rhs : Expr.t }
+
+let owns : (int, Expr.t) Hashtbl.t = Hashtbl.create 256
+let downs : (int, rule list) Hashtbl.t = Hashtbl.create 256
+let compiled : (int, Wolf_runtime.Rtval.closure) Hashtbl.t = Hashtbl.create 64
+
+let own_value s = Hashtbl.find_opt owns (Symbol.id s)
+
+(* Own-value slots hold references: packed tensors are reference-counted so
+   that indexed assignment copies exactly when another symbol still points
+   at the same array (F5).  Acquire before release handles self-assignment. *)
+let retain = function Expr.Tensor t -> Tensor.acquire t | _ -> ()
+let forget = function Some (Expr.Tensor t) -> Tensor.release t | _ -> ()
+
+let set_own_value s v =
+  retain v;
+  forget (Hashtbl.find_opt owns (Symbol.id s));
+  Hashtbl.replace owns (Symbol.id s) v
+
+let clear_own_value s =
+  forget (Hashtbl.find_opt owns (Symbol.id s));
+  Hashtbl.remove owns (Symbol.id s)
+
+let down_values s = Option.value ~default:[] (Hashtbl.find_opt downs (Symbol.id s))
+
+let rec count_blanks e =
+  match e with
+  | Expr.Normal (Expr.Sym h, args)
+    when Symbol.equal h Expr.Sy.blank
+      || Symbol.equal h Expr.Sy.blank_sequence
+      || Symbol.equal h Expr.Sy.blank_null_sequence ->
+    1 + Array.fold_left (fun acc a -> acc + count_blanks a) 0 args
+  | Expr.Normal (h, args) ->
+    count_blanks h + Array.fold_left (fun acc a -> acc + count_blanks a) 0 args
+  | Expr.Int _ | Expr.Big _ | Expr.Real _ | Expr.Str _ | Expr.Sym _ | Expr.Tensor _ -> 0
+
+let add_down_value s rule =
+  let existing = down_values s in
+  let replaced = ref false in
+  let updated =
+    List.map
+      (fun r ->
+         if Expr.equal r.lhs rule.lhs then begin replaced := true; rule end
+         else r)
+      existing
+  in
+  let rules = if !replaced then updated else existing @ [ rule ] in
+  (* Specific-first ordering: literal rules (no blanks) before pattern rules,
+     stable within each class so user definition order is otherwise kept. *)
+  let rules =
+    List.stable_sort (fun a b -> compare (count_blanks a.lhs) (count_blanks b.lhs)) rules
+  in
+  Hashtbl.replace downs (Symbol.id s) rules
+
+let clear_down_values s = Hashtbl.remove downs (Symbol.id s)
+
+let compiled_value s = Hashtbl.find_opt compiled (Symbol.id s)
+let set_compiled_value s c = Hashtbl.replace compiled (Symbol.id s) c
+let clear_compiled_value s = Hashtbl.remove compiled (Symbol.id s)
+
+type snapshot = (Symbol.t * Expr.t option * rule list option) list
+
+let save syms =
+  List.map
+    (fun s ->
+       (s, own_value s, Hashtbl.find_opt downs (Symbol.id s)))
+    syms
+
+let restore snap =
+  List.iter
+    (fun (s, own, dvs) ->
+       (match own with
+        | Some v -> set_own_value s v
+        | None -> clear_own_value s);
+       (match dvs with
+        | Some rules -> Hashtbl.replace downs (Symbol.id s) rules
+        | None -> Hashtbl.remove downs (Symbol.id s)))
+    snap
+
+let clear_all () =
+  Hashtbl.reset owns;
+  Hashtbl.reset downs;
+  Hashtbl.reset compiled

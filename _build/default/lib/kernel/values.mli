@@ -1,0 +1,41 @@
+(** Symbol value store.
+
+    Symbols are the mutable part of the language; everything else is
+    immutable (objective F5).  Own values are direct bindings ([x = 5]),
+    down values are rewrite rules attached to a head ([f[n_] := …]).
+    Values live in side tables keyed by symbol id so {!Wolf_wexpr.Symbol}
+    stays independent of expression types. *)
+
+open Wolf_wexpr
+
+type rule = { lhs : Expr.t; rhs : Expr.t }
+
+val own_value : Symbol.t -> Expr.t option
+val set_own_value : Symbol.t -> Expr.t -> unit
+val clear_own_value : Symbol.t -> unit
+
+val down_values : Symbol.t -> rule list
+val add_down_value : Symbol.t -> rule -> unit
+(** A rule whose [lhs] matches an existing rule's [lhs] structurally replaces
+    it (redefinition), otherwise rules are appended in definition order with
+    more specific patterns tried first (Wolfram's ordering is approximated by
+    pattern-freeness: rules with fewer blanks sort earlier). *)
+
+val clear_down_values : Symbol.t -> unit
+
+val compiled_value : Symbol.t -> Wolf_runtime.Rtval.closure option
+(** Hook used by [FunctionCompile] integration: when set, the evaluator
+    calls the compiled closure instead of rewriting (objective F1). *)
+
+val set_compiled_value : Symbol.t -> Wolf_runtime.Rtval.closure -> unit
+val clear_compiled_value : Symbol.t -> unit
+
+type snapshot
+
+val save : Symbol.t list -> snapshot
+(** Capture own/down values for [Block] scoping. *)
+
+val restore : snapshot -> unit
+
+val clear_all : unit -> unit
+(** Reset the whole store (test isolation). *)

@@ -1,0 +1,5 @@
+let table : (string, Obj.t) Hashtbl.t = Hashtbl.create 16
+
+let register name f = Hashtbl.replace table name f
+let lookup name = Hashtbl.find_opt table name
+let clear name = Hashtbl.remove table name

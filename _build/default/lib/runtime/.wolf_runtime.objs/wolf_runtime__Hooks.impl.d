@@ -1,0 +1,1 @@
+lib/runtime/hooks.ml: Wolf_base Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/runtime/prims.ml: Array Char Checked Errors Float Hooks Printf Rand Rtval String Tensor Wolf_base Wolf_wexpr

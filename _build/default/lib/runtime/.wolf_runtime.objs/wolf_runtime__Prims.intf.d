@@ -1,0 +1,1 @@
+lib/runtime/prims.mli: Rtval

@@ -1,0 +1,1 @@
+lib/runtime/rand.ml: Int64

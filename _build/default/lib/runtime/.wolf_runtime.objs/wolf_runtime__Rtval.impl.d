@@ -1,0 +1,1 @@
+lib/runtime/rtval.ml: Array Errors Expr Format List Printf String Symbol Tensor Wolf_base Wolf_wexpr

@@ -1,0 +1,1 @@
+lib/runtime/rtval.mli: Expr Format Tensor Wolf_wexpr

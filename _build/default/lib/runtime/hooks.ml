@@ -1,0 +1,12 @@
+let kernel_eval =
+  ref (fun (_ : Wolf_wexpr.Expr.t) : Wolf_wexpr.Expr.t ->
+      raise (Wolf_base.Errors.Eval_error "no kernel installed (call Session.init)"))
+
+let set_kernel_eval f = kernel_eval := f
+let eval e = !kernel_eval e
+
+let auto_compile_scalar =
+  ref (fun (_ : Wolf_wexpr.Expr.t) (_ : Wolf_wexpr.Symbol.t) : (float -> float) option ->
+      None)
+
+let auto_compile_enabled = ref true

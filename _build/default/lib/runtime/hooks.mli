@@ -1,0 +1,24 @@
+(** Late-bound links between compiled code and the interpreter.
+
+    The compiler and its backends never link the kernel directly (the paper:
+    "virtually no modifications were needed to the Wolfram Engine"); instead
+    the kernel installs its evaluator here at session start, and compiled
+    code reaches it for [KernelFunction] escapes (objective F9) and for the
+    soft-failure re-evaluation path (objective F2). *)
+
+val kernel_eval : (Wolf_wexpr.Expr.t -> Wolf_wexpr.Expr.t) ref
+(** Defaults to a function that raises [Errors.Eval_error]. *)
+
+val set_kernel_eval : (Wolf_wexpr.Expr.t -> Wolf_wexpr.Expr.t) -> unit
+val eval : Wolf_wexpr.Expr.t -> Wolf_wexpr.Expr.t
+
+val auto_compile_scalar :
+  (Wolf_wexpr.Expr.t -> Wolf_wexpr.Symbol.t -> (float -> float) option) ref
+(** Installed by the compiler package: given a scalar expression and its free
+    variable, produce a compiled [float -> float] evaluator.  Numerical
+    solvers such as [FindRoot] use it for auto-compilation (paper §1: 1.6×
+    speedup, experiment E4).  Defaults to [fun _ _ -> None]. *)
+
+val auto_compile_enabled : bool ref
+(** Toggles auto-compilation in numerical solvers (on by default, switched
+    off by the E4 benchmark's baseline arm). *)

@@ -1,0 +1,18 @@
+(** Boxed implementations of the compiler's runtime primitives.
+
+    Backends use these for every resolved primitive they do not open-code:
+    the WVM for all its operations, the native backends when inlining is
+    disabled (the paper's 10× Mandelbrot ablation reproduces exactly this
+    dispatch overhead), and as the reference semantics for the open-coded
+    fast paths.
+
+    Numerical failures raise [Wolf_base.Errors.Runtime_error], which the
+    compiled-function wrapper turns into the soft interpreter fallback. *)
+
+val apply : base:string -> Rtval.t array -> Rtval.t
+(** Dispatch on the primitive's base name (e.g. ["checked_binary_plus"]) and
+    the runtime shapes of the arguments.
+    @raise Wolf_base.Errors.Runtime_error on numerical failure or shape
+    mismatch; @raise Invalid_argument on unknown primitives. *)
+
+val known : string -> bool

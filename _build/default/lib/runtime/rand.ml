@@ -1,0 +1,21 @@
+let state = ref 0x9E3779B97F4A7C15L
+
+let seed n = state := Int64.add (Int64.of_int n) 0x9E3779B97F4A7C15L
+
+let next_int64 () =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let uniform () =
+  let bits = Int64.shift_right_logical (next_int64 ()) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform_range lo hi = lo +. ((hi -. lo) *. uniform ())
+
+let int_range lo hi =
+  if hi < lo then invalid_arg "Rand.int_range";
+  let span = hi - lo + 1 in
+  lo + abs (Int64.to_int (next_int64 ())) mod span

@@ -1,0 +1,17 @@
+(** Deterministic splitmix64 PRNG shared by every execution path.
+
+    The interpreter's [RandomReal], the WVM, and compiled code all draw from
+    this one stream, so differential tests can compare results across paths
+    after [seed]-ing identically. *)
+
+val seed : int -> unit
+
+val next_int64 : unit -> int64
+
+val uniform : unit -> float
+(** In [0, 1). *)
+
+val uniform_range : float -> float -> float
+
+val int_range : int -> int -> int
+(** Inclusive bounds. *)

@@ -1,0 +1,148 @@
+open Wolf_wexpr
+open Wolf_base
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Real of float
+  | Complex of float * float
+  | Str of string
+  | Tensor of Tensor.t
+  | Expr of Expr.t
+  | Fun of closure
+
+and closure = { arity : int; call : t array -> t }
+
+let mismatch expected got =
+  raise
+    (Errors.Runtime_error
+       (Errors.Invalid_runtime_argument
+          (Printf.sprintf "expected %s, got %s" expected got)))
+
+let type_name = function
+  | Unit -> "Void"
+  | Bool _ -> "Boolean"
+  | Int _ -> "Integer64"
+  | Real _ -> "Real64"
+  | Complex _ -> "ComplexReal64"
+  | Str _ -> "String"
+  | Tensor t ->
+    Printf.sprintf "PackedArray[%s, %d]"
+      (if Tensor.is_int t then "Integer64" else "Real64")
+      (Tensor.rank t)
+  | Expr _ -> "Expression"
+  | Fun _ -> "Function"
+
+(* Attempt to pack a rectangular numeric List expression. *)
+let try_pack e =
+  let rec dims acc = function
+    | Expr.Normal (Expr.Sym s, args)
+      when Symbol.equal s Expr.Sy.list && Array.length args > 0 ->
+      dims (Array.length args :: acc) args.(0)
+    | _ -> List.rev acc
+  in
+  match dims [] e with
+  | [] -> None
+  | dims_list ->
+    let dims = Array.of_list dims_list in
+    let total = Array.fold_left ( * ) 1 dims in
+    let ints = Array.make total 0 in
+    let reals = Array.make total 0.0 in
+    let all_int = ref true in
+    let pos = ref 0 in
+    let exception Not_packed in
+    let rec fill level e =
+      match e with
+      | Expr.Normal (Expr.Sym s, args)
+        when Symbol.equal s Expr.Sy.list && level < Array.length dims ->
+        if Array.length args <> dims.(level) then raise Not_packed;
+        Array.iter (fill (level + 1)) args
+      | Expr.Int i when level = Array.length dims ->
+        ints.(!pos) <- i; reals.(!pos) <- float_of_int i; incr pos
+      | Expr.Real r when level = Array.length dims ->
+        all_int := false; reals.(!pos) <- r; incr pos
+      | _ -> raise Not_packed
+    in
+    (match fill 0 e with
+     | () ->
+       if !all_int then Some (Tensor.create_int dims ints)
+       else Some (Tensor.create_real dims reals)
+     | exception Not_packed -> None)
+
+let of_expr e =
+  match e with
+  | Expr.Int i -> Int i
+  | Expr.Real r -> Real r
+  | Expr.Str s -> Str s
+  | Expr.Tensor t -> Tensor t
+  | Expr.Sym s when Symbol.equal s Expr.Sy.true_ -> Bool true
+  | Expr.Sym s when Symbol.equal s Expr.Sy.false_ -> Bool false
+  | Expr.Sym s when Symbol.equal s Expr.Sy.null -> Unit
+  | Expr.Normal (Expr.Sym s, [| re; im |]) when Symbol.equal s Expr.Sy.complex ->
+    (match Expr.float_of re, Expr.float_of im with
+     | Some r, Some i -> Complex (r, i)
+     | _ -> Expr e)
+  | Expr.Normal (Expr.Sym s, _) when Symbol.equal s Expr.Sy.list ->
+    (match try_pack e with Some t -> Tensor t | None -> Expr e)
+  | _ -> Expr e
+
+let rec tensor_to_expr t =
+  if Tensor.rank t = 1 then begin
+    let n = Tensor.flat_length t in
+    Expr.list_a
+      (Array.init n (fun i ->
+           if Tensor.is_int t then Expr.Int (Tensor.get_int t i)
+           else Expr.Real (Tensor.get_real t i)))
+  end
+  else begin
+    let n = (Tensor.dims t).(0) in
+    Expr.list_a (Array.init n (fun i -> tensor_to_expr (Tensor.slice t i)))
+  end
+
+let to_expr = function
+  | Unit -> Expr.null
+  | Bool b -> Expr.bool b
+  | Int i -> Expr.Int i
+  | Real r -> Expr.Real r
+  | Complex (re, im) ->
+    Expr.Normal (Expr.Sym Expr.Sy.complex, [| Expr.Real re; Expr.Real im |])
+  | Str s -> Expr.Str s
+  | Tensor t -> Expr.Tensor t
+  | Expr e -> e
+  | Fun _ -> Expr.sym "CompiledClosure"
+
+let equal a b =
+  match a, b with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Real x, Real y -> x = y
+  | Complex (xr, xi), Complex (yr, yi) -> xr = yr && xi = yi
+  | Str x, Str y -> String.equal x y
+  | Tensor x, Tensor y -> Tensor.equal x y
+  | Expr x, Expr y -> Expr.equal x y
+  | Fun _, Fun _ -> false
+  | (Unit | Bool _ | Int _ | Real _ | Complex _ | Str _ | Tensor _ | Expr _ | Fun _), _ ->
+    false
+
+let pp fmt = function
+  | Unit -> Format.pp_print_string fmt "Null"
+  | Bool b -> Format.pp_print_string fmt (if b then "True" else "False")
+  | Int i -> Format.pp_print_int fmt i
+  | Real r -> Format.fprintf fmt "%.17g" r
+  | Complex (re, im) -> Format.fprintf fmt "Complex[%.17g, %.17g]" re im
+  | Str s -> Format.fprintf fmt "%S" s
+  | Tensor t -> Tensor.pp fmt t
+  | Expr e -> Expr.pp fmt e
+  | Fun f -> Format.fprintf fmt "<closure/%d>" f.arity
+
+let as_int = function Int i -> i | v -> mismatch "Integer64" (type_name v)
+let as_real = function
+  | Real r -> r
+  | Int i -> float_of_int i
+  | v -> mismatch "Real64" (type_name v)
+let as_bool = function Bool b -> b | v -> mismatch "Boolean" (type_name v)
+let as_str = function Str s -> s | v -> mismatch "String" (type_name v)
+let as_tensor = function Tensor t -> t | v -> mismatch "PackedArray" (type_name v)
+let as_fun = function Fun f -> f | v -> mismatch "Function" (type_name v)

@@ -1,0 +1,47 @@
+(** Boxed runtime values exchanged between compiled code and its callers.
+
+    The native backends keep machine numbers unboxed inside a compiled
+    function; [t] is the representation at function boundaries (argument
+    unpacking / result packing, see {!Wolf_compiler.Boxing}) and for
+    polymorphic registers. *)
+
+open Wolf_wexpr
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Real of float
+  | Complex of float * float
+  | Str of string
+  | Tensor of Tensor.t
+  | Expr of Expr.t                   (** symbolic values, type "Expression" *)
+  | Fun of closure                   (** first-class compiled functions *)
+
+and closure = { arity : int; call : t array -> t }
+
+val of_expr : Expr.t -> t
+(** Unboxing: numbers, strings, booleans and packed tensors map to their
+    machine representations; lists of machine numbers pack; anything else
+    stays [Expr]. *)
+
+val to_expr : t -> Expr.t
+(** Boxing back into the interpreter's world. *)
+
+val tensor_to_expr : Tensor.t -> Expr.t
+(** Unpack a tensor into nested [List] normal expressions (Wolfram's
+    [Normal] on packed arrays). *)
+
+val type_name : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val as_int : t -> int
+val as_real : t -> float
+(** [as_real] coerces [Int]. Both raise [Errors.Runtime_error
+    (Invalid_runtime_argument _)] on representation mismatch. *)
+
+val as_bool : t -> bool
+val as_str : t -> string
+val as_tensor : t -> Tensor.t
+val as_fun : t -> closure

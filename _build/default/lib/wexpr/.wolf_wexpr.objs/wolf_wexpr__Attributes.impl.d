@@ -1,0 +1,1 @@
+lib/wexpr/attributes.ml: List

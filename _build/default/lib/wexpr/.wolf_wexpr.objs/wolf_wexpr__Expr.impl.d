@@ -1,0 +1,1 @@
+lib/wexpr/expr.ml: Array Float Format Hashtbl Stdlib String Symbol Tensor Wolf_base

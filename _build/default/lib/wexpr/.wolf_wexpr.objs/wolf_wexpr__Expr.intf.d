@@ -1,0 +1,1 @@
+lib/wexpr/expr.mli: Format Symbol Tensor Wolf_base

@@ -1,0 +1,1 @@
+lib/wexpr/form.ml: Array Expr Format String Symbol Tensor

@@ -1,0 +1,1 @@
+lib/wexpr/form.mli: Expr Format

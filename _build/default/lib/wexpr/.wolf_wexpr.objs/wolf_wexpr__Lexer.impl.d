@@ -1,0 +1,1 @@
+lib/wexpr/lexer.ml: Buffer Format List Option Printf String

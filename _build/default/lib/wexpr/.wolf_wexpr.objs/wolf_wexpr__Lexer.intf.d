@@ -1,0 +1,1 @@
+lib/wexpr/lexer.mli: Format

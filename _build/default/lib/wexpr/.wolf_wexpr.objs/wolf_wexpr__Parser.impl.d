@@ -1,0 +1,1 @@
+lib/wexpr/parser.ml: Expr Format Lexer List Printf Wolf_base

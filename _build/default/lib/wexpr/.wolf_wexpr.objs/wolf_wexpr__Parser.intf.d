@@ -1,0 +1,1 @@
+lib/wexpr/parser.mli: Expr

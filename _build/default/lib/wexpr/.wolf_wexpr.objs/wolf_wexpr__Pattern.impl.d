@@ -1,0 +1,1 @@
+lib/wexpr/pattern.ml: Array Expr List Sy Symbol Wolf_base

@@ -1,0 +1,1 @@
+lib/wexpr/pattern.mli: Expr Symbol

@@ -1,0 +1,1 @@
+lib/wexpr/symbol.ml: Attributes Format Hashtbl Printf Stdlib Wolf_base

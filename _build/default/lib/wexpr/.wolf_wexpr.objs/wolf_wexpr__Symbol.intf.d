@@ -1,0 +1,1 @@
+lib/wexpr/symbol.mli: Attributes Format

@@ -1,0 +1,1 @@
+lib/wexpr/tensor.ml: Array Errors Format String Wolf_base

@@ -1,0 +1,1 @@
+lib/wexpr/tensor.mli: Format

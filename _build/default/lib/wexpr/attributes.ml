@@ -1,0 +1,51 @@
+type t =
+  | Hold_all
+  | Hold_first
+  | Hold_rest
+  | Listable
+  | Flat
+  | Orderless
+  | One_identity
+  | Protected
+  | Sequence_hold
+  | Numeric_function
+
+let bit = function
+  | Hold_all -> 1
+  | Hold_first -> 2
+  | Hold_rest -> 4
+  | Listable -> 8
+  | Flat -> 16
+  | Orderless -> 32
+  | One_identity -> 64
+  | Protected -> 128
+  | Sequence_hold -> 256
+  | Numeric_function -> 512
+
+type set = int
+
+let empty = 0
+let add a s = s lor bit a
+let remove a s = s land lnot (bit a)
+let mem a s = s land bit a <> 0
+let of_list l = List.fold_left (fun s a -> add a s) empty l
+
+let all =
+  [ Hold_all; Hold_first; Hold_rest; Listable; Flat; Orderless; One_identity;
+    Protected; Sequence_hold; Numeric_function ]
+
+let to_list s = List.filter (fun a -> mem a s) all
+
+let name = function
+  | Hold_all -> "HoldAll"
+  | Hold_first -> "HoldFirst"
+  | Hold_rest -> "HoldRest"
+  | Listable -> "Listable"
+  | Flat -> "Flat"
+  | Orderless -> "Orderless"
+  | One_identity -> "OneIdentity"
+  | Protected -> "Protected"
+  | Sequence_hold -> "SequenceHold"
+  | Numeric_function -> "NumericFunction"
+
+let of_name s = List.find_opt (fun a -> name a = s) all

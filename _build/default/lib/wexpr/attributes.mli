@@ -1,0 +1,25 @@
+(** Symbol attributes controlling evaluation (Section 2.1 of the paper:
+    the evaluator consults attributes before evaluating arguments). *)
+
+type t =
+  | Hold_all        (** none of the arguments are evaluated *)
+  | Hold_first
+  | Hold_rest
+  | Listable        (** the function threads over list arguments *)
+  | Flat            (** nested applications are flattened: f[f[a],b] = f[a,b] *)
+  | Orderless       (** arguments are sorted canonically *)
+  | One_identity    (** f[x] = x for pattern purposes *)
+  | Protected       (** user assignments are rejected *)
+  | Sequence_hold   (** Sequence[] arguments are not spliced *)
+  | Numeric_function
+
+type set
+
+val empty : set
+val add : t -> set -> set
+val remove : t -> set -> set
+val mem : t -> set -> bool
+val of_list : t list -> set
+val to_list : set -> t list
+val name : t -> string
+val of_name : string -> t option

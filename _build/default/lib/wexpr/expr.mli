@@ -1,0 +1,104 @@
+(** Wolfram expressions.
+
+    Everything in the language is an expression: an atomic leaf (number,
+    string, symbol, packed tensor) or a normal expression [head[arg1, …]].
+    This is the MExpr of the paper minus node identity/metadata, which the
+    compiler layers on top (see {!Wolf_compiler.Mexpr}). *)
+
+type t =
+  | Int of int                     (** machine integer *)
+  | Big of Wolf_base.Bignum.t      (** arbitrary-precision integer *)
+  | Real of float
+  | Str of string
+  | Sym of Symbol.t
+  | Tensor of Tensor.t             (** packed numeric array *)
+  | Normal of t * t array          (** head and arguments *)
+
+val sym : string -> t
+val int : int -> t
+val real : float -> t
+val str : string -> t
+val big : Wolf_base.Bignum.t -> t
+
+val normal : t -> t list -> t
+val normal_a : t -> t array -> t
+val apply : string -> t list -> t
+(** [apply "f" args] = [f[args…]] with [f] interned. *)
+
+val list : t list -> t
+val list_a : t array -> t
+
+val true_ : t
+val false_ : t
+val null : t
+val bool : bool -> t
+
+val head : t -> t
+(** [head 5 = Integer], [head f[x] = f], … (Wolfram's [Head]). *)
+
+val head_name : t -> string option
+(** [Some name] when the head is a symbol. *)
+
+val is_atom : t -> bool
+val is_true : t -> bool
+val is_false : t -> bool
+
+val args : t -> t array
+(** Arguments of a normal expression; [||] for atoms. *)
+
+val int_of : t -> int option
+val float_of : t -> float option
+(** Numeric coercions; [float_of] accepts integers. *)
+
+val equal : t -> t -> bool
+(** Structural equality ([SameQ]); [Int 2] and [Real 2.0] are unequal,
+    [Big] equals [Int] when values agree (canonical forms avoid that case). *)
+
+val compare : t -> t -> int
+(** Canonical (Orderless) ordering: numbers by value, then strings, then
+    symbols by name, then normals by head and arguments. *)
+
+val hash : t -> int
+
+(** Interned symbols for heads used throughout the system. *)
+module Sy : sig
+  val list : Symbol.t
+  val plus : Symbol.t
+  val times : Symbol.t
+  val power : Symbol.t
+  val rule : Symbol.t
+  val rule_delayed : Symbol.t
+  val blank : Symbol.t
+  val blank_sequence : Symbol.t
+  val blank_null_sequence : Symbol.t
+  val pattern : Symbol.t
+  val condition : Symbol.t
+  val pattern_test : Symbol.t
+  val sequence : Symbol.t
+  val function_ : Symbol.t
+  val slot : Symbol.t
+  val true_ : Symbol.t
+  val false_ : Symbol.t
+  val null : Symbol.t
+  val set : Symbol.t
+  val set_delayed : Symbol.t
+  val if_ : Symbol.t
+  val module_ : Symbol.t
+  val block : Symbol.t
+  val with_ : Symbol.t
+  val compound : Symbol.t
+  val typed : Symbol.t
+  val part : Symbol.t
+  val complex : Symbol.t
+  val integer : Symbol.t
+  val real : Symbol.t
+  val string : Symbol.t
+  val symbol : Symbol.t
+  val hold : Symbol.t
+  val kernel_function : Symbol.t
+end
+
+val pp : Format.formatter -> t -> unit
+(** FullForm printing (see {!Form} for InputForm). *)
+
+val to_string : t -> string

@@ -1,0 +1,160 @@
+open Expr
+
+let full_form = Expr.to_string
+
+(* Precedence levels mirror Parser's binding powers. *)
+let prec_of = function
+  | "CompoundExpression" -> 10
+  | "Set" | "SetDelayed" | "AddTo" | "SubtractFrom" | "TimesBy" | "DivideBy" -> 40
+  | "Function" -> 90
+  | "ReplaceAll" | "ReplaceRepeated" -> 110
+  | "Rule" | "RuleDelayed" -> 120
+  | "Or" -> 215
+  | "And" -> 225
+  | "Not" -> 230
+  | "Equal" | "Unequal" | "Less" | "Greater" | "LessEqual" | "GreaterEqual"
+  | "SameQ" | "UnsameQ" -> 290
+  | "Plus" | "Subtract" -> 310
+  | "Times" | "Divide" -> 400
+  | "Dot" -> 490
+  | "Power" -> 590
+  | "StringJoin" -> 600
+  | "Map" | "Apply" -> 620
+  | _ -> 1000
+
+let op_of = function
+  | "CompoundExpression" -> "; "
+  | "Set" -> " = " | "SetDelayed" -> " := "
+  | "AddTo" -> " += " | "SubtractFrom" -> " -= "
+  | "TimesBy" -> " *= " | "DivideBy" -> " /= "
+  | "ReplaceAll" -> " /. " | "ReplaceRepeated" -> " //. "
+  | "Rule" -> " -> " | "RuleDelayed" -> " :> "
+  | "Or" -> " || " | "And" -> " && "
+  | "Equal" -> " == " | "Unequal" -> " != "
+  | "Less" -> " < " | "Greater" -> " > "
+  | "LessEqual" -> " <= " | "GreaterEqual" -> " >= "
+  | "SameQ" -> " === " | "UnsameQ" -> " =!= "
+  | "Plus" -> " + " | "Subtract" -> " - "
+  | "Times" -> "*" | "Divide" -> "/"
+  | "Dot" -> " . "
+  | "Power" -> "^"
+  | "StringJoin" -> " <> "
+  | "Map" -> " /@ " | "Apply" -> " @@ "
+  | h -> invalid_arg ("Form.op_of: " ^ h)
+
+let is_infix = function
+  | "CompoundExpression" | "Set" | "SetDelayed" | "AddTo" | "SubtractFrom"
+  | "TimesBy" | "DivideBy" | "ReplaceAll" | "ReplaceRepeated" | "Rule"
+  | "RuleDelayed" | "Or" | "And" | "Equal" | "Unequal" | "Less" | "Greater"
+  | "LessEqual" | "GreaterEqual" | "SameQ" | "UnsameQ" | "Plus" | "Subtract"
+  | "Times" | "Divide" | "Dot" | "Power" | "StringJoin" | "Map" | "Apply" -> true
+  | _ -> false
+
+let blank_suffix head underscores =
+  let u = String.make underscores '_' in
+  match head with
+  | [| |] -> u
+  | [| Sym h |] -> u ^ Symbol.name h
+  | _ -> u (* non-symbol heads have no operator syntax; approximated *)
+
+let rec pp_prec fmt ctx e =
+  match e with
+  | Tensor t -> pp_tensor fmt t
+  | Int _ | Big _ | Real _ | Str _ | Sym _ -> Expr.pp fmt e
+  | Normal (Sym h, args) -> pp_normal fmt ctx (Symbol.name h) args e
+  | Normal (h, args) ->
+    Format.fprintf fmt "%a[%a]" (fun f -> pp_prec f 1000) h pp_args args
+
+and pp_tensor fmt t =
+  Format.pp_print_char fmt '{';
+  if Tensor.rank t = 1 then begin
+    let n = Tensor.flat_length t in
+    for i = 0 to n - 1 do
+      if i > 0 then Format.pp_print_string fmt ", ";
+      if Tensor.is_int t then Format.pp_print_int fmt (Tensor.get_int t i)
+      else Expr.pp fmt (Real (Tensor.get_real t i))
+    done
+  end
+  else begin
+    let n = (Tensor.dims t).(0) in
+    for i = 0 to n - 1 do
+      if i > 0 then Format.pp_print_string fmt ", ";
+      pp_tensor fmt (Tensor.slice t i)
+    done
+  end;
+  Format.pp_print_char fmt '}'
+
+and pp_args fmt args =
+  Array.iteri
+    (fun i a ->
+       if i > 0 then Format.pp_print_string fmt ", ";
+       pp_prec fmt 0 a)
+    args
+
+and pp_normal fmt ctx name args whole =
+  let paren_if cond body =
+    if cond then begin
+      Format.pp_print_char fmt '(';
+      body ();
+      Format.pp_print_char fmt ')'
+    end
+    else body ()
+  in
+  match name, args with
+  | "List", _ ->
+    Format.pp_print_char fmt '{';
+    pp_args fmt args;
+    Format.pp_print_char fmt '}'
+  | "Blank", _ when Array.length args <= 1 ->
+    Format.pp_print_string fmt (blank_suffix args 1)
+  | "BlankSequence", _ when Array.length args <= 1 ->
+    Format.pp_print_string fmt (blank_suffix args 2)
+  | "BlankNullSequence", _ when Array.length args <= 1 ->
+    Format.pp_print_string fmt (blank_suffix args 3)
+  | "Pattern", [| Sym nm; Normal (Sym bh, bargs) |]
+    when (match Symbol.name bh with
+        | "Blank" | "BlankSequence" | "BlankNullSequence" -> Array.length bargs <= 1
+        | _ -> false) ->
+    let unders = match Symbol.name bh with
+      | "Blank" -> 1 | "BlankSequence" -> 2 | _ -> 3
+    in
+    Format.fprintf fmt "%s%s" (Symbol.name nm) (blank_suffix bargs unders)
+  | "Slot", [| Int 1 |] -> Format.pp_print_string fmt "#"
+  | "Slot", [| Int i |] -> Format.fprintf fmt "#%d" i
+  | "Function", [| body |] ->
+    paren_if (ctx >= 90) (fun () ->
+        pp_prec fmt 90 body;
+        Format.pp_print_string fmt " & ")
+  | "Part", _ when Array.length args >= 2 ->
+    paren_if (ctx >= 700) (fun () ->
+        pp_prec fmt 700 args.(0);
+        Format.pp_print_string fmt "[[";
+        pp_args fmt (Array.sub args 1 (Array.length args - 1));
+        Format.pp_print_string fmt "]]")
+  | "Not", [| a |] ->
+    paren_if (ctx >= 230) (fun () ->
+        Format.pp_print_char fmt '!';
+        pp_prec fmt 230 a)
+  | "Times", _ when Array.length args >= 2 && args.(0) = Int (-1) ->
+    paren_if (ctx >= 480) (fun () ->
+        Format.pp_print_char fmt '-';
+        let rest = Array.sub args 1 (Array.length args - 1) in
+        if Array.length rest = 1 then pp_prec fmt 480 rest.(0)
+        else pp_normal fmt 480 "Times" rest whole)
+  | _ when is_infix name && Array.length args >= 2 ->
+    let p = prec_of name in
+    let op = op_of name in
+    paren_if (ctx >= p) (fun () ->
+        Array.iteri
+          (fun i a ->
+             if i > 0 then Format.pp_print_string fmt op;
+             (* left operand at p-1 so equal-precedence nests parenthesize on
+                the right for right-assoc ops and vice versa; a uniform p
+                keeps output re-parseable even if slightly conservative *)
+             pp_prec fmt p a)
+          args)
+  | _ ->
+    Format.fprintf fmt "%s[%a]" name pp_args args
+
+let pp_input fmt e = pp_prec fmt 0 e
+let input_form e = Format.asprintf "%a" pp_input e

@@ -1,0 +1,10 @@
+(** Expression output forms.
+
+    [full_form] prints the canonical [head[args…]] notation (always
+    re-parseable).  [input_form] prints operator notation like the paper's
+    listings ([a + b*c], [x_Integer], [#1 &]); any head without operator
+    syntax falls back to FullForm notation. *)
+
+val full_form : Expr.t -> string
+val input_form : Expr.t -> string
+val pp_input : Format.formatter -> Expr.t -> unit

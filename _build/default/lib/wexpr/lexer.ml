@@ -1,0 +1,194 @@
+type token =
+  | INT of string
+  | REAL of float
+  | STRING of string
+  | SYMBOL of string
+  | BLANKS of string option * int * string option
+  | SLOT of int
+  | LBRACKET | RBRACKET
+  | LLBRACKET
+  | LBRACE | RBRACE
+  | LPAREN | RPAREN
+  | COMMA
+  | OP of string
+  | EOF
+
+exception Lex_error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_sym_char c = is_alpha c || is_digit c || c = '$'
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let peek off = if !pos + off < n then Some src.[!pos + off] else None in
+  let error msg = raise (Lex_error (msg, !pos)) in
+
+  let rec skip_comment depth =
+    if !pos >= n then error "unterminated comment"
+    else if peek 0 = Some '(' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      skip_comment (depth + 1)
+    end
+    else if peek 0 = Some '*' && peek 1 = Some ')' then begin
+      pos := !pos + 2;
+      if depth > 1 then skip_comment (depth - 1)
+    end
+    else begin
+      incr pos;
+      skip_comment depth
+    end
+  in
+
+  let scan_symbol_name () =
+    let start = !pos in
+    while !pos < n && is_sym_char src.[!pos] do incr pos done;
+    String.sub src start (!pos - start)
+  in
+
+  let scan_blanks name =
+    (* cursor sits on the first '_' *)
+    let underscores = ref 0 in
+    while peek 0 = Some '_' && !underscores < 3 do incr underscores; incr pos done;
+    let head =
+      match peek 0 with
+      | Some c when is_alpha c || c = '$' -> Some (scan_symbol_name ())
+      | Some _ | None -> None
+    in
+    emit (BLANKS (name, !underscores, head))
+  in
+
+  let scan_number () =
+    let start = !pos in
+    while !pos < n && is_digit src.[!pos] do incr pos done;
+    let is_real = ref false in
+    (* A '.' is part of the number only when not a Dot operator: "2.x" lexes
+       as 2. followed by x, matching Wolfram. *)
+    if peek 0 = Some '.' && (match peek 1 with Some c -> not (is_digit c) | None -> true)
+    then begin is_real := true; incr pos end
+    else if peek 0 = Some '.' && (match peek 1 with Some c -> is_digit c | None -> false)
+    then begin
+      is_real := true;
+      incr pos;
+      while !pos < n && is_digit src.[!pos] do incr pos done
+    end;
+    (match peek 0 with
+     | Some ('e' | 'E') ->
+       let save = !pos in
+       incr pos;
+       (match peek 0 with Some ('+' | '-') -> incr pos | Some _ | None -> ());
+       if (match peek 0 with Some c -> is_digit c | None -> false) then begin
+         is_real := true;
+         while !pos < n && is_digit src.[!pos] do incr pos done
+       end
+       else pos := save
+     | Some _ | None -> ());
+    let text = String.sub src start (!pos - start) in
+    if !is_real then emit (REAL (float_of_string text)) else emit (INT text)
+  in
+
+  let scan_string () =
+    incr pos; (* opening quote *)
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string"
+      else
+        match src.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (match peek 0 with
+           | Some 'n' -> Buffer.add_char b '\n'; incr pos
+           | Some 't' -> Buffer.add_char b '\t'; incr pos
+           | Some '\\' -> Buffer.add_char b '\\'; incr pos
+           | Some '"' -> Buffer.add_char b '"'; incr pos
+           | Some c -> Buffer.add_char b c; incr pos
+           | None -> error "dangling escape");
+          go ()
+        | c -> Buffer.add_char b c; incr pos; go ()
+    in
+    go ();
+    emit (STRING (Buffer.contents b))
+  in
+
+  (* Longest-match operator table; sorted by descending length at use site. *)
+  let operators =
+    [ "//."; "==="; "=!=";
+      ":="; "=="; "!="; "<="; ">="; "&&"; "||"; "->"; ":>"; "/@"; "@@";
+      "//"; "/;"; "/."; "<>"; "++"; "--"; "+="; "-="; "*="; "/=";
+      "+"; "-"; "*"; "/"; "^"; "="; "<"; ">"; "!"; "&"; "@"; ";"; "?"; "." ]
+  in
+  let try_operator () =
+    let rest = n - !pos in
+    let matching =
+      List.find_opt
+        (fun op ->
+           let l = String.length op in
+           l <= rest && String.sub src !pos l = op)
+        operators
+    in
+    match matching with
+    | Some op -> pos := !pos + String.length op; emit (OP op); true
+    | None -> false
+  in
+
+  let rec loop () =
+    if !pos >= n then emit EOF
+    else begin
+      (match src.[!pos] with
+       | ' ' | '\t' | '\n' | '\r' -> incr pos
+       | '(' when peek 1 = Some '*' -> pos := !pos + 2; skip_comment 1
+       | '(' -> incr pos; emit LPAREN
+       | ')' -> incr pos; emit RPAREN
+       | '{' -> incr pos; emit LBRACE
+       | '}' -> incr pos; emit RBRACE
+       | '[' when peek 1 = Some '[' -> pos := !pos + 2; emit LLBRACKET
+       | '[' -> incr pos; emit LBRACKET
+       | ']' -> incr pos; emit RBRACKET
+       | ',' -> incr pos; emit COMMA
+       | '"' -> scan_string ()
+       | '#' ->
+         incr pos;
+         let start = !pos in
+         while !pos < n && is_digit src.[!pos] do incr pos done;
+         if !pos > start then emit (SLOT (int_of_string (String.sub src start (!pos - start))))
+         else emit (SLOT 1)
+       | '_' -> scan_blanks None
+       | c when is_digit c -> scan_number ()
+       | c when is_alpha c || c = '$' ->
+         let name = scan_symbol_name () in
+         if peek 0 = Some '_' then scan_blanks (Some name)
+         else emit (SYMBOL name)
+       | _ ->
+         if not (try_operator ()) then
+           error (Printf.sprintf "unexpected character %C" src.[!pos]));
+      match !toks with
+      | EOF :: _ -> ()
+      | _ -> loop ()
+    end
+  in
+  loop ();
+  List.rev !toks
+
+let pp_token fmt = function
+  | INT s -> Format.fprintf fmt "INT(%s)" s
+  | REAL r -> Format.fprintf fmt "REAL(%g)" r
+  | STRING s -> Format.fprintf fmt "STRING(%S)" s
+  | SYMBOL s -> Format.fprintf fmt "SYMBOL(%s)" s
+  | BLANKS (name, k, head) ->
+    Format.fprintf fmt "BLANKS(%s,%d,%s)"
+      (Option.value name ~default:"") k (Option.value head ~default:"")
+  | SLOT i -> Format.fprintf fmt "SLOT(%d)" i
+  | LBRACKET -> Format.pp_print_string fmt "["
+  | RBRACKET -> Format.pp_print_string fmt "]"
+  | LLBRACKET -> Format.pp_print_string fmt "[["
+  | LBRACE -> Format.pp_print_string fmt "{"
+  | RBRACE -> Format.pp_print_string fmt "}"
+  | LPAREN -> Format.pp_print_string fmt "("
+  | RPAREN -> Format.pp_print_string fmt ")"
+  | COMMA -> Format.pp_print_string fmt ","
+  | OP s -> Format.fprintf fmt "OP(%s)" s
+  | EOF -> Format.pp_print_string fmt "EOF"

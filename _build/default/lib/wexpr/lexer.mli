@@ -1,0 +1,27 @@
+(** Hand-written lexer for the Wolfram Language subset.
+
+    Adjacency-sensitive forms (pattern blanks like [x_Integer], slots [#2],
+    part brackets [[ ]]) are resolved here so the parser stays a plain Pratt
+    parser over tokens. *)
+
+type token =
+  | INT of string                  (** decimal digits; may exceed machine range *)
+  | REAL of float
+  | STRING of string
+  | SYMBOL of string
+  | BLANKS of string option * int * string option
+      (** [BLANKS (name, n, head)] for [name? _{n} head?]:
+          [x_Integer] = [(Some "x", 1, Some "Integer")], [__] = [(None, 2, None)]. *)
+  | SLOT of int
+  | LBRACKET | RBRACKET
+  | LLBRACKET                      (** [[[], the Part opener *)
+  | LBRACE | RBRACE
+  | LPAREN | RPAREN
+  | COMMA
+  | OP of string                   (** operator spelling, e.g. "+"; ":="; "/@" *)
+  | EOF
+
+exception Lex_error of string * int  (** message, byte offset *)
+
+val tokenize : string -> token list
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,222 @@
+open Lexer
+
+exception Parse_error of string
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else errorf "expected %s, found %a" what Lexer.pp_token (peek st)
+
+let int_expr text =
+  match int_of_string_opt text with
+  | Some i -> Expr.Int i
+  | None -> Expr.Big (Wolf_base.Bignum.of_string text)
+
+let blank_expr (name, count, head) =
+  let blank_head =
+    match count with
+    | 1 -> Expr.Sy.blank
+    | 2 -> Expr.Sy.blank_sequence
+    | _ -> Expr.Sy.blank_null_sequence
+  in
+  let blank =
+    match head with
+    | None -> Expr.Normal (Expr.Sym blank_head, [||])
+    | Some h -> Expr.Normal (Expr.Sym blank_head, [| Expr.sym h |])
+  in
+  match name with
+  | None -> blank
+  | Some nm -> Expr.Normal (Expr.Sym Expr.Sy.pattern, [| Expr.sym nm; blank |])
+
+(* Binding powers (Wolfram-ish precedence, higher binds tighter). *)
+let infix_lbp = function
+  | ";" -> 10
+  | "=" | ":=" | "+=" | "-=" | "*=" | "/=" -> 40
+  | "//" -> 70
+  | "/." | "//." -> 110
+  | "/;" -> 130
+  | "->" | ":>" -> 120
+  | "||" -> 215
+  | "&&" -> 225
+  | "==" | "!=" | "<" | ">" | "<=" | ">=" | "===" | "=!=" -> 290
+  | "+" | "-" -> 310
+  | "*" | "/" -> 400
+  | "." -> 490
+  | "^" -> 590
+  | "<>" -> 600
+  | "?" -> 680
+  | "/@" | "@@" -> 620
+  | "@" -> 640
+  | _ -> 0
+
+let right_assoc = function
+  | "=" | ":=" | "+=" | "-=" | "*=" | "/=" | "->" | ":>" | "^" | "/@" | "@@" | "@" -> true
+  | _ -> false
+
+let binary_head = function
+  | "=" -> "Set" | ":=" -> "SetDelayed"
+  | "+=" -> "AddTo" | "-=" -> "SubtractFrom" | "*=" -> "TimesBy" | "/=" -> "DivideBy"
+  | "/." -> "ReplaceAll" | "//." -> "ReplaceRepeated"
+  | "->" -> "Rule" | ":>" -> "RuleDelayed"
+  | "/;" -> "Condition"
+  | "?" -> "PatternTest"
+  | "==" -> "Equal" | "!=" -> "Unequal"
+  | "<" -> "Less" | ">" -> "Greater" | "<=" -> "LessEqual" | ">=" -> "GreaterEqual"
+  | "===" -> "SameQ" | "=!=" -> "UnsameQ"
+  | "^" -> "Power" | "." -> "Dot" | "/" -> "Divide"
+  | op -> errorf "no head for operator %s" op
+
+(* Operators folded into one n-ary application when chained. *)
+let nary_head = function
+  | "+" -> Some "Plus"
+  | "*" -> Some "Times"
+  | "&&" -> Some "And"
+  | "||" -> Some "Or"
+  | "<>" -> Some "StringJoin"
+  | "<" -> Some "Less" | ">" -> Some "Greater"
+  | "<=" -> Some "LessEqual" | ">=" -> Some "GreaterEqual"
+  | "==" -> Some "Equal"
+  | _ -> None
+
+let rec parse_expr st rbp =
+  let lhs = parse_prefix st in
+  parse_infix st lhs rbp
+
+and parse_prefix st =
+  match peek st with
+  | INT text -> advance st; int_expr text
+  | REAL r -> advance st; Expr.Real r
+  | STRING s -> advance st; Expr.Str s
+  | SYMBOL s -> advance st; Expr.sym s
+  | BLANKS (name, count, head) -> advance st; blank_expr (name, count, head)
+  | SLOT i -> advance st; Expr.apply "Slot" [ Expr.Int i ]
+  | LPAREN ->
+    advance st;
+    let e = parse_expr st 0 in
+    expect st RPAREN ")";
+    e
+  | LBRACE ->
+    advance st;
+    let items = parse_comma_list st RBRACE in
+    expect st RBRACE "}";
+    Expr.list items
+  | OP "-" ->
+    advance st;
+    (match parse_expr st 480 with
+     | Expr.Int i -> Expr.Int (-i)
+     | Expr.Real r -> Expr.Real (-.r)
+     | Expr.Big b -> Expr.Big (Wolf_base.Bignum.neg b)
+     | e -> Expr.apply "Times" [ Expr.Int (-1); e ])
+  | OP "+" -> advance st; parse_expr st 480
+  | OP "!" ->
+    advance st;
+    let e = parse_expr st 230 in
+    Expr.apply "Not" [ e ]
+  | t -> errorf "unexpected token %a" Lexer.pp_token t
+
+and parse_comma_list st closer =
+  if peek st = closer then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st 0 in
+      if peek st = COMMA then begin advance st; go (e :: acc) end
+      else List.rev (e :: acc)
+    in
+    go []
+  end
+
+and parse_infix st lhs rbp =
+  match peek st with
+  | LBRACKET when rbp < 700 ->
+    advance st;
+    let args = parse_comma_list st RBRACKET in
+    expect st RBRACKET "]";
+    parse_infix st (Expr.normal lhs args) rbp
+  | LLBRACKET when rbp < 700 ->
+    advance st;
+    let idx = parse_comma_list st RBRACKET in
+    expect st RBRACKET "]] (first)";
+    expect st RBRACKET "]] (second)";
+    parse_infix st (Expr.normal (Expr.Sym Expr.Sy.part) (lhs :: idx)) rbp
+  | OP "&" when rbp < 90 ->
+    advance st;
+    parse_infix st (Expr.normal (Expr.Sym Expr.Sy.function_) [ lhs ]) rbp
+  | OP "++" when rbp < 660 ->
+    advance st;
+    parse_infix st (Expr.apply "Increment" [ lhs ]) rbp
+  | OP "--" when rbp < 660 ->
+    advance st;
+    parse_infix st (Expr.apply "Decrement" [ lhs ]) rbp
+  | OP ";" when rbp < 10 ->
+    advance st;
+    let rec gather acc =
+      match peek st with
+      | EOF | RPAREN | RBRACKET | RBRACE | COMMA -> List.rev (Expr.null :: acc)
+      | _ ->
+        let e = parse_expr st 10 in
+        if peek st = OP ";" then begin advance st; gather (e :: acc) end
+        else List.rev (e :: acc)
+    in
+    let exprs = gather [ lhs ] in
+    parse_infix st (Expr.normal (Expr.Sym Expr.Sy.compound) exprs) rbp
+  | OP op when infix_lbp op > rbp && infix_lbp op > 0 ->
+    advance st;
+    let lbp = infix_lbp op in
+    let next_rbp = if right_assoc op then lbp - 1 else lbp in
+    let lhs =
+      match op with
+      | "//" ->
+        let f = parse_expr st lbp in
+        Expr.normal f [ lhs ]
+      | "@" ->
+        let arg = parse_expr st next_rbp in
+        Expr.normal lhs [ arg ]
+      | "/@" ->
+        let arg = parse_expr st next_rbp in
+        Expr.apply "Map" [ lhs; arg ]
+      | "@@" ->
+        let arg = parse_expr st next_rbp in
+        Expr.apply "Apply" [ lhs; arg ]
+      | "-" ->
+        let rhs = parse_expr st lbp in
+        Expr.apply "Subtract" [ lhs; rhs ]
+      | _ ->
+        let rhs = parse_expr st next_rbp in
+        (match nary_head op with
+         | Some h ->
+           (* Chain same-operator runs into one n-ary head: a+b+c = Plus[a,b,c]. *)
+           let operands = List.rev (chain_collect st op next_rbp [ rhs ]) in
+           Expr.apply h (lhs :: operands)
+         | None -> Expr.apply (binary_head op) [ lhs; rhs ])
+    in
+    parse_infix st lhs rbp
+  | _ -> lhs
+
+and chain_collect st op next_rbp acc =
+  if peek st = OP op then begin
+    advance st;
+    let e = parse_expr st next_rbp in
+    chain_collect st op next_rbp (e :: acc)
+  end
+  else acc
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr st 0 in
+  (match peek st with
+   | EOF -> ()
+   | t -> errorf "trailing input at %a" Lexer.pp_token t);
+  e
+
+let parse_opt src =
+  match parse src with
+  | e -> Ok e
+  | exception Parse_error msg -> Error msg
+  | exception Lexer.Lex_error (msg, off) ->
+    Error (Printf.sprintf "%s at offset %d" msg off)

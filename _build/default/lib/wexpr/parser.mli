@@ -1,0 +1,14 @@
+(** Pratt parser from concrete Wolfram-subset syntax to {!Expr.t}.
+
+    Coverage matches the programs that appear in the paper: function calls
+    [f[x]], lists, [Part] ([[…]]), scoping constructs, pure functions
+    ([#]/[&]), rules, patterns, the arithmetic / relational / boolean / apply
+    operator set, and assignment forms.  Implicit multiplication by
+    juxtaposition is not supported (write [a*b]). *)
+
+exception Parse_error of string
+
+val parse : string -> Expr.t
+(** Parse a complete expression; trailing input is an error. *)
+
+val parse_opt : string -> (Expr.t, string) result

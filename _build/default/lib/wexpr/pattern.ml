@@ -1,0 +1,187 @@
+open Expr
+
+type bindings = (Symbol.t * Expr.t) list
+
+let no_eval : (Expr.t -> Expr.t) option = None
+
+let head_matches restriction e =
+  match restriction with
+  | None -> true
+  | Some h -> Expr.equal (Expr.head e) (Sym h)
+
+let bind_check name value binds k =
+  match List.find_opt (fun (s, _) -> Symbol.equal s name) binds with
+  | Some (_, existing) -> if Expr.equal existing value then k binds else None
+  | None -> k ((name, value) :: binds)
+
+(* A pattern's multiplicity once Pattern/Condition/PatternTest wrappers are
+   stripped: ordinary patterns consume exactly one argument, sequence blanks
+   consume a segment. *)
+let rec multiplicity p =
+  match p with
+  | Normal (Sym s, [| _; sub |]) when Symbol.equal s Sy.pattern -> multiplicity sub
+  | Normal (Sym s, [| sub; _ |])
+    when Symbol.equal s Sy.condition || Symbol.equal s Sy.pattern_test ->
+    multiplicity sub
+  | Normal (Sym s, _) when Symbol.equal s Sy.blank_sequence -> `Segment 1
+  | Normal (Sym s, _) when Symbol.equal s Sy.blank_null_sequence -> `Segment 0
+  | _ -> `One
+
+let rec substitute binds e =
+  match e with
+  | Sym s ->
+    (match List.find_opt (fun (b, _) -> Symbol.equal b s) binds with
+     | Some (_, v) -> v
+     | None -> e)
+  | Int _ | Big _ | Real _ | Str _ | Tensor _ -> e
+  | Normal (h, args) ->
+    let h' = substitute binds h in
+    let pieces =
+      Array.to_list args
+      |> List.concat_map (fun a ->
+          match substitute binds a with
+          | Normal (Sym s, seq) when Symbol.equal s Sy.sequence -> Array.to_list seq
+          | a' -> [ a' ])
+    in
+    Expr.normal h' pieces
+
+let rec match_one : type a.
+  eval:(Expr.t -> Expr.t) option -> Expr.t -> Expr.t -> bindings ->
+  (bindings -> a option) -> a option =
+  fun ~eval p e binds k ->
+  match p with
+  | Normal (Sym s, [| Sym name; sub |]) when Symbol.equal s Sy.pattern ->
+    match_one ~eval sub e binds (fun b -> bind_check name e b k)
+  | Normal (Sym s, pargs)
+    when (Symbol.equal s Sy.blank
+          || Symbol.equal s Sy.blank_sequence
+          || Symbol.equal s Sy.blank_null_sequence)
+      && Array.length pargs <= 1 ->
+    let restriction =
+      match pargs with
+      | [| Sym h |] -> Some h
+      | _ -> None
+    in
+    if head_matches restriction e then k binds else None
+  | Normal (Sym s, [| sub; test |]) when Symbol.equal s Sy.condition ->
+    match_one ~eval sub e binds (fun b ->
+        match eval with
+        | None -> None
+        | Some ev -> if Expr.is_true (ev (substitute b test)) then k b else None)
+  | Normal (Sym s, [| sub; f |]) when Symbol.equal s Sy.pattern_test ->
+    match_one ~eval sub e binds (fun b ->
+        match eval with
+        | None -> None
+        | Some ev ->
+          if Expr.is_true (ev (Normal (substitute b f, [| e |]))) then k b else None)
+  | Normal (ph, pargs) ->
+    (match e with
+     | Normal (eh, eargs) ->
+       match_one ~eval ph eh binds (fun b -> match_seq ~eval pargs 0 eargs 0 b k)
+     | Int _ | Big _ | Real _ | Str _ | Sym _ | Tensor _ -> None)
+  | Int _ | Big _ | Real _ | Str _ | Sym _ | Tensor _ ->
+    if Expr.equal p e then k binds else None
+
+and match_seq : type a.
+  eval:(Expr.t -> Expr.t) option -> Expr.t array -> int -> Expr.t array -> int ->
+  bindings -> (bindings -> a option) -> a option =
+  fun ~eval pats pi exprs ei binds k ->
+  if pi >= Array.length pats then begin
+    if ei >= Array.length exprs then k binds else None
+  end
+  else begin
+    let p = pats.(pi) in
+    match multiplicity p with
+    | `One ->
+      if ei >= Array.length exprs then None
+      else
+        match_one ~eval p exprs.(ei) binds (fun b ->
+            match_seq ~eval pats (pi + 1) exprs (ei + 1) b k)
+    | `Segment minlen ->
+      let remaining = Array.length exprs - ei in
+      (* Shortest-first, Wolfram's default segment search order. *)
+      let rec try_len len =
+        if len > remaining then None
+        else begin
+          let segment = Array.sub exprs ei len in
+          let seq = Normal (Sym Sy.sequence, segment) in
+          let attempt =
+            match_segment ~eval p segment seq binds (fun b ->
+                match_seq ~eval pats (pi + 1) exprs (ei + len) b k)
+          in
+          match attempt with
+          | Some _ as r -> r
+          | None -> try_len (len + 1)
+        end
+      in
+      try_len minlen
+  end
+
+(* Match the wrappers around a sequence blank against a captured segment. *)
+and match_segment : type a.
+  eval:(Expr.t -> Expr.t) option -> Expr.t -> Expr.t array -> Expr.t ->
+  bindings -> (bindings -> a option) -> a option =
+  fun ~eval p segment seq binds k ->
+  match p with
+  | Normal (Sym s, [| Sym name; sub |]) when Symbol.equal s Sy.pattern ->
+    match_segment ~eval sub segment seq binds (fun b -> bind_check name seq b k)
+  | Normal (Sym s, [| sub; test |]) when Symbol.equal s Sy.condition ->
+    match_segment ~eval sub segment seq binds (fun b ->
+        match eval with
+        | None -> None
+        | Some ev -> if Expr.is_true (ev (substitute b test)) then k b else None)
+  | Normal (Sym s, [| sub; f |]) when Symbol.equal s Sy.pattern_test ->
+    match_segment ~eval sub segment seq binds (fun b ->
+        match eval with
+        | None -> None
+        | Some ev ->
+          let ok =
+            Array.for_all
+              (fun e -> Expr.is_true (ev (Normal (substitute b f, [| e |]))))
+              segment
+          in
+          if ok then k b else None)
+  | Normal (Sym s, pargs)
+    when (Symbol.equal s Sy.blank_sequence || Symbol.equal s Sy.blank_null_sequence)
+      && Array.length pargs <= 1 ->
+    let restriction = match pargs with [| Sym h |] -> Some h | _ -> None in
+    if Array.for_all (head_matches restriction) segment then k binds else None
+  | _ -> None
+
+let match_expr ?eval ~pattern e =
+  let eval = match eval with Some _ -> eval | None -> no_eval in
+  match_one ~eval pattern e [] (fun b -> Some b)
+
+let apply_rule ?eval ~lhs ~rhs e =
+  match match_expr ?eval ~pattern:lhs e with
+  | Some binds -> Some (substitute binds rhs)
+  | None -> None
+
+let rec replace_all ?eval ~rules e =
+  let applied =
+    List.find_map (fun (lhs, rhs) -> apply_rule ?eval ~lhs ~rhs e) rules
+  in
+  match applied with
+  | Some e' -> e'
+  | None ->
+    (match e with
+     | Normal (h, args) ->
+       Normal (replace_all ?eval ~rules h, Array.map (replace_all ?eval ~rules) args)
+     | Int _ | Big _ | Real _ | Str _ | Sym _ | Tensor _ -> e)
+
+let replace_repeated ?eval ~rules e =
+  let rec go e n =
+    if n > 65536 then
+      raise (Wolf_base.Errors.Eval_error "ReplaceRepeated: no fixed point")
+    else begin
+      let e' = replace_all ?eval ~rules e in
+      if Expr.equal e e' then e else go e' (n + 1)
+    end
+  in
+  go e 0
+
+let rec free_of e s =
+  match e with
+  | Sym x -> not (Symbol.equal x s)
+  | Int _ | Big _ | Real _ | Str _ | Tensor _ -> true
+  | Normal (h, args) -> free_of h s && Array.for_all (fun a -> free_of a s) args

@@ -1,0 +1,40 @@
+(** Wolfram pattern matching.
+
+    Supports the forms the paper's programs and macro rules use:
+    [Blank]/[BlankSequence]/[BlankNullSequence] (optionally head-restricted),
+    named patterns [Pattern[x, …]], [Condition[pat, test]] and
+    [PatternTest[pat, f]] (both need an evaluator, supplied by the caller),
+    plus literal structural matching with backtracking over sequence
+    patterns.  Orderless/Flat pattern matching is not implemented (DESIGN.md
+    non-goals). *)
+
+type bindings = (Symbol.t * Expr.t) list
+(** Sequence variables bind to [Sequence[…]] expressions which are spliced
+    by {!substitute}. *)
+
+val match_expr :
+  ?eval:(Expr.t -> Expr.t) -> pattern:Expr.t -> Expr.t -> bindings option
+(** [eval] is required for [Condition]/[PatternTest]; without it those
+    patterns never match. *)
+
+val substitute : bindings -> Expr.t -> Expr.t
+(** Capture-unaware substitution of bound names, splicing sequences into
+    argument lists (macro hygiene is handled a level up, in
+    {!Wolf_compiler.Macro}). *)
+
+val apply_rule :
+  ?eval:(Expr.t -> Expr.t) -> lhs:Expr.t -> rhs:Expr.t -> Expr.t -> Expr.t option
+
+val replace_all :
+  ?eval:(Expr.t -> Expr.t) -> rules:(Expr.t * Expr.t) list -> Expr.t -> Expr.t
+(** Outermost-first, single sweep ([/.] semantics): the first rule that
+    matches a subexpression rewrites it and that subexpression is not
+    revisited. *)
+
+val replace_repeated :
+  ?eval:(Expr.t -> Expr.t) -> rules:(Expr.t * Expr.t) list -> Expr.t -> Expr.t
+(** [//.]: sweep until a fixed point (bounded; raises [Eval_error] beyond
+    65536 sweeps). *)
+
+val free_of : Expr.t -> Symbol.t -> bool
+(** [free_of e s] is true when symbol [s] does not occur in [e]. *)

@@ -1,0 +1,36 @@
+type t = { id : int; name : string; mutable attrs : Attributes.set }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 512
+let counter = Wolf_base.Id_gen.create ()
+
+let intern name =
+  match Hashtbl.find_opt table name with
+  | Some s -> s
+  | None ->
+    let s = { id = Wolf_base.Id_gen.next counter; name; attrs = Attributes.empty } in
+    Hashtbl.add table name s;
+    s
+
+let fresh base =
+  let rec try_serial () =
+    let n = Wolf_base.Id_gen.next counter in
+    let name = Printf.sprintf "%s$%d" base n in
+    if Hashtbl.mem table name then try_serial ()
+    else begin
+      let s = { id = n; name; attrs = Attributes.empty } in
+      Hashtbl.add table name s;
+      s
+    end
+  in
+  try_serial ()
+
+let name s = s.name
+let id s = s.id
+let equal a b = a == b
+let compare a b = Stdlib.compare a.id b.id
+let hash s = s.id
+let attributes s = s.attrs
+let set_attributes s a = s.attrs <- a
+let add_attribute s a = s.attrs <- Attributes.add a s.attrs
+let has_attribute s a = Attributes.mem a s.attrs
+let pp fmt s = Format.pp_print_string fmt s.name

@@ -1,0 +1,27 @@
+(** Interned Wolfram symbols.
+
+    Symbols are the only mutable binding sites in the language (objective F5);
+    the interpreter stores their values in side tables keyed by [id], keeping
+    this module free of any dependency on expression or evaluator types. *)
+
+type t = private { id : int; name : string; mutable attrs : Attributes.set }
+
+val intern : string -> t
+(** Same name ⇒ physically equal symbol. *)
+
+val fresh : string -> t
+(** Gensym: a new symbol named ["base$<serial>"], distinct from every interned
+    or previously generated symbol.  Used by [Module] scoping and by the
+    hygienic macro expander. *)
+
+val name : t -> string
+val id : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val attributes : t -> Attributes.set
+val set_attributes : t -> Attributes.set -> unit
+val add_attribute : t -> Attributes.t -> unit
+val has_attribute : t -> Attributes.t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+open Wolf_wexpr
+open Wolf_compiler
+open Wolf_backends
+
+type target =
+  | Jit
+  | Threaded
+  | Bytecode
+
+type compiled =
+  | Native of Compiled_function.t
+  | Wvm of Wvm.compiled_function
+
+let initialized = ref false
+
+(* The auto-compilation service used by numerical solvers (paper §1 / E4):
+   compile a scalar real expression in one free variable into float -> float.
+   The threaded backend keeps auto-compilation latency small, like the
+   bytecode compiler the engine historically used for this. *)
+let auto_compile_cache : (string, (float -> float) option) Hashtbl.t = Hashtbl.create 32
+
+let rec auto_compile_scalar expr sym =
+  let key = Expr.to_string expr ^ "|" ^ Symbol.name sym in
+  match Hashtbl.find_opt auto_compile_cache key with
+  | Some cached -> cached
+  | None ->
+    let result = auto_compile_scalar_uncached expr sym in
+    Hashtbl.replace auto_compile_cache key result;
+    result
+
+and auto_compile_scalar_uncached expr sym =
+  let fexpr =
+    Expr.normal (Expr.Sym Expr.Sy.function_)
+      [ Expr.list
+          [ Expr.normal (Expr.Sym Expr.Sy.typed) [ Expr.Sym sym; Expr.Str "Real64" ] ];
+        expr ]
+  in
+  match
+    Pipeline.compile
+      ~options:{ Options.default with abort_handling = false; lint = false }
+      ~name:"autocompiled" fexpr
+  with
+  | c ->
+    let f = Native.compile c in
+    Some
+      (fun (x : float) ->
+         match f.Wolf_runtime.Rtval.call [| Wolf_runtime.Rtval.Real x |] with
+         | Wolf_runtime.Rtval.Real r -> r
+         | Wolf_runtime.Rtval.Int i -> float_of_int i
+         | _ -> raise (Wolf_base.Errors.Eval_error "autocompile: non-numeric"))
+  | exception _ -> None
+
+let init () =
+  if not !initialized then begin
+    initialized := true;
+    Wolf_kernel.Session.init ();
+    Wolf_runtime.Hooks.auto_compile_scalar := auto_compile_scalar
+  end
+
+let pipelines : (string, Pipeline.compiled) Hashtbl.t = Hashtbl.create 16
+
+let function_compile ?options ?type_env ?macro_env ?user_passes
+    ?(target = Jit) ?(name = "Main") fexpr =
+  init ();
+  match target with
+  | Bytecode -> Wvm (Wvm.compile ~name fexpr)
+  | Jit | Threaded ->
+    let c = Pipeline.compile ?options ?type_env ?macro_env ?user_passes ~name fexpr in
+    let closure =
+      match target with
+      | Jit ->
+        (match Jit.compile c with
+         | Ok f -> f
+         | Error _ -> Native.compile c)
+      | Threaded | Bytecode -> Native.compile c
+    in
+    let main = Wir.main c.Pipeline.program in
+    let arg_tys =
+      Array.map
+        (fun (v : Wir.var) -> Option.value ~default:Types.expression v.Wir.vty)
+        main.Wir.fparams
+    in
+    let ret_ty = Option.value ~default:Types.expression main.Wir.ret_ty in
+    let wrapped =
+      Compiled_function.wrap ~name ~source:fexpr ~arg_tys ~ret_ty closure
+    in
+    (* keep the pipeline result reachable for tooling *)
+    Hashtbl.replace pipelines wrapped.Compiled_function.cf_name c;
+    Native wrapped
+
+let function_compile_src ?options ?target ?name src =
+  function_compile ?options ?target ?name (Parser.parse src)
+
+let call cf args =
+  init ();
+  match cf with
+  | Native t -> Compiled_function.call t (Array.of_list args)
+  | Wvm w -> Wvm.call w (Array.of_list args)
+
+let call_values cf args =
+  match cf with
+  | Native t -> Compiled_function.call_values t (Array.of_list args)
+  | Wvm w -> Wvm.call_values w (Array.of_list args)
+
+let install name cf =
+  init ();
+  let sym = Symbol.intern name in
+  match cf with
+  | Native t ->
+    Wolf_kernel.Values.set_compiled_value sym (Compiled_function.kernel_closure t)
+  | Wvm w ->
+    Wolf_kernel.Values.set_compiled_value sym
+      { Wolf_runtime.Rtval.arity = Wvm.arity w;
+        call = (fun vals -> Wvm.call_values w vals) }
+
+let interpret src =
+  init ();
+  Wolf_kernel.Session.run src
+
+let interpret_expr e =
+  init ();
+  Wolf_kernel.Session.eval e
+
+let compile_to_ast ?options src =
+  Mexpr.to_string (Pipeline.compile_to_ast ?options (Parser.parse src))
+
+let compile_to_ir ?options ?(optimize = true) ?(name = "Main") src =
+  let fexpr = Parser.parse src in
+  if optimize then begin
+    let c = Pipeline.compile ?options ~name fexpr in
+    Wir_print.program_to_string c.Pipeline.program
+  end
+  else
+    Wir_print.program_to_string (Pipeline.compile_to_wir ?options ~name fexpr)
+
+let export_string ?options ?(name = "Main") ~format src =
+  init ();
+  let c = Pipeline.compile ?options ~name (Parser.parse src) in
+  match format with
+  | `C ->
+    (match C_emit.emit c with
+     | Ok e -> Ok e.C_emit.source
+     | Error _ as e -> e)
+  | `OCaml -> Ok (Ocaml_emit.emit ~module_name:"Exported" c).Ocaml_emit.source
+
+let export_library ?options ?(name = "Main") ~path src =
+  init ();
+  let c = Pipeline.compile ?options ~name (Parser.parse src) in
+  Jit.export_library c ~path
+
+let pipeline_of = function
+  | Native t -> Hashtbl.find_opt pipelines t.Compiled_function.cf_name
+  | Wvm _ -> None
+
+let fallback_count = function
+  | Native t -> t.Compiled_function.fallbacks
+  | Wvm _ -> 0

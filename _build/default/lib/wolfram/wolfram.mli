@@ -1,0 +1,79 @@
+(** Public API of the Wolfram Language compiler reproduction.
+
+    Mirrors the paper's user-visible surface: [FunctionCompile] (§4.1),
+    the intermediate-representation inspectors from the artifact appendix
+    ([CompileToAST] / [CompileToIR]), export ([FunctionCompileExportString],
+    [FunctionCompileExportLibrary]), the legacy [Compile] (bytecode, §2.2),
+    and seamless interpreter integration (F1): compiled functions install
+    into the kernel and are then called like any other definition. *)
+
+open Wolf_wexpr
+
+type target =
+  | Jit              (** ocamlopt native JIT (default; the LLVM stand-in) *)
+  | Threaded         (** closure-threaded native backend (no toolchain needed) *)
+  | Bytecode         (** the legacy WVM bytecode compiler (the baseline) *)
+
+type compiled =
+  | Native of Wolf_backends.Compiled_function.t
+  | Wvm of Wolf_backends.Wvm.compiled_function
+
+val init : unit -> unit
+(** Start the kernel session, and install the compiler's auto-compilation
+    hook used by numerical solvers such as [FindRoot] (E4).  Idempotent. *)
+
+val function_compile :
+  ?options:Wolf_compiler.Options.t ->
+  ?type_env:Wolf_compiler.Type_env.t ->
+  ?macro_env:Wolf_compiler.Macro.env ->
+  ?user_passes:Wolf_compiler.Pipeline.user_pass list ->
+  ?target:target ->
+  ?name:string ->
+  Expr.t ->
+  compiled
+(** Compile a [Function[…]].  With [target = Jit], silently falls back to
+    [Threaded] when the toolchain is unavailable. *)
+
+val function_compile_src :
+  ?options:Wolf_compiler.Options.t -> ?target:target -> ?name:string ->
+  string -> compiled
+(** Parse then compile. *)
+
+val call : compiled -> Expr.t list -> Expr.t
+(** Apply with full language semantics (boxing, soft failure, abort). *)
+
+val call_values :
+  compiled -> Wolf_runtime.Rtval.t list -> Wolf_runtime.Rtval.t
+(** Raw entry: raises on runtime failures (used by benchmarks to measure
+    without the fallback wrapper). *)
+
+val install : string -> compiled -> unit
+(** Bind a compiled function to a symbol so interpreted code calls it
+    transparently (F1): [install "f" cf] makes [f[…]] use compiled code. *)
+
+val interpret : string -> Expr.t
+val interpret_expr : Expr.t -> Expr.t
+
+val compile_to_ast : ?options:Wolf_compiler.Options.t -> string -> string
+(** The artifact's [CompileToAST[…]["toString"]]. *)
+
+val compile_to_ir :
+  ?options:Wolf_compiler.Options.t -> ?optimize:bool -> ?name:string ->
+  string -> string
+(** The artifact's [CompileToIR[…]["toString"]]: untyped WIR with
+    [optimize:false]; typed, resolved, optimised TWIR otherwise. *)
+
+val export_string :
+  ?options:Wolf_compiler.Options.t -> ?name:string ->
+  format:[ `C | `OCaml ] -> string -> (string, string) result
+(** [FunctionCompileExportString] analogue. *)
+
+val export_library :
+  ?options:Wolf_compiler.Options.t -> ?name:string -> path:string -> string ->
+  (string, string) result
+(** [FunctionCompileExportLibrary]: native shared object on disk. *)
+
+val pipeline_of : compiled -> Wolf_compiler.Pipeline.compiled option
+(** Pass timings, resolution table, IR — for tooling and the E8 benchmark. *)
+
+val fallback_count : compiled -> int

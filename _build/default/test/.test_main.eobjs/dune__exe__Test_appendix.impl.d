@@ -1,0 +1,1 @@
+test/test_appendix.ml: Alcotest Filename List Options Pipeline String Sys Wir Wolf_backends Wolf_compiler Wolf_wexpr Wolfram

@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum List QCheck2 QCheck_alcotest String Wolf_base

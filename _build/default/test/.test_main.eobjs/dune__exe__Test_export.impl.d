@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Array Filename Lazy Parser Pipeline Printf Rtval String Sys Unix Wolf_backends Wolf_compiler Wolf_runtime Wolf_wexpr

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Bench_support List Printf String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Expr Form List Parser Printexc Wolf_base Wolf_kernel Wolf_runtime Wolf_wexpr

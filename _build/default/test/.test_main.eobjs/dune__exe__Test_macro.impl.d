@@ -1,0 +1,1 @@
+test/test_macro.ml: Alcotest Array Binding Expr Fmt List Macro Option Parser Pattern String Symbol Wolf_base Wolf_compiler Wolf_wexpr

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Analysis Filename List Options Parser Pipeline Printf String Type_env Types Wir Wir_lint Wolf_compiler Wolf_wexpr

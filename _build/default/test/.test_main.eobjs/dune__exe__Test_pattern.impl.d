@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Expr Fmt List Option Parser Pattern QCheck2 QCheck_alcotest Symbol Test_wexpr Wolf_kernel Wolf_wexpr

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Checked Errors Expr Fmt Hooks List Parser Prims Printexc Printf QCheck2 QCheck_alcotest Rand Rtval Wolf_base Wolf_runtime Wolf_wexpr Wolfram

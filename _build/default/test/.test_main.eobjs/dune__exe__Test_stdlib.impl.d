@@ -1,0 +1,1 @@
+test/test_stdlib.ml: Alcotest Expr Fmt Form List Parser Pipeline Printf QCheck2 QCheck_alcotest String Wir Wolf_base Wolf_compiler Wolf_wexpr Wolfram

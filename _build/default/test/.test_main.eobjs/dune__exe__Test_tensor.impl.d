@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Errors Expr Float List Parser QCheck2 QCheck_alcotest Tensor Wolf_base Wolf_runtime Wolf_wexpr

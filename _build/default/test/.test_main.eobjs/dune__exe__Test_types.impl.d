@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Array List Option Parser Pipeline Result String Type_class Types Unify Wir Wir_print Wolf_base Wolf_compiler Wolf_wexpr

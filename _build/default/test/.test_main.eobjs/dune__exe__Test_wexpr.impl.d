@@ -1,0 +1,1 @@
+test/test_wexpr.ml: Alcotest Array Expr Float Fmt Form List Parser QCheck2 QCheck_alcotest Wolf_base Wolf_wexpr

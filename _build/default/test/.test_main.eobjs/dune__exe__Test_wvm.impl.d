@@ -1,0 +1,1 @@
+test/test_wvm.ml: Alcotest Array Expr Fmt List Parser Printf QCheck2 QCheck_alcotest String Wolf_backends Wolf_kernel Wolf_wexpr Wolfram

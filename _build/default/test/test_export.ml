@@ -1,0 +1,106 @@
+(* Standalone C export (F10/S24): the generated C compiles with the system C
+   compiler and, when run, agrees with the compiled OCaml result — a full
+   cross-language differential test (skipped when no cc is available). *)
+
+open Wolf_wexpr
+open Wolf_compiler
+open Wolf_runtime
+module B = Wolf_backends
+
+let have_cc = lazy (Sys.command "cc --version >/dev/null 2>&1" = 0)
+
+let run_c_driver name src (args : Rtval.t list) : string option =
+  let c = Pipeline.compile ~name (Parser.parse src) in
+  match B.C_emit.emit_with_driver c ~args with
+  | Error e -> Alcotest.fail e
+  | Ok emitted ->
+    let dir = Filename.temp_file "wolfc" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    let cfile = Filename.concat dir (name ^ ".c") in
+    let exe = Filename.concat dir name in
+    let oc = open_out cfile in
+    output_string oc emitted.B.C_emit.source;
+    close_out oc;
+    if Sys.command (Printf.sprintf "cc -O2 -o %s %s -lm 2>%s.log" exe cfile exe) <> 0
+    then Alcotest.failf "%s: cc failed" name;
+    let ic = Unix.open_process_in exe in
+    let line = input_line ic in
+    ignore (Unix.close_process_in ic);
+    Some (String.trim line)
+
+let differential_c name src args =
+  if not (Lazy.force have_cc) then ()
+  else begin
+    let c = Pipeline.compile ~name (Parser.parse src) in
+    let native = B.Native.compile c in
+    let expected =
+      match native.Rtval.call (Array.of_list args) with
+      | Rtval.Int i -> string_of_int i
+      | Rtval.Bool b -> if b then "True" else "False"
+      | Rtval.Real r -> Printf.sprintf "%.17g" r
+      | v -> Alcotest.failf "unexpected result kind %s" (Rtval.type_name v)
+    in
+    match run_c_driver name src args with
+    | Some got ->
+      (match float_of_string_opt expected, float_of_string_opt got with
+       | Some e, Some g ->
+         Alcotest.(check (float 1e-9)) name e g
+       | _ -> Alcotest.(check string) name expected got)
+    | None -> ()
+  end
+
+let test_c_scalar () =
+  differential_c "csum"
+    {|Function[{Typed[n, "MachineInteger"]},
+       Module[{s = 0, i = 1}, While[i <= n, s = s + i*i; i = i + 1]; s]]|}
+    [ Rtval.Int 100 ]
+
+let test_c_real () =
+  differential_c "cmandel"
+    {|Function[{Typed[cr, "Real64"], Typed[ci, "Real64"]},
+       Module[{zr = 0.0, zi = 0.0, iters = 0, t = 0.0},
+        While[iters < 1000 && zr*zr + zi*zi < 4.0,
+         t = zr*zr - zi*zi + cr; zi = 2.0*zr*zi + ci; zr = t; iters = iters + 1];
+        iters]]|}
+    [ Rtval.Real (-0.5); Rtval.Real 0.5 ]
+
+let test_c_branches () =
+  differential_c "cbranch"
+    {|Function[{Typed[n, "MachineInteger"]},
+       If[Mod[n, 2] == 0, Quotient[n, 2], 3*n + 1]]|}
+    [ Rtval.Int 27 ]
+
+let test_c_rejects_expression_values () =
+  let c =
+    Pipeline.compile ~name:"sym"
+      (Parser.parse {|Function[{Typed[a, "Expression"]}, a + a]|})
+  in
+  match B.C_emit.emit c with
+  | Error _ -> ()  (* paper §4.6: standalone mode drops engine-tied features *)
+  | Ok _ -> Alcotest.fail "Expression values must be rejected in standalone C"
+
+let test_c_strips_abort_checks () =
+  let c =
+    Pipeline.compile ~name:"loopy"
+      (Parser.parse
+         {|Function[{Typed[n, "MachineInteger"]},
+            Module[{i = 0}, While[i < n, i = i + 1]; i]]|})
+  in
+  match B.C_emit.emit c with
+  | Ok e ->
+    let contains hay needle =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "no abort machinery" false
+      (contains e.B.C_emit.source "abort_check")
+  | Error e -> Alcotest.fail e
+
+let tests =
+  [ Alcotest.test_case "C differential: integer loop" `Slow test_c_scalar;
+    Alcotest.test_case "C differential: mandelbrot point" `Slow test_c_real;
+    Alcotest.test_case "C differential: branches" `Slow test_c_branches;
+    Alcotest.test_case "C rejects Expression values" `Quick test_c_rejects_expression_values;
+    Alcotest.test_case "C export elides abort checks" `Quick test_c_strips_abort_checks ]

@@ -1,0 +1,37 @@
+(* Table 1 (experiment E2): each objective F1–F10 asserted at the support
+   level the paper reports for both compilers. *)
+
+module F = Bench_support.Features
+
+let expected =
+  (* (objective prefix, new compiler, bytecode compiler) — Table 1 *)
+  [ ("F1", F.Full, F.Full);
+    ("F2", F.Full, F.Full);
+    ("F3", F.Full, F.Full);
+    ("F4", F.Full, F.Partial);
+    ("F5", F.Full, F.Partial);
+    ("F6", F.Full, F.None_);
+    ("F7", F.Full, F.Partial);
+    ("F8", F.Full, F.None_);
+    ("F9", F.Full, F.Full);
+    ("F10", F.Full, F.Partial) ]
+
+let level = function
+  | F.Full -> "full"
+  | F.Partial -> "partial"
+  | F.None_ -> "none"
+
+let test_table1 () =
+  let results = F.all () in
+  List.iter2
+    (fun (name, got_new, got_wvm) (prefix, want_new, want_wvm) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s name matches row" prefix)
+         true
+         (String.length name >= String.length prefix
+          && String.sub name 0 (String.length prefix) = prefix);
+       Alcotest.(check string) (name ^ " (new compiler)") (level want_new) (level got_new);
+       Alcotest.(check string) (name ^ " (bytecode)") (level want_wvm) (level got_wvm))
+    results expected
+
+let tests = [ Alcotest.test_case "Table 1 feature matrix" `Slow test_table1 ]

@@ -1,0 +1,18 @@
+let () =
+  Wolfram.init ();
+  Alcotest.run "wolfram-compiler"
+    [ ("bignum", Test_bignum.tests);
+      ("wexpr", Test_wexpr.tests);
+      ("pattern", Test_pattern.tests);
+      ("tensor", Test_tensor.tests);
+      ("runtime", Test_runtime.tests);
+      ("kernel", Test_kernel.tests);
+      ("macro+binding", Test_macro.tests);
+      ("types+inference", Test_types.tests);
+      ("ir+passes", Test_passes.tests);
+      ("stdlib+builtins2", Test_stdlib.tests);
+      ("backends", Test_backends.tests);
+      ("wvm (the baseline)", Test_wvm.tests);
+      ("features (Table 1)", Test_features.tests);
+      ("appendix (A.6)", Test_appendix.tests);
+      ("export (F10)", Test_export.tests) ]

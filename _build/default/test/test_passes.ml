@@ -1,0 +1,283 @@
+(* IR analyses and passes (S11–S13, S16–S17): the SSA linter, CFG analyses,
+   classical optimisations, and the language-obligation passes. *)
+
+open Wolf_wexpr
+open Wolf_compiler
+
+let parse = Parser.parse
+
+let compile ?(options = Options.default) ?type_env src =
+  Pipeline.compile ~options ?type_env ~name:"p" (parse src)
+
+let count_instrs pred (prog : Wir.program) =
+  List.fold_left
+    (fun acc f ->
+       List.fold_left
+         (fun acc (b : Wir.block) ->
+            acc + List.length (List.filter pred b.Wir.instrs))
+         acc f.Wir.blocks)
+    0 prog.Wir.funcs
+
+let is_call base = function
+  | Wir.Call { callee = Wir.Resolved { base = b; _ }; _ } -> b = base
+  | _ -> false
+
+let fn_src =
+  {|Function[{Typed[n, "MachineInteger"]},
+     Module[{s = 0, i = 1}, While[i <= n, s = s + i; i = i + 1]; s]]|}
+
+(* ---------------- linter ---------------- *)
+
+let test_lint_accepts_pipeline_output () =
+  let c = compile fn_src in
+  match Wir_lint.check_program c.Pipeline.program with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "lint: %s" (String.concat "; " es)
+
+let test_lint_catches_double_def () =
+  let v = Wir.fresh_var ~ty:Types.int64 () in
+  let blk =
+    { Wir.label = 0; bparams = [||];
+      instrs =
+        [ Wir.Copy { dst = v; src = Wir.Oconst (Wir.Cint 1) };
+          Wir.Copy { dst = v; src = Wir.Oconst (Wir.Cint 2) } ];
+      term = Wir.Return (Wir.Ovar v) }
+  in
+  let f = { Wir.fname = "bad"; fparams = [||]; ret_ty = Some Types.int64;
+            blocks = [ blk ]; finline = false; fsource = None } in
+  match Wir_lint.check_func f with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "double definition accepted"
+
+let test_lint_catches_use_before_def () =
+  let v = Wir.fresh_var ~ty:Types.int64 () in
+  let w = Wir.fresh_var ~ty:Types.int64 () in
+  let blk =
+    { Wir.label = 0; bparams = [||];
+      instrs = [ Wir.Copy { dst = w; src = Wir.Ovar v } ];
+      term = Wir.Return (Wir.Ovar w) }
+  in
+  let f = { Wir.fname = "bad"; fparams = [||]; ret_ty = Some Types.int64;
+            blocks = [ blk ]; finline = false; fsource = None } in
+  match Wir_lint.check_func f with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "use before definition accepted"
+
+(* ---------------- CFG analyses ---------------- *)
+
+let test_loop_headers () =
+  let c = compile fn_src in
+  let main = Wir.main c.Pipeline.program in
+  let cfg = Analysis.build_cfg main in
+  let headers = Analysis.loop_headers main cfg in
+  Alcotest.(check int) "one loop" 1 (List.length headers)
+
+let test_nested_loop_headers () =
+  let c =
+    compile
+      {|Function[{Typed[n, "MachineInteger"]},
+         Module[{s = 0, i = 1, j = 1},
+          While[i <= n, j = 1; While[j <= n, s = s + 1; j = j + 1]; i = i + 1];
+          s]]|}
+  in
+  let main = Wir.main c.Pipeline.program in
+  let cfg = Analysis.build_cfg main in
+  Alcotest.(check int) "two loops" 2 (List.length (Analysis.loop_headers main cfg))
+
+let test_dominance () =
+  let c = compile fn_src in
+  let main = Wir.main c.Pipeline.program in
+  let cfg = Analysis.build_cfg main in
+  let entry = (Wir.entry main).Wir.label in
+  List.iter
+    (fun (b : Wir.block) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "entry dominates b%d" b.Wir.label)
+         true
+         (Analysis.dominates cfg entry b.Wir.label))
+    main.Wir.blocks
+
+(* ---------------- optimisations ---------------- *)
+
+let test_constant_folding () =
+  (* 2 + 3*4 folds away entirely: no arithmetic calls should remain *)
+  let c = compile {|Function[{Typed[n, "MachineInteger"]}, n + (2 + 3*4)]|} in
+  let adds = count_instrs (is_call "checked_binary_plus") c.Pipeline.program in
+  let muls = count_instrs (is_call "checked_binary_times") c.Pipeline.program in
+  Alcotest.(check int) "one residual add" 1 adds;
+  Alcotest.(check int) "no multiplies" 0 muls
+
+let test_dead_branch_deletion () =
+  let c = compile {|Function[{Typed[n, "MachineInteger"]}, If[2 > 1, n, n*n]]|} in
+  let main = Wir.main c.Pipeline.program in
+  Alcotest.(check int) "collapsed to one block" 1 (List.length main.Wir.blocks);
+  Alcotest.(check int) "multiply eliminated" 0
+    (count_instrs (is_call "checked_binary_times") c.Pipeline.program)
+
+let test_cse () =
+  let c =
+    compile {|Function[{Typed[x, "Real64"]}, (x*x + 1.0) + (x*x + 2.0)]|}
+  in
+  Alcotest.(check int) "x*x computed once" 1
+    (count_instrs (is_call "binary_times") c.Pipeline.program)
+
+let test_dce () =
+  let c =
+    compile
+      {|Function[{Typed[n, "MachineInteger"]},
+         Module[{unused = n*n*n, kept = n + 1}, kept]]|}
+  in
+  Alcotest.(check int) "dead cube removed" 0
+    (count_instrs (is_call "checked_binary_times") c.Pipeline.program)
+
+let test_optimization_off () =
+  let options = { Options.default with Options.opt_level = 0 } in
+  let c = compile ~options {|Function[{Typed[n, "MachineInteger"]}, n + (2 + 3*4)]|} in
+  Alcotest.(check bool) "unoptimised keeps the multiply" true
+    (count_instrs (is_call "checked_binary_times") c.Pipeline.program >= 1)
+
+let test_inlining_of_declared_function () =
+  let env = Type_env.create ~parent:(Type_env.builtin ()) "t" in
+  Type_env.declare_wolfram env "TinyTwice"
+    ~spec:(parse {|TypeSpecifier[{"Integer64"} -> "Integer64"]|})
+    ~body:(parse "Function[{x}, x + x]");
+  let c =
+    compile ~type_env:env {|Function[{Typed[n, "MachineInteger"]}, TinyTwice[n] + 1]|}
+  in
+  (* after inlining no Func call to the instance remains in main *)
+  let main = Wir.main c.Pipeline.program in
+  let calls_instance =
+    List.exists
+      (fun (b : Wir.block) ->
+         List.exists
+           (function Wir.Call { callee = Wir.Func _; _ } -> true | _ -> false)
+           b.Wir.instrs)
+      main.Wir.blocks
+  in
+  Alcotest.(check bool) "instance inlined into caller" false calls_instance
+
+(* ---------------- obligation passes ---------------- *)
+
+let test_abort_placement () =
+  let c = compile fn_src in
+  let main = Wir.main c.Pipeline.program in
+  let cfg = Analysis.build_cfg main in
+  let headers = Analysis.loop_headers main cfg in
+  let entry = Wir.entry main in
+  let has_abort (b : Wir.block) =
+    List.exists (function Wir.Abort_check -> true | _ -> false) b.Wir.instrs
+  in
+  Alcotest.(check bool) "prologue check" true (has_abort entry);
+  List.iter
+    (fun l ->
+       Alcotest.(check bool)
+         (Printf.sprintf "loop header b%d check" l)
+         true
+         (has_abort (Wir.find_block main l)))
+    headers;
+  (* exactly headers + prologue, not one per instruction *)
+  Alcotest.(check int) "check count" (1 + List.length headers)
+    (count_instrs (function Wir.Abort_check -> true | _ -> false) c.Pipeline.program)
+
+let test_abort_disabled () =
+  let options = { Options.default with Options.abort_handling = false } in
+  let c = compile ~options fn_src in
+  Alcotest.(check int) "no checks" 0
+    (count_instrs (function Wir.Abort_check -> true | _ -> false) c.Pipeline.program)
+
+let test_memory_pass_balance () =
+  let c =
+    compile
+      {|Function[{Typed[v, "PackedArray"["Integer64", 1]]},
+         Module[{a = v, b = 0}, b = a[[1]]; b]]|}
+  in
+  let acquires =
+    count_instrs (function Wir.Mem_acquire _ -> true | _ -> false) c.Pipeline.program
+  in
+  let releases =
+    count_instrs (function Wir.Mem_release _ -> true | _ -> false) c.Pipeline.program
+  in
+  Alcotest.(check bool) "aliasing copy acquires" true (acquires >= 1);
+  Alcotest.(check int) "acquires balance releases" acquires releases
+
+let test_memory_pass_skips_scalars () =
+  let c = compile fn_src in
+  Alcotest.(check int) "scalars unmanaged" 0
+    (count_instrs
+       (function Wir.Mem_acquire _ | Wir.Mem_release _ -> true | _ -> false)
+       c.Pipeline.program)
+
+let test_mutability_promotion () =
+  (* fresh array, single update, dead afterwards -> proven in-place *)
+  let c =
+    compile
+      {|Function[{Typed[n, "MachineInteger"]},
+         Module[{a = ConstantArray[0, n]}, a[[1]] = 7; 0]]|}
+  in
+  Alcotest.(check bool) "promoted" true (c.Pipeline.inplace_updates >= 1)
+
+let test_mutability_blocked_by_alias () =
+  (* the array is aliased by b which is still live: must stay checked *)
+  let c =
+    compile
+      {|Function[{Typed[n, "MachineInteger"]},
+         Module[{a = ConstantArray[0, n], b = 0, keep = ConstantArray[0, n]},
+          keep = a;
+          a[[1]] = 7;
+          b = keep[[1]] + a[[1]];
+          b]]|}
+  in
+  let inplace =
+    count_instrs
+      (function
+        | Wir.Call { callee = Wir.Resolved { mangled; _ }; _ } ->
+          Filename.check_suffix mangled "_inplace"
+        | _ -> false)
+      c.Pipeline.program
+  in
+  Alcotest.(check int) "aliased update stays checked" 0 inplace
+
+let test_user_pass_injection () =
+  (* §4.7: users can inject passes into the pipeline *)
+  let seen = ref 0 in
+  let pass =
+    { Pipeline.pass_name = "count-blocks";
+      pass_run =
+        (fun prog ->
+           List.iter (fun f -> seen := !seen + List.length f.Wir.blocks) prog.Wir.funcs) }
+  in
+  let _ =
+    Pipeline.compile ~user_passes:[ pass ] ~name:"p" (parse fn_src)
+  in
+  Alcotest.(check bool) "user pass ran" true (!seen > 0)
+
+let test_pass_timings_recorded () =
+  let c = compile fn_src in
+  let names = List.map fst c.Pipeline.timings in
+  List.iter
+    (fun expected ->
+       Alcotest.(check bool) expected true (List.mem expected names))
+    [ "macro+binding+lower"; "type-inference"; "function-resolution";
+      "optimization"; "mutability"; "abort-insertion"; "memory-management" ]
+
+let tests =
+  [ Alcotest.test_case "lint accepts pipeline output" `Quick test_lint_accepts_pipeline_output;
+    Alcotest.test_case "lint rejects double definition" `Quick test_lint_catches_double_def;
+    Alcotest.test_case "lint rejects use before def" `Quick test_lint_catches_use_before_def;
+    Alcotest.test_case "loop headers" `Quick test_loop_headers;
+    Alcotest.test_case "nested loop headers" `Quick test_nested_loop_headers;
+    Alcotest.test_case "dominance" `Quick test_dominance;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "dead-branch deletion" `Quick test_dead_branch_deletion;
+    Alcotest.test_case "common subexpressions" `Quick test_cse;
+    Alcotest.test_case "dead code elimination" `Quick test_dce;
+    Alcotest.test_case "optimisation can be disabled" `Quick test_optimization_off;
+    Alcotest.test_case "declared functions inline" `Quick test_inlining_of_declared_function;
+    Alcotest.test_case "abort checks at loop heads + prologue" `Quick test_abort_placement;
+    Alcotest.test_case "abort handling off" `Quick test_abort_disabled;
+    Alcotest.test_case "memory pass balance" `Quick test_memory_pass_balance;
+    Alcotest.test_case "memory pass ignores scalars" `Quick test_memory_pass_skips_scalars;
+    Alcotest.test_case "mutability promotion" `Quick test_mutability_promotion;
+    Alcotest.test_case "aliased update stays checked" `Quick test_mutability_blocked_by_alias;
+    Alcotest.test_case "user pass injection (§4.7)" `Quick test_user_pass_injection;
+    Alcotest.test_case "per-pass timings (E8)" `Quick test_pass_timings_recorded ]

@@ -1,0 +1,129 @@
+(* Pattern matcher (S6): blanks, sequences, head restrictions, named
+   bindings, conditions, substitution splicing, and rule application. *)
+
+open Wolf_wexpr
+
+let parse = Parser.parse
+let expr = Alcotest.testable (Fmt.of_to_string Expr.to_string) Expr.equal
+
+let matches ?eval pat e = Pattern.match_expr ?eval ~pattern:(parse pat) (parse e)
+
+let check_match ?eval name pat e expected_bindings =
+  match matches ?eval pat e with
+  | None -> Alcotest.failf "%s: %s should match %s" name pat e
+  | Some binds ->
+    List.iter
+      (fun (var, value) ->
+         match List.find_opt (fun (s, _) -> Symbol.name s = var) binds with
+         | Some (_, v) -> Alcotest.check expr (name ^ "/" ^ var) (parse value) v
+         | None -> Alcotest.failf "%s: no binding for %s" name var)
+      expected_bindings
+
+let check_no_match ?eval name pat e =
+  match matches ?eval pat e with
+  | None -> ()
+  | Some _ -> Alcotest.failf "%s: %s must not match %s" name pat e
+
+let test_blanks () =
+  check_match "blank" "_" "anything" [];
+  check_match "blank matches normal" "_" "f[x, y]" [];
+  check_match "typed blank" "_Integer" "5" [];
+  check_no_match "typed blank mismatch" "_Integer" "5.0";
+  check_match "head restricted" "_f" "f[1, 2]" [];
+  check_no_match "head restricted mismatch" "_f" "g[1]";
+  check_match "named" "x_" "42" [ ("x", "42") ];
+  check_match "named typed" "x_Real" "2.5" [ ("x", "2.5") ]
+
+let test_structural () =
+  check_match "nested" "f[x_, g[y_]]" "f[1, g[2]]" [ ("x", "1"); ("y", "2") ];
+  check_no_match "arity" "f[_, _]" "f[1]";
+  check_no_match "head" "f[_]" "g[1]";
+  check_match "repeated name must agree" "f[x_, x_]" "f[3, 3]" [ ("x", "3") ];
+  check_no_match "repeated name disagrees" "f[x_, x_]" "f[3, 4]";
+  check_match "literal subterm" "f[1, x_]" "f[1, 9]" [ ("x", "9") ];
+  check_no_match "literal subterm mismatch" "f[1, x_]" "f[2, 9]"
+
+let test_sequences () =
+  check_match "sequence" "f[x__]" "f[1, 2, 3]" [];
+  check_no_match "sequence needs one" "f[x__]" "f[]";
+  check_match "null sequence" "f[x___]" "f[]" [];
+  check_match "prefix + sequence" "f[a_, rest__]" "f[1, 2, 3]" [ ("a", "1") ];
+  check_match "sequence + suffix" "f[front__, z_]" "f[1, 2, 3]" [ ("z", "3") ];
+  check_match "typed sequence" "f[x__Integer]" "f[1, 2]" [];
+  check_no_match "typed sequence mismatch" "f[x__Integer]" "f[1, 2.0]";
+  (* shortest-first search: x__ takes one element when possible *)
+  (match matches "f[x__, y__]" "f[1, 2, 3]" with
+   | Some binds ->
+     let x = List.find (fun (s, _) -> Symbol.name s = "x") binds in
+     Alcotest.check expr "x gets shortest" (parse "Sequence[1]") (snd x)
+   | None -> Alcotest.fail "f[x__, y__] should match f[1,2,3]")
+
+let test_sequence_substitution () =
+  let rules = [ (parse "f[x__]", parse "g[x, x]") ] in
+  Alcotest.check expr "sequence splices"
+    (parse "g[1, 2, 1, 2]")
+    (Pattern.replace_all ~rules (parse "f[1, 2]"))
+
+let test_condition () =
+  let eval = Wolf_kernel.Session.eval in
+  Wolf_kernel.Session.init ();
+  check_match ~eval "condition holds" "x_ /; x > 3" "5" [ ("x", "5") ];
+  check_no_match ~eval "condition fails" "x_ /; x > 3" "2";
+  check_no_match "condition without evaluator" "x_ /; x > 3" "5"
+
+let test_replace_all () =
+  let go rules e = Expr.to_string (Wolf_kernel.Session.run (e ^ " /. " ^ rules)) in
+  Wolf_kernel.Session.init ();
+  Alcotest.(check string) "simple" "Sin[q0]" (go "x -> q0" "Sin[x]");
+  Alcotest.(check string) "outermost wins" "h[g[1]]"
+    (Expr.to_string
+       (Pattern.replace_all
+          ~rules:[ (parse "f[a_]", parse "h[a]") ]
+          (parse "f[g[1]]")));
+  Alcotest.(check string) "no revisit of result" "f[f[9]]"
+    (Expr.to_string
+       (Pattern.replace_all
+          ~rules:[ (parse "g[a_]", parse "f[f[a]]") ]
+          (parse "g[9]")))
+
+let test_replace_repeated () =
+  Alcotest.check expr "rewrites to fixed point"
+    (parse "h")
+    (Pattern.replace_repeated
+       ~rules:[ (parse "f[a_]", parse "a") ]
+       (parse "f[f[f[h]]]"))
+
+let test_free_of () =
+  let x = Symbol.intern "x" in
+  Alcotest.(check bool) "free" true (Pattern.free_of (parse "f[y, z]") x);
+  Alcotest.(check bool) "bound occurrence" false (Pattern.free_of (parse "f[y, g[x]]") x);
+  Alcotest.(check bool) "head occurrence" false (Pattern.free_of (parse "x[y]") x)
+
+(* property: any generated expression matches _, and matches itself literally *)
+let prop_blank_matches_all =
+  QCheck2.Test.make ~name:"_ matches everything" ~count:200 Test_wexpr.gen_expr
+    (fun e ->
+       Option.is_some (Pattern.match_expr ~pattern:(parse "_") e))
+
+let prop_self_match =
+  QCheck2.Test.make ~name:"literal pattern matches itself" ~count:200
+    Test_wexpr.gen_expr
+    (fun e -> Option.is_some (Pattern.match_expr ~pattern:e e))
+
+let prop_substitute_identity =
+  QCheck2.Test.make ~name:"empty bindings substitute to identity" ~count:200
+    Test_wexpr.gen_expr
+    (fun e -> Expr.equal e (Pattern.substitute [] e))
+
+let tests =
+  [ Alcotest.test_case "blanks" `Quick test_blanks;
+    Alcotest.test_case "structural" `Quick test_structural;
+    Alcotest.test_case "sequences" `Quick test_sequences;
+    Alcotest.test_case "sequence substitution" `Quick test_sequence_substitution;
+    Alcotest.test_case "conditions" `Quick test_condition;
+    Alcotest.test_case "replace_all" `Quick test_replace_all;
+    Alcotest.test_case "replace_repeated" `Quick test_replace_repeated;
+    Alcotest.test_case "free_of" `Quick test_free_of;
+    QCheck_alcotest.to_alcotest prop_blank_matches_all;
+    QCheck_alcotest.to_alcotest prop_self_match;
+    QCheck_alcotest.to_alcotest prop_substitute_identity ]

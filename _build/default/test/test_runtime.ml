@@ -1,0 +1,141 @@
+(* The runtime layer (S19): boxing/unboxing at the compiled-function
+   boundary, the boxed primitive dispatch, checked arithmetic, and the
+   deterministic PRNG shared by every execution path. *)
+
+open Wolf_wexpr
+open Wolf_runtime
+open Wolf_base
+
+let parse = Parser.parse
+let expr = Alcotest.testable (Fmt.of_to_string Expr.to_string) Expr.equal
+
+let test_boxing_roundtrip () =
+  let cases =
+    [ ("int", parse "42"); ("real", parse "2.5"); ("string", parse "\"hi\"");
+      ("true", parse "True"); ("false", parse "False"); ("null", parse "Null");
+      ("complex", parse "Complex[1.0, 2.0]"); ("packed ints", parse "{1, 2, 3}");
+      ("packed reals", parse "{1.5, 2.5}"); ("matrix", parse "{{1, 2}, {3, 4}}");
+      ("symbolic", parse "f[x, 1]") ]
+  in
+  List.iter
+    (fun (name, e) ->
+       Alcotest.check expr name e (Rtval.to_expr (Rtval.of_expr e)))
+    cases
+
+let test_unboxing_shapes () =
+  Alcotest.(check string) "int" "Integer64" (Rtval.type_name (Rtval.of_expr (parse "5")));
+  Alcotest.(check string) "real" "Real64" (Rtval.type_name (Rtval.of_expr (parse "5.0")));
+  Alcotest.(check string) "bool" "Boolean" (Rtval.type_name (Rtval.of_expr (parse "True")));
+  Alcotest.(check string) "complex" "ComplexReal64"
+    (Rtval.type_name (Rtval.of_expr (parse "Complex[1.0, 0.5]")));
+  Alcotest.(check string) "packed" "PackedArray[Integer64, 1]"
+    (Rtval.type_name (Rtval.of_expr (parse "{1, 2}")));
+  Alcotest.(check string) "heterogeneous stays Expression" "Expression"
+    (Rtval.type_name (Rtval.of_expr (parse "{1, \"two\"}")))
+
+let test_accessor_mismatches () =
+  let is_rt = function Errors.Runtime_error _ -> true | _ -> false in
+  let expect_raise name f =
+    match f () with
+    | _ -> Alcotest.failf "%s should raise" name
+    | exception e ->
+      Alcotest.(check bool) name true (is_rt e)
+  in
+  expect_raise "as_int of real" (fun () -> Rtval.as_int (Rtval.Real 1.0));
+  expect_raise "as_str of int" (fun () -> Rtval.as_str (Rtval.Int 1));
+  expect_raise "as_tensor of bool" (fun () -> Rtval.as_tensor (Rtval.Bool true));
+  Alcotest.(check (float 0.0)) "as_real coerces int" 3.0 (Rtval.as_real (Rtval.Int 3))
+
+let test_prims_dispatch () =
+  let i n = Rtval.Int n and r x = Rtval.Real x in
+  let cases =
+    [ ("checked_binary_plus", [| i 2; i 3 |], i 5);
+      ("binary_plus", [| r 1.5; r 2.0 |], r 3.5);
+      ("binary_plus", [| i 1; r 2.5 |], r 3.5);
+      ("binary_less", [| i 1; i 2 |], Rtval.Bool true);
+      ("binary_equal", [| Rtval.Str "a"; Rtval.Str "a" |], Rtval.Bool true);
+      ("unary_not", [| Rtval.Bool false |], Rtval.Bool true);
+      ("binary_min", [| r 1.5; i 2 |], r 1.5);
+      ("unary_floor", [| r 2.9 |], i 2);
+      ("unary_round", [| r 2.5 |], i 2);    (* banker's rounding *)
+      ("unary_round", [| r 3.5 |], i 4);
+      ("string_length", [| Rtval.Str "abc" |], i 3);
+      ("string_byte", [| Rtval.Str "A"; i 1 |], i 65);
+      ("complex_abs", [| Rtval.Complex (3.0, 4.0) |], r 5.0);
+      ("unary_boole", [| Rtval.Bool true |], i 1) ]
+  in
+  List.iter
+    (fun (base, args, expected) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s dispatch" base)
+         true
+         (Rtval.equal expected (Prims.apply ~base args)))
+    cases;
+  (* unknown primitive is a programming error, not a runtime failure *)
+  (match Prims.apply ~base:"no_such_primitive" [||] with
+   | _ -> Alcotest.fail "unknown primitive accepted"
+   | exception Invalid_argument _ -> ());
+  (* numerical failures surface as Runtime_error for the soft fallback *)
+  match Prims.apply ~base:"checked_binary_plus" [| Rtval.Int max_int; Rtval.Int 1 |] with
+  | _ -> Alcotest.fail "overflow not detected"
+  | exception Errors.Runtime_error Errors.Integer_overflow -> ()
+  | exception e -> Alcotest.failf "wrong failure: %s" (Printexc.to_string e)
+
+let test_checked_arithmetic_edges () =
+  Alcotest.(check int) "add at boundary" max_int (Checked.add (max_int - 1) 1);
+  (match Checked.neg min_int with
+   | _ -> Alcotest.fail "neg min_int"
+   | exception Errors.Runtime_error Errors.Integer_overflow -> ()
+   | exception _ -> Alcotest.fail "wrong exn");
+  (match Checked.quotient 1 0 with
+   | _ -> Alcotest.fail "div by zero"
+   | exception Errors.Runtime_error Errors.Division_by_zero -> ()
+   | exception _ -> Alcotest.fail "wrong exn");
+  Alcotest.(check int) "floored quotient" (-4) (Checked.quotient (-7) 2);
+  Alcotest.(check int) "mod sign of divisor" 1 (Checked.modulo (-7) 2);
+  Alcotest.(check int) "banker 0.5" 0 (Checked.round_half_even 0.5);
+  Alcotest.(check int) "banker 1.5" 2 (Checked.round_half_even 1.5);
+  Alcotest.(check int) "banker -2.5" (-2) (Checked.round_half_even (-2.5))
+
+let prop_checked_matches_int =
+  QCheck2.Test.make ~name:"checked ops = int ops in range" ~count:500
+    QCheck2.Gen.(pair (int_range (-100000) 100000) (int_range (-100000) 100000))
+    (fun (a, b) ->
+       Checked.add a b = a + b
+       && Checked.sub a b = a - b
+       && Checked.mul a b = a * b)
+
+let test_rand_determinism () =
+  Rand.seed 123;
+  let a = Array.init 16 (fun _ -> Rand.uniform ()) in
+  Rand.seed 123;
+  let b = Array.init 16 (fun _ -> Rand.uniform ()) in
+  Alcotest.(check bool) "same seed, same stream" true (a = b);
+  Rand.seed 124;
+  let c = Array.init 16 (fun _ -> Rand.uniform ()) in
+  Alcotest.(check bool) "different seed differs" false (a = c);
+  Array.iter
+    (fun x -> Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0))
+    a;
+  Rand.seed 9;
+  for _ = 1 to 100 do
+    let v = Rand.int_range 3 7 in
+    Alcotest.(check bool) "int_range bounds" true (v >= 3 && v <= 7)
+  done
+
+let test_hooks_default () =
+  (* the hooks module must not silently evaluate without a kernel; Session
+     installs the real evaluator, which run-of-the-mill tests rely on *)
+  Wolfram.init ();
+  Alcotest.check expr "hook evaluates" (Expr.Int 3)
+    (Hooks.eval (parse "1 + 2"))
+
+let tests =
+  [ Alcotest.test_case "boxing roundtrip" `Quick test_boxing_roundtrip;
+    Alcotest.test_case "unboxing shapes" `Quick test_unboxing_shapes;
+    Alcotest.test_case "accessor mismatches" `Quick test_accessor_mismatches;
+    Alcotest.test_case "primitive dispatch" `Quick test_prims_dispatch;
+    Alcotest.test_case "checked arithmetic edges" `Quick test_checked_arithmetic_edges;
+    Alcotest.test_case "PRNG determinism" `Quick test_rand_determinism;
+    Alcotest.test_case "kernel hook" `Quick test_hooks_default;
+    QCheck_alcotest.to_alcotest prop_checked_matches_int ]

@@ -1,0 +1,204 @@
+(* The compiler's Wolfram-implemented standard library (the paper's Min,
+   §4.4), the functional-construct desugarings, and the second tier of
+   interpreter builtins. *)
+
+open Wolf_wexpr
+open Wolf_compiler
+
+let parse = Parser.parse
+let expr = Alcotest.testable (Fmt.of_to_string Expr.to_string) Expr.equal
+
+let compiled name src args expected =
+  Wolfram.init ();
+  let cf = Wolfram.function_compile ~target:Wolfram.Threaded ~name (parse src) in
+  Alcotest.check expr name (parse expected) (Wolfram.call cf args)
+
+let test_min_paper_example () =
+  (* scalar Min at two instantiations, plus the container form — §4.4 *)
+  compiled "min ints"
+    {|Function[{Typed[a, "MachineInteger"], Typed[b, "MachineInteger"]}, Min[a, b]]|}
+    [ Expr.Int 9; Expr.Int 4 ] "4";
+  compiled "min reals"
+    {|Function[{Typed[a, "Real64"], Typed[b, "Real64"]}, Min[a, b]]|}
+    [ Expr.Real 1.5; Expr.Real 0.5 ] "0.5";
+  compiled "min over container"
+    {|Function[{Typed[v, "PackedArray"["Integer64", 1]]}, Min[v]]|}
+    [ parse "{5, 2, 9}" ] "2";
+  compiled "max over container"
+    {|Function[{Typed[v, "PackedArray"["Real64", 1]]}, Max[v]]|}
+    [ parse "{0.5, 2.25, 1.0}" ] "2.25"
+
+let test_min_rejects_unordered () =
+  (* complex numbers are Number but not Ordered: the qualifier must reject *)
+  match
+    Pipeline.compile ~name:"bad"
+      (parse {|Function[{Typed[a, "ComplexReal64"]}, Min[a, a]]|})
+  with
+  | exception Wolf_base.Errors.Compile_error _ -> ()
+  | _ -> Alcotest.fail "Min accepted a non-Ordered type"
+
+let test_stdlib_functions () =
+  compiled "clip" {|Function[{Typed[x, "MachineInteger"]}, Clip[x, 0, 10]]|}
+    [ Expr.Int 42 ] "10";
+  compiled "sign real" {|Function[{Typed[x, "Real64"]}, Sign[x]]|}
+    [ Expr.Real (-2.5) ] "-1";
+  compiled "mean" {|Function[{Typed[v, "PackedArray"["Real64", 1]]}, Mean[v]]|}
+    [ parse "{1.0, 2.0, 6.0}" ] "3.0";
+  compiled "norm" {|Function[{Typed[v, "PackedArray"["Real64", 1]]}, Norm[v]]|}
+    [ parse "{3.0, 4.0}" ] "5.0";
+  compiled "fibonacci" {|Function[{Typed[n, "MachineInteger"]}, Fibonacci[n]]|}
+    [ Expr.Int 40 ] "102334155";
+  compiled "gcd" {|Function[{Typed[a, "MachineInteger"], Typed[b, "MachineInteger"]},
+                     GCD[a, b]]|}
+    [ Expr.Int 48; Expr.Int 18 ] "6"
+
+let test_instances_shared () =
+  (* two uses at the same type instantiate the implementation once *)
+  let c =
+    Pipeline.compile ~name:"shared"
+      (parse
+         {|Function[{Typed[a, "MachineInteger"], Typed[b, "MachineInteger"],
+                     Typed[d, "MachineInteger"]},
+            Min[a, Min[b, d]]]|})
+  in
+  let instances =
+    List.filter
+      (fun (f : Wir.func) ->
+         String.length f.Wir.fname >= 4 && String.sub f.Wir.fname 0 4 = "Min$")
+      c.Pipeline.program.Wir.funcs
+  in
+  Alcotest.(check bool) "at most one Min instance" true (List.length instances <= 1)
+
+let test_functional_macros () =
+  compiled "nest" {|Function[{Typed[n, "MachineInteger"]}, Nest[Function[{x}, x*2], 1, n]]|}
+    [ Expr.Int 10 ] "1024";
+  compiled "fold"
+    {|Function[{Typed[v, "PackedArray"["Integer64", 1]]},
+       Fold[Function[{a, b}, a + b*b], 0, v]]|}
+    [ parse "{1, 2, 3}" ] "14";
+  compiled "map"
+    {|Function[{Typed[v, "PackedArray"["Integer64", 1]]},
+       Total[Map[Function[{x}, x*x], v]]]|}
+    [ parse "{1, 2, 3, 4}" ] "30";
+  (* Map must not mutate its argument (copy-on-write through the macro) *)
+  compiled "map preserves input"
+    {|Function[{Typed[v, "PackedArray"["Integer64", 1]]},
+       Module[{w = Map[Function[{x}, x*10], v]}, v[[1]]*1000 + w[[1]]]]|}
+    [ parse "{7, 8}" ] "7070"
+
+let test_dominator_cse () =
+  (* zr*zr appears in the loop condition block and the body block; the
+     condition block dominates the body, so dominator-scoped CSE removes
+     the recomputation *)
+  let c =
+    Pipeline.compile ~name:"m"
+      (parse
+         {|Function[{Typed[cr, "Real64"]},
+            Module[{zr = 0.1},
+             While[zr*zr < 4.0,
+              zr = zr*zr + cr];
+             zr]]|})
+  in
+  let count =
+    List.fold_left
+      (fun acc (f : Wir.func) ->
+         List.fold_left
+           (fun acc (b : Wir.block) ->
+              acc
+              + List.length
+                  (List.filter
+                     (function
+                       | Wir.Call { callee = Wir.Resolved { base = "binary_times"; _ };
+                                    args = [| Wir.Ovar a; Wir.Ovar b |]; _ } ->
+                         a.Wir.vid = b.Wir.vid
+                       | _ -> false)
+                     b.Wir.instrs))
+           acc f.Wir.blocks)
+      0 c.Pipeline.program.Wir.funcs
+  in
+  Alcotest.(check int) "zr*zr computed once" 1 count
+
+(* ---------------- second-tier interpreter builtins ---------------- *)
+
+let interp_cases =
+  [ ("Take[{1,2,3,4,5}, 2]", "{1, 2}");
+    ("Take[{1,2,3,4,5}, -2]", "{4, 5}");
+    ("Take[Range[9], {3, 5}]", "{3, 4, 5}");
+    ("Drop[{1,2,3,4}, 1]", "{2, 3, 4}");
+    ("Drop[{1,2,3,4}, -2]", "{1, 2}");
+    ("Flatten[{{1,{2}},{3}}]", "{1, 2, 3}");
+    ("Flatten[{Range[2], Range[2]}]", "{1, 2, 1, 2}");
+    ("Partition[Range[6], 2]", "{{1, 2}, {3, 4}, {5, 6}}");
+    ("Partition[Range[7], 2]", "{{1, 2}, {3, 4}, {5, 6}}");
+    ("Position[{a9, b9, a9}, a9]", "{{1}, {3}}");
+    ("Position[Range[5], _?EvenQ]", "{{2}, {4}}");
+    ("MemberQ[{1,2,3}, 2]", "True");
+    ("MemberQ[{1,2,3}, _Real]", "False");
+    ("DeleteDuplicates[{1,2,1,3,2}]", "{1, 2, 3}");
+    ("Accumulate[{1,2,3}]", "{1, 3, 6}");
+    ("Differences[{1,4,9,16}]", "{3, 5, 7}");
+    ("Transpose[{{1,2},{3,4}}]", "{{1, 3}, {2, 4}}");
+    ("Transpose[{{1,2,3},{4,5,6}}]", "{{1, 4}, {2, 5}, {3, 6}}");
+    ("IdentityMatrix[3][[2,2]]", "1");
+    ("Norm[{3,4}]", "5.0");
+    ("Mean[{1,2,3}]", "2");
+    ("Mean[{1,2}]", "1.5");
+    ("GCD[48, 18, 12]", "6");
+    ("LCM[4, 6]", "12");
+    ("Factorial[5]", "120");
+    ("Factorial[25]", "15511210043330985984000000");
+    ("Fibonacci[10]", "55");
+    ("Fibonacci[100]", "354224848179261915075");
+    ("IntegerDigits[1234]", "{1, 2, 3, 4}");
+    ("FromDigits[{1,2,3}]", "123");
+    ("Sign[-5]", "-1");
+    ("Sign[0]", "0");
+    ("Clip[42, {0, 10}]", "10");
+    ("Clip[5, {0, 10}]", "5");
+    ("StringSplit[\"a,b,c\", \",\"]", "{\"a\", \"b\", \"c\"}");
+    ("StringContainsQ[\"foobar\", \"oba\"]", "True");
+    ("StringContainsQ[\"foobar\", \"xyz\"]", "False");
+    ("StringStartsQ[\"foobar\", \"foo\"]", "True");
+    ("StringRepeat[\"ab\", 3]", "\"ababab\"") ]
+
+let test_interp_builtins () =
+  Wolfram.init ();
+  List.iter
+    (fun (src, expected) ->
+       Alcotest.(check string) src expected (Form.input_form (Wolfram.interpret src)))
+    interp_cases
+
+(* property: Take[l, n] ++ Drop[l, n] == l *)
+let prop_take_drop =
+  QCheck2.Test.make ~name:"Take ++ Drop = identity" ~count:200
+    QCheck2.Gen.(pair (list_size (int_range 0 12) (int_range (-50) 50)) (int_range 0 12))
+    (fun (l, n) ->
+       Wolfram.init ();
+       let n = min n (List.length l) in
+       let lst =
+         Printf.sprintf "{%s}" (String.concat ", " (List.map string_of_int l))
+       in
+       let src = Printf.sprintf "Join[Take[%s, %d], Drop[%s, %d]] === %s" lst n lst n lst in
+       List.length l = 0 || Expr.is_true (Wolfram.interpret src))
+
+let prop_accumulate_last_is_total =
+  QCheck2.Test.make ~name:"Last[Accumulate[l]] = Total[l]" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 15) (int_range (-100) 100))
+    (fun l ->
+       Wolfram.init ();
+       let lst =
+         Printf.sprintf "{%s}" (String.concat ", " (List.map string_of_int l))
+       in
+       Expr.is_true
+         (Wolfram.interpret (Printf.sprintf "Last[Accumulate[%s]] === Total[%s]" lst lst)))
+
+let tests =
+  [ Alcotest.test_case "Min (the paper's §4.4 example)" `Quick test_min_paper_example;
+    Alcotest.test_case "qualifier rejects complex" `Quick test_min_rejects_unordered;
+    Alcotest.test_case "stdlib functions compile" `Quick test_stdlib_functions;
+    Alcotest.test_case "instances shared per type" `Quick test_instances_shared;
+    Alcotest.test_case "Nest/Fold/Map compile (macro desugaring)" `Quick test_functional_macros;
+    Alcotest.test_case "dominator-scoped CSE" `Quick test_dominator_cse;
+    Alcotest.test_case "second-tier builtins" `Quick test_interp_builtins;
+    QCheck_alcotest.to_alcotest prop_take_drop;
+    QCheck_alcotest.to_alcotest prop_accumulate_last_is_total ]

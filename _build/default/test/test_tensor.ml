@@ -1,0 +1,124 @@
+(* Packed arrays (S4): construction, indexing, refcount/copy-on-write,
+   slicing, dgemm correctness. *)
+
+open Wolf_wexpr
+open Wolf_base
+
+let test_create_checks () =
+  Alcotest.check_raises "dims mismatch" (Invalid_argument "Tensor: dims/data mismatch")
+    (fun () -> ignore (Tensor.create_int [| 3 |] [| 1; 2 |]));
+  Alcotest.check_raises "rank 0" (Invalid_argument "Tensor: rank must be >= 1")
+    (fun () -> ignore (Tensor.create_int [||] [||]))
+
+let test_indexing () =
+  let t = Tensor.of_int_array [| 10; 20; 30 |] in
+  Alcotest.(check int) "1-based" 0 (Tensor.normalize_index t 1);
+  Alcotest.(check int) "negative" 2 (Tensor.normalize_index t (-1));
+  Alcotest.check_raises "zero index"
+    (Errors.Runtime_error (Errors.Part_out_of_range (0, 3)))
+    (fun () -> ignore (Tensor.normalize_index t 0));
+  Alcotest.check_raises "out of range"
+    (Errors.Runtime_error (Errors.Part_out_of_range (4, 3)))
+    (fun () -> ignore (Tensor.normalize_index t 4));
+  Alcotest.check_raises "negative out of range"
+    (Errors.Runtime_error (Errors.Part_out_of_range (-4, 3)))
+    (fun () -> ignore (Tensor.normalize_index t (-4)))
+
+let test_copy_on_write () =
+  let t = Tensor.of_int_array [| 1; 2; 3 |] in
+  Alcotest.(check int) "fresh refcount" 1 (Tensor.refcount t);
+  let u = Tensor.ensure_unique t in
+  Alcotest.(check bool) "unique: same object" true (t == u);
+  Tensor.acquire t;
+  let v = Tensor.ensure_unique t in
+  Alcotest.(check bool) "shared: copies" true (t != v);
+  Alcotest.(check int) "original released" 1 (Tensor.refcount t);
+  Tensor.set_int v 0 99;
+  Alcotest.(check int) "copy isolated" 1 (Tensor.get_int t 0)
+
+let test_slice () =
+  let m = Tensor.create_int [| 2; 3 |] [| 1; 2; 3; 4; 5; 6 |] in
+  let row = Tensor.slice m 1 in
+  Alcotest.(check (list int)) "second row" [ 4; 5; 6 ]
+    (List.init 3 (Tensor.get_int row));
+  Tensor.set_int row 0 99;
+  Alcotest.(check int) "slice is a copy" 4 (Tensor.get_int m 3);
+  Tensor.set_slice m 0 (Tensor.of_int_array [| 7; 8; 9 |]);
+  Alcotest.(check int) "set_slice writes through" 7 (Tensor.get_int m 0)
+
+let test_dot_shapes () =
+  let v = Tensor.of_real_array [| 1.0; 2.0 |] in
+  let m = Tensor.create_real [| 2; 2 |] [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "v.v" 5.0 (Tensor.get_real (Tensor.dot v v) 0);
+  let mv = Tensor.dot m v in
+  Alcotest.(check (float 1e-9)) "m.v first" 5.0 (Tensor.get_real mv 0);
+  Alcotest.(check (float 1e-9)) "m.v second" 11.0 (Tensor.get_real mv 1);
+  let mm = Tensor.dot m m in
+  Alcotest.(check (float 1e-9)) "m.m [0,0]" 7.0 (Tensor.get_real mm 0);
+  Alcotest.(check (float 1e-9)) "m.m [1,1]" 22.0 (Tensor.get_real mm 3);
+  Alcotest.check_raises "shape mismatch" (Invalid_argument "Tensor.dot: shape mismatch")
+    (fun () ->
+       ignore (Tensor.dot m (Tensor.of_real_array [| 1.0; 2.0; 3.0 |])))
+
+let test_int_dot () =
+  let v = Tensor.of_int_array [| 1; 2; 3 |] in
+  Alcotest.(check int) "int v.v stays exact" 14 (Tensor.get_int (Tensor.dot v v) 0)
+
+(* dgemm against a naive triple loop *)
+let prop_dgemm =
+  QCheck2.Test.make ~name:"blocked dgemm equals naive product" ~count:50
+    QCheck2.Gen.(pair (int_range 1 17) (list_size (return 289) (float_range (-4.) 4.)))
+    (fun (n, xs) ->
+       let n = min n 17 in
+       let flat = Array.of_list xs in
+       let a = Tensor.create_real [| n; n |] (Array.sub flat 0 (n * n)) in
+       let b =
+         Tensor.create_real [| n; n |]
+           (Array.init (n * n) (fun i -> flat.(((i * 7) mod (n * n))))) in
+       let c = Tensor.dot a b in
+       let ok = ref true in
+       for i = 0 to n - 1 do
+         for j = 0 to n - 1 do
+           let expected = ref 0.0 in
+           for k = 0 to n - 1 do
+             expected :=
+               !expected +. (Tensor.get_real a ((i * n) + k) *. Tensor.get_real b ((k * n) + j))
+           done;
+           if Float.abs (!expected -. Tensor.get_real c ((i * n) + j)) > 1e-9 then ok := false
+         done
+       done;
+       !ok)
+
+let test_total () =
+  (match Tensor.total (Tensor.of_int_array [| 1; 2; 3 |]) with
+   | `Int 6 -> ()
+   | _ -> Alcotest.fail "int total");
+  (match Tensor.total (Tensor.of_real_array [| 0.5; 1.5 |]) with
+   | `Real r -> Alcotest.(check (float 1e-12)) "real total" 2.0 r
+   | `Int _ -> Alcotest.fail "real total kind")
+
+let test_pack_unpack () =
+  let e = Parser.parse "{{1, 2}, {3, 4}}" in
+  match Wolf_runtime.Rtval.of_expr e with
+  | Wolf_runtime.Rtval.Tensor t ->
+    Alcotest.(check (list int)) "dims" [ 2; 2 ] (Array.to_list (Tensor.dims t));
+    Alcotest.(check bool) "roundtrip" true
+      (Expr.equal e (Wolf_runtime.Rtval.tensor_to_expr t))
+  | _ -> Alcotest.fail "rectangular int list should pack"
+
+let test_ragged_stays_unpacked () =
+  match Wolf_runtime.Rtval.of_expr (Parser.parse "{{1, 2}, {3}}") with
+  | Wolf_runtime.Rtval.Expr _ -> ()
+  | v -> Alcotest.failf "ragged list packed as %s" (Wolf_runtime.Rtval.type_name v)
+
+let tests =
+  [ Alcotest.test_case "creation checks" `Quick test_create_checks;
+    Alcotest.test_case "part indexing" `Quick test_indexing;
+    Alcotest.test_case "copy-on-write refcounts" `Quick test_copy_on_write;
+    Alcotest.test_case "slices" `Quick test_slice;
+    Alcotest.test_case "dot shapes" `Quick test_dot_shapes;
+    Alcotest.test_case "integer dot" `Quick test_int_dot;
+    Alcotest.test_case "total" `Quick test_total;
+    Alcotest.test_case "pack/unpack" `Quick test_pack_unpack;
+    Alcotest.test_case "ragged lists stay unpacked" `Quick test_ragged_stays_unpacked;
+    QCheck_alcotest.to_alcotest prop_dgemm ]

@@ -1,0 +1,167 @@
+(* Expression substrate (S3/S5): structure, canonical ordering, lexing,
+   parsing, printing, and print→parse round-trips. *)
+
+open Wolf_wexpr
+
+let parse = Parser.parse
+let expr = Alcotest.testable (Fmt.of_to_string Expr.to_string) Expr.equal
+
+let test_atoms () =
+  Alcotest.check expr "int" (Expr.Int 42) (parse "42");
+  Alcotest.check expr "negative int" (Expr.Int (-7)) (parse "-7");
+  Alcotest.check expr "real" (Expr.Real 2.5) (parse "2.5");
+  Alcotest.check expr "trailing dot real" (Expr.Real 2.0) (parse "2.");
+  Alcotest.check expr "scientific" (Expr.Real 1.5e-3) (parse "1.5e-3");
+  Alcotest.check expr "string" (Expr.Str "hi\nthere") (parse {|"hi\nthere"|});
+  Alcotest.check expr "symbol" (Expr.sym "foo") (parse "foo");
+  (match parse "123456789012345678901234567890" with
+   | Expr.Big _ -> ()
+   | e -> Alcotest.failf "big literal parsed as %s" (Expr.to_string e))
+
+let test_operator_structure () =
+  let cases =
+    [ ("1 + 2*3", "Plus[1, Times[2, 3]]");
+      ("a - b - c", "Subtract[Subtract[a, b], c]");
+      ("2^3^2", "Power[2, Power[3, 2]]");
+      ("a.b.c", "Dot[Dot[a, b], c]");
+      ("-x^2", "Times[-1, Power[x, 2]]");
+      ("a && b || c", "Or[And[a, b], c]");
+      ("!a && b", "And[Not[a], b]");
+      ("x -> y -> z", "Rule[x, Rule[y, z]]");
+      ("f @ x", "f[x]");
+      ("x // f", "f[x]");
+      ("f /@ l", "Map[f, l]");
+      ("f @@ l", "Apply[f, l]");
+      ("a /. b -> c", "ReplaceAll[a, Rule[b, c]]");
+      ("a //. b -> c", "ReplaceRepeated[a, Rule[b, c]]");
+      ("s <> t <> u", "StringJoin[s, t, u]");
+      ("a == b == c", "Equal[a, b, c]");
+      ("a <= b <= c", "LessEqual[a, b, c]");
+      ("a === b", "SameQ[a, b]");
+      ("a =!= b", "UnsameQ[a, b]");
+      ("x = 1", "Set[x, 1]");
+      ("x := y", "SetDelayed[x, y]");
+      ("x += 2", "AddTo[x, 2]");
+      ("i++", "Increment[i]");
+      ("i--", "Decrement[i]");
+      ("a[[1]]", "Part[a, 1]");
+      ("a[[i, j]]", "Part[a, i, j]");
+      ("a[[1]][[2]]", "Part[Part[a, 1], 2]");
+      ("f[x][y]", "f[x][y]");
+      ("# + #2 &", "Function[Plus[Slot[1], Slot[2]]]");
+      ("{}", "List[]");
+      ("x_", "Pattern[x, Blank[]]");
+      ("x_Integer", "Pattern[x, Blank[Integer]]");
+      ("_Real", "Blank[Real]");
+      ("x__", "Pattern[x, BlankSequence[]]");
+      ("___", "BlankNullSequence[]");
+      ("a; b; c", "CompoundExpression[a, b, c]");
+      ("a;", "CompoundExpression[a, Null]") ]
+  in
+  List.iter
+    (fun (src, full) ->
+       Alcotest.(check string) src full (Expr.to_string (parse src)))
+    cases
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+       match Parser.parse_opt src with
+       | Error _ -> ()
+       | Ok e -> Alcotest.failf "%s should not parse, got %s" src (Expr.to_string e))
+    [ "f["; "1 +"; "{1, 2"; ")"; "a[[1]"; {|"unterminated|}; "(* unclosed"; "" ]
+
+let test_comments_whitespace () =
+  Alcotest.check expr "comment" (Expr.Int 5) (parse "(* note *) 5");
+  Alcotest.check expr "nested comment" (Expr.Int 5) (parse "(* a (* b *) c *) 5");
+  Alcotest.check expr "newlines" (parse "f[1, 2]") (parse "f[\n  1,\n  2\n]")
+
+let test_canonical_order () =
+  let sorted l =
+    let a = Array.of_list (List.map parse l) in
+    Array.sort Expr.compare a;
+    Array.to_list (Array.map Expr.to_string a)
+  in
+  Alcotest.(check (list string)) "numbers before symbols"
+    [ "1"; "2.5"; "3"; "\"s\""; "a"; "b"; "f[x]" ]
+    (sorted [ "b"; "f[x]"; "3"; "a"; "2.5"; {|"s"|}; "1" ])
+
+let test_equal_hash () =
+  let a = parse "f[x, {1, 2.0}, \"s\"]" and b = parse "f[x, {1, 2.0}, \"s\"]" in
+  Alcotest.(check bool) "structural equality" true (Expr.equal a b);
+  Alcotest.(check int) "hash agreement" (Expr.hash a) (Expr.hash b);
+  Alcotest.(check bool) "Int <> Real" false (Expr.equal (Expr.Int 2) (Expr.Real 2.0));
+  Alcotest.(check bool) "Int = Big of same value" true
+    (Expr.equal (Expr.Int 5) (Expr.Big (Wolf_base.Bignum.of_int 5)))
+
+let test_head () =
+  let h s = Expr.to_string (Expr.head (parse s)) in
+  Alcotest.(check string) "int" "Integer" (h "3");
+  Alcotest.(check string) "real" "Real" (h "3.5");
+  Alcotest.(check string) "string" "String" (h "\"x\"");
+  Alcotest.(check string) "symbol" "Symbol" (h "x");
+  Alcotest.(check string) "normal" "f" (h "f[x]");
+  Alcotest.(check string) "nested head" "f[x]" (h "f[x][y]")
+
+let test_input_form_roundtrip_cases () =
+  (* InputForm printing of these must re-parse to the same tree *)
+  List.iter
+    (fun src ->
+       let e = parse src in
+       let printed = Form.input_form e in
+       Alcotest.check expr (src ^ " ~ " ^ printed) e (parse printed))
+    [ "1 + 2*3"; "a - b - c"; "f[x_Integer] := x + 1"; "{1, {2, 3}, x}";
+      "x = y; z"; "-a*b"; "2^(3^2)"; "(a + b)*c"; "#1 + #2 &";
+      "Map[f, lst] /. f[a_] :> h[a]"; "a[[2, -1]]"; "x && !y || z";
+      "Function[{u}, u + 1][5]"; "\"str\" <> s" ]
+
+(* property: FullForm always round-trips for generated expressions *)
+let gen_expr : Expr.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+           if n <= 0 then
+             oneof
+               [ map (fun i -> Expr.Int i) (int_range (-1000) 1000);
+                 map (fun f -> Expr.Real (Float.round (f *. 100.) /. 100.))
+                   (float_range (-10.) 10.);
+                 map Expr.str (string_size ~gen:(char_range 'a' 'z') (int_range 0 5));
+                 map Expr.sym
+                   (oneof [ return "x"; return "y"; return "foo"; return "Bar" ]) ]
+           else begin
+             let sub = self (n / 3) in
+             oneof
+               [ self 0;
+                 map2
+                   (fun h args -> Expr.normal (Expr.sym h) args)
+                   (oneof [ return "f"; return "g"; return "Plus"; return "List" ])
+                   (list_size (int_range 0 3) sub) ]
+           end)
+        (min n 12))
+
+let prop_fullform_roundtrip =
+  QCheck2.Test.make ~name:"FullForm print/parse roundtrip" ~count:400 gen_expr
+    (fun e -> Expr.equal e (parse (Expr.to_string e)))
+
+let prop_inputform_roundtrip =
+  QCheck2.Test.make ~name:"InputForm print/parse roundtrip" ~count:400 gen_expr
+    (fun e -> Expr.equal e (parse (Form.input_form e)))
+
+let prop_compare_total_order =
+  QCheck2.Test.make ~name:"compare is antisymmetric" ~count:300
+    QCheck2.Gen.(pair gen_expr gen_expr)
+    (fun (a, b) -> compare (Expr.compare a b) 0 = compare 0 (Expr.compare b a))
+
+let tests =
+  [ Alcotest.test_case "atoms" `Quick test_atoms;
+    Alcotest.test_case "operator structure" `Quick test_operator_structure;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "comments and whitespace" `Quick test_comments_whitespace;
+    Alcotest.test_case "canonical ordering" `Quick test_canonical_order;
+    Alcotest.test_case "equality and hashing" `Quick test_equal_hash;
+    Alcotest.test_case "Head" `Quick test_head;
+    Alcotest.test_case "InputForm roundtrip cases" `Quick test_input_form_roundtrip_cases;
+    QCheck_alcotest.to_alcotest prop_fullform_roundtrip;
+    QCheck_alcotest.to_alcotest prop_inputform_roundtrip;
+    QCheck_alcotest.to_alcotest prop_compare_total_order ]

@@ -1,0 +1,165 @@
+(* The legacy bytecode compiler and its VM (S23, paper §2.2): datatype
+   restrictions, Real-by-default typing, interpreter escapes, copy-on-read,
+   the serialised dump, and per-opcode dispatch correctness. *)
+
+open Wolf_wexpr
+module Wvm = Wolf_backends.Wvm
+
+let parse = Parser.parse
+let expr = Alcotest.testable (Fmt.of_to_string Expr.to_string) Expr.equal
+
+let run src args =
+  Wolfram.init ();
+  Wvm.call (Wvm.compile (parse src)) (Array.of_list args)
+
+let check name src args expected =
+  Alcotest.check expr name (parse expected) (run src args)
+
+let test_typed_arguments () =
+  check "integer typed" {|Function[{Typed[n, "MachineInteger"]}, n + 1]|}
+    [ Expr.Int 41 ] "42";
+  check "real typed" {|Function[{Typed[x, "Real64"]}, x*2.0]|} [ Expr.Real 1.5 ] "3.0";
+  check "boolean typed" {|Function[{Typed[b, "Boolean"]}, If[b, 1, 0]]|}
+    [ Expr.true_ ] "1";
+  check "tensor typed"
+    {|Function[{Typed[v, "PackedArray"["Integer64", 1]]}, Total[v]]|}
+    [ parse "{1, 2, 3}" ] "6"
+
+let test_untyped_assumes_real () =
+  (* §2.2: "The Compile inputs can be typed, otherwise they are assumed to
+     be Real" *)
+  check "int arg becomes real" "Function[{x}, x + x]" [ Expr.Int 2 ] "4.0"
+
+let test_ops () =
+  let cases =
+    [ ("plus", "a + b", [ Expr.Int 3; Expr.Int 4 ], "7");
+      ("subtract", "a - b", [ Expr.Int 3; Expr.Int 4 ], "-1");
+      ("times", "a*b", [ Expr.Int 6; Expr.Int 7 ], "42");
+      ("mod", "Mod[a, b]", [ Expr.Int (-7); Expr.Int 3 ], "2");
+      ("quotient", "Quotient[a, b]", [ Expr.Int (-7); Expr.Int 2 ], "-4");
+      ("power", "a^b", [ Expr.Int 2; Expr.Int 10 ], "1024");
+      ("less", "If[a < b, 1, 0]", [ Expr.Int 1; Expr.Int 2 ], "1");
+      ("equal", "If[a == b, 1, 0]", [ Expr.Int 5; Expr.Int 5 ], "1");
+      ("min", "Min[a, b]", [ Expr.Int 5; Expr.Int 2 ], "2");
+      ("max", "Max[a, b]", [ Expr.Int 5; Expr.Int 2 ], "5");
+      ("bitand", "BitAnd[a, b]", [ Expr.Int 12; Expr.Int 10 ], "8");
+      ("bitxor", "BitXor[a, b]", [ Expr.Int 12; Expr.Int 10 ], "6") ]
+  in
+  List.iter
+    (fun (name, body, args, expected) ->
+       check name
+         (Printf.sprintf
+            {|Function[{Typed[a, "MachineInteger"], Typed[b, "MachineInteger"]}, %s]|}
+            body)
+         args expected)
+    cases;
+  check "real math"
+    {|Function[{Typed[x, "Real64"]}, Sin[x]*Sin[x] + Cos[x]*Cos[x]]|}
+    [ Expr.Real 0.7 ] "1.0"
+
+let test_complex () =
+  check "complex arithmetic"
+    {|Function[{Typed[z, "Complex"]}, Abs[z*z]]|}
+    [ parse "Complex[3.0, 4.0]" ] "25.0"
+
+let test_loops_and_parts () =
+  check "loop sum"
+    {|Function[{Typed[n, "MachineInteger"]},
+       Module[{s = 0, i = 1}, While[i <= n, s = s + i; i = i + 1]; s]]|}
+    [ Expr.Int 10 ] "55";
+  check "matrix part"
+    {|Function[{Typed[m, "PackedArray"["Real64", 2]]}, m[[2, 2]]*m[[1, 1]]]|}
+    [ parse "{{2.0, 0.0}, {0.0, 8.0}}" ] "16.0";
+  check "part update"
+    {|Function[{Typed[v, "PackedArray"["Integer64", 1]]},
+       Module[{w = v}, w[[1]] = 99; w[[1]] + v[[1]]]]|}
+    [ parse "{1, 2}" ] "100"
+
+let test_copy_on_read () =
+  (* w = v copies, so mutating w leaves v intact *)
+  check "register copy isolates"
+    {|Function[{Typed[v, "PackedArray"["Integer64", 1]]},
+       Module[{w = v, before = 0}, before = v[[1]]; w[[1]] = 50; before*100 + v[[1]]]]|}
+    [ parse "{7, 8}" ] "707"
+
+let test_escape_counts () =
+  (* one interpreter escape per unsupported call, resolved at runtime *)
+  Wolfram.init ();
+  ignore (Wolfram.interpret "wvmHelper[x_] := 10*x");
+  let cf =
+    Wvm.compile
+      (parse {|Function[{Typed[n, "MachineInteger"]}, wvmHelper[n] + wvmHelper[n + 1]]|})
+  in
+  Alcotest.check expr "escapes evaluate" (Expr.Int 70)
+    (Wvm.call cf [| Expr.Int 3 |]);
+  let dump = Wvm.dump cf in
+  let count needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i acc =
+      if i + nl > hl then acc
+      else go (i + 1) (if String.sub hay i nl = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "two EvalExpr instructions" 2 (count "EvalExpr" dump)
+
+let test_dump_shape () =
+  let cf =
+    Wvm.compile (parse {|Function[{Typed[x, "Real64"]}, Sin[x] + x]|})
+  in
+  let dump = Wvm.dump cf in
+  let contains needle =
+    let nl = String.length needle and hl = String.length dump in
+    let rec go i = i + nl <= hl && (String.sub dump i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (contains n))
+    [ "CompiledFunction[{11, 12, 5468}"; "{_Real}"; "LoadArg"; "Sin Op"; "Plus Op";
+      "Return"; "Evaluate]" ];
+  Alcotest.(check bool) "instruction count sane" true (Wvm.instruction_count cf >= 4)
+
+let test_if_without_else () =
+  check "if statement"
+    {|Function[{Typed[n, "MachineInteger"]},
+       Module[{x = 0}, If[n > 0, x = 1]; x]]|}
+    [ Expr.Int 5 ] "1"
+
+let test_overflow_reverts () =
+  Wolfram.init ();
+  let w = Wvm.compile (parse {|Function[{Typed[x, "MachineInteger"]}, x*x + 1]|}) in
+  match Wvm.call w [| Expr.Int 3037000500 |] with
+  | Expr.Big _ -> ()
+  | v -> Alcotest.failf "overflow did not revert: %s" (Expr.to_string v)
+
+(* differential property on a small arithmetic grammar: WVM = interpreter
+   for overflow-free real computations *)
+let prop_wvm_differential =
+  QCheck2.Test.make ~name:"WVM real programs match interpreter" ~count:100
+    QCheck2.Gen.(pair (int_range 0 2) (float_range (-4.0) 4.0))
+    (fun (shape, x) ->
+       Wolfram.init ();
+       let body =
+         match shape with
+         | 0 -> "x*x + 2.0*x + 1.0"
+         | 1 -> "Sin[x]*Cos[x] + x/2.0"
+         | _ -> "Max[x, 0.0] - Min[x, 0.0]"
+       in
+       let src = Printf.sprintf {|Function[{Typed[x, "Real64"]}, %s]|} body in
+       let fexpr = parse src in
+       let reference = Wolf_kernel.Session.eval (Expr.Normal (fexpr, [| Expr.Real x |])) in
+       let got = Wvm.call (Wvm.compile fexpr) [| Expr.Real x |] in
+       Expr.equal reference got)
+
+let tests =
+  [ Alcotest.test_case "typed arguments" `Quick test_typed_arguments;
+    Alcotest.test_case "untyped assumes Real (§2.2)" `Quick test_untyped_assumes_real;
+    Alcotest.test_case "opcode dispatch" `Quick test_ops;
+    Alcotest.test_case "complex numbers" `Quick test_complex;
+    Alcotest.test_case "loops and parts" `Quick test_loops_and_parts;
+    Alcotest.test_case "copy-on-read isolation" `Quick test_copy_on_read;
+    Alcotest.test_case "interpreter escapes" `Quick test_escape_counts;
+    Alcotest.test_case "serialised dump" `Quick test_dump_shape;
+    Alcotest.test_case "If without else" `Quick test_if_without_else;
+    Alcotest.test_case "overflow reverts (F2)" `Quick test_overflow_reverts;
+    QCheck_alcotest.to_alcotest prop_wvm_differential ]
