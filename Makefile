@@ -1,0 +1,25 @@
+.PHONY: all build test check bench smoke clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# check = what CI runs: full build, the whole test suite (including the
+# differential corpus), then a quick benchmark smoke run exercising the
+# instrumented pipeline and the compile cache.
+check: build
+	dune runtest
+	dune exec bench/main.exe -- smoke
+
+bench: build
+	dune exec bench/main.exe -- all
+
+smoke: build
+	dune exec bench/main.exe -- smoke
+
+clean:
+	dune clean

@@ -460,6 +460,23 @@ let compile_time () =
   Hashtbl.fold (fun pass t acc -> (pass, t) :: acc) totals []
   |> List.sort (fun (_, a) (_, b) -> compare b a)
   |> List.iter (fun (pass, t) -> Printf.printf "  %-22s %8.2fms\n" pass (t *. 1e3));
+  (* the compile cache: a second identical in-process compile is a hit and
+     near-free, so repeated Compile/run traffic pays compile cost once *)
+  Printf.printf "\ncompile cache (mandelbrot, default target):\n";
+  Wolfram.compile_cache_clear ();
+  let fexpr = Parser.parse P.mandelbrot_src in
+  let t0 = Unix.gettimeofday () in
+  ignore (Wolfram.function_compile fexpr);
+  let cold = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  ignore (Wolfram.function_compile fexpr);
+  let hit = Unix.gettimeofday () -. t0 in
+  let s = Wolfram.compile_cache_stats () in
+  Printf.printf
+    "  cold %8.2fms   cache-hit %8.4fms   speedup %8.0fx   (%d hits / %d misses)\n"
+    (cold *. 1e3) (hit *. 1e3)
+    (if hit > 0.0 then cold /. hit else infinity)
+    s.Wolf_compiler.Compile_cache.hits s.Wolf_compiler.Compile_cache.misses;
   Printf.printf "%!"
 
 (* ------------------------------------------------------------------ *)
@@ -467,11 +484,21 @@ let compile_time () =
 let usage () =
   print_endline
     "usage: main.exe [all|fig2|table1|fig1|findroot|ablation-inline|\n\
-    \                 ablation-abort|ablation-consts|compile-time] [--quick|--paper]"
+    \                 ablation-abort|ablation-consts|compile-time|smoke]\n\
+    \                [--quick|--paper]"
+
+(* smoke: the fast tier-1 gate arm (make check) — feature probes plus the
+   compile-time/cache report, no long measurement loops *)
+let smoke () =
+  sizes := quick_sizes;
+  quota := 0.1;
+  table1 ();
+  compile_time ()
 
 let () =
   Wolfram.init ();
   let args = Array.to_list Sys.argv in
+  let args = List.map (fun a -> if a = "--smoke" then "smoke" else a) args in
   if List.mem "--paper" args then sizes := paper_sizes;
   if List.mem "--quick" args then begin
     sizes := quick_sizes;
@@ -491,6 +518,7 @@ let () =
     | "ablation-abort" -> ablation_abort ()
     | "ablation-consts" -> ablation_consts ()
     | "compile-time" -> compile_time ()
+    | "smoke" -> smoke ()
     | "all" ->
       table1 ();
       fig2 ();

@@ -21,12 +21,13 @@ let read_program expr_opt file_opt =
     s
   | None, None -> failwith "provide a program with -e or a FILE argument"
 
-let options_of ~no_abort ~no_inline ~opt_level ~self =
+let options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after =
   { Wolf_compiler.Options.default with
     abort_handling = not no_abort;
     inline_level = (if no_inline then 0 else 1);
     opt_level;
-    self_name = self }
+    self_name = self;
+    dump_after }
 
 (* shared flags *)
 let expr_arg =
@@ -38,9 +39,13 @@ let file_arg =
 
 let no_abort = Arg.(value & flag & info [ "no-abort" ] ~doc:"Disable abort checks (F3).")
 let no_inline = Arg.(value & flag & info [ "no-inline" ] ~doc:"Disable inlining (E5).")
-let opt_level = Arg.(value & opt int 1 & info [ "O" ] ~docv:"N" ~doc:"Optimisation level (0/1).")
+let opt_level = Arg.(value & opt int 1 & info [ "O" ] ~docv:"N" ~doc:"Optimisation level (0/1/2).")
 let self = Arg.(value & opt (some string) None & info [ "self" ] ~docv:"NAME"
                   ~doc:"Treat calls to NAME as recursive self-references (e.g. cfib).")
+
+let dump_after_arg =
+  Arg.(value & opt_all string [] & info [ "dump-after" ] ~docv:"PASS"
+         ~doc:"Dump the IR to stderr after $(docv) (repeatable; 'all' = every pass).")
 
 let stage_arg =
   let stages =
@@ -51,10 +56,10 @@ let stage_arg =
          ~doc:"Representation to print: ast, wir, twir, bytecode, c, ocaml.")
 
 let emit_cmd =
-  let run stage expr file no_abort no_inline opt_level self =
+  let run stage expr file no_abort no_inline opt_level self dump_after =
     Wolfram.init ();
     let src = read_program expr file in
-    let options = options_of ~no_abort ~no_inline ~opt_level ~self in
+    let options = options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after in
     (match stage with
      | `Ast -> print_endline (Wolfram.compile_to_ast ~options src)
      | `Wir -> print_string (Wolfram.compile_to_ir ~options ~optimize:false src)
@@ -74,7 +79,7 @@ let emit_cmd =
   Cmd.v
     (Cmd.info "emit" ~doc:"Print an intermediate representation (CompileToAST/CompileToIR/FunctionCompileExportString).")
     Term.(const run $ stage_arg $ expr_arg $ file_arg $ no_abort $ no_inline
-          $ opt_level $ self)
+          $ opt_level $ self $ dump_after_arg)
 
 let parse_call_args s =
   if s = "" then []
@@ -98,24 +103,125 @@ let target_arg =
   Arg.(value & opt (enum targets) Wolfram.Jit & info [ "target" ] ~docv:"T"
          ~doc:"Backend: jit (default), threaded, bytecode.")
 
+(* --timings/--stats/--json reports for the run command *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let cache_json (s : Wolf_compiler.Compile_cache.stats) =
+  Printf.sprintf "{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d}"
+    s.hits s.misses s.evictions s.entries
+
+let print_cache_stats () =
+  let s = Wolfram.compile_cache_stats () in
+  Printf.printf "compile cache: %d hits, %d misses, %d evictions, %d entries\n"
+    s.Wolf_compiler.Compile_cache.hits s.misses s.evictions s.entries
+
+let print_program_stats (c : Wolf_compiler.Pipeline.compiled) =
+  let open Wolf_compiler in
+  Printf.printf "program: %d functions, %d instructions, %d blocks, %d in-place updates\n"
+    (List.length c.Pipeline.program.Wir.funcs)
+    (Pass_manager.instr_count c.Pipeline.program)
+    (Pass_manager.block_count c.Pipeline.program)
+    c.Pipeline.inplace_updates
+
 let run_cmd =
-  let run expr file args target no_abort no_inline opt_level self =
+  let run expr file args target no_abort no_inline opt_level self dump_after
+      timings stats json repeat =
     Wolfram.init ();
     let src = read_program expr file in
-    let options = options_of ~no_abort ~no_inline ~opt_level ~self in
-    let cf = Wolfram.function_compile ~options ~target (Parser.parse src) in
+    let options = options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after in
+    let fexpr = Parser.parse src in
+    let t0 = Unix.gettimeofday () in
+    let cf = Wolfram.function_compile ~options ~target fexpr in
+    let compile_seconds = Unix.gettimeofday () -. t0 in
+    (* --repeat demonstrates the compile cache: identical in-process
+       compiles after the first are hits *)
+    for _ = 2 to max 1 repeat do
+      ignore (Wolfram.function_compile ~options ~target fexpr)
+    done;
     let call_args = parse_call_args args in
-    print_endline (Form.input_form (Wolfram.call cf call_args));
+    let result = Form.input_form (Wolfram.call cf call_args) in
+    let pipeline = Wolfram.pipeline_of cf in
+    if json then begin
+      let open Wolf_compiler in
+      let fields =
+        [ Printf.sprintf "\"result\":\"%s\"" (json_escape result);
+          Printf.sprintf "\"compile_seconds\":%.6f" compile_seconds ]
+        @ (match pipeline with
+           | Some c ->
+             [ "\"passes\":" ^ Pass_manager.stats_to_json c.Pipeline.stats;
+               Printf.sprintf "\"instructions\":%d"
+                 (Pass_manager.instr_count c.Pipeline.program);
+               Printf.sprintf "\"blocks\":%d"
+                 (Pass_manager.block_count c.Pipeline.program);
+               Printf.sprintf "\"inplace_updates\":%d" c.Pipeline.inplace_updates ]
+           | None -> [])
+        @ [ "\"cache\":" ^ cache_json (Wolfram.compile_cache_stats ()) ]
+      in
+      print_endline ("{" ^ String.concat "," fields ^ "}")
+    end
+    else begin
+      print_endline result;
+      (match pipeline with
+       | Some c ->
+         if timings then begin
+           Printf.printf "\n== per-pass timings and IR deltas ==\n";
+           print_string (Wolf_compiler.Pass_manager.stats_to_string c.Wolf_compiler.Pipeline.stats)
+         end;
+         if stats then begin
+           Printf.printf "\n== compilation stats ==\n";
+           Printf.printf "compile time: %.2fms%s\n" (compile_seconds *. 1e3)
+             (if repeat > 1 then Printf.sprintf " (first of %d; the rest hit the cache)" repeat
+              else "");
+           print_program_stats c;
+           print_cache_stats ()
+         end
+       | None ->
+         if timings || stats then begin
+           if stats then print_cache_stats ();
+           prerr_endline "(no pipeline instrumentation for the bytecode target)"
+         end)
+    end;
     0
   in
   let args_arg =
     Arg.(value & opt string "" & info [ "args" ] ~docv:"A,B,…"
            ~doc:"Comma-separated arguments (ints, reals, strings, {lists}).")
   in
+  let timings_arg =
+    Arg.(value & flag & info [ "timings" ]
+           ~doc:"Print per-pass wall-clock timings and IR-size deltas.")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print program statistics and compile-cache hit/miss counters.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the result and all reports as one JSON object.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Compile $(docv) times in-process (identical compiles hit the cache).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"FunctionCompile a program and apply it.")
     Term.(const run $ expr_arg $ file_arg $ args_arg $ target_arg $ no_abort
-          $ no_inline $ opt_level $ self)
+          $ no_inline $ opt_level $ self $ dump_after_arg $ timings_arg
+          $ stats_arg $ json_arg $ repeat_arg)
 
 let eval_cmd =
   let run expr file =

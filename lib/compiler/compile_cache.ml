@@ -1,0 +1,74 @@
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+type 'a entry = { value : 'a; mutable last_use : int }
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 128) () =
+  { capacity = max 1 capacity; tbl = Hashtbl.create 64; clock = 0;
+    hits = 0; misses = 0; evictions = 0 }
+
+let key ~source ~options ~target =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ Wolf_wexpr.Expr.to_string source; Options.fingerprint options; target ]))
+
+let find c k =
+  match Hashtbl.find_opt c.tbl k with
+  | Some e ->
+    c.clock <- c.clock + 1;
+    e.last_use <- c.clock;
+    c.hits <- c.hits + 1;
+    Some e.value
+  | None ->
+    c.misses <- c.misses + 1;
+    None
+
+let evict_lru c =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+         match acc with
+         | Some (_, use) when use <= e.last_use -> acc
+         | _ -> Some (k, e.last_use))
+      c.tbl None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove c.tbl k;
+    c.evictions <- c.evictions + 1
+  | None -> ()
+
+let add c k v =
+  c.clock <- c.clock + 1;
+  match Hashtbl.find_opt c.tbl k with
+  | Some _ -> Hashtbl.replace c.tbl k { value = v; last_use = c.clock }
+  | None ->
+    if Hashtbl.length c.tbl >= c.capacity then evict_lru c;
+    Hashtbl.replace c.tbl k { value = v; last_use = c.clock }
+
+let length c = Hashtbl.length c.tbl
+
+let stats c =
+  { hits = c.hits; misses = c.misses; evictions = c.evictions;
+    entries = Hashtbl.length c.tbl }
+
+let clear c =
+  Hashtbl.reset c.tbl;
+  c.clock <- 0;
+  c.hits <- 0;
+  c.misses <- 0;
+  c.evictions <- 0

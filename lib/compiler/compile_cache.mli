@@ -1,0 +1,36 @@
+(** Content-addressed compile cache.
+
+    Repeated [Compile]/[run] calls on identical sources are the common case
+    under interactive and serving workloads; a compile is 10³–10⁶× the cost
+    of a call, so the facade memoizes compilation results keyed by a content
+    hash of (source expression FullForm, every {!Options.t} field, backend
+    target).  Bounded LRU with hit/miss/eviction counters. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;   (** current resident entries *)
+}
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** LRU-bounded cache; default capacity 128. *)
+
+val key : source:Wolf_wexpr.Expr.t -> options:Options.t -> target:string -> string
+(** Content hash of the compilation inputs.  [target] should name the
+    backend (and anything else that selects a different compilation
+    result, e.g. the function name). *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; records a hit or a miss and refreshes LRU recency. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert, evicting the least-recently-used entry when full. *)
+
+val stats : 'a t -> stats
+val length : 'a t -> int
+
+val clear : 'a t -> unit
+(** Drop all entries and zero the counters. *)

@@ -8,6 +8,8 @@ type t = {
   lint : bool;
   self_name : string option;
   target_system : string;
+  dump_after : string list;
+  use_cache : bool;
 }
 
 let default = {
@@ -20,9 +22,27 @@ let default = {
   lint = true;
   self_name = None;
   target_system = "LLVM";
+  dump_after = [];
+  use_cache = true;
 }
 
 let to_macro_options t =
   [ ("AbortHandling", Wolf_wexpr.Expr.bool t.abort_handling);
     ("TargetSystem", Wolf_wexpr.Expr.str t.target_system);
     ("InlineLevel", Wolf_wexpr.Expr.int t.inline_level) ]
+
+(* Every field participates so that any option change produces a distinct
+   compile-cache key. *)
+let fingerprint t =
+  String.concat ";"
+    [ "abort=" ^ string_of_bool t.abort_handling;
+      "inline=" ^ string_of_int t.inline_level;
+      "escape=" ^ string_of_bool t.kernel_escape;
+      "opt=" ^ string_of_int t.opt_level;
+      "consts=" ^ string_of_bool t.static_constants;
+      "mem=" ^ string_of_bool t.memory_management;
+      "lint=" ^ string_of_bool t.lint;
+      "self=" ^ Option.value ~default:"" t.self_name;
+      "target=" ^ t.target_system;
+      "dump=" ^ String.concat "," t.dump_after;
+      "cache=" ^ string_of_bool t.use_cache ]

@@ -12,7 +12,13 @@ type t = {
   lint : bool;               (** run the SSA linter after each pass *)
   self_name : string option; (** name for recursive self-reference (cfib) *)
   target_system : string;    (** e.g. "LLVM", "WVM", "C"; macros may condition on it *)
+  dump_after : string list;  (** dump IR after these passes ("all" = every pass) *)
+  use_cache : bool;          (** consult the compile cache ({!Compile_cache}) *)
 }
 
 val default : t
 val to_macro_options : t -> (string * Wolf_wexpr.Expr.t) list
+
+val fingerprint : t -> string
+(** Stable textual rendering of every field — the options component of a
+    compile-cache key. *)

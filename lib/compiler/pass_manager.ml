@@ -1,0 +1,182 @@
+type pass = {
+  pass_name : string;
+  pass_run : Wir.program -> bool;
+}
+
+let mk name run = { pass_name = name; pass_run = run }
+let of_unit name run = { pass_name = name; pass_run = (fun prog -> run prog; true) }
+
+type delta = {
+  d_instrs_before : int;
+  d_instrs_after : int;
+  d_blocks_before : int;
+  d_blocks_after : int;
+}
+
+type stat = {
+  st_pass : string;
+  st_runs : int;
+  st_changed : int;
+  st_time : float;
+  st_delta : delta option;
+}
+
+(* mutable accumulator behind the exposed immutable [stat] *)
+type acc = {
+  a_pass : string;
+  mutable a_runs : int;
+  mutable a_changed : int;
+  mutable a_time : float;
+  mutable a_delta : delta option;
+}
+
+type t = {
+  lint : bool;
+  dump_after : string list;
+  dump : string -> Wir.program -> unit;
+  accs : (string, acc) Hashtbl.t;
+  mutable order : string list;          (* reverse first-seen order *)
+  mutable timeline : (string * float) list;  (* reverse chronological *)
+}
+
+let instr_count (prog : Wir.program) =
+  List.fold_left
+    (fun n (f : Wir.func) ->
+       List.fold_left (fun n (b : Wir.block) -> n + List.length b.Wir.instrs) n f.Wir.blocks)
+    0 prog.Wir.funcs
+
+let block_count (prog : Wir.program) =
+  List.fold_left (fun n (f : Wir.func) -> n + List.length f.Wir.blocks) 0 prog.Wir.funcs
+
+let default_dump name prog =
+  Printf.eprintf "; ---- IR after %s ----\n%s\n%!" name (Wir_print.program_to_string prog)
+
+let create ?(lint = false) ?(dump_after = []) ?(dump = default_dump) () =
+  { lint; dump_after; dump; accs = Hashtbl.create 16; order = []; timeline = [] }
+
+let acc_of t name =
+  match Hashtbl.find_opt t.accs name with
+  | Some a -> a
+  | None ->
+    let a = { a_pass = name; a_runs = 0; a_changed = 0; a_time = 0.0; a_delta = None } in
+    Hashtbl.replace t.accs name a;
+    t.order <- name :: t.order;
+    a
+
+let wants_dump t name = List.mem name t.dump_after || List.mem "all" t.dump_after
+
+let run_pass t pass prog =
+  let a = acc_of t pass.pass_name in
+  let ib = instr_count prog and bb = block_count prog in
+  let t0 = Unix.gettimeofday () in
+  let changed = pass.pass_run prog in
+  let dt = Unix.gettimeofday () -. t0 in
+  let ia = instr_count prog and ba = block_count prog in
+  a.a_runs <- a.a_runs + 1;
+  if changed then a.a_changed <- a.a_changed + 1;
+  a.a_time <- a.a_time +. dt;
+  a.a_delta <-
+    Some
+      (match a.a_delta with
+       | None ->
+         { d_instrs_before = ib; d_instrs_after = ia;
+           d_blocks_before = bb; d_blocks_after = ba }
+       | Some d -> { d with d_instrs_after = ia; d_blocks_after = ba });
+  t.timeline <- (pass.pass_name, dt) :: t.timeline;
+  if t.lint then Wir_lint.assert_ok pass.pass_name prog;
+  if wants_dump t pass.pass_name then t.dump pass.pass_name prog;
+  changed
+
+let run_list t passes prog = List.iter (fun p -> ignore (run_pass t p prog)) passes
+
+let run_fixpoint ?(budget = 16) t passes prog =
+  let any = ref false in
+  let budget = ref budget in
+  let changed = ref true in
+  while !changed && !budget > 0 do
+    decr budget;
+    changed := false;
+    List.iter (fun p -> if run_pass t p prog then changed := true) passes;
+    if !changed then any := true
+  done;
+  !any
+
+let record t name f =
+  let a = acc_of t name in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  a.a_runs <- a.a_runs + 1;
+  a.a_time <- a.a_time +. dt;
+  t.timeline <- (name, dt) :: t.timeline;
+  r
+
+let checkpoint t name prog =
+  if t.lint then Wir_lint.assert_ok name prog;
+  if wants_dump t name then t.dump name prog
+
+let stats t =
+  List.rev_map
+    (fun name ->
+       let a = Hashtbl.find t.accs name in
+       { st_pass = a.a_pass; st_runs = a.a_runs; st_changed = a.a_changed;
+         st_time = a.a_time; st_delta = a.a_delta })
+    t.order
+
+let timings t = List.rev t.timeline
+
+let stats_to_string stats =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%-24s %5s %8s %10s %14s %12s\n" "pass" "runs" "changed" "ms"
+       "instrs" "blocks");
+  List.iter
+    (fun s ->
+       let instrs, blocks =
+         match s.st_delta with
+         | None -> ("-", "-")
+         | Some d ->
+           ( Printf.sprintf "%d->%d" d.d_instrs_before d.d_instrs_after,
+             Printf.sprintf "%d->%d" d.d_blocks_before d.d_blocks_after )
+       in
+       Buffer.add_string b
+         (Printf.sprintf "%-24s %5d %8d %10.3f %14s %12s\n" s.st_pass s.st_runs
+            s.st_changed (s.st_time *. 1e3) instrs blocks))
+    stats;
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let stats_to_json stats =
+  let field_list s =
+    let base =
+      [ Printf.sprintf "\"pass\":\"%s\"" (json_escape s.st_pass);
+        Printf.sprintf "\"runs\":%d" s.st_runs;
+        Printf.sprintf "\"changed\":%d" s.st_changed;
+        Printf.sprintf "\"seconds\":%.6f" s.st_time ]
+    in
+    match s.st_delta with
+    | None -> base
+    | Some d ->
+      base
+      @ [ Printf.sprintf "\"instrs_before\":%d" d.d_instrs_before;
+          Printf.sprintf "\"instrs_after\":%d" d.d_instrs_after;
+          Printf.sprintf "\"blocks_before\":%d" d.d_blocks_before;
+          Printf.sprintf "\"blocks_after\":%d" d.d_blocks_after ]
+  in
+  "["
+  ^ String.concat ","
+      (List.map (fun s -> "{" ^ String.concat "," (field_list s) ^ "}") stats)
+  ^ "]"

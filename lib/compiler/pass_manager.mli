@@ -1,0 +1,92 @@
+(** Instrumented pass manager (paper §4: the compiler is a sequence of WIR
+    passes with language-obligation passes interleaved).
+
+    Every transformation of a {!Wir.program} — optimisation passes, the
+    language-obligation passes, type inference, user-injected passes — runs
+    through one uniform [pass] record.  The manager owns, per pass:
+
+    - wall-clock time (cumulative over repeated runs in a fixpoint),
+    - before/after instruction- and basic-block-count deltas,
+    - post-pass {!Wir_lint} verification when linting is enabled,
+    - dump-IR-after-pass hooks ([--dump-after] in wolfc).
+
+    Front-end stages that do not yet have a program (macro expansion,
+    lowering) are timed with {!record} and appear in the same report with no
+    IR delta. *)
+
+type pass = {
+  pass_name : string;
+  pass_run : Wir.program -> bool;
+      (** Returns [true] when the program may have changed (drives the
+          optimisation fixpoint). *)
+}
+
+val mk : string -> (Wir.program -> bool) -> pass
+
+val of_unit : string -> (Wir.program -> unit) -> pass
+(** Wrap a pass without a change report; treated as always-changing. *)
+
+type delta = {
+  d_instrs_before : int;
+  d_instrs_after : int;
+  d_blocks_before : int;
+  d_blocks_after : int;
+}
+(** Instruction/basic-block counts at the pass's first run (before) and its
+    most recent run (after). *)
+
+type stat = {
+  st_pass : string;
+  st_runs : int;      (** executions (a fixpoint pass runs many times) *)
+  st_changed : int;   (** runs that reported a change *)
+  st_time : float;    (** cumulative seconds *)
+  st_delta : delta option;  (** [None] for {!record}ed front-end stages *)
+}
+
+type t
+
+val create :
+  ?lint:bool ->
+  ?dump_after:string list ->
+  ?dump:(string -> Wir.program -> unit) ->
+  unit ->
+  t
+(** [lint] (default false) runs {!Wir_lint.assert_ok} after every pass.
+    [dump_after] names passes after which [dump] fires; the name ["all"]
+    matches every pass.  The default [dump] prints the IR to stderr. *)
+
+val run_pass : t -> pass -> Wir.program -> bool
+(** Run one pass with full instrumentation; returns the pass's change
+    report. *)
+
+val run_list : t -> pass list -> Wir.program -> unit
+(** Run each pass once, in order. *)
+
+val run_fixpoint : ?budget:int -> t -> pass list -> Wir.program -> bool
+(** Iterate the pass list until no pass reports a change or [budget]
+    (default 16) rounds elapse; returns [true] if any run changed the
+    program. *)
+
+val record : t -> string -> (unit -> 'a) -> 'a
+(** Time a stage that is not a WIR-to-WIR pass (e.g. macro expansion +
+    lowering); contributes to {!timings} and {!stats} without an IR delta. *)
+
+val checkpoint : t -> string -> Wir.program -> unit
+(** Lint and run the dump hook for a stage boundary that was not executed
+    via {!run_pass} (e.g. right after lowering). *)
+
+val stats : t -> stat list
+(** Aggregated per-pass statistics in first-execution order. *)
+
+val timings : t -> (string * float) list
+(** Per-run (pass name, seconds) in chronological order — the legacy
+    pipeline timings format (experiment E8). *)
+
+val instr_count : Wir.program -> int
+val block_count : Wir.program -> int
+
+val stats_to_string : stat list -> string
+(** Human-readable table: runs, changed, cumulative ms, instr/block deltas. *)
+
+val stats_to_json : stat list -> string
+(** The same report as a JSON array (one object per pass). *)

@@ -12,14 +12,16 @@ type compiled = {
   source : Expr.t;
   expanded : Expr.t;
   timings : (string * float) list;
+  stats : Pass_manager.stat list;
   inplace_updates : int;
 }
 
-let timed timings name f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  timings := (name, Unix.gettimeofday () -. t0) :: !timings;
-  r
+(* Overridable sink for --dump-after IR dumps (tests capture it; wolfc keeps
+   the stderr default so dumps do not mix with the printed result). *)
+let dump_hook : (string -> Wir.program -> unit) ref =
+  ref (fun name prog ->
+      Printf.eprintf "; ---- IR after %s ----\n%s\n%!" name
+        (Wir_print.program_to_string prog))
 
 (* Front half shared by the main entry and Wolfram-implementation
    instantiation: macro expand, bind, lower. *)
@@ -29,40 +31,50 @@ let front ~options ~macro_env ~name fexpr =
   let prog = Lower.lower_function ~options ~name analyzed ~source:fexpr in
   (expanded, prog)
 
+(* The optimisation fixpoint members (paper §4.5).  Level 2 widens the
+   inlining budget and lets the fixpoint run longer. *)
+let opt_passes ~(options : Options.t) =
+  let max_instrs = if options.Options.opt_level >= 2 then 96 else 48 in
+  [ Pass_manager.mk "fold" Opt_fold.run;
+    Pass_manager.mk "simplify-cfg" Opt_simplify_cfg.run;
+    Pass_manager.mk "cse" Opt_cse.run;
+    Pass_manager.mk "dce" Opt_dce.run ]
+  @ (if options.Options.inline_level > 0 then
+       [ Pass_manager.mk "inline" (fun prog -> Opt_inline.run ~max_instrs prog) ]
+     else [])
+
+let fixpoint_budget (options : Options.t) =
+  if options.Options.opt_level >= 2 then 32 else 16
+
 let optimize ~options ~lint prog =
-  let budget = ref 16 in
-  let changed = ref true in
-  while !changed && !budget > 0 do
-    decr budget;
-    changed := false;
-    if Opt_fold.run prog then changed := true;
-    if lint then Wir_lint.assert_ok "fold" prog;
-    if Opt_simplify_cfg.run prog then changed := true;
-    if lint then Wir_lint.assert_ok "simplify-cfg" prog;
-    if Opt_cse.run prog then changed := true;
-    if lint then Wir_lint.assert_ok "cse" prog;
-    if Opt_dce.run prog then changed := true;
-    if lint then Wir_lint.assert_ok "dce" prog;
-    if options.Options.inline_level > 0 then begin
-      if Opt_inline.run ~max_instrs:48 prog then changed := true;
-      if lint then Wir_lint.assert_ok "inline" prog
-    end
-  done
+  let mgr = Pass_manager.create ~lint () in
+  ignore (Pass_manager.run_fixpoint ~budget:(fixpoint_budget options) mgr
+            (opt_passes ~options) prog)
 
 let compile ?(options = Options.default) ?type_env ?macro_env ?(user_passes = []) ~name
     fexpr =
   let env = match type_env with Some e -> e | None -> Stdlib_decls.env () in
   let menv = match macro_env with Some m -> m | None -> Macro.functional_env () in
-  let timings = ref [] in
-  let expanded, prog =
-    timed timings "macro+binding+lower" (fun () -> front ~options ~macro_env:menv ~name fexpr)
-  in
   let lint = options.Options.lint in
-  if lint then Wir_lint.assert_ok "lower" prog;
-  let resolution =
-    timed timings "type-inference" (fun () -> Infer.infer ~env ~options prog)
+  let mgr =
+    Pass_manager.create ~lint ~dump_after:options.Options.dump_after
+      ~dump:(fun n p -> !dump_hook n p) ()
   in
-  if lint then Wir_lint.assert_ok "infer" prog;
+  let expanded, prog =
+    Pass_manager.record mgr "macro+binding+lower" (fun () ->
+        front ~options ~macro_env:menv ~name fexpr)
+  in
+  Pass_manager.checkpoint mgr "lower" prog;
+  let resolution_ref = ref None in
+  ignore
+    (Pass_manager.run_pass mgr
+       (Pass_manager.mk "type-inference" (fun prog ->
+            resolution_ref := Some (Infer.infer ~env ~options prog);
+            true))
+       prog);
+  let resolution =
+    match !resolution_ref with Some t -> t | None -> assert false
+  in
   (* function resolution: instantiate Wolfram-implemented declarations *)
   let compile_instance ~name body arg_tys ret_ty =
     let _, iprog = front ~options ~macro_env:menv ~name body in
@@ -79,27 +91,45 @@ let compile ?(options = Options.default) ?type_env ?macro_env ?(user_passes = []
     Hashtbl.iter (Hashtbl.replace resolution) sub_table;
     iprog.Wir.funcs
   in
-  timed timings "function-resolution" (fun () ->
-      Resolve.run ~compile_instance ~table:resolution prog);
-  if lint then Wir_lint.assert_ok "resolve" prog;
+  ignore
+    (Pass_manager.run_pass mgr
+       (Pass_manager.of_unit "function-resolution" (fun prog ->
+            Resolve.run ~compile_instance ~table:resolution prog))
+       prog);
   if options.Options.opt_level > 0 then
-    timed timings "optimization" (fun () -> optimize ~options ~lint prog);
+    ignore
+      (Pass_manager.run_fixpoint ~budget:(fixpoint_budget options) mgr
+         (opt_passes ~options) prog);
   List.iter
-    (fun up -> timed timings ("user:" ^ up.pass_name) (fun () -> up.pass_run prog))
+    (fun up ->
+       ignore
+         (Pass_manager.run_pass mgr
+            (Pass_manager.of_unit ("user:" ^ up.pass_name) up.pass_run)
+            prog))
     user_passes;
-  let inplace =
-    timed timings "mutability" (fun () -> Mutability_pass.run prog)
-  in
-  if lint then Wir_lint.assert_ok "mutability" prog;
-  if options.Options.abort_handling then begin
-    timed timings "abort-insertion" (fun () -> Abort_pass.run prog);
-    if lint then Wir_lint.assert_ok "abort" prog
-  end;
-  if options.Options.memory_management then begin
-    timed timings "memory-management" (fun () -> Memory_pass.run prog);
-    if lint then Wir_lint.assert_ok "memory" prog
-  end;
-  timed timings "ground-check" (fun () -> Infer.check_ground prog);
+  let inplace = ref 0 in
+  ignore
+    (Pass_manager.run_pass mgr
+       (Pass_manager.mk "mutability" (fun prog ->
+            inplace := Mutability_pass.run prog;
+            true))
+       prog);
+  if options.Options.abort_handling then
+    ignore
+      (Pass_manager.run_pass mgr
+         (Pass_manager.of_unit "abort-insertion" Abort_pass.run)
+         prog);
+  if options.Options.memory_management then
+    ignore
+      (Pass_manager.run_pass mgr
+         (Pass_manager.of_unit "memory-management" Memory_pass.run)
+         prog);
+  ignore
+    (Pass_manager.run_pass mgr
+       (Pass_manager.mk "ground-check" (fun prog ->
+            Infer.check_ground prog;
+            false))
+       prog);
   prog.Wir.pmeta <-
     [ ("AbortHandling", string_of_bool options.Options.abort_handling);
       ("InlineLevel", string_of_int options.Options.inline_level);
@@ -110,8 +140,9 @@ let compile ?(options = Options.default) ?type_env ?macro_env ?(user_passes = []
     coptions = options;
     source = fexpr;
     expanded;
-    timings = List.rev !timings;
-    inplace_updates = inplace;
+    timings = Pass_manager.timings mgr;
+    stats = Pass_manager.stats mgr;
+    inplace_updates = !inplace;
   }
 
 let compile_to_ast ?(options = Options.default) ?macro_env fexpr =

@@ -5,8 +5,10 @@
     memory-management passes → a typed program ready for any backend.
 
     Users can inject passes (§4.7) and supply their own macro and type
-    environments; every stage's wall-clock time is recorded (the paper's
-    benchmark suite measures per-pass times, experiment E8). *)
+    environments.  Every stage runs through the instrumented
+    {!Pass_manager}: wall-clock time, instruction/block-count deltas,
+    post-pass linting and dump-IR-after-pass hooks are recorded uniformly
+    (the paper's benchmark suite measures per-pass times, experiment E8). *)
 
 open Wolf_wexpr
 
@@ -21,9 +23,21 @@ type compiled = {
   coptions : Options.t;
   source : Expr.t;
   expanded : Expr.t;           (** after macro expansion (CompileToAST) *)
-  timings : (string * float) list;  (** pass name → seconds, in order *)
+  timings : (string * float) list;  (** pass name → seconds, per run, in order *)
+  stats : Pass_manager.stat list;
+      (** aggregated per-pass instrumentation (runs, time, IR deltas) *)
   inplace_updates : int;       (** SetParts proven safe by Mutability_pass *)
 }
+
+val dump_hook : (string -> Wir.program -> unit) ref
+(** Sink for [Options.dump_after] IR dumps (default: print to stderr). *)
+
+val opt_passes : options:Options.t -> Pass_manager.pass list
+(** The optimisation-fixpoint members for the given options (level ≥ 2
+    widens the inlining budget). *)
+
+val optimize : options:Options.t -> lint:bool -> Wir.program -> unit
+(** Run the optimisation fixpoint alone on an already-typed program. *)
 
 val compile :
   ?options:Options.t ->

@@ -57,11 +57,24 @@ let blank_suffix head underscores =
   | [| Sym h |] -> u ^ Symbol.name h
   | _ -> u (* non-symbol heads have no operator syntax; approximated *)
 
+(* A bare negative literal re-parses as unary minus (precedence 480), so in
+   tighter contexts (Power, Part, Map, …) it must be parenthesised:
+   Power[-2, 2] is "(-2)^2", not "-2^2" = Times[-1, Power[2, 2]]. *)
+let negative_atom = function
+  | Int i -> i < 0
+  | Real r -> r < 0.0
+  | Big b -> Wolf_base.Bignum.sign b < 0
+  | _ -> false
+
 let rec pp_prec fmt ctx e =
   match e with
   | Tensor t -> pp_tensor fmt t
+  | (Int _ | Big _ | Real _) when negative_atom e && ctx >= 480 ->
+    Format.pp_print_char fmt '(';
+    Expr.pp fmt e;
+    Format.pp_print_char fmt ')'
   | Int _ | Big _ | Real _ | Str _ | Sym _ -> Expr.pp fmt e
-  | Normal (Sym h, args) -> pp_normal fmt ctx (Symbol.name h) args e
+  | Normal (Sym h, args) -> pp_normal fmt ctx (Symbol.name h) args
   | Normal (h, args) ->
     Format.fprintf fmt "%a[%a]" (fun f -> pp_prec f 1000) h pp_args args
 
@@ -91,7 +104,7 @@ and pp_args fmt args =
        pp_prec fmt 0 a)
     args
 
-and pp_normal fmt ctx name args whole =
+and pp_normal fmt ctx name args =
   let paren_if cond body =
     if cond then begin
       Format.pp_print_char fmt '(';
@@ -135,12 +148,12 @@ and pp_normal fmt ctx name args whole =
     paren_if (ctx >= 230) (fun () ->
         Format.pp_print_char fmt '!';
         pp_prec fmt 230 a)
-  | "Times", _ when Array.length args >= 2 && args.(0) = Int (-1) ->
+  | "Times", [| Int (-1); rest |] ->
+    (* only the 2-ary product may print as unary minus: "-(x*y)" would
+       re-parse as Times[-1, Times[x, y]], losing the flat structure *)
     paren_if (ctx >= 480) (fun () ->
         Format.pp_print_char fmt '-';
-        let rest = Array.sub args 1 (Array.length args - 1) in
-        if Array.length rest = 1 then pp_prec fmt 480 rest.(0)
-        else pp_normal fmt 480 "Times" rest whole)
+        pp_prec fmt 480 rest)
   | _ when is_infix name && Array.length args >= 2 ->
     let p = prec_of name in
     let op = op_of name in

@@ -59,34 +59,69 @@ let init () =
 
 let pipelines : (string, Pipeline.compiled) Hashtbl.t = Hashtbl.create 16
 
+(* The content-addressed compile cache (DESIGN.md "Pass manager & compile
+   cache"): repeated Compile/run calls on identical (source, options,
+   target, name) are near-free.  Only the plain path is cached — a custom
+   type/macro environment or user passes can change the result in ways the
+   key cannot see. *)
+let compile_cache : compiled Compile_cache.t = Compile_cache.create ~capacity:256 ()
+
+let compile_cache_stats () = Compile_cache.stats compile_cache
+let compile_cache_clear () = Compile_cache.clear compile_cache
+
+let target_name = function
+  | Jit -> "jit"
+  | Threaded -> "threaded"
+  | Bytecode -> "bytecode"
+
 let function_compile ?options ?type_env ?macro_env ?user_passes
     ?(target = Jit) ?(name = "Main") fexpr =
   init ();
-  match target with
-  | Bytecode -> Wvm (Wvm.compile ~name fexpr)
-  | Jit | Threaded ->
-    let c = Pipeline.compile ?options ?type_env ?macro_env ?user_passes ~name fexpr in
-    let closure =
-      match target with
-      | Jit ->
-        (match Jit.compile c with
-         | Ok f -> f
-         | Error _ -> Native.compile c)
-      | Threaded | Bytecode -> Native.compile c
+  let opts = Option.value ~default:Options.default options in
+  let build () =
+    match target with
+    | Bytecode -> Wvm (Wvm.compile ~name fexpr)
+    | Jit | Threaded ->
+      let c = Pipeline.compile ~options:opts ?type_env ?macro_env ?user_passes ~name fexpr in
+      let closure =
+        match target with
+        | Jit ->
+          (match Jit.compile c with
+           | Ok f -> f
+           | Error _ -> Native.compile c)
+        | Threaded | Bytecode -> Native.compile c
+      in
+      let main = Wir.main c.Pipeline.program in
+      let arg_tys =
+        Array.map
+          (fun (v : Wir.var) -> Option.value ~default:Types.expression v.Wir.vty)
+          main.Wir.fparams
+      in
+      let ret_ty = Option.value ~default:Types.expression main.Wir.ret_ty in
+      let wrapped =
+        Compiled_function.wrap ~name ~source:fexpr ~arg_tys ~ret_ty closure
+      in
+      (* keep the pipeline result reachable for tooling *)
+      Hashtbl.replace pipelines wrapped.Compiled_function.cf_name c;
+      Native wrapped
+  in
+  let cacheable =
+    opts.Options.use_cache && Option.is_none type_env && Option.is_none macro_env
+    && (match user_passes with None | Some [] -> true | Some _ -> false)
+  in
+  if not cacheable then build ()
+  else begin
+    let key =
+      Compile_cache.key ~source:fexpr ~options:opts
+        ~target:(target_name target ^ ":" ^ name)
     in
-    let main = Wir.main c.Pipeline.program in
-    let arg_tys =
-      Array.map
-        (fun (v : Wir.var) -> Option.value ~default:Types.expression v.Wir.vty)
-        main.Wir.fparams
-    in
-    let ret_ty = Option.value ~default:Types.expression main.Wir.ret_ty in
-    let wrapped =
-      Compiled_function.wrap ~name ~source:fexpr ~arg_tys ~ret_ty closure
-    in
-    (* keep the pipeline result reachable for tooling *)
-    Hashtbl.replace pipelines wrapped.Compiled_function.cf_name c;
-    Native wrapped
+    match Compile_cache.find compile_cache key with
+    | Some cf -> cf
+    | None ->
+      let cf = build () in
+      Compile_cache.add compile_cache key cf;
+      cf
+  end
 
 let function_compile_src ?options ?target ?name src =
   function_compile ?options ?target ?name (Parser.parse src)

@@ -74,6 +74,17 @@ val export_library :
 (** [FunctionCompileExportLibrary]: native shared object on disk. *)
 
 val pipeline_of : compiled -> Wolf_compiler.Pipeline.compiled option
-(** Pass timings, resolution table, IR — for tooling and the E8 benchmark. *)
+(** Pass timings, instrumentation stats, resolution table, IR — for tooling
+    and the E8 benchmark. *)
 
 val fallback_count : compiled -> int
+
+val compile_cache_stats : unit -> Wolf_compiler.Compile_cache.stats
+(** Hit/miss/eviction counters of the facade's compile cache.  A second
+    identical [function_compile] in-process is a cache hit; any change to
+    the source text, any {!Wolf_compiler.Options.t} field, the target, or
+    the name misses.  Compiles with custom environments or user passes
+    bypass the cache entirely (counters untouched). *)
+
+val compile_cache_clear : unit -> unit
+(** Drop all cached compilations and zero the counters. *)

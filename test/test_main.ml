@@ -12,6 +12,7 @@ let () =
       ("ir+passes", Test_passes.tests);
       ("stdlib+builtins2", Test_stdlib.tests);
       ("backends", Test_backends.tests);
+      ("pipeline (pass manager + cache)", Test_pipeline.tests);
       ("wvm (the baseline)", Test_wvm.tests);
       ("features (Table 1)", Test_features.tests);
       ("appendix (A.6)", Test_appendix.tests);

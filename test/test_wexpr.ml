@@ -148,6 +148,77 @@ let prop_inputform_roundtrip =
   QCheck2.Test.make ~name:"InputForm print/parse roundtrip" ~count:400 gen_expr
     (fun e -> Expr.equal e (parse (Form.input_form e)))
 
+(* Seeded operator-term round-trip: a deterministic generator over the
+   operator subset the compiler front end leans on (arithmetic, Part,
+   comparisons, logic, rules, Map/Apply, lists), layered the way real
+   programs nest them.  Fixed seed → the same 200 terms every run, so a
+   printer/parser precedence regression fails reproducibly. *)
+let seeded_operator_term st depth0 =
+  let open Expr in
+  let pick st a = a.(Random.State.int st (Array.length a)) in
+  let app h args = normal (sym h) args in
+  let atom st =
+    match Random.State.int st 4 with
+    | 0 -> Int (Random.State.int st 41 - 20)
+    | 1 -> Real (float_of_int (Random.State.int st 800 - 400) /. 100.)
+    | 2 -> sym (pick st [| "a"; "b"; "x"; "y" |])
+    | _ -> Int (Random.State.int st 7)
+  in
+  (* arithmetic layer: Plus/Times/Subtract/Power/Part over atoms *)
+  let rec arith st n =
+    if n <= 0 then atom st
+    else
+      let sub () = arith st (n - 1) in
+      match Random.State.int st 6 with
+      | 0 -> app "Plus" (List.init (2 + Random.State.int st 2) (fun _ -> sub ()))
+      | 1 -> app "Times" (List.init (2 + Random.State.int st 2) (fun _ -> sub ()))
+      | 2 -> app "Subtract" [ sub (); sub () ]
+      | 3 -> app "Power" [ sub (); sub () ]
+      | 4 ->
+        (* Part indexes a symbol base: a[[i]] or a[[i, j]] *)
+        let idx () = Int (1 + Random.State.int st 9) in
+        app "Part"
+          (sym (pick st [| "a"; "b"; "v" |])
+           :: List.init (1 + Random.State.int st 2) (fun _ -> idx ()))
+      | _ -> atom st
+  in
+  (* comparison layer over arithmetic *)
+  let compare_ st n =
+    app (pick st [| "Less"; "Equal" |]) [ arith st n; arith st n ]
+  in
+  (* boolean layer over comparisons *)
+  let rec boolean st n =
+    if n <= 0 then compare_ st 1
+    else
+      match Random.State.int st 3 with
+      | 0 -> app "And" [ boolean st (n - 1); boolean st (n - 1) ]
+      | 1 -> app "Or" [ boolean st (n - 1); boolean st (n - 1) ]
+      | _ -> app "Not" [ boolean st (n - 1) ]
+  in
+  (* structural layer: any of the above under Rule/Map/Apply/List *)
+  let any st n =
+    match Random.State.int st 3 with
+    | 0 -> arith st n
+    | 1 -> boolean st (min n 2)
+    | _ -> compare_ st n
+  in
+  match Random.State.int st 5 with
+  | 0 -> app "Rule" [ any st depth0; any st depth0 ]
+  | 1 -> app "Map" [ sym (pick st [| "f"; "g" |]); any st depth0 ]
+  | 2 -> app "Apply" [ sym (pick st [| "f"; "g" |]); any st depth0 ]
+  | 3 -> app "List" (List.init (Random.State.int st 4) (fun _ -> any st (depth0 - 1)))
+  | _ -> any st depth0
+
+let test_seeded_operator_roundtrip () =
+  let st = Random.State.make [| 0x5eed; 2020 |] in
+  for i = 1 to 200 do
+    let e = seeded_operator_term st (2 + Random.State.int st 2) in
+    let ff = Expr.to_string e in
+    Alcotest.check expr (Printf.sprintf "term %d FullForm: %s" i ff) e (parse ff);
+    let inf = Form.input_form e in
+    Alcotest.check expr (Printf.sprintf "term %d InputForm: %s" i inf) e (parse inf)
+  done
+
 let prop_compare_total_order =
   QCheck2.Test.make ~name:"compare is antisymmetric" ~count:300
     QCheck2.Gen.(pair gen_expr gen_expr)
@@ -162,6 +233,7 @@ let tests =
     Alcotest.test_case "equality and hashing" `Quick test_equal_hash;
     Alcotest.test_case "Head" `Quick test_head;
     Alcotest.test_case "InputForm roundtrip cases" `Quick test_input_form_roundtrip_cases;
+    Alcotest.test_case "seeded operator-term roundtrip" `Quick test_seeded_operator_roundtrip;
     QCheck_alcotest.to_alcotest prop_fullform_roundtrip;
     QCheck_alcotest.to_alcotest prop_inputform_roundtrip;
     QCheck_alcotest.to_alcotest prop_compare_total_order ]
