@@ -1,4 +1,4 @@
-.PHONY: all build test check bench smoke clean
+.PHONY: all build test check bench bench-smoke bench-json smoke clean
 
 all: build
 
@@ -10,13 +10,23 @@ test: build
 
 # check = what CI runs: full build, the whole test suite (including the
 # differential corpus), then a quick benchmark smoke run exercising the
-# instrumented pipeline and the compile cache.
+# instrumented pipeline and the compile cache, and a quick fig2 pass.
 check: build
 	dune runtest
 	dune exec bench/main.exe -- smoke
+	$(MAKE) bench-smoke
 
 bench: build
 	dune exec bench/main.exe -- all
+
+# fast fig2 arm; exercises every measured configuration without touching
+# the checked-in BENCH_fig2.json (regenerate that with `make bench-json`)
+bench-smoke: build
+	dune exec bench/main.exe -- fig2 --quick
+
+# full-size fig2 run refreshing the machine-readable record
+bench-json: build
+	dune exec bench/main.exe -- fig2 --json
 
 smoke: build
 	dune exec bench/main.exe -- smoke

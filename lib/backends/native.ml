@@ -332,6 +332,27 @@ let compile_prim ctx ~base ~dst ~(args : operand array) : (frame -> unit) option
              let t = Rtval.as_tensor (gt fr) in
              set fr (Wolf_wexpr.Tensor.get_real t (norm t (gi fr))))
       end
+    | "part_get_1_unchecked", (I | R) ->
+      (* bounds proven by the loop optimiser; only positive in-range indices
+         reach here, so skip normalize_index *)
+      let gt = get_o ctx args.(0) and gi = get_i ctx args.(1) in
+      if dst_bank = I then begin
+        let set = set_i ctx dst in
+        Some
+          (fun fr ->
+             set fr (Wolf_wexpr.Tensor.get_int (Rtval.as_tensor (gt fr)) (gi fr - 1)))
+      end
+      else begin
+        let set = set_r ctx dst in
+        Some
+          (fun fr ->
+             set fr (Wolf_wexpr.Tensor.get_real (Rtval.as_tensor (gt fr)) (gi fr - 1)))
+      end
+    | "string_byte_unchecked", I ->
+      let gs = get_o ctx args.(0) and gi = get_i ctx args.(1) and set = set_i ctx dst in
+      Some
+        (fun fr ->
+           set fr (Char.code (String.unsafe_get (Rtval.as_str (gs fr)) (gi fr - 1))))
     | "part_get_2", (I | R) ->
       let gt = get_o ctx args.(0) and gi = get_i ctx args.(1) and gk = get_i ctx args.(2) in
       let flat t i k =
@@ -423,6 +444,16 @@ let compile_instr ctx (i : instr) : frame -> unit =
   match i with
   | Load_argument _ -> fun _ -> () (* handled at function entry *)
   | Abort_check -> fun _ -> Abort_signal.check ()
+  | Abort_poll { stride; _ } ->
+    (* the budget ref is captured by this site's closure, so it persists
+       across iterations and calls: one real check per [stride] executions *)
+    let budget = ref stride in
+    fun _ ->
+      decr budget;
+      if !budget <= 0 then begin
+        budget := stride;
+        Abort_signal.check ()
+      end
   | Copy { dst; src } | Copy_value { dst; src } ->
     (match (slot_of ctx dst).bank with
      | I -> let g = get_i ctx src and set = set_i ctx dst in fun fr -> set fr (g fr)

@@ -100,6 +100,7 @@ type ectx = {
   vars : (int, var) Hashtbl.t;
   mutable consts : (string * Rtval.t * Types.t) list;
   mutable const_count : int;
+  mutable polls : (int * int) list;  (* (site, stride): module-level counters *)
   module_key : string;
   fn_names : (string, string) Hashtbl.t;   (* program name -> ocaml name *)
   prog : program;
@@ -253,12 +254,18 @@ let prim_expr ctx ~base ~(args : operand array) ~dst_ty : string option =
   | "unary_boole" -> Some (Printf.sprintf "(if %s then 1 else 0)" (a 0))
   | "string_length" -> Some (Printf.sprintf "String.length %s" (a 0))
   | "string_byte" -> Some (Printf.sprintf "wolf_string_byte %s %s" (a 0) (ii 1))
+  | "string_byte_unchecked" ->
+    Some (Printf.sprintf "Char.code (String.unsafe_get %s (%s - 1))" (a 0) (ii 1))
   | "string_join" -> Some (Printf.sprintf "%s ^ %s" (a 0) (a 1))
   | "array_length" -> Some (Printf.sprintf "(Wolf_wexpr.Tensor.dims %s).(0)" (a 0))
   | "part_get_1" when dst_is "Integer64" ->
     Some (Printf.sprintf "wolf_part1_int %s %s" (a 0) (ii 1))
   | "part_get_1" when dst_is "Real64" ->
     Some (Printf.sprintf "wolf_part1_real %s %s" (a 0) (ii 1))
+  | "part_get_1_unchecked" when dst_is "Integer64" ->
+    Some (Printf.sprintf "wolf_iread %s (%s - 1)" (a 0) (ii 1))
+  | "part_get_1_unchecked" when dst_is "Real64" ->
+    Some (Printf.sprintf "wolf_rread %s (%s - 1)" (a 0) (ii 1))
   | "part_get_2" when dst_is "Integer64" ->
     Some (Printf.sprintf "(wolf_part2_int %s %s %s)" (a 0) (ii 1) (ii 2))
   | "part_get_2" when dst_is "Real64" ->
@@ -442,6 +449,11 @@ let emit_instr ctx b i =
   match i with
   | Load_argument _ -> ()
   | Abort_check -> line "let () = wolf_abort_check () in"
+  | Abort_poll { stride; site } ->
+    if not (List.mem_assoc site ctx.polls) then ctx.polls <- (site, stride) :: ctx.polls;
+    line "let () = decr wolf_poll_%d in" site;
+    line "let () = if !wolf_poll_%d <= 0 then (wolf_poll_%d := %d; wolf_abort_check ()) in"
+      site site stride
   | Copy { dst; src } | Copy_value { dst; src } ->
     line "let v%d : %s = %s in" dst.vid (ocaml_ty (var_ty dst)) (operand_expr ctx src)
   | Mem_acquire op ->
@@ -499,9 +511,15 @@ let emit_instr ctx b i =
 let emit_func ctx (f : func) ~first =
   let b = ctx.buf in
   let live_in = Analysis.live_in f in
+  let fparam_ids = Hashtbl.create 8 in
+  Array.iter (fun v -> Hashtbl.replace fparam_ids v.vid ()) f.fparams;
   let block_extra bl =
-    (* live-in variables become extra leading parameters, sorted by id *)
+    (* Live-in variables become extra leading parameters, sorted by id.
+       Function parameters are lexically in scope inside every block
+       function, so threading them would only lengthen the knot's argument
+       lists (pushing hot loops past the native tail-call register limit). *)
     Hashtbl.fold (fun vid () acc -> vid :: acc) (Hashtbl.find live_in bl.label) []
+    |> List.filter (fun vid -> not (Hashtbl.mem fparam_ids vid))
     |> List.sort compare
     |> List.map (fun vid -> Hashtbl.find ctx.vars vid)
   in
@@ -570,6 +588,7 @@ let emit ~module_name (c : Pipeline.compiled) =
       vars = Hashtbl.create 128;
       consts = [];
       const_count = 0;
+      polls = [];
       module_key = module_name;
       fn_names = Hashtbl.create 8;
       prog;
@@ -585,6 +604,13 @@ let emit ~module_name (c : Pipeline.compiled) =
   List.iteri (fun i f -> emit_func fctx f ~first:(i = 0)) prog.funcs;
   ctx.consts <- fctx.consts;
   ctx.const_count <- fctx.const_count;
+  ctx.polls <- fctx.polls;
+  (* module-level poll counters: persist across calls like the threaded
+     backend's per-site refs *)
+  List.iter
+    (fun (site, stride) ->
+       Buffer.add_string ctx.buf (Printf.sprintf "let wolf_poll_%d = ref %d\n" site stride))
+    (List.rev ctx.polls);
   (* constant bindings, in creation order so names match k{n} references *)
   List.iteri
     (fun i (key, _, ty) ->

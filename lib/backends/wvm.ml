@@ -22,6 +22,9 @@ type winstr =
             srcs : int array }
   | JumpIfFalse of { src : int; target : int }
   | Goto of { target : int }
+  | Poll of { stride : int; mutable budget : int }
+    (* strided abort poll at a loop top; [budget] is the live countdown and
+       persists across calls (the instruction is the counter storage) *)
   | EvalEscape of { dst : int; expr : Expr.t; env : (Symbol.t * int) list }
   | Ret of { src : int }
 
@@ -35,6 +38,10 @@ type compiled_function = {
 
 let resolve_op_ref : (string -> wval array -> int array -> wval) ref =
   ref (fun _ _ _ -> assert false)
+
+(* Back-edges between real abort checks in compiled loops (strided
+   polling); mirrors [Options.abort_stride] for the WIR backends. *)
+let abort_stride = ref 1024
 
 (* Memoising wrapper: the opcode-name lookup happens once per instruction,
    not once per execution; dispatchers read registers directly so no
@@ -199,7 +206,10 @@ and compile_normal st h args whole =
     !(st.buf).(jmp_end) := Goto { target = end_pc };
     result
   | "While", _ when Array.length args >= 1 ->
+    (* the poll at the loop top replaces the former per-back-edge abort
+       check: one real check every [abort_stride] iterations *)
     let top = st.len in
+    ignore (emit st (Poll { stride = !abort_stride; budget = !abort_stride }));
     let cond = compile_expr st args.(0) in
     let jmp_exit = emit st (JumpIfFalse { src = cond; target = -1 }) in
     if Array.length args = 2 then ignore (compile_expr st args.(1));
@@ -273,6 +283,48 @@ let surface_spec fexpr i =
     else None
   | _ -> None
 
+(* Bytecode verifier, run once at the end of compilation: every jump target
+   in range, every register below [nregs], every poll stride positive.
+   Catches malformed emission (e.g. an unpatched -1 jump placeholder) before
+   the interpreter executes it blindly. *)
+let verify cf =
+  let len = Array.length cf.code in
+  let reg r what i =
+    if r < 0 || r >= cf.nregs then
+      Errors.compile_errorf "WVM verifier: %s register %d out of range at pc %d" what r i
+  in
+  let target t i =
+    if t < 0 || t >= len then
+      Errors.compile_errorf "WVM verifier: jump target %d out of range at pc %d" t i
+  in
+  Array.iteri
+    (fun i instr ->
+       match instr with
+       | LoadArg { dst; index; _ } ->
+         reg dst "destination" i;
+         if index < 0 || index >= Array.length cf.params then
+           Errors.compile_errorf "WVM verifier: argument index %d out of range at pc %d"
+             index i
+       | ConstV { dst; _ } -> reg dst "destination" i
+       | Move { dst; src } ->
+         reg dst "destination" i;
+         reg src "source" i
+       | Op { dst; srcs; _ } ->
+         reg dst "destination" i;
+         Array.iter (fun s -> reg s "source" i) srcs
+       | JumpIfFalse { src; target = t } ->
+         reg src "source" i;
+         target t i
+       | Goto { target = t } -> target t i
+       | Poll { stride; _ } ->
+         if stride < 1 then
+           Errors.compile_errorf "WVM verifier: poll stride %d < 1 at pc %d" stride i
+       | EvalEscape { dst; env; _ } ->
+         reg dst "destination" i;
+         List.iter (fun (_, r) -> reg r "environment" i) env
+       | Ret { src } -> reg src "source" i)
+    cf.code
+
 let compile ?(name = "CompiledFunction") fexpr =
   (* reuse the front end's scope flattening and desugaring *)
   let expanded = Macro.expand (Macro.builtin_env ()) fexpr in
@@ -302,13 +354,17 @@ let compile ?(name = "CompiledFunction") fexpr =
   in
   let result = compile_expr st analyzed.body in
   ignore (emit st (Ret { src = result }));
-  {
-    wname = name;
-    params;
-    code = Array.map (fun r -> !r) (Array.sub !(st.buf) 0 st.len);
-    nregs = st.regs;
-    wsource = fexpr;
-  }
+  let cf =
+    {
+      wname = name;
+      params;
+      code = Array.map (fun r -> !r) (Array.sub !(st.buf) 0 st.len);
+      nregs = st.regs;
+      wsource = fexpr;
+    }
+  in
+  verify cf;
+  cf
 
 (* ------------------------------------------------------------------ *)
 (* The virtual machine                                                 *)
@@ -616,14 +672,15 @@ let call_values cf (args : Rtval.t array) : Rtval.t =
        regs.(dst) <- fn regs srcs;
        incr pc
      | JumpIfFalse { src; target } ->
-       if truthy regs.(src) then incr pc
-       else begin
-         if target <= !pc then Abort_signal.check ();
-         pc := target
-       end
-     | Goto { target } ->
-       if target <= !pc then Abort_signal.check ();
-       pc := target
+       if truthy regs.(src) then incr pc else pc := target
+     | Goto { target } -> pc := target
+     | Poll p ->
+       p.budget <- p.budget - 1;
+       if p.budget <= 0 then begin
+         p.budget <- p.stride;
+         Abort_signal.check ()
+       end;
+       incr pc
      | EvalEscape { dst; expr; env } ->
        let bindings =
          List.map (fun (s, r) -> (s, wval_to_expr regs.(r))) env
@@ -667,6 +724,7 @@ let dump cf =
          | JumpIfFalse { src; target } ->
            Printf.sprintf "{30, %d, %d} (* JumpIfFalse *)" src target
          | Goto { target } -> Printf.sprintf "{31, %d} (* Goto *)" target
+         | Poll { stride; _ } -> Printf.sprintf "{32, %d} (* Poll *)" stride
          | EvalEscape { dst; _ } -> Printf.sprintf "{90, %d} (* EvalExpr *)" dst
          | Ret { src } -> Printf.sprintf "{1, %d} (* Return *)" src
        in

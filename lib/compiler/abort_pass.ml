@@ -5,9 +5,14 @@ let run (p : program) =
     (fun f ->
        let cfg = Analysis.build_cfg f in
        let headers = Analysis.loop_headers f cfg in
+       let entry_label = (entry f).label in
+       (* when the entry block is itself a loop header, the prologue check
+          inserted below already runs once per iteration — adding a header
+          check too would double it *)
        List.iter
          (fun b ->
-            if List.mem b.label headers then b.instrs <- Abort_check :: b.instrs)
+            if List.mem b.label headers && b.label <> entry_label then
+              b.instrs <- Abort_check :: b.instrs)
          f.blocks;
        let e = entry f in
        (* prologue check after the argument loads *)

@@ -97,6 +97,186 @@ let loop_headers f cfg =
   Hashtbl.fold (fun l () acc -> l :: acc) headers []
   |> List.sort compare
 
+(* ------------------------------------------------------------------ *)
+(* Natural loops (paper §4.5's loop obligations; used by the loop
+   optimisation layer).  A back edge src -> hdr has [hdr] dominating [src];
+   the loop body is everything that reaches a latch without passing the
+   header. *)
+
+type loop = {
+  lheader : int;
+  latches : int list;      (* back-edge sources, sorted *)
+  lbody : int list;        (* body labels including the header, sorted *)
+  ldepth : int;            (* nesting depth, 1 = outermost *)
+}
+
+let natural_loops f cfg =
+  (* back edges, grouped by header *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+       if Hashtbl.mem cfg.idom b.label then
+         List.iter
+           (fun succ ->
+              if dominates cfg succ b.label then begin
+                let cur = Option.value ~default:[] (Hashtbl.find_opt by_header succ) in
+                Hashtbl.replace by_header succ (b.label :: cur)
+              end)
+           (successors b.term))
+    f.blocks;
+  let loops =
+    Hashtbl.fold
+      (fun header latches acc ->
+         (* backward walk from the latches, stopping at the header *)
+         let body = Hashtbl.create 8 in
+         Hashtbl.replace body header ();
+         let rec walk l =
+           if not (Hashtbl.mem body l) then begin
+             Hashtbl.replace body l ();
+             List.iter
+               (fun p -> if Hashtbl.mem cfg.idom p then walk p)
+               (Option.value ~default:[] (Hashtbl.find_opt cfg.preds l))
+           end
+         in
+         List.iter walk latches;
+         let lbody = Hashtbl.fold (fun l () acc -> l :: acc) body [] |> List.sort compare in
+         { lheader = header; latches = List.sort compare latches; lbody; ldepth = 0 }
+         :: acc)
+      by_header []
+  in
+  (* depth = number of loops whose body contains this header *)
+  let loops =
+    List.map
+      (fun l ->
+         let d =
+           List.length (List.filter (fun m -> List.mem l.lheader m.lbody) loops)
+         in
+         { l with ldepth = d })
+      loops
+  in
+  List.sort (fun a b -> compare a.lheader b.lheader) loops
+
+let loop_contains l label = List.mem label l.lbody
+
+let innermost loops l =
+  (* no distinct loop is nested inside l *)
+  not (List.exists (fun m -> m.lheader <> l.lheader && loop_contains l m.lheader) loops)
+
+(* Ensure the loop at [header] has a preheader: a block outside the loop
+   that is the unique non-latch predecessor of the header and ends in an
+   unconditional jump to it.  Reuses an existing block when one qualifies;
+   otherwise splits the entry edges with a fresh block whose parameters
+   mirror the header's.  The caller must not pass the entry block (it has no
+   incoming entry edges to split). *)
+let ensure_preheader f ~header ~latches =
+  let hdr = find_block f header in
+  let preds =
+    List.filter (fun b -> List.mem header (successors b.term)) f.blocks
+  in
+  let entry_preds = List.filter (fun b -> not (List.mem b.label latches)) preds in
+  match entry_preds with
+  | [ p ] when (match p.term with
+                | Jump { target; _ } -> target = header
+                | _ -> false) ->
+    p.label
+  | _ ->
+    let fresh_label =
+      1 + List.fold_left (fun acc b -> max acc b.label) 0 f.blocks
+    in
+    let params =
+      Array.map (fun v -> fresh_var ~name:v.vname ?ty:v.vty ()) hdr.bparams
+    in
+    let pre =
+      { label = fresh_label;
+        bparams = params;
+        instrs = [];
+        term = Jump { target = header; jargs = Array.map (fun v -> Ovar v) params } }
+    in
+    List.iter
+      (fun p ->
+         let retarget (j : jump) =
+           if j.target = header then { j with target = fresh_label } else j
+         in
+         p.term <-
+           (match p.term with
+            | Jump j -> Jump (retarget j)
+            | Branch { cond; if_true; if_false } ->
+              Branch { cond; if_true = retarget if_true; if_false = retarget if_false }
+            | (Return _ | Unreachable) as t -> t))
+      entry_preds;
+    (* insert just before the header for readable dumps; entry stays first *)
+    let rec insert = function
+      | [] -> [ pre ]
+      | b :: rest when b.label = header -> pre :: b :: rest
+      | b :: rest -> b :: insert rest
+    in
+    f.blocks <- insert f.blocks;
+    fresh_label
+
+(* ---- small SSA utilities shared by the loop passes ---- *)
+
+let def_table f =
+  let t = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+       List.iter
+         (fun i -> List.iter (fun v -> Hashtbl.replace t v.vid i) (instr_defs i))
+         b.instrs)
+    f.blocks;
+  t
+
+(* Follow SSA Copy chains to the root variable (value-preserving; the depth
+   bound guards against un-linted cyclic input). *)
+let chase_copies defs v =
+  let rec go (v : var) depth =
+    if depth > 8 then v
+    else
+      match Hashtbl.find_opt defs v.vid with
+      | Some (Copy { src = Ovar u; _ }) -> go u (depth + 1)
+      | _ -> v
+  in
+  go v 0
+
+let resolved_def defs v = Hashtbl.find_opt defs (chase_copies defs v).vid
+
+let incoming_jumps f label =
+  List.concat_map
+    (fun b ->
+       let js =
+         match b.term with
+         | Jump j -> [ (b.label, j) ]
+         | Branch { if_true; if_false; _ } -> [ (b.label, if_true); (b.label, if_false) ]
+         | Return _ | Unreachable -> []
+       in
+       List.filter (fun (_, j) -> j.target = label) js)
+    f.blocks
+
+(* Does every value reaching position [pos] of [label] over non-latch edges
+   come from an integer constant >= [bound]?  Follows forwarding block
+   parameters (e.g. a preheader introduced by LICM) a bounded number of
+   steps. *)
+let rec entry_consts_ge f ~latches ~label ~pos ~bound ~depth =
+  depth < 3
+  && List.for_all
+       (fun (src, (j : jump)) ->
+          List.mem src latches
+          || (match j.jargs.(pos) with
+              | Oconst (Cint k) -> k >= bound
+              | Oconst _ -> false
+              | Ovar v ->
+                let src_block = find_block f src in
+                (match
+                   Array.to_list src_block.bparams
+                   |> List.mapi (fun q p -> (q, p))
+                   |> List.find_opt (fun (_, p) -> p.vid = v.vid)
+                 with
+                 | Some (q, _) ->
+                   (* forwarded parameter: check the forwarder's own edges *)
+                   entry_consts_ge f ~latches:[] ~label:src ~pos:q ~bound
+                     ~depth:(depth + 1)
+                 | None -> false)))
+       (incoming_jumps f label)
+
 let op_var_ids ops =
   List.filter_map (function Ovar v -> Some v.vid | Oconst _ -> None) ops
 

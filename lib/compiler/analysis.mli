@@ -17,6 +17,48 @@ val loop_headers : Wir.func -> cfg -> int list
 (** Labels that are the target of a back edge (their source being dominated
     by the target): the natural-loop headers where abort checks go. *)
 
+type loop = {
+  lheader : int;       (** header block label *)
+  latches : int list;  (** back-edge sources, sorted *)
+  lbody : int list;    (** body labels including the header, sorted *)
+  ldepth : int;        (** nesting depth, 1 = outermost *)
+}
+
+val natural_loops : Wir.func -> cfg -> loop list
+(** Natural loops from back edges; loops sharing a header are merged.
+    Sorted by header label. *)
+
+val loop_contains : loop -> int -> bool
+
+val innermost : loop list -> loop -> bool
+(** [innermost loops l]: no distinct loop of [loops] is nested inside [l]. *)
+
+val ensure_preheader : Wir.func -> header:int -> latches:int list -> int
+(** Label of the loop's preheader, creating one (splitting the entry edges
+    with a fresh block that forwards the header's parameters) unless a
+    unique fall-through entry predecessor already qualifies.  Must not be
+    called on the entry block. *)
+
+val def_table : Wir.func -> (int, Wir.instr) Hashtbl.t
+(** Defining instruction of each variable id (block parameters excluded). *)
+
+val chase_copies : (int, Wir.instr) Hashtbl.t -> Wir.var -> Wir.var
+(** Follow SSA [Copy] chains from [def_table] to the root variable. *)
+
+val resolved_def : (int, Wir.instr) Hashtbl.t -> Wir.var -> Wir.instr option
+(** The defining instruction after chasing copies. *)
+
+val incoming_jumps : Wir.func -> int -> (int * Wir.jump) list
+(** All (source label, jump) edges in the function targeting a label. *)
+
+val entry_consts_ge :
+  Wir.func -> latches:int list -> label:int -> pos:int -> bound:int ->
+  depth:int -> bool
+(** Does every value reaching parameter [pos] of [label] over non-[latches]
+    edges come from an integer constant [>= bound]?  Traces through
+    forwarding block parameters up to 3 - [depth] levels; call with
+    [~depth:0]. *)
+
 val live_out : Wir.func -> (int, (int, unit) Hashtbl.t) Hashtbl.t
 (** Variable ids live out of each block. *)
 

@@ -1,0 +1,5 @@
+(** Rewrites the header [Abort_check] of innermost call-free loops into a
+    strided [Abort_poll] that runs the real check every [stride] back-edges.
+    Must run after {!Abort_pass}; runs once so poll-site ids are stable. *)
+
+val run : stride:int -> Wir.program -> unit

@@ -1,0 +1,257 @@
+(* Loop-invariant code motion plus bounds-check elimination (the loop
+   optimisation layer).
+
+   LICM hoists pure, non-trapping instructions whose operands are defined
+   outside the loop (or themselves hoisted) into the loop's preheader.
+   Hoisting is speculative — the preheader executes even for zero-trip
+   loops — so only instructions that cannot raise are moved: Copy, and a
+   whitelist of resolved primitives (float arithmetic, comparisons, length
+   queries, ...).  Checked integer arithmetic (overflow/division traps) and
+   element accesses (range traps) stay put.
+
+   BCE then looks for the canonical counting-loop shape
+
+     i = k (k >= 1); While[i <= n, ... t[[i]] ..., i = i + 1]
+
+   where n = Length[t] (or StringLength[s]) is loop-invariant — after LICM
+   has hoisted it when needed — and rewrites the guarded accesses to their
+   _unchecked primitives.  Safety argument: i is an SSA header parameter, so
+   it is fixed within an iteration; the false arm of the guard leaves the
+   loop, so every body block executes only under i <= n; initial values on
+   all entry edges are integer constants >= 1 and every latch steps the
+   parameter by exactly +1, so 1 <= i <= Length holds at each rewritten
+   access. *)
+
+open Wir
+
+(* Pure and non-trapping: safe to execute speculatively in the preheader. *)
+let hoistable_base = function
+  | "binary_plus" | "binary_subtract" | "binary_times" | "binary_divide"
+  | "binary_power" | "binary_power_ri" | "unary_minus" | "unary_abs"
+  | "binary_less" | "binary_greater" | "binary_less_equal"
+  | "binary_greater_equal" | "binary_equal" | "binary_unequal"
+  | "unary_not" | "binary_bitand" | "binary_bitor" | "binary_bitxor"
+  | "unary_sin" | "unary_cos" | "unary_tan" | "unary_exp" | "unary_log"
+  | "unary_sqrt" | "unary_floor" | "unary_ceiling" | "unary_round"
+  | "unary_truncate" | "int_to_real" | "unary_identity_int"
+  | "unary_identity_real" | "binary_min" | "binary_max" | "unary_evenq"
+  | "unary_oddq" | "unary_boole" | "string_length" | "array_length"
+  | "complex_binary_plus" | "complex_binary_subtract"
+  | "complex_binary_times" | "complex_abs" | "complex_re" | "complex_im"
+  | "complex_make" ->
+    true
+  | _ -> false
+
+(* Same restriction as CSE: hoist only scalar results so packed-array
+   aliasing and the memory pass are untouched. *)
+let scalar_result v =
+  match v.vty with
+  | Some t ->
+    (match Types.repr t with
+     | Types.Con (("Integer64" | "Real64" | "Boolean" | "String" | "ComplexReal64"), _) ->
+       true
+     | _ -> false)
+  | None -> false
+
+let licm_loop f (l : Analysis.loop) =
+  let in_body label = Analysis.loop_contains l label in
+  let loop_defs = Hashtbl.create 32 in
+  List.iter
+    (fun b ->
+       if in_body b.label then begin
+         Array.iter (fun v -> Hashtbl.replace loop_defs v.vid ()) b.bparams;
+         List.iter
+           (fun i -> List.iter (fun v -> Hashtbl.replace loop_defs v.vid ()) (instr_defs i))
+           b.instrs
+       end)
+    f.blocks;
+  let hoisted_defs = Hashtbl.create 8 in
+  let invariant_op = function
+    | Oconst _ -> true
+    | Ovar v -> (not (Hashtbl.mem loop_defs v.vid)) || Hashtbl.mem hoisted_defs v.vid
+  in
+  let hoistable = function
+    | Copy { src; _ } -> invariant_op src
+    | Call { dst; callee = Resolved { base; _ }; args } ->
+      hoistable_base base && scalar_result dst && Array.for_all invariant_op args
+    | _ -> false
+  in
+  let hoisted = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun b ->
+         if in_body b.label then
+           b.instrs <-
+             List.filter
+               (fun i ->
+                  if hoistable i then begin
+                    List.iter
+                      (fun v -> Hashtbl.replace hoisted_defs v.vid ())
+                      (instr_defs i);
+                    hoisted := i :: !hoisted;
+                    progress := true;
+                    false
+                  end
+                  else true)
+               b.instrs)
+      f.blocks
+  done;
+  match List.rev !hoisted with
+  | [] -> false
+  | instrs ->
+    let pre_label = Analysis.ensure_preheader f ~header:l.lheader ~latches:l.latches in
+    let pre = find_block f pre_label in
+    pre.instrs <- pre.instrs @ instrs;
+    true
+
+(* ------------------------------------------------------------------ *)
+(* Bounds-check elimination. *)
+
+let chase def_of (v : var) _depth = Analysis.chase_copies def_of v
+let resolved_def def_of (v : var) = Analysis.resolved_def def_of v
+
+let bce_loop f (l : Analysis.loop) =
+  let in_body label = Analysis.loop_contains l label in
+  let def_of = Analysis.def_table f in
+  let loop_defs = Hashtbl.create 32 in
+  List.iter
+    (fun b ->
+       if in_body b.label then begin
+         Array.iter (fun v -> Hashtbl.replace loop_defs v.vid ()) b.bparams;
+         List.iter
+           (fun i -> List.iter (fun v -> Hashtbl.replace loop_defs v.vid ()) (instr_defs i))
+           b.instrs
+       end)
+    f.blocks;
+  let outside v = not (Hashtbl.mem loop_defs v.vid) in
+  let hdr = find_block f l.lheader in
+  match hdr.term with
+  | Branch { cond = Ovar c; if_true; if_false }
+    when in_body if_true.target && not (in_body if_false.target) ->
+    (match resolved_def def_of c with
+     | Some
+         (Call
+            { callee = Resolved { base = ("binary_less_equal" | "binary_less"); _ };
+              args = [| Ovar iv0; Ovar nv0 |];
+              _ }) ->
+       let iv = chase def_of iv0 0 in
+       let nv = chase def_of nv0 0 in
+       let pos = ref (-1) in
+       Array.iteri (fun q p -> if p.vid = iv.vid then pos := q) hdr.bparams;
+       if !pos < 0 || not (outside nv) then false
+       else begin
+         let container =
+           match resolved_def def_of nv with
+           | Some (Call { callee = Resolved { base = "array_length"; _ };
+                          args = [| Ovar tv |]; _ })
+             when outside (chase def_of tv 0) ->
+             Some (`Tensor (chase def_of tv 0))
+           | Some (Call { callee = Resolved { base = "string_length"; _ };
+                          args = [| Ovar sv |]; _ })
+             when outside (chase def_of sv 0) ->
+             Some (`Str (chase def_of sv 0))
+           | _ -> None
+         in
+         match container with
+         | None -> false
+         | Some container ->
+           let steps_by_one =
+             List.for_all
+               (fun latch ->
+                  List.for_all
+                    (fun (_, j) ->
+                       match j.jargs.(!pos) with
+                       | Ovar s ->
+                         (match resolved_def def_of s with
+                          | Some
+                              (Call
+                                 { callee = Resolved { base = "checked_binary_plus"; _ };
+                                   args = [| Ovar i'; Oconst (Cint 1) |];
+                                   _ }) ->
+                            (chase def_of i' 0).vid = iv.vid
+                          | _ -> false)
+                       | _ -> false)
+                    (List.filter (fun (src, _) -> src = latch)
+                       (Analysis.incoming_jumps f l.lheader)))
+               l.latches
+           in
+           if
+             (not steps_by_one)
+             || not
+                  (Analysis.entry_consts_ge f ~latches:l.latches ~label:l.lheader
+                     ~pos:!pos ~bound:1 ~depth:0)
+           then false
+           else begin
+             let changed = ref false in
+             let uncheck old_base old_mangled new_base =
+               let suffix =
+                 String.sub old_mangled (String.length old_base)
+                   (String.length old_mangled - String.length old_base)
+               in
+               Resolved { base = new_base; mangled = new_base ^ suffix }
+             in
+             List.iter
+               (fun b ->
+                  if in_body b.label && b.label <> l.lheader then
+                    b.instrs <-
+                      List.map
+                        (fun i ->
+                           match (i, container) with
+                           | ( Call
+                                 { dst;
+                                   callee = Resolved { base = "part_get_1"; mangled };
+                                   args = [| Ovar t'; Ovar i' |] },
+                               `Tensor tv )
+                             when (chase def_of t' 0).vid = tv.vid
+                               && (chase def_of i' 0).vid = iv.vid ->
+                             changed := true;
+                             Call
+                               { dst;
+                                 callee = uncheck "part_get_1" mangled "part_get_1_unchecked";
+                                 args = [| Ovar t'; Ovar i' |] }
+                           | ( Call
+                                 { dst;
+                                   callee = Resolved { base = "string_byte"; mangled };
+                                   args = [| Ovar s'; Ovar i' |] },
+                               `Str sv )
+                             when (chase def_of s' 0).vid = sv.vid
+                               && (chase def_of i' 0).vid = iv.vid ->
+                             changed := true;
+                             Call
+                               { dst;
+                                 callee = uncheck "string_byte" mangled "string_byte_unchecked";
+                                 args = [| Ovar s'; Ovar i' |] }
+                           | _ -> i)
+                        b.instrs)
+               f.blocks;
+             !changed
+           end
+       end
+     | _ -> false)
+  | _ -> false
+
+let run (p : program) =
+  let changed = ref false in
+  List.iter
+    (fun f ->
+       let entry_label = (entry f).label in
+       let cfg = Analysis.build_cfg f in
+       let loops = Analysis.natural_loops f cfg in
+       (* outermost first, so invariants leave nested loops in one sweep and
+          fresh inner preheaders never precede their operands' defs *)
+       let loops = List.sort (fun a b -> compare a.Analysis.ldepth b.Analysis.ldepth) loops in
+       List.iter
+         (fun (l : Analysis.loop) ->
+            if l.lheader <> entry_label && licm_loop f l then changed := true)
+         loops;
+       (* the CFG may have gained preheaders; recompute for BCE *)
+       let cfg = Analysis.build_cfg f in
+       let loops = Analysis.natural_loops f cfg in
+       List.iter
+         (fun (l : Analysis.loop) ->
+            if l.lheader <> entry_label && bce_loop f l then changed := true)
+         loops)
+    p.funcs;
+  !changed

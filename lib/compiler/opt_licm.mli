@@ -1,0 +1,6 @@
+(** Loop-invariant code motion into preheaders, plus bounds-check
+    elimination for induction-variable accesses provably within
+    [Length]/[StringLength] (rewritten to the [_unchecked] primitives).
+    Runs in the -O1+ fixpoint when [Options.loop_opts] is set. *)
+
+val run : Wir.program -> bool

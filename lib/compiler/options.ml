@@ -10,6 +10,8 @@ type t = {
   target_system : string;
   dump_after : string list;
   use_cache : bool;
+  loop_opts : bool;
+  abort_stride : int;
 }
 
 let default = {
@@ -24,6 +26,8 @@ let default = {
   target_system = "LLVM";
   dump_after = [];
   use_cache = true;
+  loop_opts = true;
+  abort_stride = 1024;
 }
 
 let to_macro_options t =
@@ -45,4 +49,6 @@ let fingerprint t =
       "self=" ^ Option.value ~default:"" t.self_name;
       "target=" ^ t.target_system;
       "dump=" ^ String.concat "," t.dump_after;
-      "cache=" ^ string_of_bool t.use_cache ]
+      "cache=" ^ string_of_bool t.use_cache;
+      "loops=" ^ string_of_bool t.loop_opts;
+      "stride=" ^ string_of_int t.abort_stride ]

@@ -14,6 +14,11 @@ type t = {
   target_system : string;    (** e.g. "LLVM", "WVM", "C"; macros may condition on it *)
   dump_after : string list;  (** dump IR after these passes ("all" = every pass) *)
   use_cache : bool;          (** consult the compile cache ({!Compile_cache}) *)
+  loop_opts : bool;          (** natural-loop optimisations (LICM, bounds-check
+                                 elimination, strided abort polling) at -O1+ *)
+  abort_stride : int;        (** back-edges between real abort checks in
+                                 innermost call-free loops (1 = every
+                                 iteration) *)
 }
 
 val default : t

@@ -37,8 +37,10 @@ let opt_passes ~(options : Options.t) =
   let max_instrs = if options.Options.opt_level >= 2 then 96 else 48 in
   [ Pass_manager.mk "fold" Opt_fold.run;
     Pass_manager.mk "simplify-cfg" Opt_simplify_cfg.run;
-    Pass_manager.mk "cse" Opt_cse.run;
-    Pass_manager.mk "dce" Opt_dce.run ]
+    Pass_manager.mk "cse" Opt_cse.run ]
+  @ (if options.Options.loop_opts then [ Pass_manager.mk "licm" Opt_licm.run ] else [])
+  @ [ Pass_manager.mk "dce" Opt_dce.run;
+      Pass_manager.mk "bparam-elim" Opt_bparam.run ]
   @ (if options.Options.inline_level > 0 then
        [ Pass_manager.mk "inline" (fun prog -> Opt_inline.run ~max_instrs prog) ]
      else [])
@@ -114,11 +116,21 @@ let compile ?(options = Options.default) ?type_env ?macro_env ?(user_passes = []
             inplace := Mutability_pass.run prog;
             true))
        prog);
-  if options.Options.abort_handling then
+  if options.Options.abort_handling then begin
     ignore
       (Pass_manager.run_pass mgr
          (Pass_manager.of_unit "abort-insertion" Abort_pass.run)
          prog);
+    if
+      options.Options.opt_level > 0 && options.Options.loop_opts
+      && options.Options.abort_stride > 1
+    then
+      ignore
+        (Pass_manager.run_pass mgr
+           (Pass_manager.of_unit "abort-stride"
+              (Opt_abort_stride.run ~stride:options.Options.abort_stride))
+           prog)
+  end;
   if options.Options.memory_management then
     ignore
       (Pass_manager.run_pass mgr

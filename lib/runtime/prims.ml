@@ -283,6 +283,11 @@ let apply ~base args =
     (match args with
      | [| Tensor t; Int i |] -> tensor_get t (part_index (Tensor.dims t).(0) i)
      | _ -> bad base args)
+  | "part_get_1_unchecked" ->
+    (* emitted by the loop optimiser when the index is provably in range *)
+    (match args with
+     | [| Tensor t; Int i |] -> tensor_get t (i - 1)
+     | _ -> bad base args)
   | "part_get_2" ->
     (match args with
      | [| Tensor t; Int i; Int k |] ->
@@ -398,6 +403,10 @@ let apply ~base args =
   | "string_byte" ->
     (match args with
      | [| Str s; Int i |] -> Int (Char.code s.[part_index (String.length s) i])
+     | _ -> bad base args)
+  | "string_byte_unchecked" ->
+    (match args with
+     | [| Str s; Int i |] -> Int (Char.code s.[i - 1])
      | _ -> bad base args)
   | "string_take" ->
     (match args with

@@ -232,6 +232,54 @@ let test_abort_compiled () =
   let w = B.Wvm.compile (parse src) in
   check_backend "wvm" (fun () -> B.Wvm.call_values w [| Rtval.Int max_int |])
 
+let test_abort_strided_loop () =
+  (* at -O1+ the counted spin loop is strip-mined: no per-iteration check
+     instruction remains, and the real check runs once per chunk in the new
+     outer loop.  Abort[] must still interrupt it within one stride on every
+     backend, and an unaborted run must return the exact trip count. *)
+  Wolfram.init ();
+  let src =
+    {|Function[{Typed[n, "MachineInteger"]},
+       Module[{i = 0}, While[i < n, i = i + 1]; i]]|}
+  in
+  let c = Pipeline.compile ~name:"spin" (parse src) in
+  let count pred =
+    List.fold_left
+      (fun acc (f : Wir.func) ->
+         List.fold_left
+           (fun acc (b : Wir.block) ->
+              acc + List.length (List.filter pred b.Wir.instrs))
+           acc f.Wir.blocks)
+      0 c.Pipeline.program.Wir.funcs
+  in
+  Alcotest.(check int) "no per-iteration polls (strip-mined)" 0
+    (count (function Wir.Abort_poll _ -> true | _ -> false));
+  Alcotest.(check int) "checks: prologue + chunk header" 2
+    (count (function Wir.Abort_check -> true | _ -> false));
+  let stride = Options.default.Options.abort_stride in
+  let run name entry =
+    Wolf_base.Abort_signal.clear ();
+    (match entry 10 with
+     | Rtval.Int 10 -> ()
+     | v -> Alcotest.failf "%s: unexpected %s" name (Rtval.type_name v)
+     | exception e -> Alcotest.failf "%s: %s" name (Printexc.to_string e));
+    Wolf_base.Abort_signal.clear ();
+    Wolf_base.Abort_signal.abort_after 2;
+    (match entry (10 * stride) with
+     | exception Wolf_base.Abort_signal.Aborted -> ()
+     | _ -> Alcotest.failf "%s: strided loop not aborted" name);
+    Wolf_base.Abort_signal.clear ()
+  in
+  let nat = B.Native.compile c in
+  run "threaded" (fun n -> nat.Rtval.call [| Rtval.Int n |]);
+  if Lazy.force jit_on then begin
+    match B.Jit.compile c with
+    | Ok j -> run "jit" (fun n -> j.Rtval.call [| Rtval.Int n |])
+    | Error e -> Alcotest.failf "jit: %s" e
+  end;
+  let w = B.Wvm.compile (parse src) in
+  run "wvm" (fun n -> B.Wvm.call_values w [| Rtval.Int n |])
+
 let test_abort_disabled_runs_to_completion () =
   let options = { Options.default with Options.abort_handling = false } in
   let c =
@@ -423,6 +471,7 @@ let tests =
     Alcotest.test_case "soft numerical failure (F2)" `Quick test_soft_failure_both_backends;
     Alcotest.test_case "part-error soft failure" `Quick test_part_error_soft_failure;
     Alcotest.test_case "abortable compiled loops (F3)" `Quick test_abort_compiled;
+    Alcotest.test_case "strided polls stay abortable" `Quick test_abort_strided_loop;
     Alcotest.test_case "abort handling disabled" `Quick test_abort_disabled_runs_to_completion;
     Alcotest.test_case "WVM limitations (L1)" `Quick test_wvm_limitations;
     Alcotest.test_case "WVM interpreter escape" `Quick test_wvm_interpreter_escape;

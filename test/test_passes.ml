@@ -66,11 +66,13 @@ let test_lint_catches_use_before_def () =
 (* ---------------- CFG analyses ---------------- *)
 
 let test_loop_headers () =
+  (* the counted source loop is strip-mined at -O1+, so the compiled CFG has
+     the original header plus the outer chunk-loop header *)
   let c = compile fn_src in
   let main = Wir.main c.Pipeline.program in
   let cfg = Analysis.build_cfg main in
   let headers = Analysis.loop_headers main cfg in
-  Alcotest.(check int) "one loop" 1 (List.length headers)
+  Alcotest.(check int) "inner + chunk loop" 2 (List.length headers)
 
 let test_nested_loop_headers () =
   let c =
@@ -82,7 +84,8 @@ let test_nested_loop_headers () =
   in
   let main = Wir.main c.Pipeline.program in
   let cfg = Analysis.build_cfg main in
-  Alcotest.(check int) "two loops" 2 (List.length (Analysis.loop_headers main cfg))
+  (* outer + inner + the inner loop's chunk loop from strip-mining *)
+  Alcotest.(check int) "three loops" 3 (List.length (Analysis.loop_headers main cfg))
 
 let test_dominance () =
   let c = compile fn_src in
@@ -96,6 +99,111 @@ let test_dominance () =
          true
          (Analysis.dominates cfg entry b.Wir.label))
     main.Wir.blocks
+
+(* ---------------- loop structure on hand-built CFGs ---------------- *)
+
+let mk_func blocks =
+  { Wir.fname = "cfg"; fparams = [||]; ret_ty = Some Types.int64;
+    blocks; finline = false; fsource = None }
+
+let jmp target = Wir.Jump { target; jargs = [||] }
+
+let br if_true if_false =
+  Wir.Branch { cond = Wir.Oconst (Wir.Cint 0);
+               if_true = { target = if_true; jargs = [||] };
+               if_false = { target = if_false; jargs = [||] } }
+
+let blk label term = { Wir.label; bparams = [||]; instrs = []; term }
+
+let ret = Wir.Return (Wir.Oconst (Wir.Cint 0))
+
+let test_natural_loops_nested () =
+  let f =
+    mk_func
+      [ blk 0 (jmp 1);
+        blk 1 (br 2 5);  (* outer header *)
+        blk 2 (br 3 4);  (* inner header *)
+        blk 3 (jmp 2);   (* inner latch *)
+        blk 4 (jmp 1);   (* outer latch *)
+        blk 5 ret ]
+  in
+  let cfg = Analysis.build_cfg f in
+  let loops = Analysis.natural_loops f cfg in
+  Alcotest.(check int) "two loops" 2 (List.length loops);
+  let outer = List.find (fun (l : Analysis.loop) -> l.Analysis.lheader = 1) loops in
+  let inner = List.find (fun (l : Analysis.loop) -> l.Analysis.lheader = 2) loops in
+  Alcotest.(check (list int)) "outer body" [ 1; 2; 3; 4 ] outer.Analysis.lbody;
+  Alcotest.(check (list int)) "inner body" [ 2; 3 ] inner.Analysis.lbody;
+  Alcotest.(check (list int)) "outer latches" [ 4 ] outer.Analysis.latches;
+  Alcotest.(check int) "outer depth" 1 outer.Analysis.ldepth;
+  Alcotest.(check int) "inner depth" 2 inner.Analysis.ldepth;
+  Alcotest.(check bool) "inner innermost" true (Analysis.innermost loops inner);
+  Alcotest.(check bool) "outer not innermost" false (Analysis.innermost loops outer)
+
+let test_retreating_edge_not_loop () =
+  (* diamond with a retreating edge whose target does not dominate the
+     source: no natural loop *)
+  let f =
+    mk_func
+      [ blk 0 (br 1 2);
+        blk 1 (jmp 3);
+        blk 2 (jmp 3);
+        blk 3 (br 1 4);  (* 3 -> 1 retreats but 1 does not dominate 3 *)
+        blk 4 ret ]
+  in
+  let cfg = Analysis.build_cfg f in
+  Alcotest.(check int) "no natural loops" 0
+    (List.length (Analysis.natural_loops f cfg))
+
+let test_self_loop () =
+  let f = mk_func [ blk 0 (jmp 1); blk 1 (br 1 2); blk 2 ret ] in
+  let cfg = Analysis.build_cfg f in
+  let loops = Analysis.natural_loops f cfg in
+  Alcotest.(check int) "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  Alcotest.(check (list int)) "body is just the header" [ 1 ] l.Analysis.lbody;
+  Alcotest.(check (list int)) "self latch" [ 1 ] l.Analysis.latches;
+  Alcotest.(check int) "depth" 1 l.Analysis.ldepth;
+  Alcotest.(check bool) "innermost" true (Analysis.innermost loops l)
+
+let test_preheader_reuse_and_insert () =
+  (* a unique fall-through entry predecessor is reused as the preheader *)
+  let f = mk_func [ blk 0 (jmp 1); blk 1 (br 1 2); blk 2 ret ] in
+  Alcotest.(check int) "entry pred reused" 0
+    (Analysis.ensure_preheader f ~header:1 ~latches:[ 1 ]);
+  Alcotest.(check int) "no block added" 3 (List.length f.Wir.blocks);
+  (* entry through a branch arm: the edge must be split with a fresh block
+     that forwards the header's parameters *)
+  let v = Wir.fresh_var ~ty:Types.int64 () in
+  let g =
+    mk_func
+      [ { Wir.label = 0; bparams = [||]; instrs = [];
+          term =
+            Wir.Branch
+              { cond = Wir.Oconst (Wir.Cint 0);
+                if_true = { target = 1; jargs = [| Wir.Oconst (Wir.Cint 1) |] };
+                if_false = { target = 2; jargs = [||] } } };
+        { Wir.label = 1; bparams = [| v |]; instrs = [];
+          term =
+            Wir.Branch
+              { cond = Wir.Oconst (Wir.Cint 0);
+                if_true = { target = 1; jargs = [| Wir.Ovar v |] };
+                if_false = { target = 2; jargs = [||] } } };
+        blk 2 ret ]
+  in
+  let pre = Analysis.ensure_preheader g ~header:1 ~latches:[ 1 ] in
+  Alcotest.(check int) "fresh label" 3 pre;
+  Alcotest.(check int) "block inserted" 4 (List.length g.Wir.blocks);
+  (match (Wir.find_block g pre).Wir.term with
+   | Wir.Jump { target; jargs } ->
+     Alcotest.(check int) "preheader jumps to header" 1 target;
+     Alcotest.(check int) "forwards one param" 1 (Array.length jargs)
+   | _ -> Alcotest.fail "preheader does not end in a jump");
+  (match (Wir.find_block g 0).Wir.term with
+   | Wir.Branch { if_true = { target; _ }; if_false = { target = other; _ }; _ } ->
+     Alcotest.(check int) "entry edge retargeted" pre target;
+     Alcotest.(check int) "exit edge untouched" 2 other
+   | _ -> Alcotest.fail "entry terminator changed shape")
 
 (* ---------------- optimisations ---------------- *)
 
@@ -130,6 +238,60 @@ let test_dce () =
   Alcotest.(check int) "dead cube removed" 0
     (count_instrs (is_call "checked_binary_times") c.Pipeline.program)
 
+let loop_body_labels main =
+  let cfg = Analysis.build_cfg main in
+  let loops = Analysis.natural_loops main cfg in
+  List.concat_map (fun (l : Analysis.loop) -> l.Analysis.lbody) loops
+
+let count_in_labels pred (main : Wir.func) labels =
+  List.fold_left
+    (fun acc l ->
+       acc
+       + List.length (List.filter pred (Wir.find_block main l).Wir.instrs))
+    0 labels
+
+let test_licm_hoists_invariant () =
+  (* x*x does not depend on the induction variable: LICM moves it out *)
+  let c =
+    compile
+      {|Function[{Typed[n, "MachineInteger"], Typed[x, "Real64"]},
+         Module[{s = 0.0, i = 1},
+          While[i <= n, s = s + x*x; i = i + 1]; s]]|}
+  in
+  let main = Wir.main c.Pipeline.program in
+  let body = loop_body_labels main in
+  Alcotest.(check bool) "still has a loop" true (body <> []);
+  Alcotest.(check int) "multiply hoisted out of the loop" 0
+    (count_in_labels (is_call "binary_times") main body);
+  Alcotest.(check int) "multiply still computed somewhere" 1
+    (count_instrs (is_call "binary_times") c.Pipeline.program)
+
+let test_licm_disabled () =
+  let options = { Options.default with Options.loop_opts = false } in
+  let c =
+    compile ~options
+      {|Function[{Typed[n, "MachineInteger"], Typed[x, "Real64"]},
+         Module[{s = 0.0, i = 1},
+          While[i <= n, s = s + x*x; i = i + 1]; s]]|}
+  in
+  let main = Wir.main c.Pipeline.program in
+  let body = loop_body_labels main in
+  Alcotest.(check bool) "multiply stays in the loop" true
+    (count_in_labels (is_call "binary_times") main body >= 1)
+
+let test_bounds_check_elimination () =
+  (* i walks 1..Length[v]: the Part access needs no range check *)
+  let c =
+    compile
+      {|Function[{Typed[v, "PackedArray"["Integer64", 1]]},
+         Module[{s = 0, i = 1},
+          While[i <= Length[v], s = s + v[[i]]; i = i + 1]; s]]|}
+  in
+  Alcotest.(check bool) "unchecked access emitted" true
+    (count_instrs (is_call "part_get_1_unchecked") c.Pipeline.program >= 1);
+  Alcotest.(check int) "no checked access left" 0
+    (count_instrs (is_call "part_get_1") c.Pipeline.program)
+
 let test_optimization_off () =
   let options = { Options.default with Options.opt_level = 0 } in
   let c = compile ~options {|Function[{Typed[n, "MachineInteger"]}, n + (2 + 3*4)]|} in
@@ -158,26 +320,96 @@ let test_inlining_of_declared_function () =
 
 (* ---------------- obligation passes ---------------- *)
 
+let has_abort (b : Wir.block) =
+  List.exists (function Wir.Abort_check -> true | _ -> false) b.Wir.instrs
+
+let has_poll (b : Wir.block) =
+  List.exists (function Wir.Abort_poll _ -> true | _ -> false) b.Wir.instrs
+
 let test_abort_placement () =
   let c = compile fn_src in
   let main = Wir.main c.Pipeline.program in
   let cfg = Analysis.build_cfg main in
-  let headers = Analysis.loop_headers main cfg in
+  let loops = Analysis.natural_loops main cfg in
   let entry = Wir.entry main in
-  let has_abort (b : Wir.block) =
-    List.exists (function Wir.Abort_check -> true | _ -> false) b.Wir.instrs
-  in
   Alcotest.(check bool) "prologue check" true (has_abort entry);
+  (* the single counted loop is innermost and call-free, so at -O1+ it is
+     strip-mined: the hot header carries no check at all and the new outer
+     chunk-loop header runs the immediate check once per chunk *)
+  Alcotest.(check int) "inner + chunk loop" 2 (List.length loops);
+  let inner = List.find (fun l -> Analysis.innermost loops l) loops in
+  let chunk =
+    List.find (fun (l : Analysis.loop) -> l.lheader <> inner.Analysis.lheader) loops
+  in
+  let inner_hdr = Wir.find_block main inner.Analysis.lheader in
+  Alcotest.(check bool) "hot header check-free" false
+    (has_abort inner_hdr || has_poll inner_hdr);
+  Alcotest.(check bool) "chunk header checks" true
+    (has_abort (Wir.find_block main chunk.Analysis.lheader));
+  Alcotest.(check int) "checks: prologue + chunk header" 2
+    (count_instrs (function Wir.Abort_check -> true | _ -> false) c.Pipeline.program);
+  Alcotest.(check int) "no polls on a counted loop" 0
+    (count_instrs (function Wir.Abort_poll _ -> true | _ -> false) c.Pipeline.program)
+
+let test_abort_poll_fallback () =
+  (* a step-2 loop is not counted (strip-mining requires +1 steps), so its
+     header falls back to the strided countdown poll *)
+  let c =
+    compile
+      {|Function[{Typed[n, "MachineInteger"]},
+         Module[{s = 0, i = 1}, While[i <= n, s = s + i; i = i + 2]; s]]|}
+  in
+  let main = Wir.main c.Pipeline.program in
+  let cfg = Analysis.build_cfg main in
+  let loops = Analysis.natural_loops main cfg in
+  Alcotest.(check int) "one loop" 1 (List.length loops);
+  let hdr = Wir.find_block main (List.hd loops).Analysis.lheader in
+  Alcotest.(check bool) "header polls" true (has_poll hdr);
+  Alcotest.(check int) "one immediate check (prologue)" 1
+    (count_instrs (function Wir.Abort_check -> true | _ -> false) c.Pipeline.program)
+
+let test_abort_stride_disabled () =
+  (* stride 1 disables coalescing: every header keeps the immediate check *)
+  let options = { Options.default with Options.abort_stride = 1 } in
+  let c = compile ~options fn_src in
+  let main = Wir.main c.Pipeline.program in
+  let cfg = Analysis.build_cfg main in
+  let headers = Analysis.loop_headers main cfg in
   List.iter
     (fun l ->
        Alcotest.(check bool)
-         (Printf.sprintf "loop header b%d check" l)
+         (Printf.sprintf "loop header b%d immediate" l)
          true
          (has_abort (Wir.find_block main l)))
     headers;
-  (* exactly headers + prologue, not one per instruction *)
-  Alcotest.(check int) "check count" (1 + List.length headers)
-    (count_instrs (function Wir.Abort_check -> true | _ -> false) c.Pipeline.program)
+  Alcotest.(check int) "no polls" 0
+    (count_instrs (function Wir.Abort_poll _ -> true | _ -> false) c.Pipeline.program)
+
+let test_abort_stride_outer_keeps_check () =
+  (* only innermost call-free loops are coalesced; the outer header stays
+     immediate.  The counted inner loop is strip-mined, so the compiled CFG
+     has three loops: outer (immediate check), the inner loop's chunk loop
+     (immediate check, once per chunk) and the check-free hot loop. *)
+  let c =
+    compile
+      {|Function[{Typed[n, "MachineInteger"]},
+         Module[{s = 0, i = 1, j = 1},
+          While[i <= n, j = 1; While[j <= n, s = s + 1; j = j + 1]; i = i + 1];
+          s]]|}
+  in
+  let main = Wir.main c.Pipeline.program in
+  let cfg = Analysis.build_cfg main in
+  let loops = Analysis.natural_loops main cfg in
+  Alcotest.(check int) "three loops" 3 (List.length loops);
+  List.iter
+    (fun (l : Analysis.loop) ->
+       let hdr = Wir.find_block main l.Analysis.lheader in
+       if Analysis.innermost loops l then
+         Alcotest.(check bool) "hot header check-free" false
+           (has_abort hdr || has_poll hdr)
+       else
+         Alcotest.(check bool) "enclosing header checks" true (has_abort hdr))
+    loops
 
 let test_abort_disabled () =
   let options = { Options.default with Options.abort_handling = false } in
@@ -259,8 +491,8 @@ let test_pass_timings_recorded () =
        Alcotest.(check bool) expected true (List.mem expected names))
     [ "macro+binding+lower"; "type-inference"; "function-resolution";
       (* the optimisation fixpoint reports per-pass entries *)
-      "fold"; "simplify-cfg"; "cse"; "dce"; "inline";
-      "mutability"; "abort-insertion"; "memory-management" ]
+      "fold"; "simplify-cfg"; "cse"; "licm"; "dce"; "bparam-elim"; "inline";
+      "mutability"; "abort-insertion"; "abort-stride"; "memory-management" ]
 
 let tests =
   [ Alcotest.test_case "lint accepts pipeline output" `Quick test_lint_accepts_pipeline_output;
@@ -269,13 +501,23 @@ let tests =
     Alcotest.test_case "loop headers" `Quick test_loop_headers;
     Alcotest.test_case "nested loop headers" `Quick test_nested_loop_headers;
     Alcotest.test_case "dominance" `Quick test_dominance;
+    Alcotest.test_case "natural loops: nesting" `Quick test_natural_loops_nested;
+    Alcotest.test_case "natural loops: retreating edge" `Quick test_retreating_edge_not_loop;
+    Alcotest.test_case "natural loops: self loop" `Quick test_self_loop;
+    Alcotest.test_case "preheader insertion" `Quick test_preheader_reuse_and_insert;
     Alcotest.test_case "constant folding" `Quick test_constant_folding;
     Alcotest.test_case "dead-branch deletion" `Quick test_dead_branch_deletion;
     Alcotest.test_case "common subexpressions" `Quick test_cse;
     Alcotest.test_case "dead code elimination" `Quick test_dce;
     Alcotest.test_case "optimisation can be disabled" `Quick test_optimization_off;
     Alcotest.test_case "declared functions inline" `Quick test_inlining_of_declared_function;
+    Alcotest.test_case "loop-invariant code motion" `Quick test_licm_hoists_invariant;
+    Alcotest.test_case "licm can be disabled" `Quick test_licm_disabled;
+    Alcotest.test_case "bounds-check elimination" `Quick test_bounds_check_elimination;
     Alcotest.test_case "abort checks at loop heads + prologue" `Quick test_abort_placement;
+    Alcotest.test_case "non-counted loops fall back to polls" `Quick test_abort_poll_fallback;
+    Alcotest.test_case "abort stride 1 keeps immediate checks" `Quick test_abort_stride_disabled;
+    Alcotest.test_case "abort stride spares outer headers" `Quick test_abort_stride_outer_keeps_check;
     Alcotest.test_case "abort handling off" `Quick test_abort_disabled;
     Alcotest.test_case "memory pass balance" `Quick test_memory_pass_balance;
     Alcotest.test_case "memory pass ignores scalars" `Quick test_memory_pass_skips_scalars;

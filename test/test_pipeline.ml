@@ -272,8 +272,8 @@ let test_pass_stats () =
        Alcotest.(check bool) ("stat recorded for " ^ expected) true
          (List.mem expected names))
     [ "macro+binding+lower"; "type-inference"; "function-resolution"; "fold";
-      "simplify-cfg"; "cse"; "dce"; "inline"; "mutability"; "abort-insertion";
-      "memory-management"; "ground-check" ];
+      "simplify-cfg"; "cse"; "licm"; "dce"; "bparam-elim"; "inline"; "mutability";
+      "abort-insertion"; "abort-stride"; "memory-management"; "ground-check" ];
   List.iter
     (fun (s : Pass_manager.stat) ->
        Alcotest.(check bool) (s.st_pass ^ " ran") true (s.st_runs >= 1);
