@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke bench-json smoke clean
+.PHONY: all build test check bench bench-smoke bench-json smoke fuzz-smoke fuzz clean
 
 all: build
 
@@ -9,10 +9,13 @@ test: build
 	dune runtest
 
 # check = what CI runs: full build, the whole test suite (including the
-# differential corpus), then a quick benchmark smoke run exercising the
-# instrumented pipeline and the compile cache, and a quick fig2 pass.
+# differential corpus), a fixed-seed differential fuzzing smoke campaign
+# with the IR verifier after every pass, then a quick benchmark smoke run
+# exercising the instrumented pipeline and the compile cache, and a quick
+# fig2 pass.
 check: build
 	dune runtest
+	$(MAKE) fuzz-smoke
 	dune exec bench/main.exe -- smoke
 	$(MAKE) bench-smoke
 
@@ -30,6 +33,17 @@ bench-json: build
 
 smoke: build
 	dune exec bench/main.exe -- smoke
+
+# fixed-seed differential fuzzing campaign: 200 generated programs run on
+# threaded + WVM at O0/O1/O2 against the interpreter, with the full IR
+# verifier after every pass; deterministic, so a failure here is replayable
+# with the same seed (see EXPERIMENTS.md "Fuzz triage")
+fuzz-smoke: build
+	dune exec bin/wolfc.exe -- fuzz --seed 1 --count 200 --quiet
+
+# longer free-running campaign for local bug hunting
+fuzz: build
+	dune exec bin/wolfc.exe -- fuzz --seed $$RANDOM --count 2000 --corpus test/corpus
 
 clean:
 	dune clean

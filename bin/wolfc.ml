@@ -21,13 +21,14 @@ let read_program expr_opt file_opt =
     s
   | None, None -> failwith "provide a program with -e or a FILE argument"
 
-let options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after =
+let options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after ~verify_each =
   { Wolf_compiler.Options.default with
     abort_handling = not no_abort;
     inline_level = (if no_inline then 0 else 1);
     opt_level;
     self_name = self;
-    dump_after }
+    dump_after;
+    verify_each }
 
 (* shared flags *)
 let expr_arg =
@@ -47,6 +48,11 @@ let dump_after_arg =
   Arg.(value & opt_all string [] & info [ "dump-after" ] ~docv:"PASS"
          ~doc:"Dump the IR to stderr after $(docv) (repeatable; 'all' = every pass).")
 
+let verify_each_arg =
+  Arg.(value & flag & info [ "verify-each" ]
+         ~doc:"Run the full IR verifier after every pass and report its time \
+               per pass (see --timings).")
+
 let stage_arg =
   let stages =
     [ ("ast", `Ast); ("wir", `Wir); ("twir", `Twir); ("bytecode", `Bytecode);
@@ -56,10 +62,13 @@ let stage_arg =
          ~doc:"Representation to print: ast, wir, twir, bytecode, c, ocaml.")
 
 let emit_cmd =
-  let run stage expr file no_abort no_inline opt_level self dump_after =
+  let run stage expr file no_abort no_inline opt_level self dump_after
+      verify_each =
     Wolfram.init ();
     let src = read_program expr file in
-    let options = options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after in
+    let options =
+      options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after ~verify_each
+    in
     (match stage with
      | `Ast -> print_endline (Wolfram.compile_to_ast ~options src)
      | `Wir -> print_string (Wolfram.compile_to_ir ~options ~optimize:false src)
@@ -79,7 +88,7 @@ let emit_cmd =
   Cmd.v
     (Cmd.info "emit" ~doc:"Print an intermediate representation (CompileToAST/CompileToIR/FunctionCompileExportString).")
     Term.(const run $ stage_arg $ expr_arg $ file_arg $ no_abort $ no_inline
-          $ opt_level $ self $ dump_after_arg)
+          $ opt_level $ self $ dump_after_arg $ verify_each_arg)
 
 let parse_call_args s =
   if s = "" then []
@@ -139,10 +148,12 @@ let print_program_stats (c : Wolf_compiler.Pipeline.compiled) =
 
 let run_cmd =
   let run expr file args target no_abort no_inline opt_level self dump_after
-      timings stats json repeat =
+      verify_each timings stats json repeat =
     Wolfram.init ();
     let src = read_program expr file in
-    let options = options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after in
+    let options =
+      options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after ~verify_each
+    in
     let fexpr = Parser.parse src in
     let t0 = Unix.gettimeofday () in
     let cf = Wolfram.function_compile ~options ~target fexpr in
@@ -220,8 +231,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"FunctionCompile a program and apply it.")
     Term.(const run $ expr_arg $ file_arg $ args_arg $ target_arg $ no_abort
-          $ no_inline $ opt_level $ self $ dump_after_arg $ timings_arg
-          $ stats_arg $ json_arg $ repeat_arg)
+          $ no_inline $ opt_level $ self $ dump_after_arg $ verify_each_arg
+          $ timings_arg $ stats_arg $ json_arg $ repeat_arg)
 
 let eval_cmd =
   let run expr file =
@@ -232,6 +243,78 @@ let eval_cmd =
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate with the interpreter (no compilation).")
     Term.(const run $ expr_arg $ file_arg)
+
+let fuzz_cmd =
+  let run seed count max_size backends no_strings corpus quiet =
+    Wolfram.init ();
+    let backends =
+      match Wolf_fuzz.Oracle.backends_of_string backends with
+      | Ok [] -> prerr_endline "fuzz: no backends selected"; exit 2
+      | Ok bs -> bs
+      | Error e -> prerr_endline e; exit 2
+    in
+    let cfg =
+      { Wolf_fuzz.Driver.default_config with
+        Wolf_fuzz.Driver.seed;
+        count;
+        max_size;
+        strings = not no_strings;
+        backends;
+        corpus_dir = corpus;
+        log = (if quiet then ignore else prerr_endline) }
+    in
+    let report = Wolf_fuzz.Driver.run cfg in
+    Printf.printf "fuzz: %d programs, %d disagreement(s)\n"
+      report.Wolf_fuzz.Driver.generated report.Wolf_fuzz.Driver.disagreements;
+    List.iter
+      (fun (i, case, fs) ->
+         Printf.printf "\n== program %d (shrunk to %d nodes) ==\n%s\n" i
+           (Wolf_fuzz.Ast.size case.Wolf_fuzz.Ast.fn)
+           (Wolf_fuzz.Ast.to_source case.Wolf_fuzz.Ast.fn);
+         List.iter
+           (fun f ->
+              Printf.printf "  %s:\n    expected %s\n    got      %s\n"
+                f.Wolf_fuzz.Oracle.fwhere f.Wolf_fuzz.Oracle.fexpected
+                f.Wolf_fuzz.Oracle.fgot)
+           fs)
+      report.Wolf_fuzz.Driver.failures;
+    if report.Wolf_fuzz.Driver.disagreements = 0 then 0 else 1
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+           ~doc:"Campaign seed; program $(i,i) depends on (seed, i) only.")
+  in
+  let count_arg =
+    Arg.(value & opt int 200 & info [ "count" ] ~docv:"N"
+           ~doc:"Number of programs to generate and check.")
+  in
+  let max_size_arg =
+    Arg.(value & opt int 60 & info [ "max-size" ] ~docv:"N"
+           ~doc:"Node budget per generated program.")
+  in
+  let backends_arg =
+    Arg.(value & opt string "threaded,wvm" & info [ "backends" ] ~docv:"B,B"
+           ~doc:"Backends to check differentially: threaded, jit, wvm, c.")
+  in
+  let no_strings_arg =
+    Arg.(value & flag & info [ "no-strings" ]
+           ~doc:"Disable string operations in generated programs.")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
+           ~doc:"Write shrunk failing programs to $(docv) as replayable .wl files.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress output.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differentially fuzz the compiler: random typed programs are run \
+             on every selected backend at O0/O1/O2 with --verify-each, \
+             results compared against the interpreter, and failures shrunk \
+             to minimal reproducers.")
+    Term.(const run $ seed_arg $ count_arg $ max_size_arg $ backends_arg
+          $ no_strings_arg $ corpus_arg $ quiet_arg)
 
 let repl_cmd =
   let run () =
@@ -267,4 +350,4 @@ let () =
     Cmd.info "wolfc" ~version:(fst Wolf_backends.Compiled_function.versions)
       ~doc:"Wolfram Language compiler reproduction (CGO 2020)."
   in
-  exit (Cmd.eval' (Cmd.group info [ emit_cmd; run_cmd; eval_cmd; repl_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ emit_cmd; run_cmd; eval_cmd; fuzz_cmd; repl_cmd ]))

@@ -1,0 +1,75 @@
+(* Standalone fuzzing campaign runner (the `wolfc fuzz` subcommand wraps the
+   same driver; this executable exists so a long campaign can run without the
+   CLI's dependency footprint, e.g. under rr or a watchdog). *)
+
+let () =
+  let seed = ref 0 in
+  let count = ref 200 in
+  let max_size = ref 60 in
+  let backends = ref "threaded,wvm" in
+  let corpus = ref "" in
+  let no_strings = ref false in
+  let show = ref false in
+  let quiet = ref false in
+  let spec =
+    [ ("--seed", Arg.Set_int seed, "N  campaign seed (default 0)");
+      ("--count", Arg.Set_int count, "N  programs to generate (default 200)");
+      ("--max-size", Arg.Set_int max_size, "N  node budget per program (default 60)");
+      ("--backends", Arg.Set_string backends,
+       "B,B  threaded,jit,wvm,c (default threaded,wvm)");
+      ("--corpus", Arg.Set_string corpus, "DIR  write shrunk failures here");
+      ("--no-strings", Arg.Set no_strings, "  disable string generation");
+      ("--show", Arg.Set show, "  print the generated programs instead of fuzzing");
+      ("--quiet", Arg.Set quiet, "  suppress progress output") ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "fuzz [options]";
+  let backends =
+    match Wolf_fuzz.Oracle.backends_of_string !backends with
+    | Ok [] -> prerr_endline "no backends selected"; exit 2
+    | Ok bs -> bs
+    | Error e -> prerr_endline e; exit 2
+  in
+  if !show then begin
+    let cfg =
+      { Wolf_fuzz.Driver.default_config with
+        Wolf_fuzz.Driver.seed = !seed; max_size = !max_size;
+        strings = not !no_strings }
+    in
+    for i = 0 to !count - 1 do
+      let case = Wolf_fuzz.Driver.case_for cfg i in
+      Printf.printf "(* program %d, size %d, args: {%s} *)\n%s\n\n" i
+        (Wolf_fuzz.Ast.size case.Wolf_fuzz.Ast.fn)
+        (String.concat ", "
+           (List.map Wolf_fuzz.Ast.arg_source case.Wolf_fuzz.Ast.args))
+        (Wolf_fuzz.Ast.to_source case.Wolf_fuzz.Ast.fn)
+    done;
+    exit 0
+  end;
+  let cfg =
+    { Wolf_fuzz.Driver.default_config with
+      Wolf_fuzz.Driver.seed = !seed;
+      count = !count;
+      max_size = !max_size;
+      strings = not !no_strings;
+      backends;
+      corpus_dir = (if !corpus = "" then None else Some !corpus);
+      log = (if !quiet then ignore else prerr_endline) }
+  in
+  let report = Wolf_fuzz.Driver.run cfg in
+  Printf.printf "fuzz: %d programs, %d disagreement(s)\n"
+    report.Wolf_fuzz.Driver.generated report.Wolf_fuzz.Driver.disagreements;
+  List.iter
+    (fun (i, case, fs) ->
+       Printf.printf "\n== program %d (shrunk to %d nodes) ==\n%s\n" i
+         (Wolf_fuzz.Ast.size case.Wolf_fuzz.Ast.fn)
+         (Wolf_fuzz.Ast.to_source case.Wolf_fuzz.Ast.fn);
+       List.iter
+         (fun f ->
+            Printf.printf "  %s:\n    expected %s\n    got      %s\n"
+              f.Wolf_fuzz.Oracle.fwhere f.Wolf_fuzz.Oracle.fexpected
+              f.Wolf_fuzz.Oracle.fgot)
+         fs)
+    report.Wolf_fuzz.Driver.failures;
+  exit (if report.Wolf_fuzz.Driver.disagreements = 0 then 0 else 1)

@@ -44,6 +44,17 @@ let eval_prim base (args : const array) : const option =
     | _ -> None
   with Errors.Runtime_error _ -> None
 
+(* Only immutable scalar constants may be propagated through Copy chains.
+   A [Cexpr] constant can hold a packed tensor: propagating it would replace
+   distinct materialisations (each its own runtime value under the memory
+   pass's acquire/release discipline) with one shared static tensor, and an
+   in-place [part_set] on one alias would then corrupt the others — and the
+   constant itself — across calls (the paper's E7 static-constants issue,
+   found by the differential fuzzer). *)
+let propagatable = function
+  | Cvoid | Cint _ | Creal _ | Cbool _ | Cstr _ -> true
+  | Cexpr _ -> false
+
 let run (p : program) =
   let changed = ref false in
   List.iter
@@ -59,6 +70,7 @@ let run (p : program) =
          | Oconst _ -> op
        in
        (* collect + rewrite until stable inside the function *)
+       let folded_branch = ref false in
        let local_changed = ref true in
        while !local_changed do
          local_changed := false;
@@ -69,7 +81,7 @@ let run (p : program) =
                   (fun i ->
                      let i = map_instr_operands subst i in
                      match i with
-                     | Copy { dst; src = Oconst c } ->
+                     | Copy { dst; src = Oconst c } when propagatable c ->
                        if not (Hashtbl.mem consts dst.vid) then begin
                          Hashtbl.replace consts dst.vid c;
                          local_changed := true
@@ -95,10 +107,15 @@ let run (p : program) =
               (match b.term with
                | Branch { cond = Oconst (Cbool c); if_true; if_false } ->
                  b.term <- Jump (if c then if_true else if_false);
+                 folded_branch := true;
                  changed := true;
                  local_changed := true
                | _ -> ()))
            f.blocks
-       done)
+       done;
+       (* a folded branch can cut blocks off the CFG; drop them at once so
+          the no-orphan invariant holds after every pass, not only after
+          the next simplify-cfg run *)
+       if !folded_branch then ignore (Opt_simplify_cfg.drop_unreachable f))
     p.funcs;
   !changed

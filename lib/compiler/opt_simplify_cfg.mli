@@ -4,3 +4,9 @@
     forwarding blocks are threaded. *)
 
 val run : Wir.program -> bool
+
+val drop_unreachable : Wir.func -> bool
+(** Delete blocks unreachable from the entry; true when any were dropped.
+    Exposed so passes that rewrite terminators (e.g. {!Opt_fold} turning a
+    constant branch into a jump) can restore the verifier's no-orphan
+    invariant without waiting for the next simplify-cfg run. *)

@@ -18,6 +18,7 @@ type stat = {
   st_runs : int;
   st_changed : int;
   st_time : float;
+  st_verify : float;
   st_delta : delta option;
 }
 
@@ -27,11 +28,13 @@ type acc = {
   mutable a_runs : int;
   mutable a_changed : int;
   mutable a_time : float;
+  mutable a_verify : float;
   mutable a_delta : delta option;
 }
 
 type t = {
   lint : bool;
+  verify : bool;
   dump_after : string list;
   dump : string -> Wir.program -> unit;
   accs : (string, acc) Hashtbl.t;
@@ -51,19 +54,34 @@ let block_count (prog : Wir.program) =
 let default_dump name prog =
   Printf.eprintf "; ---- IR after %s ----\n%s\n%!" name (Wir_print.program_to_string prog)
 
-let create ?(lint = false) ?(dump_after = []) ?(dump = default_dump) () =
-  { lint; dump_after; dump; accs = Hashtbl.create 16; order = []; timeline = [] }
+let create ?(lint = false) ?(verify = false) ?(dump_after = []) ?(dump = default_dump)
+    () =
+  { lint; verify; dump_after; dump; accs = Hashtbl.create 16; order = [];
+    timeline = [] }
 
 let acc_of t name =
   match Hashtbl.find_opt t.accs name with
   | Some a -> a
   | None ->
-    let a = { a_pass = name; a_runs = 0; a_changed = 0; a_time = 0.0; a_delta = None } in
+    let a = { a_pass = name; a_runs = 0; a_changed = 0; a_time = 0.0;
+              a_verify = 0.0; a_delta = None } in
     Hashtbl.replace t.accs name a;
     t.order <- name :: t.order;
     a
 
 let wants_dump t name = List.mem name t.dump_after || List.mem "all" t.dump_after
+
+(* Post-pass invariant checking: [lint] and [verify] both run the full
+   {!Wir_verify} checker (the lint grew into it); the time is attributed to
+   the pass that produced the IR so [--verify-each] overhead is visible in
+   the report. *)
+let run_check t a name prog =
+  if t.lint || t.verify then begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> a.a_verify <- a.a_verify +. (Unix.gettimeofday () -. t0))
+      (fun () -> Wir_verify.assert_ok name prog)
+  end
 
 let run_pass t pass prog =
   let a = acc_of t pass.pass_name in
@@ -83,7 +101,11 @@ let run_pass t pass prog =
            d_blocks_before = bb; d_blocks_after = ba }
        | Some d -> { d with d_instrs_after = ia; d_blocks_after = ba });
   t.timeline <- (pass.pass_name, dt) :: t.timeline;
-  if t.lint then Wir_lint.assert_ok pass.pass_name prog;
+  (* a pass reporting no change (corroborated by identical instruction and
+     block counts) left the already-verified IR of the previous step in
+     place; re-verifying the same structure would only inflate the
+     overhead — fixpoint loops end every pass with one unchanged run *)
+  if changed || ia <> ib || ba <> bb then run_check t a pass.pass_name prog;
   if wants_dump t pass.pass_name then t.dump pass.pass_name prog;
   changed
 
@@ -112,7 +134,12 @@ let record t name f =
   r
 
 let checkpoint t name prog =
-  if t.lint then Wir_lint.assert_ok name prog;
+  (match Hashtbl.find_opt t.accs name with
+   | Some a -> run_check t a name prog
+   | None ->
+     (* stage boundary without a stats row (e.g. "lower"): still verified,
+        but the time has no pass to be attributed to *)
+     if t.lint || t.verify then Wir_verify.assert_ok name prog);
   if wants_dump t name then t.dump name prog
 
 let stats t =
@@ -120,15 +147,17 @@ let stats t =
     (fun name ->
        let a = Hashtbl.find t.accs name in
        { st_pass = a.a_pass; st_runs = a.a_runs; st_changed = a.a_changed;
-         st_time = a.a_time; st_delta = a.a_delta })
+         st_time = a.a_time; st_verify = a.a_verify; st_delta = a.a_delta })
     t.order
 
 let timings t = List.rev t.timeline
 
 let stats_to_string stats =
   let b = Buffer.create 512 in
+  let verifying = List.exists (fun s -> s.st_verify > 0.0) stats in
   Buffer.add_string b
-    (Printf.sprintf "%-24s %5s %8s %10s %14s %12s\n" "pass" "runs" "changed" "ms"
+    (Printf.sprintf "%-24s %5s %8s %10s%s %14s %12s\n" "pass" "runs" "changed" "ms"
+       (if verifying then Printf.sprintf " %10s" "verify-ms" else "")
        "instrs" "blocks");
   List.iter
     (fun s ->
@@ -140,9 +169,20 @@ let stats_to_string stats =
              Printf.sprintf "%d->%d" d.d_blocks_before d.d_blocks_after )
        in
        Buffer.add_string b
-         (Printf.sprintf "%-24s %5d %8d %10.3f %14s %12s\n" s.st_pass s.st_runs
-            s.st_changed (s.st_time *. 1e3) instrs blocks))
+         (Printf.sprintf "%-24s %5d %8d %10.3f%s %14s %12s\n" s.st_pass s.st_runs
+            s.st_changed (s.st_time *. 1e3)
+            (if verifying then Printf.sprintf " %10.3f" (s.st_verify *. 1e3) else "")
+            instrs blocks))
     stats;
+  if verifying then begin
+    let pass_total = List.fold_left (fun acc s -> acc +. s.st_time) 0.0 stats in
+    let verify_total = List.fold_left (fun acc s -> acc +. s.st_verify) 0.0 stats in
+    Buffer.add_string b
+      (Printf.sprintf
+         "verifier total: %.3fms over %.3fms of passes (%.1f%% overhead)\n"
+         (verify_total *. 1e3) (pass_total *. 1e3)
+         (if pass_total > 0.0 then 100.0 *. verify_total /. pass_total else 0.0))
+  end;
   Buffer.contents b
 
 let json_escape s =
@@ -165,7 +205,8 @@ let stats_to_json stats =
       [ Printf.sprintf "\"pass\":\"%s\"" (json_escape s.st_pass);
         Printf.sprintf "\"runs\":%d" s.st_runs;
         Printf.sprintf "\"changed\":%d" s.st_changed;
-        Printf.sprintf "\"seconds\":%.6f" s.st_time ]
+        Printf.sprintf "\"seconds\":%.6f" s.st_time;
+        Printf.sprintf "\"verify_seconds\":%.6f" s.st_verify ]
     in
     match s.st_delta with
     | None -> base

@@ -40,6 +40,8 @@ type stat = {
   st_runs : int;      (** executions (a fixpoint pass runs many times) *)
   st_changed : int;   (** runs that reported a change *)
   st_time : float;    (** cumulative seconds *)
+  st_verify : float;  (** cumulative seconds spent in the post-pass
+                          {!Wir_verify} run, attributed to this pass *)
   st_delta : delta option;  (** [None] for {!record}ed front-end stages *)
 }
 
@@ -47,11 +49,14 @@ type t
 
 val create :
   ?lint:bool ->
+  ?verify:bool ->
   ?dump_after:string list ->
   ?dump:(string -> Wir.program -> unit) ->
   unit ->
   t
-(** [lint] (default false) runs {!Wir_lint.assert_ok} after every pass.
+(** [lint] and [verify] (both default false) each run the full
+    {!Wir_verify.assert_ok} after every pass — [verify] is the explicit
+    [--verify-each] switch and is reported per pass in {!stats}.
     [dump_after] names passes after which [dump] fires; the name ["all"]
     matches every pass.  The default [dump] prints the IR to stderr. *)
 

@@ -1,144 +1,9 @@
-open Wir
+(* The original structural SSA lint, kept as a compatibility alias: the
+   checks grew into the full verifier ({!Wir_verify}), which subsumes the
+   lint (SSA + dominance + jump arity) with type agreement, terminator
+   well-formedness and orphan-block detection.  Every call site gets the
+   stronger checks. *)
 
-let check_func f =
-  let errors = ref [] in
-  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
-  (* single definition *)
-  let defs : (int, string) Hashtbl.t = Hashtbl.create 64 in
-  let define v where =
-    if Hashtbl.mem defs v.vid then
-      err "%s: variable %%%d defined twice (second at %s)" f.fname v.vid where
-    else Hashtbl.add defs v.vid where
-  in
-  (* function parameters are declared in [fparams] and defined by their
-     Load_argument instructions in the entry block *)
-  List.iter
-    (fun b ->
-       Array.iter (fun v -> define v (Printf.sprintf "b%d params" b.label)) b.bparams;
-       List.iter
-         (fun i ->
-            List.iter (fun v -> define v (Printf.sprintf "b%d" b.label)) (instr_defs i))
-         b.instrs)
-    f.blocks;
-  (* block labels unique, jump targets exist with matching arity *)
-  let labels = Hashtbl.create 16 in
-  List.iter
-    (fun b ->
-       if Hashtbl.mem labels b.label then err "%s: duplicate block b%d" f.fname b.label
-       else Hashtbl.add labels b.label b)
-    f.blocks;
-  let check_jump src j =
-    match Hashtbl.find_opt labels j.target with
-    | None -> err "%s: b%d jumps to missing block b%d" f.fname src j.target
-    | Some tgt ->
-      if Array.length j.jargs <> Array.length tgt.bparams then
-        err "%s: b%d -> b%d passes %d args, block expects %d" f.fname src j.target
-          (Array.length j.jargs) (Array.length tgt.bparams)
-  in
-  List.iter
-    (fun b ->
-       match b.term with
-       | Jump j -> check_jump b.label j
-       | Branch { if_true; if_false; _ } ->
-         check_jump b.label if_true;
-         check_jump b.label if_false
-       | Return _ | Unreachable -> ())
-    f.blocks;
-  (* dominance of uses: approximate with a forward dataflow over reachable
-     definitions (sound for block-arg SSA: defs flow along CFG edges) *)
-  let block_ids = List.map (fun b -> b.label) f.blocks in
-  let avail_in : (int, unit) Hashtbl.t -> int -> bool = Hashtbl.mem in
-  let in_sets : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
-  let universe = Hashtbl.fold (fun vid _ acc -> vid :: acc) defs [] in
-  List.iter
-    (fun l ->
-       let h = Hashtbl.create 64 in
-       (* initialise to the full set except for the entry block *)
-       (match f.blocks with
-        | e :: _ when e.label = l -> ()
-        | _ -> List.iter (fun vid -> Hashtbl.replace h vid ()) universe);
-       Hashtbl.add in_sets l h)
-    block_ids;
-  let changed = ref true in
-  let entry_label = match f.blocks with b :: _ -> b.label | [] -> -1 in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun b ->
-         let in_set = Hashtbl.find in_sets b.label in
-         let out = Hashtbl.copy in_set in
-         Array.iter (fun v -> Hashtbl.replace out v.vid ()) b.bparams;
-         List.iter
-           (fun i -> List.iter (fun v -> Hashtbl.replace out v.vid ()) (instr_defs i))
-           b.instrs;
-         List.iter
-           (fun succ ->
-              if succ <> entry_label then begin
-                let succ_in = Hashtbl.find in_sets succ in
-                (* intersect: remove anything not in out *)
-                let to_remove =
-                  Hashtbl.fold
-                    (fun vid _ acc -> if Hashtbl.mem out vid then acc else vid :: acc)
-                    succ_in []
-                in
-                if to_remove <> [] then begin
-                  changed := true;
-                  List.iter (Hashtbl.remove succ_in) to_remove
-                end
-              end)
-           (successors b.term))
-      f.blocks
-  done;
-  List.iter
-    (fun b ->
-       let live = Hashtbl.copy (Hashtbl.find in_sets b.label) in
-       Array.iter (fun v -> Hashtbl.replace live v.vid ()) b.bparams;
-       let use_check where op =
-         match op with
-         | Ovar v ->
-           if not (avail_in live v.vid) then
-             err "%s: b%d %s uses %%%d before definition" f.fname b.label where v.vid
-         | Oconst _ -> ()
-       in
-       List.iter
-         (fun i ->
-            List.iter (use_check "instr") (instr_uses i);
-            List.iter (fun v -> Hashtbl.replace live v.vid ()) (instr_defs i))
-         b.instrs;
-       List.iter (use_check "terminator") (term_uses b.term))
-    f.blocks;
-  if !errors = [] then Ok () else Error (List.rev !errors)
-
-let check_program p =
-  let all =
-    List.concat_map
-      (fun f -> match check_func f with Ok () -> [] | Error es -> es)
-      p.funcs
-  in
-  (* function references resolve *)
-  let names = List.map (fun f -> f.fname) p.funcs in
-  let all =
-    all
-    @ List.concat_map
-        (fun f ->
-           List.concat_map
-             (fun b ->
-                List.filter_map
-                  (fun i ->
-                     match i with
-                     | Call { callee = Func name; _ } | New_closure { fname = name; _ }
-                       when not (List.mem name names) ->
-                       Some (Printf.sprintf "%s: reference to missing function %s" f.fname name)
-                     | _ -> None)
-                  b.instrs)
-             f.blocks)
-        p.funcs
-  in
-  if all = [] then Ok () else Error all
-
-let assert_ok pass p =
-  match check_program p with
-  | Ok () -> ()
-  | Error es ->
-    Wolf_base.Errors.compile_errorf "SSA lint after pass %s:@\n%s" pass
-      (String.concat "\n" es)
+let check_func = Wir_verify.check_func
+let check_program = Wir_verify.check_program
+let assert_ok = Wir_verify.assert_ok

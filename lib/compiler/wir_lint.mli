@@ -1,7 +1,12 @@
 (** The IR linter the paper mentions (§4.3 footnote): checks that the SSA
     property is maintained by every pass — each variable defined exactly
     once, every use dominated by its definition, jump arities matching block
-    parameters, and no dangling block references. *)
+    parameters, and no dangling block references.
+
+    The lint has since grown into the full verifier, {!Wir_verify}; this
+    module is a compatibility alias that applies the complete invariant
+    set (structure, dominance, jump arity {e and} types, terminator
+    well-formedness, orphan blocks). *)
 
 val check_func : Wir.func -> (unit, string list) result
 val check_program : Wir.program -> (unit, string list) result

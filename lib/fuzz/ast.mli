@@ -1,0 +1,71 @@
+(** Typed mini-AST for generated Wolfram-subset programs.
+
+    The fuzzer generates, shrinks and persists programs in this form; the
+    oracle renders them to concrete Wolfram source ({!to_source}) and parses
+    that with the production {!Wolf_wexpr.Parser}, so the fuzz pipeline
+    exercises exactly the text a user would write. *)
+
+type ty = TInt | TReal | TBool | TStr | TArr
+(** [TArr] is a rank-1 ["PackedArray"["Integer64", 1]]. *)
+
+type expr =
+  | Int of int
+  | Real of float
+  | Bool of bool
+  | Str of string                      (** non-empty ASCII *)
+  | Arr of int list                    (** non-empty literal list *)
+  | Var of string * ty
+  | Bin of string * ty * expr * expr   (** op, result type; ["/"] on reals is
+                                           rendered with a guarded divisor *)
+  | Un of string * ty * expr           (** Abs, Minus, Sin, Cos, SqrtAbs,
+                                           EvenQ, Not, StringLength, Length,
+                                           Total, Reverse, Chars *)
+  | Cmp of string * ty * expr * expr   (** comparison; [ty] is operand type *)
+  | And of expr * expr
+  | Or of expr * expr
+  | If of ty * expr * expr * expr
+  | Part of string * expr              (** [v[[1 + Mod[idx, Length[v]]]]] *)
+  | StrJoin of expr * expr
+  | ConstArr of expr * int             (** [ConstantArray[e, k]], k >= 1 *)
+
+type stmt =
+  | Assign of string * ty * expr
+  | PartSet of string * expr * expr    (** clamped index, int value *)
+  | SIf of expr * stmt list * stmt list
+  | While of string * int * stmt list  (** dedicated counter, constant bound *)
+  | DoLoop of string * int * stmt list (** [Do[body, {i, k}]] *)
+
+type local = { lname : string; lty : ty; linit : expr }
+
+type fn = {
+  params : (string * ty) list;
+  withs : local list;    (** immutable bindings, rendered as [With] *)
+  locals : local list;   (** mutable bindings, rendered as [Module] *)
+  body : stmt list;
+  result : expr;
+  ret : ty;
+}
+
+type case = {
+  fn : fn;
+  args : expr list;      (** literals matching [fn.params] *)
+}
+
+val expr_ty : expr -> ty
+val ty_name : ty -> string
+(** The [Typed] annotation string for a parameter of this type. *)
+
+val to_source : fn -> string
+(** Render to parseable Wolfram source. *)
+
+val arg_source : expr -> string
+(** Render one argument literal. *)
+
+val size : fn -> int
+(** Node count (statements + expressions); the shrinker must never grow it. *)
+
+val expr_size : expr -> int
+
+val uses_strings : fn -> bool
+(** True when the program touches strings anywhere — such programs are not
+    WVM-representable (L1). *)

@@ -1,0 +1,171 @@
+open Wolf_wexpr
+
+type config = {
+  seed : int;
+  count : int;
+  max_size : int;
+  strings : bool;
+  backends : Oracle.backend list;
+  levels : int list;
+  corpus_dir : string option;
+  log : string -> unit;
+}
+
+let default_config =
+  { seed = 0; count = 200; max_size = 60; strings = true;
+    backends = [ Oracle.Threaded; Oracle.Wvm ]; levels = [ 0; 1; 2 ];
+    corpus_dir = None; log = ignore }
+
+type report = {
+  generated : int;
+  disagreements : int;
+  failures : (int * Ast.case * Oracle.failure list) list;
+  written : string list;
+}
+
+(* program i depends on (seed, i) only: regenerating one program never
+   requires replaying the campaign up to it *)
+let case_for cfg i =
+  let rng = Rng.split (Rng.create cfg.seed) i in
+  Gen.case
+    ~config:{ Gen.max_size = cfg.max_size; strings = cfg.strings }
+    rng
+
+(* ---- corpus persistence ---------------------------------------------- *)
+
+let write_corpus ~dir ~name ~note (case : Ast.case) =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".wl") in
+  let oc = open_out path in
+  Printf.fprintf oc "(* %s *)\n" note;
+  Printf.fprintf oc "(* args: {%s} *)\n"
+    (String.concat ", " (List.map Ast.arg_source case.Ast.args));
+  if Ast.uses_strings case.Ast.fn then Printf.fprintf oc "(* wvm: false *)\n";
+  output_string oc (Ast.to_source case.Ast.fn);
+  output_char oc '\n';
+  close_out oc;
+  path
+
+type corpus_entry = {
+  ce_path : string;
+  ce_source : string;
+  ce_args : Expr.t list;
+  ce_wvm : bool;
+  ce_note : string;
+}
+
+let strip_prefix ~prefix s =
+  if String.length s >= String.length prefix
+     && String.sub s 0 (String.length prefix) = prefix
+  then Some (String.sub s (String.length prefix)
+               (String.length s - String.length prefix))
+  else None
+
+let read_corpus_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  let lines = String.split_on_char '\n' text in
+  let note = ref "" and args = ref None and wvm = ref true in
+  let rec headers = function
+    | line :: rest
+      when String.length (String.trim line) >= 2
+           && String.length (String.trim line) >= 4
+           && String.sub (String.trim line) 0 2 = "(*" ->
+      let body = String.trim line in
+      let inner = String.trim (String.sub body 2 (String.length body - 4)) in
+      (match strip_prefix ~prefix:"args:" inner with
+       | Some a -> args := Some (String.trim a)
+       | None ->
+         (match strip_prefix ~prefix:"wvm:" inner with
+          | Some w -> wvm := String.trim w <> "false"
+          | None -> if !note = "" then note := inner));
+      headers rest
+    | rest -> rest
+  in
+  let body_lines = headers lines in
+  let source = String.trim (String.concat "\n" body_lines) in
+  match !args with
+  | None -> Error (path ^ ": missing (* args: {...} *) header")
+  | Some a ->
+    (match Parser.parse_opt a with
+     | Error e -> Error (Printf.sprintf "%s: bad args %S: %s" path a e)
+     | Ok (Expr.Normal (Expr.Sym l, items))
+       when Symbol.name l = "List" ->
+       Ok { ce_path = path; ce_source = source;
+            ce_args = Array.to_list items; ce_wvm = !wvm; ce_note = !note }
+     | Ok _ -> Error (path ^ ": args header is not a {…} list"))
+
+let read_corpus_dir dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".wl")
+  |> List.sort compare
+  |> List.map (fun f ->
+      match read_corpus_file (Filename.concat dir f) with
+      | Ok e -> e
+      | Error m -> failwith m)
+
+let scalar_param = function
+  | Expr.Normal (Expr.Sym t, [| _; tye |]) when Symbol.name t = "Typed" ->
+    (match tye with
+     | Expr.Str ("MachineInteger" | "Integer64" | "Real64" | "Boolean") -> true
+     | _ -> false)
+  | _ -> false
+
+let check_entry ?backends ?levels entry =
+  match Parser.parse_opt entry.ce_source with
+  | Error e ->
+    [ { Oracle.fwhere = "parse"; fexpected = "parseable corpus program";
+        fgot = e } ]
+  | Ok fexpr ->
+    let c_ok =
+      match fexpr with
+      | Expr.Normal (_, [| Expr.Normal (_, params); _ |]) ->
+        Array.for_all scalar_param params
+      | _ -> false
+    in
+    Oracle.check_parsed ?backends ?levels ~wvm_ok:entry.ce_wvm ~c_ok fexpr
+      (Array.of_list entry.ce_args)
+
+(* ---- the campaign ----------------------------------------------------- *)
+
+let run cfg =
+  let failures = ref [] in
+  let written = ref [] in
+  let disagreements = ref 0 in
+  for i = 0 to cfg.count - 1 do
+    let case = case_for cfg i in
+    let check c =
+      Oracle.check_case ~backends:cfg.backends ~levels:cfg.levels c
+    in
+    match check case with
+    | [] ->
+      if i mod 50 = 49 then
+        cfg.log (Printf.sprintf "  … %d/%d ok" (i + 1) cfg.count)
+    | fs ->
+      incr disagreements;
+      cfg.log
+        (Printf.sprintf "program %d DISAGREES (%s); shrinking …" i
+           (String.concat ", " (List.map (fun f -> f.Oracle.fwhere) fs)));
+      let small = Shrink.shrink ~fails:(fun c -> check c <> []) case in
+      let small_fs = check small in
+      failures := (i, small, small_fs) :: !failures;
+      (match cfg.corpus_dir with
+       | None -> ()
+       | Some dir ->
+         let f0 =
+           match small_fs with f :: _ -> f.Oracle.fwhere | [] -> "unknown"
+         in
+         let path =
+           write_corpus ~dir
+             ~name:(Printf.sprintf "shrunk-seed%d-%d" cfg.seed i)
+             ~note:(Printf.sprintf "fuzz: %s disagrees (seed %d/%d)" f0
+                      cfg.seed i)
+             small
+         in
+         written := path :: !written;
+         cfg.log ("  wrote " ^ path))
+  done;
+  { generated = cfg.count; disagreements = !disagreements;
+    failures = List.rev !failures; written = List.rev !written }

@@ -1,0 +1,66 @@
+(** Fuzzing campaign driver: generate, compare, shrink, persist.
+
+    Every failure is minimised with {!Shrink} against the full differential
+    predicate and written to the corpus directory in a replayable text
+    format — the same format [test/corpus/*.wl] uses:
+
+    {v
+    (* fuzz: <where the oracle disagreed> *)
+    (* seed: 42/17 *)
+    (* args: {1, {2, 3}} *)
+    (* wvm: false *)            <- only when not WVM-representable
+    Function[{Typed[p1, "MachineInteger"]}, ...]
+    v} *)
+
+type config = {
+  seed : int;
+  count : int;
+  max_size : int;
+  strings : bool;
+  backends : Oracle.backend list;
+  levels : int list;
+  corpus_dir : string option;  (** write shrunk failures here *)
+  log : string -> unit;        (** progress/diagnostics sink *)
+}
+
+val default_config : config
+(** seed 0, 200 programs, max size 60, threaded+wvm, levels 0–2, no corpus
+    dir, silent. *)
+
+type report = {
+  generated : int;
+  disagreements : int;             (** programs with >= 1 oracle failure *)
+  failures : (int * Ast.case * Oracle.failure list) list;
+      (** program index, ALREADY-SHRUNK case, its failures *)
+  written : string list;           (** corpus files persisted *)
+}
+
+val case_for : config -> int -> Ast.case
+(** The [i]-th generated program of a campaign — deterministic in
+    [(seed, i)] alone, so one program can be regenerated without running
+    the campaign. *)
+
+val run : config -> report
+
+(* {2 Corpus persistence} *)
+
+type corpus_entry = {
+  ce_path : string;
+  ce_source : string;              (** program text *)
+  ce_args : Wolf_wexpr.Expr.t list;
+  ce_wvm : bool;                   (** false when marked [(* wvm: false *)] *)
+  ce_note : string;                (** first header comment *)
+}
+
+val write_corpus :
+  dir:string -> name:string -> note:string -> Ast.case -> string
+(** Returns the path written. *)
+
+val read_corpus_file : string -> (corpus_entry, string) result
+val read_corpus_dir : string -> corpus_entry list
+(** All [*.wl] files, sorted by name; raises on malformed entries. *)
+
+val check_entry :
+  ?backends:Oracle.backend list -> ?levels:int list -> corpus_entry ->
+  Oracle.failure list
+(** Replay one corpus entry differentially. *)

@@ -1,0 +1,250 @@
+open Ast
+
+type config = {
+  max_size : int;
+  strings : bool;
+}
+
+let default_config = { max_size = 60; strings = true }
+
+type ctx = {
+  rng : Rng.t;
+  cfg : config;
+  mutable fuel : int;
+  (* visible variables by type; mutables are the Module locals *)
+  mutable vars : (string * ty) list;
+  mutable mutables : (string * ty) list;
+  mutable counters : int;  (* fresh-name supply for loop counters/iterators *)
+  mutable extra_locals : local list;  (* counters hoisted into the Module *)
+}
+
+let spend ctx = ctx.fuel <- ctx.fuel - 1
+
+let vars_of ctx t = List.filter (fun (_, vt) -> vt = t) ctx.vars
+let mutables_of ctx t = List.filter (fun (_, vt) -> vt = t) ctx.mutables
+
+let str_pool = [ "a"; "ok"; "fuzz"; "Wolfram"; "x y"; "0123" ]
+
+(* ---- leaves ---------------------------------------------------------- *)
+
+let lit ctx t =
+  match t with
+  | TInt -> Int (Rng.range ctx.rng (-9) 9)
+  | TReal -> Real (float_of_int (Rng.range ctx.rng (-60) 60) /. 8.0)
+  | TBool -> Bool (Rng.bool ctx.rng)
+  | TStr -> Str (Rng.pick ctx.rng str_pool)
+  | TArr ->
+    Arr (List.init (Rng.range ctx.rng 1 5) (fun _ -> Rng.range ctx.rng (-9) 9))
+
+let leaf ctx t =
+  match vars_of ctx t with
+  | [] -> lit ctx t
+  | vs -> if Rng.chance ctx.rng 0.7 then
+      let v, vt = Rng.pick ctx.rng vs in Var (v, vt)
+    else lit ctx t
+
+(* ---- expressions ----------------------------------------------------- *)
+
+let rec expr ctx t depth =
+  spend ctx;
+  if depth <= 0 || ctx.fuel <= 0 then leaf ctx t
+  else
+    let sub t' = expr ctx t' (depth - 1) in
+    let arr_var () =
+      match vars_of ctx TArr with
+      | [] -> None
+      | vs -> Some (fst (Rng.pick ctx.rng vs))
+    in
+    match t with
+    | TInt ->
+      let part =
+        match arr_var () with
+        | Some v -> [ (3, fun () -> Part (v, sub TInt)) ]
+        | None -> []
+      in
+      let strlen =
+        if ctx.cfg.strings && (vars_of ctx TStr <> [] || Rng.chance ctx.rng 0.2)
+        then [ (1, fun () -> Un ("StringLength", TInt, sub TStr)) ]
+        else []
+      in
+      Rng.weighted ctx.rng
+        ([ (6, fun () -> leaf ctx TInt);
+           (4, fun () -> Bin ("+", TInt, sub TInt, sub TInt));
+           (3, fun () -> Bin ("-", TInt, sub TInt, sub TInt));
+           (3, fun () -> Bin ("*", TInt, sub TInt, sub TInt));
+           (2, fun () -> Bin ("Mod", TInt, sub TInt, sub TInt));
+           (1, fun () -> Bin ("Quotient", TInt, sub TInt, sub TInt));
+           (1, fun () -> Bin ("Min", TInt, sub TInt, sub TInt));
+           (1, fun () -> Bin ("Max", TInt, sub TInt, sub TInt));
+           (1, fun () -> Un ("Abs", TInt, sub TInt));
+           (1, fun () -> Un ("Minus", TInt, sub TInt));
+           (2, fun () -> Un ("Total", TInt, sub TArr));
+           (2, fun () -> Un ("Length", TInt, sub TArr));
+           (2, fun () -> If (TInt, sub TBool, sub TInt, sub TInt)) ]
+         @ part @ strlen)
+        ()
+    | TReal ->
+      Rng.weighted ctx.rng
+        [ (6, fun () -> leaf ctx TReal);
+          (4, fun () -> Bin ("+", TReal, sub TReal, sub TReal));
+          (3, fun () -> Bin ("-", TReal, sub TReal, sub TReal));
+          (3, fun () -> Bin ("*", TReal, sub TReal, sub TReal));
+          (2, fun () -> Bin ("/", TReal, sub TReal, sub TReal));
+          (1, fun () -> Un ("Sin", TReal, sub TReal));
+          (1, fun () -> Un ("Cos", TReal, sub TReal));
+          (1, fun () -> Un ("SqrtAbs", TReal, sub TReal));
+          (1, fun () -> Un ("Minus", TReal, sub TReal));
+          (1, fun () -> Un ("Abs", TReal, sub TReal));
+          (2, fun () -> If (TReal, sub TBool, sub TReal, sub TReal)) ]
+        ()
+    | TBool ->
+      Rng.weighted ctx.rng
+        [ (2, fun () -> leaf ctx TBool);
+          (5, fun () ->
+              let op = Rng.pick ctx.rng [ "=="; "!="; "<"; "<="; ">"; ">=" ] in
+              Cmp (op, TInt, sub TInt, sub TInt));
+          (2, fun () ->
+              let op = Rng.pick ctx.rng [ "<"; "<="; ">"; ">=" ] in
+              Cmp (op, TReal, sub TReal, sub TReal));
+          (2, fun () -> And (sub TBool, sub TBool));
+          (2, fun () -> Or (sub TBool, sub TBool));
+          (1, fun () -> Un ("Not", TBool, sub TBool));
+          (1, fun () -> Un ("EvenQ", TBool, sub TInt)) ]
+        ()
+    | TStr ->
+      Rng.weighted ctx.rng
+        [ (4, fun () -> leaf ctx TStr);
+          (3, fun () -> StrJoin (sub TStr, sub TStr));
+          (1, fun () -> If (TStr, sub TBool, sub TStr, sub TStr)) ]
+        ()
+    | TArr ->
+      let chars =
+        if ctx.cfg.strings && vars_of ctx TStr <> [] then
+          [ (2, fun () -> Un ("Chars", TArr, sub TStr)) ]
+        else []
+      in
+      Rng.weighted ctx.rng
+        ([ (5, fun () -> leaf ctx TArr);
+           (2, fun () -> Un ("Reverse", TArr, sub TArr));
+           (3, fun () -> ConstArr (sub TInt, Rng.range ctx.rng 1 5)) ]
+         @ chars)
+        ()
+
+(* ---- statements ------------------------------------------------------ *)
+
+let fresh_counter ctx prefix =
+  ctx.counters <- ctx.counters + 1;
+  Printf.sprintf "%s%d" prefix ctx.counters
+
+let rec stmts ctx ~depth ~count =
+  List.concat (List.init count (fun _ -> stmt ctx ~depth))
+
+and stmt ctx ~depth =
+  spend ctx;
+  if ctx.fuel <= 0 then []
+  else
+    let assignable = ctx.mutables in
+    let choices =
+      (match assignable with
+       | [] -> []
+       | _ ->
+         [ (6, fun () ->
+               let v, t = Rng.pick ctx.rng assignable in
+               [ Assign (v, t, expr ctx t 2) ]) ])
+      @ (match mutables_of ctx TArr with
+         | [] -> []
+         | arrs ->
+           [ (3, fun () ->
+                 let v, _ = Rng.pick ctx.rng arrs in
+                 [ PartSet (v, expr ctx TInt 1, expr ctx TInt 2) ]) ])
+      @ (if depth > 0 then
+           [ (3, fun () ->
+                 let c = expr ctx TBool 2 in
+                 let ts = stmts ctx ~depth:(depth - 1) ~count:(Rng.range ctx.rng 1 2) in
+                 let fs =
+                   if Rng.bool ctx.rng then []
+                   else stmts ctx ~depth:(depth - 1) ~count:1
+                 in
+                 if ts = [] then [] else [ SIf (c, ts, fs) ]);
+             (3, fun () ->
+                 (* counted While: the counter lives in the Module and is
+                    only ever incremented by the loop's own back edge *)
+                 let c = fresh_counter ctx "c" in
+                 ctx.extra_locals <-
+                   ctx.extra_locals @ [ { lname = c; lty = TInt; linit = Int 1 } ];
+                 let body =
+                   stmts ctx ~depth:(depth - 1) ~count:(Rng.range ctx.rng 1 2)
+                 in
+                 [ While (c, Rng.range ctx.rng 1 6, body) ]);
+             (2, fun () ->
+                 let i = fresh_counter ctx "d" in
+                 let saved = ctx.vars in
+                 ctx.vars <- (i, TInt) :: ctx.vars;
+                 let body =
+                   stmts ctx ~depth:(depth - 1) ~count:(Rng.range ctx.rng 1 2)
+                 in
+                 ctx.vars <- saved;
+                 if body = [] then []
+                 else [ DoLoop (i, Rng.range ctx.rng 1 5, body) ]) ]
+         else [])
+    in
+    match choices with
+    | [] -> []
+    | _ -> Rng.weighted ctx.rng choices ()
+
+(* ---- whole programs -------------------------------------------------- *)
+
+let gen_arg rng t =
+  match t with
+  | TInt -> Int (Rng.range rng (-9) 9)
+  | TReal -> Real (float_of_int (Rng.range rng (-60) 60) /. 8.0)
+  | TBool -> Bool (Rng.bool rng)
+  | TStr -> Str (Rng.pick rng str_pool)
+  | TArr -> Arr (List.init (Rng.range rng 1 6) (fun _ -> Rng.range rng (-9) 9))
+
+let case ?(config = default_config) rng =
+  let ctx =
+    { rng; cfg = config; fuel = config.max_size; vars = []; mutables = [];
+      counters = 0; extra_locals = [] }
+  in
+  let param_ty () =
+    Rng.weighted rng
+      ([ (4, TInt); (2, TReal); (2, TArr); (1, TBool) ]
+       @ if config.strings then [ (1, TStr) ] else [])
+  in
+  let params =
+    List.init (Rng.range rng 1 3) (fun i -> (Printf.sprintf "p%d" (i + 1), param_ty ()))
+  in
+  ctx.vars <- params;
+  let mk_locals prefix n =
+    List.init n (fun i ->
+        let name = Printf.sprintf "%s%d" prefix (i + 1) in
+        let t = Rng.weighted rng [ (4, TInt); (2, TReal); (2, TArr); (1, TBool) ] in
+        { lname = name; lty = t; linit = expr ctx t 1 })
+  in
+  let withs = if Rng.chance rng 0.3 then mk_locals "w" (Rng.range rng 1 2) else [] in
+  ctx.vars <- ctx.vars @ List.map (fun l -> (l.lname, l.lty)) withs;
+  let locals = mk_locals "m" (Rng.range rng 1 3) in
+  ctx.vars <- ctx.vars @ List.map (fun l -> (l.lname, l.lty)) locals;
+  ctx.mutables <- List.map (fun l -> (l.lname, l.lty)) locals;
+  let body = stmts ctx ~depth:2 ~count:(Rng.range rng 1 4) in
+  let ret =
+    (* prefer returning something the body could have mutated *)
+    match ctx.mutables with
+    | [] -> Rng.weighted rng [ (3, TInt); (2, TReal); (1, TBool); (1, TArr) ]
+    | ms -> snd (Rng.pick rng ms)
+  in
+  ctx.fuel <- max ctx.fuel 6;
+  let result = expr ctx ret 2 in
+  let fn =
+    { params; withs; locals = locals @ ctx.extra_locals; body; result; ret }
+  in
+  let args = List.map (fun (_, t) -> gen_arg rng t) params in
+  { fn; args }
+
+let rec stmt_loops = function
+  | While _ | DoLoop _ -> true
+  | SIf (_, ts, fs) -> List.exists stmt_loops ts || List.exists stmt_loops fs
+  | Assign _ | PartSet _ -> false
+
+let has_loops f = List.exists stmt_loops f.body

@@ -1,0 +1,263 @@
+open Wolf_wexpr
+module B = Wolf_backends
+
+type outcome =
+  | Value of Expr.t
+  | Aborted
+  | Failed of string
+
+type backend = Threaded | Jit | Wvm | C
+
+let backend_name = function
+  | Threaded -> "threaded"
+  | Jit -> "jit"
+  | Wvm -> "wvm"
+  | C -> "c"
+
+let backends_of_string s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "threaded" :: r -> go (Threaded :: acc) r
+    | "jit" :: r -> go (Jit :: acc) r
+    | "wvm" :: r -> go (Wvm :: acc) r
+    | "c" :: r -> go (C :: acc) r
+    | x :: _ -> Error (Printf.sprintf "unknown backend %S (threaded,jit,wvm,c)" x)
+  in
+  go [] parts
+
+type failure = {
+  fwhere : string;
+  fexpected : string;
+  fgot : string;
+}
+
+(* ---- outcome comparison --------------------------------------------- *)
+
+let rtol = 1e-9
+
+let close_float x y =
+  x = y
+  || (Float.is_nan x && Float.is_nan y)
+  || Float.abs (x -. y) <= rtol *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
+
+(* normalise packed tensors to nested List expressions so Tensor-vs-List
+   results (interpreter and backends box differently) compare structurally *)
+let rec norm e =
+  match e with
+  | Expr.Tensor t -> norm (Wolf_runtime.Rtval.tensor_to_expr t)
+  | Expr.Normal (h, args) -> Expr.Normal (norm h, Array.map norm args)
+  | _ -> e
+
+let rec close_expr a b =
+  match a, b with
+  | Expr.Real x, Expr.Real y -> close_float x y
+  | Expr.Real x, Expr.Int y | Expr.Int y, Expr.Real x ->
+    (* a fold can turn 2. * 3 into 6 while the interpreter keeps 6.; treat
+       numerically-equal mixed kinds as agreement *)
+    close_float x (float_of_int y)
+  | Expr.Normal (ha, xa), Expr.Normal (hb, xb) ->
+    Array.length xa = Array.length xb
+    && close_expr ha hb
+    && Array.for_all2 close_expr xa xb
+  | _ -> Expr.equal a b
+
+let agree a b =
+  match a, b with
+  | Value x, Value y -> close_expr (norm x) (norm y)
+  | Aborted, Aborted -> true
+  | Failed _, Failed _ -> true
+  | _ -> false
+
+let outcome_str = function
+  | Value e -> Form.input_form e
+  | Aborted -> "<aborted>"
+  | Failed m -> "<failed: " ^ m ^ ">"
+
+(* ---- running --------------------------------------------------------- *)
+
+let guard f =
+  match f () with
+  | v -> Value v
+  | exception Wolf_base.Abort_signal.Aborted ->
+    Wolf_base.Abort_signal.clear ();
+    Aborted
+  | exception Wolf_base.Errors.Runtime_error fl ->
+    Failed (Wolf_base.Errors.describe_failure fl)
+  | exception Wolf_base.Errors.Eval_error m -> Failed m
+  | exception Wolf_base.Errors.Compile_error m -> Failed ("compile: " ^ m)
+  | exception e -> Failed (Printexc.to_string e)
+
+let parse_case (case : Ast.case) =
+  let src = Ast.to_source case.Ast.fn in
+  match Parser.parse_opt src with
+  | Ok fexpr ->
+    let args =
+      List.map (fun a -> Parser.parse (Ast.arg_source a)) case.Ast.args
+    in
+    Ok (fexpr, Array.of_list args)
+  | Error e -> Error (Printf.sprintf "generated program does not parse: %s" e)
+
+let reference case =
+  match parse_case case with
+  | Error e -> Failed e
+  | Ok (fexpr, args) ->
+    guard (fun () -> Wolfram.interpret_expr (Expr.Normal (fexpr, args)))
+
+let fuzz_options level =
+  { Wolf_compiler.Options.default with
+    Wolf_compiler.Options.opt_level = level;
+    verify_each = true;
+    use_cache = false }
+
+let target_of = function
+  | Threaded -> Wolfram.Threaded
+  | Jit -> Wolfram.Jit
+  | Wvm -> Wolfram.Bytecode
+  | C -> Wolfram.Threaded  (* unused; C has its own path *)
+
+let run_native backend level fexpr args =
+  guard (fun () ->
+      let cf =
+        Wolfram.function_compile ~options:(fuzz_options level)
+          ~target:(target_of backend) fexpr
+      in
+      Wolfram.call cf (Array.to_list args))
+
+let run_wvm fexpr args =
+  guard (fun () ->
+      let w = B.Wvm.compile fexpr in
+      B.Wvm.call w args)
+
+(* C export: compile the emitted translation unit with the system compiler
+   and run it; scalar params/results only (the driver prints one scalar). *)
+let have_cc = lazy (Sys.command "cc --version >/dev/null 2>&1" = 0)
+
+let run_c level fexpr args =
+  guard (fun () ->
+      let c =
+        Wolf_compiler.Pipeline.compile ~options:(fuzz_options level) ~name:"fz"
+          fexpr
+      in
+      let rargs =
+        Array.to_list (Array.map Wolf_runtime.Rtval.of_expr args)
+      in
+      match B.C_emit.emit_with_driver c ~args:rargs with
+      | Error e -> Wolf_base.Errors.compile_errorf "%s" e
+      | Ok emitted ->
+        let dir = Filename.temp_file "wolf_fuzz" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        let cfile = Filename.concat dir "fz.c" in
+        let exe = Filename.concat dir "fz" in
+        let oc = open_out cfile in
+        output_string oc emitted.B.C_emit.source;
+        close_out oc;
+        let rm () = ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))) in
+        Fun.protect ~finally:rm (fun () ->
+            if Sys.command
+                (Printf.sprintf "cc -O1 -o %s %s -lm 2>%s.log" exe cfile exe)
+               <> 0
+            then Wolf_base.Errors.compile_errorf "cc failed on exported C";
+            let ic = Unix.open_process_in exe in
+            let line = try input_line ic with End_of_file -> "" in
+            ignore (Unix.close_process_in ic);
+            Parser.parse (String.trim line)))
+
+let scalar = function Ast.TInt | Ast.TReal | Ast.TBool -> true | _ -> false
+
+let c_applicable (case : Ast.case) =
+  scalar case.Ast.fn.Ast.ret
+  && List.for_all (fun (_, t) -> scalar t) case.Ast.fn.Ast.params
+
+(* ---- abort injection -------------------------------------------------
+
+   A compiled call with an abort scheduled after the [k]-th check must
+   either land on the reference value (the abort fired after the work, or
+   inside the interpreter fallback which re-raises and is itself aborted)
+   or observe the abort.  Check counts differ per backend and level — the
+   strided abort optimisation exists precisely to change them — so exact
+   agreement is not a sound property; membership is. *)
+let abort_ks = [ 1; 5; 50 ]
+
+let check_abort ~level fexpr args ref_outcome =
+  List.filter_map
+    (fun k ->
+       let module A = Wolf_base.Abort_signal in
+       A.clear ();
+       A.abort_after k;
+       let got =
+         Fun.protect ~finally:(fun () -> A.clear ())
+           (fun () -> run_native Threaded level fexpr args)
+       in
+       match got with
+       | Aborted -> None
+       | o when agree o ref_outcome -> None
+       | o ->
+         Some
+           { fwhere = Printf.sprintf "abort/threaded/O%d/k=%d" level k;
+             fexpected = outcome_str ref_outcome ^ " or <aborted>";
+             fgot = outcome_str o })
+    abort_ks
+
+(* ---- the oracle ------------------------------------------------------ *)
+
+let check_parsed ?(backends = [ Threaded; Wvm ]) ?(levels = [ 0; 1; 2 ])
+    ?(abort = true) ~wvm_ok ~c_ok fexpr args =
+  Wolfram.init ();
+  B.Compiled_function.quiet := true;
+  let ref_outcome =
+    guard (fun () -> Wolfram.interpret_expr (Expr.Normal (fexpr, args)))
+  in
+  let mismatch where got =
+    if agree got ref_outcome then None
+    else
+      Some
+        { fwhere = where; fexpected = outcome_str ref_outcome;
+          fgot = outcome_str got }
+  in
+  let failures =
+    List.concat_map
+      (fun b ->
+         match b with
+         | Wvm ->
+           if not wvm_ok then []
+           else Option.to_list (mismatch "wvm" (run_wvm fexpr args))
+         | C ->
+           if not c_ok || not (Lazy.force have_cc) then []
+           else
+             List.filter_map
+               (fun lvl ->
+                  mismatch (Printf.sprintf "c/O%d" lvl) (run_c lvl fexpr args))
+               levels
+         | Threaded | Jit ->
+           List.filter_map
+             (fun lvl ->
+                mismatch
+                  (Printf.sprintf "%s/O%d" (backend_name b) lvl)
+                  (run_native b lvl fexpr args))
+             levels)
+      backends
+  in
+  let abort_failures =
+    if abort && List.mem Threaded backends then
+      List.concat_map (fun lvl -> check_abort ~level:lvl fexpr args ref_outcome)
+        [ 0; 2 ]
+    else []
+  in
+  failures @ abort_failures
+
+let check_case ?backends ?levels ?abort (case : Ast.case) =
+  match parse_case case with
+  | Error e ->
+    [ { fwhere = "parse"; fexpected = "parseable source"; fgot = e } ]
+  | Ok (fexpr, args) ->
+    let abort =
+      match abort with Some a -> a | None -> Gen.has_loops case.Ast.fn
+    in
+    check_parsed ?backends ?levels ~abort
+      ~wvm_ok:(not (Ast.uses_strings case.Ast.fn))
+      ~c_ok:(c_applicable case) fexpr args

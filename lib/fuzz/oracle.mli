@@ -1,0 +1,49 @@
+(** Differential oracle: the interpreter is ground truth; every backend at
+    every optimisation level must agree with it (up to a relative numeric
+    tolerance), and under injected aborts a compiled call may only return
+    the agreed value or raise {!Wolf_base.Abort_signal.Aborted}. *)
+
+type outcome =
+  | Value of Wolf_wexpr.Expr.t
+  | Aborted
+  | Failed of string
+  (** Two [Failed] outcomes always agree: the failure path is the soft
+      fallback (F2) re-raising through the interpreter, and the exact
+      message depends on the backend's entry point. *)
+
+type backend = Threaded | Jit | Wvm | C
+
+val backend_name : backend -> string
+val backends_of_string : string -> (backend list, string) result
+(** Parse a comma-separated [--backends] value: threaded,jit,wvm,c. *)
+
+type failure = {
+  fwhere : string;   (** e.g. ["threaded/O2"], ["wvm"], ["abort/threaded/k=5"] *)
+  fexpected : string;
+  fgot : string;
+}
+
+val outcome_str : outcome -> string
+val agree : outcome -> outcome -> bool
+
+val reference : Ast.case -> outcome
+(** Interpreter run of [fn[args]]. *)
+
+val check_parsed :
+  ?backends:backend list -> ?levels:int list -> ?abort:bool ->
+  wvm_ok:bool -> c_ok:bool ->
+  Wolf_wexpr.Expr.t -> Wolf_wexpr.Expr.t array -> failure list
+(** Differential check of an already-parsed [Function[...]] applied to
+    [args] — the corpus-replay entry point.  [abort] (default true) also
+    runs the abort-injection property; it is sound for any program since
+    compiled prologues poll the abort flag. *)
+
+val check_case :
+  ?backends:backend list -> ?levels:int list -> ?abort:bool -> Ast.case ->
+  failure list
+(** Run the case differentially.  Defaults: threaded + WVM (JIT and C shell
+    out to a toolchain per program), levels [[0;1;2]], abort injection on
+    for programs with loops.  WVM is skipped for programs that use strings
+    (not WVM-representable) and C for programs with non-scalar parameters
+    or results.  Every compile runs with [verify_each] on and the cache
+    off; a verifier or compile failure is reported as a [failure]. *)

@@ -1,0 +1,46 @@
+(* splitmix64 (Steele, Lea & Flood 2014) — tiny, fast, and trivially
+   splittable, which is exactly what per-program substreams need. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let split t i =
+  { state = mix (Int64.add (next t) (Int64.of_int (0x632BE59B + (i * 2) + 1))) }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let range t lo hi = lo + int t (hi - lo + 1)
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t x =
+  let u = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  x *. (u /. 9007199254740992.0)
+
+let chance t p = float t 1.0 < p
+let pick t xs = List.nth xs (int t (List.length xs))
+
+let weighted t wxs =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 wxs in
+  if total <= 0 then invalid_arg "Rng.weighted";
+  let k = int t total in
+  let rec go k = function
+    | [] -> assert false
+    | (w, x) :: rest -> if k < w then x else go (k - w) rest
+  in
+  go k wxs

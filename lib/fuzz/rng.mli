@@ -1,0 +1,36 @@
+(** Deterministic splitmix64 PRNG for the fuzzer.
+
+    The fuzzer must not share {!Wolf_runtime.Rand}'s global stream: generated
+    programs may themselves call random primitives, and reproducibility of
+    program [i] under a given seed must not depend on how many random numbers
+    compilation or execution of programs [0..i-1] consumed. *)
+
+type t
+
+val create : int -> t
+(** Seed the generator.  Equal seeds give equal streams. *)
+
+val split : t -> int -> t
+(** [split t i] derives an independent stream for item [i]; used to give
+    each generated program its own stream so shrinking/replaying one program
+    never perturbs the others. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  [n] must be positive. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice; the list must be non-empty. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Choice by integer weight; total weight must be positive. *)

@@ -1,0 +1,23 @@
+(** Greedy failure-preserving minimiser.
+
+    [shrink ~fails case] repeatedly applies the first one-step reduction
+    that still satisfies [fails], until none does.  Every one-step
+    reduction strictly decreases the measure [(size, loop-bound sum)]
+    lexicographically, so shrinking terminates and the program size is
+    monotonically non-growing along the chain — properties the test suite
+    checks with qcheck. *)
+
+val candidates : Ast.case -> Ast.case list
+(** All one-step reductions: drop a statement, unwrap a loop or an [If]
+    into one of its arms, replace an expression by a same-typed strict
+    subexpression or (when smaller) a literal, reduce a loop bound to 1,
+    drop an unused local/[With] binding or an unused parameter together
+    with its argument, and drop a trailing array-argument element. *)
+
+val measure : Ast.case -> int * int
+(** [(size of fn + args, sum of loop bounds)]. *)
+
+val shrink : fails:(Ast.case -> bool) -> Ast.case -> Ast.case
+(** Greedy fixpoint; returns the input when no reduction preserves the
+    failure.  [fails] is typically "the differential oracle reports at
+    least one disagreement". *)

@@ -59,12 +59,14 @@ let copy t =
   in
   { dims = Array.copy t.dims; data; refcount = 1 }
 
-let ensure_unique t =
-  if t.refcount <= 1 then t
-  else begin
-    release t;
-    copy t
-  end
+(* Return a tensor safe to mutate in place: [t] itself when the caller holds
+   the only claim, a fresh copy otherwise.  This never consumes the caller's
+   claim on [t] — acquire/release pairing is owned by the caller (the
+   compiler's MemoryAcquire/MemoryRelease, or the kernel symbol store's
+   retain/forget).  An internal release here would double-count against that
+   paired release, letting a shared array's count decay to "exclusive" while
+   still aliased, so an indexed update would then corrupt every alias. *)
+let ensure_unique t = if t.refcount <= 1 then t else copy t
 
 let get_int t i =
   match t.data with

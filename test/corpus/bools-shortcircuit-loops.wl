@@ -1,0 +1,16 @@
+(* boolean results through short-circuit operators inside While/Do nesting *)
+(* args: {8, 2} *)
+Function[{Typed[p1, "MachineInteger"], Typed[p2, "MachineInteger"]},
+ Module[{m1 = EvenQ[p2], c1 = 1},
+ m1 = (p2 != (p1 - p2));
+ m1 = (m1 || EvenQ[5]);
+ While[c1 <= 1,
+  Do[
+   m1 = EvenQ[Max[1, 8]];
+   m1 = (((-5) >= p2) && EvenQ[p1]),
+   {d2, 4}];
+  If[EvenQ[Total[{-7}]],
+   m1 = Not[m1]];
+  c1 = c1 + 1];
+ m1 = (Max[p2, p1] > (p2 - p2));
+ (((-7.25) > (-3.375)) && (0.125 <= 2.875))]]

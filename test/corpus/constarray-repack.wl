@@ -1,0 +1,10 @@
+(* repeated whole-array reassignment with changing lengths, then a clamped *)
+(* indexed store whose value reads the array being updated *)
+(* args: {9, 7, 4.625} *)
+Function[{Typed[p1, "MachineInteger"], Typed[p2, "MachineInteger"], Typed[p3, "Real64"]},
+ Module[{m1 = ConstantArray[(-2), 5]},
+ m1 = {9, 2, -1, 4};
+ m1 = {-7};
+ m1 = ConstantArray[(p1 * (-5)), 3];
+ m1[[1 + Mod[Quotient[p1, p1], Length[m1]]]] = Max[Total[m1], p2];
+ ConstantArray[If[True, p2, (-5)], 5]]]

@@ -1,0 +1,9 @@
+(* the Do iterator escapes into a mutable local that is the result *)
+(* args: {(-5.875), {-7, 1, 6, -6, -5}} *)
+Function[{Typed[p1, "Real64"], Typed[p3, "PackedArray"["Integer64", 1]]},
+ Module[{m1 = Total[p3]},
+ Do[
+  m1 = Total[p3];
+  m1 = d1,
+  {d1, 4}];
+ m1]]

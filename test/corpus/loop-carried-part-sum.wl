@@ -1,0 +1,14 @@
+(* loop-carried scalar fed by clamped Part reads in doubly nested While *)
+(* args: {0.5, (-4), {-6, -2, 1, 1, -6, 5}} *)
+Function[{Typed[p1, "Real64"], Typed[p2, "MachineInteger"], Typed[p3, "PackedArray"["Integer64", 1]]},
+ Module[{m1 = Max[p2, p2], m2 = (p1 * p1), m3 = p2, c2 = 1, c3 = 1},
+ Do[
+  m1 = Mod[p2, Total[p3]];
+  m1 = (-2),
+  {d1, 5}];
+ While[c2 <= 2,
+  While[c3 <= 4,
+   m3 = (p3[[1 + Mod[m1, Length[p3]]]] + p3[[1 + Mod[p2, Length[p3]]]]);
+   c3 = c3 + 1];
+  c2 = c2 + 1];
+ (p3[[1 + Mod[p2, Length[p3]]]] * (p2 * m1))]]

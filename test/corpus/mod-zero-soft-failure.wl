@@ -1,0 +1,8 @@
+(* Mod by zero: a runtime failure in compiled code must soft-fail back to *)
+(* the interpreter rather than disagree or crash (F2) *)
+(* args: {5, 0} *)
+Function[{Typed[p1, "MachineInteger"], Typed[p2, "MachineInteger"]},
+ Module[{m1 = 0},
+ m1 = Mod[p1, p2];
+ m1 = (m1 + 1);
+ m1]]

@@ -1,0 +1,12 @@
+(* nested Do loops writing through clamped Part into a Reverse'd With copy *)
+(* args: {True, 0} *)
+Function[{Typed[p1, "Boolean"], Typed[p2, "MachineInteger"]},
+ With[{w1 = Reverse[{5}], w2 = (1.625 / (0.5 + Abs[7.5]))}, Module[{m1 = Reverse[w1], m2 = Total[w1], m3 = (p2 + p2)},
+ m1[[1 + Mod[(5 - p2), Length[m1]]]] = p2;
+ Do[
+  Do[
+   m1[[1 + Mod[Abs[p2], Length[m1]]]] = m2;
+   m3 = Length[w1],
+   {d2, 4}],
+  {d1, 5}];
+ Reverse[ConstantArray[m2, 1]]]]]

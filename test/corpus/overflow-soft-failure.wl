@@ -1,0 +1,8 @@
+(* machine-integer overflow: compiled code raises and the runtime falls back *)
+(* to uncompiled evaluation, which must agree with the reference (F2) *)
+(* args: {3037000500} *)
+Function[{Typed[p1, "MachineInteger"]},
+ Module[{m1 = 1},
+ m1 = (p1 * p1);
+ m1 = (m1 + 1);
+ m1]]

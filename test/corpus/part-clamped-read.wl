@@ -1,0 +1,6 @@
+(* clamped Part read with a negative modulus operand *)
+(* args: {{-3}, (-7)} *)
+Function[{Typed[p1, "PackedArray"["Integer64", 1]], Typed[p2, "MachineInteger"]},
+ Module[{m1 = Length[p1]},
+ m1 = ((-9) + If[False, p2, p2]);
+ Max[(m1 - p2), p1[[1 + Mod[m1, Length[p1]]]]]]]

@@ -1,0 +1,16 @@
+(* real arithmetic: guarded division, Sqrt[Abs[...]], branchy Do body *)
+(* args: {(-7.375)} *)
+Function[{Typed[p1, "Real64"]},
+ Module[{m1 = p1},
+ If[EvenQ[(5 * (-3))],
+  m1 = Sqrt[Abs[(m1 - m1)]];
+  m1 = If[((-2) != (-8)), m1, (p1 / (0.5 + Abs[5.5]))]];
+ Do[
+  If[((p1 / (0.5 + Abs[5.5])) < m1),
+   m1 = (Sqrt[Abs[p1]] + (p1 / (0.5 + Abs[p1]))),
+   m1 = ((-5.25) - p1)];
+  m1 = ((m1 / (0.5 + Abs[7.25])) * If[True, p1, m1]),
+  {d1, 1}];
+ m1 = ((-6.25) * (m1 + 5.125));
+ m1 = (-6.75);
+ ((p1 - p1) * (p1 - m1))]]

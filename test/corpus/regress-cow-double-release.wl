@@ -1,0 +1,13 @@
+(* regression: Tensor.ensure_unique consumed the caller's claim while the *)
+(* paired MemoryRelease (or the symbol store's forget) released it again, so *)
+(* a shared array's refcount decayed by one per loop iteration until the *)
+(* third indexed update mutated the alias in place (all backends and the *)
+(* interpreter, fuzz seed 42 program 290) *)
+(* args: {} *)
+Function[{},
+ Module[{m1 = {0}, m2 = ConstantArray[(-9), 4], c1 = 1},
+ While[c1 <= 5,
+  m1 = m2;
+  m1[[1 + Mod[0, Length[m1]]]] = 0;
+  c1 = c1 + 1];
+ m2]]

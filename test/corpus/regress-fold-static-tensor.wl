@@ -1,0 +1,9 @@
+(* regression: opt_fold propagated a tensor (Cexpr) constant through a Copy *)
+(* chain, so part_set and Return shared one static tensor and the in-place *)
+(* update corrupted the returned value (threaded/jit O1+, fuzz seed 42) *)
+(* args: {} *)
+Function[{},
+ Module[{m2 = {0}, m3 = {1}},
+ m2 = m3;
+ m2[[1]] = 0;
+ m3]]

@@ -1,0 +1,14 @@
+(* string operations: StringLength, StringJoin, ToCharacterCode totals *)
+(* args: {"a", (-1), 9} *)
+(* wvm: false *)
+Function[{Typed[p1, "String"], Typed[p2, "MachineInteger"], Typed[p3, "MachineInteger"]},
+ With[{w1 = If[False, p3, (-8)], w2 = 0.5}, Module[{m1 = StringLength["ok"], m2 = Mod[w1, p3], m3 = StringLength[p1], c1 = 1},
+ m2 = Max[StringLength[p1], (4 * m3)];
+ If[(w2 > (w2 + 0.875)),
+  m3 = ((-3) * ((-2) * m1));
+  While[c1 <= 4,
+   m2 = (-(-2));
+   m3 = (m3 + (-5));
+   c1 = c1 + 1]];
+ m3 = Total[ToCharacterCode[p1]];
+ (If[False, (-5), p3] - m1)]]]

@@ -16,4 +16,5 @@ let () =
       ("wvm (the baseline)", Test_wvm.tests);
       ("features (Table 1)", Test_features.tests);
       ("appendix (A.6)", Test_appendix.tests);
-      ("export (F10)", Test_export.tests) ]
+      ("export (F10)", Test_export.tests);
+      ("fuzz (differential)", Test_fuzz.tests) ]

@@ -63,6 +63,167 @@ let test_lint_catches_use_before_def () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "use before definition accepted"
 
+(* ---------------- full verifier on malformed IR ---------------- *)
+
+let mk_f ?(fparams = [||]) ?(ret_ty = Some Types.int64) blocks =
+  { Wir.fname = "bad"; fparams; ret_ty; blocks; finline = false; fsource = None }
+
+let expect_reject what f =
+  match Wir_verify.check_func f with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "verifier accepted %s" what
+
+let expect_error_mentions what needle f =
+  match Wir_verify.check_func f with
+  | Error es ->
+    let contains hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s error mentions %S (got: %s)" what needle
+         (String.concat "; " es))
+      true
+      (List.exists contains es)
+  | Ok () -> Alcotest.failf "verifier accepted %s" what
+
+let test_verify_use_before_def () =
+  (* %v used in b0 but only defined in b1, which runs after the use *)
+  let v = Wir.fresh_var ~ty:Types.int64 () in
+  let w = Wir.fresh_var ~ty:Types.int64 () in
+  let f =
+    mk_f
+      [ { Wir.label = 0; bparams = [||];
+          instrs = [ Wir.Copy { dst = w; src = Wir.Ovar v } ];
+          term = Wir.Jump { target = 1; jargs = [||] } };
+        { Wir.label = 1; bparams = [||];
+          instrs = [ Wir.Copy { dst = v; src = Wir.Oconst (Wir.Cint 1) } ];
+          term = Wir.Return (Wir.Ovar w) } ]
+  in
+  expect_error_mentions "use before def" "uses" f
+
+let test_verify_bad_jump_arity () =
+  (* b0 passes one argument to a block declaring two parameters *)
+  let p1 = Wir.fresh_var ~ty:Types.int64 () in
+  let p2 = Wir.fresh_var ~ty:Types.int64 () in
+  let f =
+    mk_f
+      [ { Wir.label = 0; bparams = [||]; instrs = [];
+          term = Wir.Jump { target = 1; jargs = [| Wir.Oconst (Wir.Cint 1) |] } };
+        { Wir.label = 1; bparams = [| p1; p2 |]; instrs = [];
+          term = Wir.Return (Wir.Ovar p1) } ]
+  in
+  expect_error_mentions "bad jump arity" "expects" f
+
+let test_verify_jump_type_mismatch () =
+  (* an integer constant flows into a Real64 block parameter *)
+  let p = Wir.fresh_var ~ty:Types.real64 () in
+  let f =
+    mk_f ~ret_ty:(Some Types.real64)
+      [ { Wir.label = 0; bparams = [||]; instrs = [];
+          term = Wir.Jump { target = 1; jargs = [| Wir.Oconst (Wir.Cint 3) |] } };
+        { Wir.label = 1; bparams = [| p |]; instrs = [];
+          term = Wir.Return (Wir.Ovar p) } ]
+  in
+  expect_error_mentions "jump type mismatch" "type" f
+
+let test_verify_copy_type_mismatch () =
+  (* TWIR instruction operand check: Copy of a String into an Integer64 *)
+  let d = Wir.fresh_var ~ty:Types.int64 () in
+  let f =
+    mk_f
+      [ { Wir.label = 0; bparams = [||];
+          instrs = [ Wir.Copy { dst = d; src = Wir.Oconst (Wir.Cstr "s") } ];
+          term = Wir.Return (Wir.Ovar d) } ]
+  in
+  expect_error_mentions "copy type mismatch" "copy" f
+
+let test_verify_orphan_block () =
+  let f =
+    mk_f
+      [ { Wir.label = 0; bparams = [||]; instrs = [];
+          term = Wir.Return (Wir.Oconst (Wir.Cint 0)) };
+        { Wir.label = 7; bparams = [||]; instrs = [];
+          term = Wir.Return (Wir.Oconst (Wir.Cint 1)) } ]
+  in
+  expect_error_mentions "orphan block" "orphan" f
+
+let test_verify_bad_terminator () =
+  (* branch on a string condition, arms targeting a missing block *)
+  let f =
+    mk_f
+      [ { Wir.label = 0; bparams = [||]; instrs = [];
+          term =
+            Wir.Branch
+              { cond = Wir.Oconst (Wir.Cstr "not a bool");
+                if_true = { target = 9; jargs = [||] };
+                if_false = { target = 9; jargs = [||] } } } ]
+  in
+  expect_error_mentions "bad terminator" "condition" f;
+  expect_error_mentions "bad terminator" "missing block" f;
+  (* jumping back to the entry block is malformed too *)
+  let g =
+    mk_f
+      [ { Wir.label = 0; bparams = [||]; instrs = [];
+          term = Wir.Jump { target = 0; jargs = [||] } } ]
+  in
+  expect_error_mentions "jump to entry" "entry" g
+
+let test_verify_return_type_mismatch () =
+  let f =
+    mk_f ~ret_ty:(Some Types.int64)
+      [ { Wir.label = 0; bparams = [||]; instrs = [];
+          term = Wir.Return (Wir.Oconst (Wir.Creal 1.5)) } ]
+  in
+  expect_error_mentions "return type mismatch" "declared" f
+
+let test_verify_load_argument_range () =
+  let d = Wir.fresh_var ~ty:Types.int64 () in
+  let f =
+    mk_f
+      [ { Wir.label = 0; bparams = [||];
+          instrs = [ Wir.Load_argument { dst = d; index = 2 } ];
+          term = Wir.Return (Wir.Ovar d) } ]
+  in
+  expect_error_mentions "load-argument range" "out of range" f
+
+let test_verify_call_arity_program () =
+  (* program-level: a Func call with the wrong argument count *)
+  let d = Wir.fresh_var ~ty:Types.int64 () in
+  let callee_param = Wir.fresh_var ~ty:Types.int64 () in
+  let callee =
+    { Wir.fname = "helper"; fparams = [| callee_param |]; ret_ty = Some Types.int64;
+      blocks =
+        [ { Wir.label = 0; bparams = [||];
+            instrs = [ Wir.Load_argument { dst = callee_param; index = 0 } ];
+            term = Wir.Return (Wir.Ovar callee_param) } ];
+      finline = false; fsource = None }
+  in
+  let main =
+    mk_f
+      [ { Wir.label = 0; bparams = [||];
+          instrs = [ Wir.Call { dst = d; callee = Wir.Func "helper"; args = [||] } ];
+          term = Wir.Return (Wir.Ovar d) } ]
+  in
+  let prog = { Wir.funcs = [ main; callee ]; pmeta = [] } in
+  (match Wir_verify.check_program prog with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "verifier accepted a call-arity mismatch");
+  ignore (expect_reject : string -> Wir.func -> unit)
+
+let test_verify_accepts_every_corpus_stage () =
+  (* sanity: the verifier accepts the pipeline's final IR for a
+     representative program at every opt level *)
+  List.iter
+    (fun lvl ->
+       let options = { Options.default with Options.opt_level = lvl } in
+       let c = compile ~options fn_src in
+       match Wir_verify.check_program c.Pipeline.program with
+       | Ok () -> ()
+       | Error es -> Alcotest.failf "O%d: %s" lvl (String.concat "; " es))
+    [ 0; 1; 2 ]
+
 (* ---------------- CFG analyses ---------------- *)
 
 let test_loop_headers () =
@@ -498,6 +659,16 @@ let tests =
   [ Alcotest.test_case "lint accepts pipeline output" `Quick test_lint_accepts_pipeline_output;
     Alcotest.test_case "lint rejects double definition" `Quick test_lint_catches_double_def;
     Alcotest.test_case "lint rejects use before def" `Quick test_lint_catches_use_before_def;
+    Alcotest.test_case "verify rejects use before def" `Quick test_verify_use_before_def;
+    Alcotest.test_case "verify rejects bad jump arity" `Quick test_verify_bad_jump_arity;
+    Alcotest.test_case "verify rejects jump type mismatch" `Quick test_verify_jump_type_mismatch;
+    Alcotest.test_case "verify rejects copy type mismatch" `Quick test_verify_copy_type_mismatch;
+    Alcotest.test_case "verify rejects orphan blocks" `Quick test_verify_orphan_block;
+    Alcotest.test_case "verify rejects bad terminators" `Quick test_verify_bad_terminator;
+    Alcotest.test_case "verify rejects return type mismatch" `Quick test_verify_return_type_mismatch;
+    Alcotest.test_case "verify rejects load-argument range" `Quick test_verify_load_argument_range;
+    Alcotest.test_case "verify rejects call-arity mismatch" `Quick test_verify_call_arity_program;
+    Alcotest.test_case "verify accepts pipeline output at O0/1/2" `Quick test_verify_accepts_every_corpus_stage;
     Alcotest.test_case "loop headers" `Quick test_loop_headers;
     Alcotest.test_case "nested loop headers" `Quick test_nested_loop_headers;
     Alcotest.test_case "dominance" `Quick test_dominance;

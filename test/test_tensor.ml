@@ -32,9 +32,15 @@ let test_copy_on_write () =
   Tensor.acquire t;
   let v = Tensor.ensure_unique t in
   Alcotest.(check bool) "shared: copies" true (t != v);
-  Alcotest.(check int) "original released" 1 (Tensor.refcount t);
+  (* ensure_unique never consumes the caller's claim: the paired release
+     (MemoryRelease / the symbol store's forget) does that, so the count on
+     the original must be untouched here *)
+  Alcotest.(check int) "original claim untouched" 2 (Tensor.refcount t);
+  Alcotest.(check int) "copy starts exclusive" 1 (Tensor.refcount v);
   Tensor.set_int v 0 99;
-  Alcotest.(check int) "copy isolated" 1 (Tensor.get_int t 0)
+  Alcotest.(check int) "copy isolated" 1 (Tensor.get_int t 0);
+  Tensor.release t;
+  Alcotest.(check int) "caller release balances" 1 (Tensor.refcount t)
 
 let test_slice () =
   let m = Tensor.create_int [| 2; 3 |] [| 1; 2; 3; 4; 5; 6 |] in
