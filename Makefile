@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke bench-json smoke fuzz-smoke fuzz clean
+.PHONY: all build test check bench bench-smoke bench-json smoke fuzz-smoke par-smoke fuzz clean
 
 all: build
 
@@ -9,13 +9,15 @@ test: build
 	dune runtest
 
 # check = what CI runs: full build, the whole test suite (including the
-# differential corpus), a fixed-seed differential fuzzing smoke campaign
-# with the IR verifier after every pass, then a quick benchmark smoke run
-# exercising the instrumented pipeline and the compile cache, and a quick
-# fig2 pass.
+# differential corpus and the multi-domain stress tests), a fixed-seed
+# differential fuzzing smoke campaign with the IR verifier after every
+# pass, the same campaign sharded over 4 domains (must report identical
+# tallies), then a quick benchmark smoke run exercising the instrumented
+# pipeline and the compile cache, and a quick fig2 pass.
 check: build
 	dune runtest
 	$(MAKE) fuzz-smoke
+	$(MAKE) par-smoke
 	dune exec bench/main.exe -- smoke
 	$(MAKE) bench-smoke
 
@@ -40,6 +42,12 @@ smoke: build
 # with the same seed (see EXPERIMENTS.md "Fuzz triage")
 fuzz-smoke: build
 	dune exec bin/wolfc.exe -- fuzz --seed 1 --count 200 --quiet
+
+# the same fixed-seed campaign sharded over 4 domains: exercises the
+# domain-safe core (locked intern/caches, atomic aborts, domain-local
+# fuzz hooks) and must produce exactly the tallies of the sequential run
+par-smoke: build
+	dune exec bin/wolfc.exe -- fuzz --seed 1 --count 200 --quiet --jobs 4
 
 # longer free-running campaign for local bug hunting
 fuzz: build

@@ -95,6 +95,19 @@ let compile_pipeline ?(options = Options.default) ?type_env ~name src_or_expr =
   | `Src src -> Pipeline.compile ~options ?type_env ~name (Parser.parse src)
   | `Expr e -> Pipeline.compile ~options ?type_env ~name e
 
+(* --jobs=N: compile each benchmark's arms (default / no-loop-opts /
+   no-abort) on separate domains.  Compilation is the only parallel part —
+   measurement stays serial and interleaved, since concurrent timing on
+   shared cores would measure contention, not the compiler. *)
+let bench_jobs = ref 1
+
+let compile3 a b c =
+  match
+    Wolf_parallel.Pool.map_list ~jobs:!bench_jobs [ a; b; c ] (fun f -> f ())
+  with
+  | [ x; y; z ] -> (x, y, z)
+  | _ -> assert false
+
 let best_native c =
   match B.Jit.compile c with
   | Ok f -> (f, "jit")
@@ -152,9 +165,12 @@ let fig2_benchmarks () =
   (* FNV1a *)
   let str = P.fnv_string s.fnv_len in
   let codes = Tensor.of_int_array (Array.init s.fnv_len (fun i -> Char.code str.[i])) in
-  let c = compile_pipeline ~name:"fnv1a" (`Src P.fnv1a_src) in
-  let cl = compile_pipeline ~options:no_loop ~name:"fnv1a" (`Src P.fnv1a_src) in
-  let cn = compile_pipeline ~options:no_abort ~name:"fnv1a" (`Src P.fnv1a_src) in
+  let c, cl, cn =
+    compile3
+      (fun () -> compile_pipeline ~name:"fnv1a" (`Src P.fnv1a_src))
+      (fun () -> compile_pipeline ~options:no_loop ~name:"fnv1a" (`Src P.fnv1a_src))
+      (fun () -> compile_pipeline ~options:no_abort ~name:"fnv1a" (`Src P.fnv1a_src))
+  in
   let f, backend = best_native c in
   let fl, _ = best_native cl in
   let fn, _ = best_native cn in
@@ -177,9 +193,12 @@ let fig2_benchmarks () =
   (* Mandelbrot *)
   let margs = [| Rtval.Real (-1.0); Rtval.Real 1.0; Rtval.Real (-1.0); Rtval.Real 0.5;
                  Rtval.Real 0.1 |] in
-  let c = compile_pipeline ~name:"mandel" (`Src P.mandelbrot_src) in
-  let cl = compile_pipeline ~options:no_loop ~name:"mandel" (`Src P.mandelbrot_src) in
-  let cn = compile_pipeline ~options:no_abort ~name:"mandel" (`Src P.mandelbrot_src) in
+  let c, cl, cn =
+    compile3
+      (fun () -> compile_pipeline ~name:"mandel" (`Src P.mandelbrot_src))
+      (fun () -> compile_pipeline ~options:no_loop ~name:"mandel" (`Src P.mandelbrot_src))
+      (fun () -> compile_pipeline ~options:no_abort ~name:"mandel" (`Src P.mandelbrot_src))
+  in
   let f, backend = best_native c in
   let fl, _ = best_native cl in
   let fn, _ = best_native cn in
@@ -202,9 +221,12 @@ let fig2_benchmarks () =
   (* Dot *)
   let m = P.random_matrix s.dot_n in
   let dargs = [| Rtval.Tensor m; Rtval.Tensor m |] in
-  let c = compile_pipeline ~name:"dot" (`Src P.dot_src) in
-  let cl = compile_pipeline ~options:no_loop ~name:"dot" (`Src P.dot_src) in
-  let cn = compile_pipeline ~options:no_abort ~name:"dot" (`Src P.dot_src) in
+  let c, cl, cn =
+    compile3
+      (fun () -> compile_pipeline ~name:"dot" (`Src P.dot_src))
+      (fun () -> compile_pipeline ~options:no_loop ~name:"dot" (`Src P.dot_src))
+      (fun () -> compile_pipeline ~options:no_abort ~name:"dot" (`Src P.dot_src))
+  in
   let f, backend = best_native c in
   let fl, _ = best_native cl in
   let fn, _ = best_native cn in
@@ -226,9 +248,12 @@ let fig2_benchmarks () =
 
   (* Blur *)
   let img = P.random_image s.blur_n in
-  let c = compile_pipeline ~name:"blur" (`Src P.blur_src) in
-  let cl = compile_pipeline ~options:no_loop ~name:"blur" (`Src P.blur_src) in
-  let cn = compile_pipeline ~options:no_abort ~name:"blur" (`Src P.blur_src) in
+  let c, cl, cn =
+    compile3
+      (fun () -> compile_pipeline ~name:"blur" (`Src P.blur_src))
+      (fun () -> compile_pipeline ~options:no_loop ~name:"blur" (`Src P.blur_src))
+      (fun () -> compile_pipeline ~options:no_abort ~name:"blur" (`Src P.blur_src))
+  in
   let f, backend = best_native c in
   let fl, _ = best_native cl in
   let fn, _ = best_native cn in
@@ -252,9 +277,12 @@ let fig2_benchmarks () =
   (* Histogram *)
   let data = P.histogram_data s.hist_n in
   let hargs = [| Rtval.Tensor data |] in
-  let c = compile_pipeline ~name:"hist" (`Src P.histogram_src) in
-  let cl = compile_pipeline ~options:no_loop ~name:"hist" (`Src P.histogram_src) in
-  let cn = compile_pipeline ~options:no_abort ~name:"hist" (`Src P.histogram_src) in
+  let c, cl, cn =
+    compile3
+      (fun () -> compile_pipeline ~name:"hist" (`Src P.histogram_src))
+      (fun () -> compile_pipeline ~options:no_loop ~name:"hist" (`Src P.histogram_src))
+      (fun () -> compile_pipeline ~options:no_abort ~name:"hist" (`Src P.histogram_src))
+  in
   let f, backend = best_native c in
   let fl, _ = best_native cl in
   let fn, _ = best_native cn in
@@ -277,14 +305,17 @@ let fig2_benchmarks () =
   (* PrimeQ *)
   let seed = P.make_seed_table () in
   let env = P.primeq_type_env () in
-  let c = compile_pipeline ~type_env:env ~name:"primeq" (`Expr (P.primeq_expr ())) in
-  let cl =
-    compile_pipeline ~options:no_loop ~type_env:(P.primeq_type_env ()) ~name:"primeq"
-      (`Expr (P.primeq_expr ()))
-  in
-  let cn =
-    compile_pipeline ~options:no_abort ~type_env:env ~name:"primeq"
-      (`Expr (P.primeq_expr ()))
+  (* each arm gets its own type env and expression: compiling mutates the
+     unification variables inside them, so sharing across domains would race *)
+  let c, cl, cn =
+    compile3
+      (fun () -> compile_pipeline ~type_env:env ~name:"primeq" (`Expr (P.primeq_expr ())))
+      (fun () ->
+         compile_pipeline ~options:no_loop ~type_env:(P.primeq_type_env ())
+           ~name:"primeq" (`Expr (P.primeq_expr ())))
+      (fun () ->
+         compile_pipeline ~options:no_abort ~type_env:(P.primeq_type_env ())
+           ~name:"primeq" (`Expr (P.primeq_expr ())))
   in
   let f, backend = best_native c in
   let fl, _ = best_native cl in
@@ -310,17 +341,17 @@ let fig2_benchmarks () =
      compiles it; the bytecode compiler rejects the function value. *)
   let lst = P.sorted_list s.qsort_n in
   let no_abort = { Options.default with Options.abort_handling = false } in
-  let c =
-    compile_pipeline ~type_env:(P.qsort_type_env ()) ~name:"qsortmain"
-      (`Src P.qsort_driver_src)
-  in
-  let cl =
-    compile_pipeline ~options:no_loop ~type_env:(P.qsort_type_env ())
-      ~name:"qsortmain" (`Src P.qsort_driver_src)
-  in
-  let cn =
-    compile_pipeline ~options:no_abort ~type_env:(P.qsort_type_env ())
-      ~name:"qsortmain" (`Src P.qsort_driver_src)
+  let c, cl, cn =
+    compile3
+      (fun () ->
+         compile_pipeline ~type_env:(P.qsort_type_env ()) ~name:"qsortmain"
+           (`Src P.qsort_driver_src))
+      (fun () ->
+         compile_pipeline ~options:no_loop ~type_env:(P.qsort_type_env ())
+           ~name:"qsortmain" (`Src P.qsort_driver_src))
+      (fun () ->
+         compile_pipeline ~options:no_abort ~type_env:(P.qsort_type_env ())
+           ~name:"qsortmain" (`Src P.qsort_driver_src))
   in
   let f, backend = best_native c in
   let fl, _ = best_native cl in
@@ -613,8 +644,9 @@ let usage () =
   print_endline
     "usage: main.exe [all|fig2|table1|fig1|findroot|ablation-inline|\n\
     \                 ablation-abort|ablation-consts|compile-time|smoke]\n\
-    \                [--quick|--paper] [--json]  (--json: fig2 also writes\n\
-    \                 BENCH_fig2.json)"
+    \                [--quick|--paper] [--json] [--jobs=N]\n\
+    \                (--json: fig2 also writes BENCH_fig2.json;\n\
+    \                 --jobs=N: compile benchmark arms on N domains, 0 = cores)"
 
 (* smoke: the fast tier-1 gate arm (make check) — feature probes plus the
    compile-time/cache report, no long measurement loops *)
@@ -634,6 +666,17 @@ let () =
     quota := 0.25
   end;
   if List.mem "--json" args then json_path := Some "BENCH_fig2.json";
+  List.iter
+    (fun a ->
+       match String.index_opt a '=' with
+       | Some i when String.sub a 0 i = "--jobs" ->
+         let n = String.sub a (i + 1) (String.length a - i - 1) in
+         (match int_of_string_opt n with
+          | Some 0 -> bench_jobs := Wolf_parallel.Pool.default_jobs ()
+          | Some j when j > 0 -> bench_jobs := j
+          | _ -> Printf.printf "bad --jobs value %s\n" n; usage (); exit 2)
+       | _ -> ())
+    args;
   let commands =
     List.filter
       (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))

@@ -244,8 +244,15 @@ let eval_cmd =
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate with the interpreter (no compilation).")
     Term.(const run $ expr_arg $ file_arg)
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Shard the work over $(docv) domains (0 = one per core). \
+               Output is identical at every $(docv).")
+
+let resolve_jobs j = if j <= 0 then Wolf_parallel.Pool.default_jobs () else j
+
 let fuzz_cmd =
-  let run seed count max_size backends no_strings corpus quiet =
+  let run seed count max_size backends no_strings corpus quiet jobs =
     Wolfram.init ();
     let backends =
       match Wolf_fuzz.Oracle.backends_of_string backends with
@@ -261,7 +268,8 @@ let fuzz_cmd =
         strings = not no_strings;
         backends;
         corpus_dir = corpus;
-        log = (if quiet then ignore else prerr_endline) }
+        log = (if quiet then ignore else prerr_endline);
+        jobs = resolve_jobs jobs }
     in
     let report = Wolf_fuzz.Driver.run cfg in
     Printf.printf "fuzz: %d programs, %d disagreement(s)\n"
@@ -314,7 +322,70 @@ let fuzz_cmd =
              results compared against the interpreter, and failures shrunk \
              to minimal reproducers.")
     Term.(const run $ seed_arg $ count_arg $ max_size_arg $ backends_arg
-          $ no_strings_arg $ corpus_arg $ quiet_arg)
+          $ no_strings_arg $ corpus_arg $ quiet_arg $ jobs_arg)
+
+let compile_cmd =
+  let run files target no_abort no_inline opt_level jobs stats =
+    if files = [] then begin prerr_endline "compile: no input files"; exit 2 end;
+    Wolfram.init ();
+    let jobs = resolve_jobs jobs in
+    let options =
+      options_of ~no_abort ~no_inline ~opt_level ~self:None ~dump_after:[]
+        ~verify_each:false
+    in
+    let t0 = Unix.gettimeofday () in
+    (* Each file compiles on its own domain; identical sources collapse to
+       one compilation through the cache's in-flight dedup, and results
+       report in input order whatever the schedule. *)
+    let results =
+      Wolf_parallel.Pool.map_list ~jobs files (fun file ->
+          match
+            let src = read_program None (Some file) in
+            (* per-file compile name: the pipeline registry is name-keyed *)
+            let name = Filename.remove_extension (Filename.basename file) in
+            Wolfram.function_compile ~options ~target ~name (Parser.parse src)
+          with
+          | cf -> Ok cf
+          | exception exn -> Error (Printexc.to_string exn))
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let failed = ref 0 in
+    List.iter2
+      (fun file res ->
+         match res with
+         | Ok cf ->
+           let extra =
+             match Wolfram.pipeline_of cf with
+             | Some c ->
+               Printf.sprintf " (%d instrs, %d blocks)"
+                 (Wolf_compiler.Pass_manager.instr_count
+                    c.Wolf_compiler.Pipeline.program)
+                 (Wolf_compiler.Pass_manager.block_count
+                    c.Wolf_compiler.Pipeline.program)
+             | None -> ""
+           in
+           Printf.printf "%s: ok%s\n" file extra
+         | Error e -> incr failed; Printf.printf "%s: FAILED %s\n" file e)
+      files results;
+    Printf.printf "compiled %d file(s) in %.2fms with %d job(s)\n"
+      (List.length files) (elapsed *. 1e3) jobs;
+    if stats then print_cache_stats ();
+    if !failed = 0 then 0 else 1
+  in
+  let files_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Print compile-cache hit/miss counters afterwards.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"FunctionCompile several programs, optionally in parallel \
+             ($(b,--jobs)); duplicate sources deduplicate through the \
+             compile cache's in-flight tracking.")
+    Term.(const run $ files_arg $ target_arg $ no_abort $ no_inline
+          $ opt_level $ jobs_arg $ stats_arg)
 
 let repl_cmd =
   let run () =
@@ -350,4 +421,6 @@ let () =
     Cmd.info "wolfc" ~version:(fst Wolf_backends.Compiled_function.versions)
       ~doc:"Wolfram Language compiler reproduction (CGO 2020)."
   in
-  exit (Cmd.eval' (Cmd.group info [ emit_cmd; run_cmd; eval_cmd; fuzz_cmd; repl_cmd ]))
+  exit (Cmd.eval' (Cmd.group info
+                     [ emit_cmd; run_cmd; compile_cmd; eval_cmd; fuzz_cmd;
+                       repl_cmd ]))

@@ -11,7 +11,7 @@ type t = {
   entry : Rtval.closure;
   compiler_version : string;
   engine_version : string;
-  mutable fallbacks : int;
+  fallbacks : int Atomic.t;  (* incremented from any domain calling this function *)
 }
 
 let versions = ("1.0.1.0", "12.0")
@@ -28,7 +28,7 @@ let wrap ~name ~source ~arg_tys ~ret_ty entry =
     entry;
     compiler_version;
     engine_version;
-    fallbacks = 0;
+    fallbacks = Atomic.make 0;
   }
 
 (* Check and coerce one unboxed argument against its declared type. *)
@@ -61,7 +61,7 @@ let admit ty (v : Rtval.t) : Rtval.t option =
   | _ -> None
 
 let interpret_fallback t args =
-  t.fallbacks <- t.fallbacks + 1;
+  Atomic.incr t.fallbacks;
   Hooks.eval (Expr.Normal (t.cf_source, args))
 
 let call t (args : Expr.t array) : Expr.t =
@@ -127,7 +127,7 @@ let kernel_closure t =
                   reverting to uncompiled evaluation: %s\n%!"
                  (Errors.describe_failure failure);
              release ();
-             t.fallbacks <- t.fallbacks + 1;
+             Atomic.incr t.fallbacks;
              Rtval.of_expr
                (Hooks.eval (Expr.Normal (t.cf_source, Array.map Rtval.to_expr vals)))
            | exception e -> release (); raise e

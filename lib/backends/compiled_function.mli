@@ -23,7 +23,7 @@ type t = {
   entry : Rtval.closure;
   compiler_version : string;
   engine_version : string;
-  mutable fallbacks : int;           (** soft-failure reverts so far *)
+  fallbacks : int Atomic.t;          (** soft-failure reverts so far *)
 }
 
 val versions : string * string

@@ -1,6 +1,13 @@
 open Wolf_runtime
 
-let counter = ref 0
+(* module-name serial: atomic so concurrent JIT compiles on different
+   domains never write the same .ml/.cmxs path *)
+let counter = Atomic.make 0
+
+(* Dynlink gives no thread-safety guarantee, and a load publishes entries in
+   the Wolf_plugin registry; serialize load+lookup so two domains plugging
+   modules concurrently can't interleave *)
+let dynlink_lock = Mutex.create ()
 
 (* Locate the dune build tree to find the host libraries' .cmi files. *)
 let find_build_root () =
@@ -61,8 +68,8 @@ let compile_to_cmxs (c : Wolf_compiler.Pipeline.compiled) =
   | None, _ -> Error "JIT unavailable: cannot locate the dune build tree (.cmi files)"
   | _, None -> Error "JIT unavailable: no ocamlopt on PATH"
   | Some dirs, Some compiler ->
-    incr counter;
-    let module_name = Printf.sprintf "Wolfjit_%d_%d" (Unix.getpid ()) !counter in
+    let serial = Atomic.fetch_and_add counter 1 + 1 in
+    let module_name = Printf.sprintf "Wolfjit_%d_%d" (Unix.getpid ()) serial in
     let emitted = Ocaml_emit.emit ~module_name c in
     let dir = sessions_dir () in
     let ml = Filename.concat dir (String.lowercase_ascii module_name ^ ".ml") in
@@ -105,6 +112,8 @@ let compile c =
   match compile_to_cmxs c with
   | Error _ as e -> e
   | Ok (emitted, cmxs) ->
+    Mutex.lock dynlink_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock dynlink_lock) @@ fun () ->
     (* host-side constants must be visible before the module initialises *)
     List.iter
       (fun (key, rt) -> Wolf_plugin.register key (Obj.repr (rt : Rtval.t)))

@@ -445,13 +445,15 @@ let compile_instr ctx (i : instr) : frame -> unit =
   | Load_argument _ -> fun _ -> () (* handled at function entry *)
   | Abort_check -> fun _ -> Abort_signal.check ()
   | Abort_poll { stride; _ } ->
-    (* the budget ref is captured by this site's closure, so it persists
-       across iterations and calls: one real check per [stride] executions *)
-    let budget = ref stride in
+    (* the budget cell is captured by this site's closure, so it persists
+       across iterations and calls: one real check per [stride] executions.
+       Atomic because the same compiled function may run on several domains
+       at once (e.g. out of the compile cache); a plain ref would lose
+       decrements under contention and stretch the poll interval. *)
+    let budget = Atomic.make stride in
     fun _ ->
-      decr budget;
-      if !budget <= 0 then begin
-        budget := stride;
+      if Atomic.fetch_and_add budget (-1) <= 1 then begin
+        Atomic.set budget stride;
         Abort_signal.check ()
       end
   | Copy { dst; src } | Copy_value { dst; src } ->

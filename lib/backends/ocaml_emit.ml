@@ -413,13 +413,7 @@ let[@inline always] wolf_set2_real ~inplace t i k v =
   let t = wolf_cow ~inplace t in
   wolf_rwrite t (wolf_flat2 t i k) v; t
 
-let[@inline always] wolf_abort_check () =
-  incr Wolf_base.Abort_signal.internal_count;
-  if !Wolf_base.Abort_signal.internal_flag
-     || (!Wolf_base.Abort_signal.internal_trigger >= 0
-         && !Wolf_base.Abort_signal.internal_count
-            >= !Wolf_base.Abort_signal.internal_trigger)
-  then Wolf_base.Abort_signal.check ()
+let[@inline always] wolf_abort_check () = Wolf_base.Abort_signal.check ()
 |}
 
 let fn_ocaml_name ctx name =

@@ -1,28 +1,53 @@
 exception Aborted
 
-let flag = ref false
-let count = ref 0
-let trigger_at = ref (-1)
+(* The user-visible abort request is a single cross-domain atomic: Abort[]
+   (or ^C in a notebook) raised on any domain must be seen by compiled code
+   polling on every other domain, with no torn or lost update. *)
+let flag = Atomic.make false
 
-let request () = flag := true
-let clear () = flag := false; trigger_at := -1
-let requested () = !flag
+(* Test hooks (abort_after / checks_performed) are per-domain.  They exist
+   only so tests and the abort-overhead ablation can inject an interrupt at
+   a deterministic poll and count polls; keeping them domain-local means a
+   fuzz worker scheduling an injected abort, or calling [reset_stats], can
+   never trip or skew a compiled function polling on another domain. *)
+type hooks = {
+  mutable count : int;        (* checks performed on this domain *)
+  mutable trigger : int;      (* fire an injected abort at this count; -1 = off *)
+  mutable injected : bool;    (* sticky: an injected abort is unwinding *)
+}
+
+let hooks_key =
+  Domain.DLS.new_key (fun () -> { count = 0; trigger = -1; injected = false })
+
+let hooks () = Domain.DLS.get hooks_key
+
+let request () = Atomic.set flag true
+
+let clear () =
+  Atomic.set flag false;
+  let h = hooks () in
+  h.trigger <- -1;
+  h.injected <- false
+
+let requested () = Atomic.get flag
 
 let check () =
-  incr count;
-  if !trigger_at >= 0 && !count >= !trigger_at then begin
-    trigger_at := -1;
-    flag := true
+  let h = hooks () in
+  h.count <- h.count + 1;
+  if h.trigger >= 0 && h.count >= h.trigger then begin
+    h.trigger <- -1;
+    (* sticky so nested evaluations keep unwinding, like a real request;
+       confined to this domain by construction *)
+    h.injected <- true
   end;
-  if !flag then raise Aborted
+  if h.injected || Atomic.get flag then raise Aborted
 
-let checks_performed () = !count
-let reset_stats () = count := 0
-let abort_after n = trigger_at := !count + n
+let checks_performed () = (hooks ()).count
+let reset_stats () = (hooks ()).count <- 0
 
-let internal_flag = flag
-let internal_count = count
-let internal_trigger = trigger_at
+let abort_after n =
+  let h = hooks () in
+  h.trigger <- h.count + n
 
 let with_abort_protection f =
   match f () with

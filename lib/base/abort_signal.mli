@@ -3,41 +3,50 @@
     The Wolfram Notebook lets the user abort a running evaluation without
     killing the session.  The interpreter polls this flag between rewrite
     steps; compiled code polls it at loop headers and function prologues
-    (inserted by {!Wolf_compiler.Abort_pass}). *)
+    (inserted by {!Wolf_compiler.Abort_pass}).
+
+    Threading model: the request flag is one cross-domain [Atomic.t] —
+    {!request} from any domain is observed by the next {!check} on every
+    domain, never lost or torn.  The {!abort_after}/{!checks_performed}
+    machinery exists only for tests and ablations and is domain-local
+    (see below). *)
 
 exception Aborted
 
 val request : unit -> unit
-(** Ask the current evaluation to stop at its next abort check. *)
+(** Ask every running evaluation, on any domain, to stop at its next abort
+    check.  Safe to call from a different domain than the one evaluating. *)
 
 val clear : unit -> unit
+(** Clear the global request flag and this domain's injected-abort state. *)
 
 val requested : unit -> bool
 
 val check : unit -> unit
-(** @raise Aborted if an abort was requested (the flag stays set so nested
+(** @raise Aborted if an abort was requested (the request stays set so nested
     evaluations unwind; the session clears it when it regains control). *)
 
+(** {2 Test hooks — domain-local}
+
+    These exist only for tests and the abort-overhead ablation.  Each domain
+    has its own poll counter and injection trigger: scheduling an injected
+    abort or calling [reset_stats] on one domain can never race with, abort,
+    or skew the counts of a compiled function polling on another domain.
+    A real cross-domain abort is delivered via {!request} only. *)
+
 val checks_performed : unit -> int
-(** Number of [check] calls since the last [reset_stats]; used by tests and
-    the abort-overhead ablation to observe where checks were inserted. *)
+(** Number of [check] calls on the calling domain since its last
+    [reset_stats]; used by tests and the abort-overhead ablation to observe
+    where checks were inserted. *)
 
 val reset_stats : unit -> unit
+(** Zero the calling domain's poll counter. *)
 
 val abort_after : int -> unit
-(** Test hook: arrange for the [n]-th subsequent check to trigger an abort,
-    simulating a user pressing interrupt mid-evaluation. *)
+(** Test hook: arrange for the [n]-th subsequent check {e on the calling
+    domain} to raise, simulating a user pressing interrupt mid-evaluation.
+    The injected abort is confined to the scheduling domain. *)
 
 val with_abort_protection : (unit -> 'a) -> ('a, exn) result
-
-(** {2 Cells for generated code}
-
-    JIT-emitted abort checks poll these refs inline (a handful of loads per
-    loop iteration) and only call {!check} on the slow path.  Not for
-    general use. *)
-
-val internal_flag : bool ref
-val internal_count : int ref
-val internal_trigger : int ref
 (** Run a thunk, catching [Aborted] (and clearing the flag), so a session can
     return to its prompt with its state intact. *)

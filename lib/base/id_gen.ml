@@ -1,5 +1,5 @@
-type t = int ref
+type t = int Atomic.t
 
-let create () = ref 0
-let next t = incr t; !t
-let reset t = t := 0
+let create () = Atomic.make 0
+let next t = Atomic.fetch_and_add t 1 + 1
+let current t = Atomic.get t

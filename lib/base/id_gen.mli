@@ -1,7 +1,16 @@
-(** Monotonic id supplies (MExpr node ids, SSA variable ids, gensym serials). *)
+(** Monotonic id supplies (MExpr node ids, SSA variable ids, gensym serials).
+
+    Atomic: [next] is safe to call from any domain and never hands the same
+    id to two callers.  There is deliberately no [reset] — resetting a live
+    supply while another domain draws from it would let ids repeat, which is
+    exactly the class of bug a content-addressed cache or an interned table
+    cannot survive.  Per-compilation numbering is achieved by creating a
+    fresh supply (see [Wolf_compiler.Lower]), not by rewinding a shared one. *)
 
 type t
 
 val create : unit -> t
 val next : t -> int
-val reset : t -> unit
+
+val current : t -> int
+(** Last id handed out (0 if none); observational, for tests. *)

@@ -1,0 +1,33 @@
+(* The big kernel lock.
+
+   The term-rewriting kernel is a deeply stateful subsystem — symbol own
+   values, down values, attributes, the builtin dispatch table — whose
+   semantics are a single global session (the paper's engine has exactly
+   one).  Rather than pretend those tables can be updated concurrently, all
+   entry points into kernel evaluation serialize on this lock; the compiler
+   and the compiled-code fast paths (which touch none of that state) run in
+   parallel, and only interpreter work — the reference evaluation in the
+   fuzz oracle, Kernel_call escapes, interpreter fallbacks — queues here.
+
+   The lock is reentrant per-domain: evaluation recurses into itself
+   (a builtin evaluating arguments, a compiled function falling back to the
+   interpreter mid-evaluation), so the owning domain passes straight
+   through. *)
+
+let mutex = Mutex.create ()
+
+(* Owner domain id, or -1.  Written only while holding [mutex]. *)
+let owner = Atomic.make (-1)
+
+let with_lock f =
+  let me = (Domain.self () :> int) in
+  if Atomic.get owner = me then f ()
+  else begin
+    Mutex.lock mutex;
+    Atomic.set owner me;
+    Fun.protect
+      ~finally:(fun () ->
+          Atomic.set owner (-1);
+          Mutex.unlock mutex)
+      f
+  end

@@ -1,0 +1,9 @@
+(** The big kernel lock: serializes entry into the term-rewriting kernel.
+
+    Kernel state (symbol values, down values, the builtin table) models a
+    single global session, so interpreter evaluation is mutually exclusive
+    across domains; compilation and compiled-code execution do not take this
+    lock and run in parallel.  Reentrant per-domain: nested evaluation on
+    the owning domain passes through. *)
+
+val with_lock : (unit -> 'a) -> 'a

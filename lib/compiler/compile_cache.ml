@@ -1,4 +1,5 @@
 type stats = {
+  lookups : int;
   hits : int;
   misses : int;
   evictions : int;
@@ -10,15 +11,23 @@ type 'a entry = { value : 'a; mutable last_use : int }
 type 'a t = {
   capacity : int;
   tbl : (string, 'a entry) Hashtbl.t;
-  mutable clock : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  (* keys some domain is currently compiling; waiters sleep on [cond] *)
+  inflight : (string, unit) Hashtbl.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable clock : int;              (* LRU recency; guarded by [lock] *)
+  lookups : int Atomic.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
 let create ?(capacity = 128) () =
-  { capacity = max 1 capacity; tbl = Hashtbl.create 64; clock = 0;
-    hits = 0; misses = 0; evictions = 0 }
+  { capacity = max 1 capacity; tbl = Hashtbl.create 64;
+    inflight = Hashtbl.create 8; lock = Mutex.create ();
+    cond = Condition.create (); clock = 0;
+    lookups = Atomic.make 0; hits = Atomic.make 0; misses = Atomic.make 0;
+    evictions = Atomic.make 0 }
 
 let key ~source ~options ~target =
   Digest.to_hex
@@ -26,18 +35,20 @@ let key ~source ~options ~target =
        (String.concat "\x00"
           [ Wolf_wexpr.Expr.to_string source; Options.fingerprint options; target ]))
 
-let find c k =
+let[@inline] locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+(* callers hold c.lock *)
+let find_locked c k =
   match Hashtbl.find_opt c.tbl k with
   | Some e ->
     c.clock <- c.clock + 1;
     e.last_use <- c.clock;
-    c.hits <- c.hits + 1;
     Some e.value
-  | None ->
-    c.misses <- c.misses + 1;
-    None
+  | None -> None
 
-let evict_lru c =
+let evict_lru_locked c =
   let victim =
     Hashtbl.fold
       (fun k e acc ->
@@ -49,26 +60,82 @@ let evict_lru c =
   match victim with
   | Some (k, _) ->
     Hashtbl.remove c.tbl k;
-    c.evictions <- c.evictions + 1
+    Atomic.incr c.evictions
   | None -> ()
 
-let add c k v =
+let add_locked c k v =
   c.clock <- c.clock + 1;
   match Hashtbl.find_opt c.tbl k with
   | Some _ -> Hashtbl.replace c.tbl k { value = v; last_use = c.clock }
   | None ->
-    if Hashtbl.length c.tbl >= c.capacity then evict_lru c;
+    if Hashtbl.length c.tbl >= c.capacity then evict_lru_locked c;
     Hashtbl.replace c.tbl k { value = v; last_use = c.clock }
 
-let length c = Hashtbl.length c.tbl
+let find c k =
+  Atomic.incr c.lookups;
+  locked c (fun () ->
+      match find_locked c k with
+      | Some v -> Atomic.incr c.hits; Some v
+      | None -> Atomic.incr c.misses; None)
+
+let add c k v = locked c (fun () -> add_locked c k v)
+
+let find_or_compute c k ~build =
+  Atomic.incr c.lookups;
+  Mutex.lock c.lock;
+  let rec claim () =
+    match find_locked c k with
+    | Some v ->
+      (* counts as one hit whether it was resident up front or appeared while
+         we waited for the in-flight compile of the same key *)
+      Atomic.incr c.hits;
+      Mutex.unlock c.lock;
+      v
+    | None ->
+      if Hashtbl.mem c.inflight k then begin
+        (* another domain is compiling this key: wait rather than duplicating
+           the compile and racing the LRU clock with a second insert *)
+        Condition.wait c.cond c.lock;
+        claim ()
+      end
+      else begin
+        Atomic.incr c.misses;
+        Hashtbl.replace c.inflight k ();
+        Mutex.unlock c.lock;
+        let finish g =
+          Mutex.lock c.lock;
+          Hashtbl.remove c.inflight k;
+          let r = g () in
+          Condition.broadcast c.cond;
+          Mutex.unlock c.lock;
+          r
+        in
+        match build () with
+        | v -> finish (fun () -> add_locked c k v); v
+        | exception e ->
+          (* failed compiles are not cached; wake waiters so one of them
+             retries (and likely reports the same error in its own context) *)
+          finish (fun () -> ());
+          raise e
+      end
+  in
+  claim ()
+
+let length c = locked c (fun () -> Hashtbl.length c.tbl)
 
 let stats c =
-  { hits = c.hits; misses = c.misses; evictions = c.evictions;
-    entries = Hashtbl.length c.tbl }
+  locked c (fun () ->
+      { lookups = Atomic.get c.lookups;
+        hits = Atomic.get c.hits;
+        misses = Atomic.get c.misses;
+        evictions = Atomic.get c.evictions;
+        entries = Hashtbl.length c.tbl })
 
 let clear c =
-  Hashtbl.reset c.tbl;
-  c.clock <- 0;
-  c.hits <- 0;
-  c.misses <- 0;
-  c.evictions <- 0
+  locked c (fun () ->
+      Hashtbl.reset c.tbl;
+      c.clock <- 0;
+      Atomic.set c.lookups 0;
+      Atomic.set c.hits 0;
+      Atomic.set c.misses 0;
+      Atomic.set c.evictions 0)

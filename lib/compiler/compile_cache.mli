@@ -4,9 +4,16 @@
     under interactive and serving workloads; a compile is 10³–10⁶× the cost
     of a call, so the facade memoizes compilation results keyed by a content
     hash of (source expression FullForm, every {!Options.t} field, backend
-    target).  Bounded LRU with hit/miss/eviction counters. *)
+    target).  Bounded LRU with lookup/hit/miss/eviction counters.
+
+    Domain-safe: the table and LRU clock are guarded by a mutex, the
+    counters are atomics (so a lookup interleaving an insert can't drift
+    them — [hits + misses = lookups] always holds), and
+    {!find_or_compute} deduplicates in-flight compiles per key: two domains
+    asking for the same missing key run one compile, not two. *)
 
 type stats = {
+  lookups : int;   (** find + find_or_compute calls; = hits + misses *)
   hits : int;
   misses : int;
   evictions : int;
@@ -28,6 +35,14 @@ val find : 'a t -> string -> 'a option
 
 val add : 'a t -> string -> 'a -> unit
 (** Insert, evicting the least-recently-used entry when full. *)
+
+val find_or_compute : 'a t -> string -> build:(unit -> 'a) -> 'a
+(** [find_or_compute c k ~build] returns the cached value for [k], or runs
+    [build] (outside the cache lock) and inserts the result.  If another
+    domain is already building [k], blocks until that compile lands and
+    returns its value — one compile per key, however many domains miss
+    simultaneously.  Counts one hit or one miss per call.  If [build]
+    raises, nothing is cached and one waiter retries. *)
 
 val stats : 'a t -> stats
 val length : 'a t -> int

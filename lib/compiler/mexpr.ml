@@ -7,7 +7,16 @@ and desc =
   | Node of t * t array
 
 let counter = Wolf_base.Id_gen.create ()
-let meta : (int, (string * string) list ref) Hashtbl.t = Hashtbl.create 256
+
+(* Node properties live in a process-global side table (node ids are globally
+   unique, so entries from concurrent compilations never collide); the table
+   itself still needs a lock because Hashtbl reads race resizes. *)
+let meta : (int, (string * string) list) Hashtbl.t = Hashtbl.create 256
+let meta_lock = Mutex.create ()
+
+let[@inline] locked f =
+  Mutex.lock meta_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock meta_lock) f
 
 let atom e = { id = Wolf_base.Id_gen.next counter; desc = Atom e }
 let node h args = { id = Wolf_base.Id_gen.next counter; desc = Node (h, args) }
@@ -24,17 +33,16 @@ let rec to_expr m =
   | Node (h, args) -> Expr.Normal (to_expr h, Array.map to_expr args)
 
 let set_prop m key value =
-  match Hashtbl.find_opt meta m.id with
-  | Some cell -> cell := (key, value) :: List.remove_assoc key !cell
-  | None -> Hashtbl.add meta m.id (ref [ (key, value) ])
+  locked (fun () ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt meta m.id) in
+      Hashtbl.replace meta m.id ((key, value) :: List.remove_assoc key existing))
 
 let get_prop m key =
-  Option.bind (Hashtbl.find_opt meta m.id) (fun cell -> List.assoc_opt key !cell)
+  locked (fun () ->
+      Option.bind (Hashtbl.find_opt meta m.id) (List.assoc_opt key))
 
 let props m =
-  match Hashtbl.find_opt meta m.id with
-  | Some cell -> !cell
-  | None -> []
+  locked (fun () -> Option.value ~default:[] (Hashtbl.find_opt meta m.id))
 
 let rec visit ~pre ?post m =
   pre m;

@@ -1,10 +1,18 @@
-let table : (string, string list ref) Hashtbl.t = Hashtbl.create 32
+(* Class membership is written at init (install_builtin) and by user class
+   declarations, and read on every qualified unification; a mutex covers both
+   sides so a lookup never races a resize.  Member lists are immutable
+   values, re-bound whole under the lock. *)
+let table : (string, string list) Hashtbl.t = Hashtbl.create 32
+let lock = Mutex.create ()
+
+let[@inline] locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let declare name ~members =
-  match Hashtbl.find_opt table name with
-  | Some existing ->
-    existing := List.sort_uniq String.compare (members @ !existing)
-  | None -> Hashtbl.add table name (ref members)
+  locked (fun () ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt table name) in
+      Hashtbl.replace table name (List.sort_uniq String.compare (members @ existing)))
 
 let constructor_name ty =
   match Types.repr ty with
@@ -14,8 +22,8 @@ let constructor_name ty =
 let member cls ~ty =
   match constructor_name ty with
   | Some name ->
-    (match Hashtbl.find_opt table cls with
-     | Some members -> List.mem name !members
+    (match locked (fun () -> Hashtbl.find_opt table cls) with
+     | Some members -> List.mem name members
      | None -> false)
   | None -> false
 
@@ -25,9 +33,8 @@ let satisfiable cls ~ty =
   | _ -> member cls ~ty
 
 let classes_of ty =
-  Hashtbl.fold
-    (fun cls _ acc -> if member cls ~ty then cls :: acc else acc)
-    table []
+  locked (fun () -> Hashtbl.fold (fun cls _ acc -> cls :: acc) table [])
+  |> List.filter (fun cls -> member cls ~ty)
   |> List.sort String.compare
 
 let install_builtin () =

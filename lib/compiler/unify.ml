@@ -2,14 +2,24 @@ open Types
 
 (* Trail entries remember the previous contents of each bound cell so that
    speculative unification (AlternativeConstraint candidate testing) can be
-   rolled back exactly. *)
-let trail : (tv ref * tv) list ref = ref []
+   rolled back exactly.
+
+   The trail is domain-local: type variables are created per inference run
+   and never shared across domains, but the trail head itself was a process
+   global — two domains inferring concurrently would interleave their undo
+   records and roll back each other's bindings.  Domain.DLS gives every
+   domain its own trail at zero cost to the single-domain fast path. *)
+let trail_key : (tv ref * tv) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let trail () = Domain.DLS.get trail_key
 
 let bind r t =
+  let trail = trail () in
   trail := (r, !r) :: !trail;
   r := Link t
 
-let commit_depth () = List.length !trail
+let commit_depth () = List.length !(trail ())
 
 let rec unify a b =
   let a = repr a and b = repr b in
@@ -66,6 +76,7 @@ and unify_all xs ys =
   go 0
 
 let speculate f =
+  let trail = trail () in
   let saved = !trail in
   trail := [];
   let result = match f () with v -> v | exception _ -> None in

@@ -65,12 +65,17 @@ type program = {
   mutable pmeta : (string * string) list;
 }
 
+(* SSA variable ids come from one atomic process-wide supply: ids are unique
+   across every compilation on every domain, so concurrently-built functions
+   can never alias each other's variables.  The old [reset_var_counter]
+   (rewinding this supply between compilations) is gone — resetting a shared
+   supply while another domain is lowering would hand out duplicate vids;
+   callers that want small per-compilation numbering renumber at print time
+   instead (see Wir_print). *)
 let var_counter = Wolf_base.Id_gen.create ()
 
 let fresh_var ?(name = "v") ?ty () =
   { vid = Wolf_base.Id_gen.next var_counter; vname = name; vty = ty }
-
-let reset_var_counter () = Wolf_base.Id_gen.reset var_counter
 
 let const_ty = function
   | Cvoid -> Types.void

@@ -81,7 +81,9 @@ type program = {
 }
 
 val fresh_var : ?name:string -> ?ty:Types.t -> unit -> var
-val reset_var_counter : unit -> unit
+(** Draw from one atomic process-wide id supply: variable ids are unique
+    across all compilations on all domains.  (There is deliberately no
+    counter reset; see the note in the implementation.) *)
 
 val const_ty : const -> Types.t
 val operand_ty : operand -> Types.t option

@@ -9,12 +9,13 @@ type config = {
   levels : int list;
   corpus_dir : string option;
   log : string -> unit;
+  jobs : int;  (** domains to shard the campaign over; 1 = sequential *)
 }
 
 let default_config =
   { seed = 0; count = 200; max_size = 60; strings = true;
     backends = [ Oracle.Threaded; Oracle.Wvm ]; levels = [ 0; 1; 2 ];
-    corpus_dir = None; log = ignore }
+    corpus_dir = None; log = ignore; jobs = 1 }
 
 type report = {
   generated : int;
@@ -130,42 +131,70 @@ let check_entry ?backends ?levels entry =
 
 (* ---- the campaign ----------------------------------------------------- *)
 
-let run cfg =
-  let failures = ref [] in
-  let written = ref [] in
-  let disagreements = ref 0 in
-  for i = 0 to cfg.count - 1 do
-    let case = case_for cfg i in
-    let check c =
-      Oracle.check_case ~backends:cfg.backends ~levels:cfg.levels c
-    in
+(* Per-program work unit: generate, check, and (on disagreement) shrink.
+   Everything here depends on (seed, i) only, so the array of outcomes is
+   the same whatever the domain count; all IO (progress, corpus writes) is
+   kept out of the workers and done in the deterministic merge below. *)
+let check_one cfg ~progress i =
+  let case = case_for cfg i in
+  let check c = Oracle.check_case ~backends:cfg.backends ~levels:cfg.levels c in
+  let outcome =
     match check case with
-    | [] ->
-      if i mod 50 = 49 then
-        cfg.log (Printf.sprintf "  … %d/%d ok" (i + 1) cfg.count)
+    | [] -> None
     | fs ->
-      incr disagreements;
-      cfg.log
+      progress
         (Printf.sprintf "program %d DISAGREES (%s); shrinking …" i
            (String.concat ", " (List.map (fun f -> f.Oracle.fwhere) fs)));
       let small = Shrink.shrink ~fails:(fun c -> check c <> []) case in
-      let small_fs = check small in
-      failures := (i, small, small_fs) :: !failures;
-      (match cfg.corpus_dir with
+      Some (small, check small)
+  in
+  progress "";  (* tick *)
+  outcome
+
+let run cfg =
+  (* Force one-time initialisation on this domain before sharding: kernel
+     builtins, the stdlib declarations, the cc probe.  Workers then only
+     touch state behind the locks/atomics of the domain-safe core. *)
+  Wolfram.init ();
+  let done_count = Atomic.make 0 in
+  let progress msg =
+    if msg = "" then begin
+      let d = Atomic.fetch_and_add done_count 1 + 1 in
+      if d mod 50 = 0 then
+        cfg.log (Printf.sprintf "  … %d/%d checked" d cfg.count)
+    end
+    else cfg.log msg
+  in
+  let outcomes =
+    Wolf_parallel.Pool.map ~jobs:(max 1 cfg.jobs) cfg.count
+      (check_one cfg ~progress)
+  in
+  (* deterministic merge, in program order *)
+  let failures = ref [] in
+  let written = ref [] in
+  let disagreements = ref 0 in
+  Array.iteri
+    (fun i outcome ->
+       match outcome with
        | None -> ()
-       | Some dir ->
-         let f0 =
-           match small_fs with f :: _ -> f.Oracle.fwhere | [] -> "unknown"
-         in
-         let path =
-           write_corpus ~dir
-             ~name:(Printf.sprintf "shrunk-seed%d-%d" cfg.seed i)
-             ~note:(Printf.sprintf "fuzz: %s disagrees (seed %d/%d)" f0
-                      cfg.seed i)
-             small
-         in
-         written := path :: !written;
-         cfg.log ("  wrote " ^ path))
-  done;
+       | Some (small, small_fs) ->
+         incr disagreements;
+         failures := (i, small, small_fs) :: !failures;
+         (match cfg.corpus_dir with
+          | None -> ()
+          | Some dir ->
+            let f0 =
+              match small_fs with f :: _ -> f.Oracle.fwhere | [] -> "unknown"
+            in
+            let path =
+              write_corpus ~dir
+                ~name:(Printf.sprintf "shrunk-seed%d-%d" cfg.seed i)
+                ~note:(Printf.sprintf "fuzz: %s disagrees (seed %d/%d)" f0
+                         cfg.seed i)
+                small
+            in
+            written := path :: !written;
+            cfg.log ("  wrote " ^ path)))
+    outcomes;
   { generated = cfg.count; disagreements = !disagreements;
     failures = List.rev !failures; written = List.rev !written }

@@ -21,11 +21,15 @@ type config = {
   levels : int list;
   corpus_dir : string option;  (** write shrunk failures here *)
   log : string -> unit;        (** progress/diagnostics sink *)
+  jobs : int;
+      (** domains to shard the campaign over.  Any [jobs] produces the
+          same report (per-program work depends on [(seed, i)] only and
+          results merge in program order); [1] runs inline. *)
 }
 
 val default_config : config
 (** seed 0, 200 programs, max size 60, threaded+wvm, levels 0–2, no corpus
-    dir, silent. *)
+    dir, silent, 1 job. *)
 
 type report = {
   generated : int;

@@ -134,7 +134,19 @@ let run_wvm fexpr args =
 
 (* C export: compile the emitted translation unit with the system compiler
    and run it; scalar params/results only (the driver prints one scalar). *)
-let have_cc = lazy (Sys.command "cc --version >/dev/null 2>&1" = 0)
+(* memoized probe; NOT a [lazy]: concurrent forcing of a lazy from two
+   domains raises CamlinternalLazy.Undefined.  0 = unknown, 1 = yes, 2 = no;
+   a duplicated probe during the race window is harmless. *)
+let have_cc_state = Atomic.make 0
+
+let have_cc () =
+  match Atomic.get have_cc_state with
+  | 1 -> true
+  | 2 -> false
+  | _ ->
+    let yes = Sys.command "cc --version >/dev/null 2>&1" = 0 in
+    Atomic.set have_cc_state (if yes then 1 else 2);
+    yes
 
 let run_c level fexpr args =
   guard (fun () ->
@@ -227,7 +239,7 @@ let check_parsed ?(backends = [ Threaded; Wvm ]) ?(levels = [ 0; 1; 2 ])
            if not wvm_ok then []
            else Option.to_list (mismatch "wvm" (run_wvm fexpr args))
          | C ->
-           if not c_ok || not (Lazy.force have_cc) then []
+           if not c_ok || not (have_cc ()) then []
            else
              List.filter_map
                (fun lvl ->

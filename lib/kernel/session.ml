@@ -1,27 +1,40 @@
 open Wolf_wexpr
 
-let initialized = ref false
+(* once-only init under a lock: a second domain calling [init] while the
+   first is still installing builtins waits instead of seeing a half-filled
+   dispatch table *)
+let initialized = Atomic.make false
+let init_lock = Mutex.create ()
 
 let init () =
-  if not !initialized then begin
-    initialized := true;
-    Builtins_core.install ();
-    Builtins_math.install ();
-    Builtins_list.install ();
-    Builtins_func.install ();
-    Builtins_string.install ();
-    Builtins_more.install ();
-    Builtins_symbolic.install ();
-    Wolf_runtime.Hooks.set_kernel_eval Eval.eval
+  if not (Atomic.get initialized) then begin
+    Mutex.lock init_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock init_lock) (fun () ->
+        if not (Atomic.get initialized) then begin
+          Builtins_core.install ();
+          Builtins_math.install ();
+          Builtins_list.install ();
+          Builtins_func.install ();
+          Builtins_string.install ();
+          Builtins_more.install ();
+          Builtins_symbolic.install ();
+          Wolf_runtime.Hooks.set_kernel_eval Eval.eval;
+          Atomic.set initialized true
+        end)
   end
 
+(* Kernel evaluation is serialized by the big kernel lock: symbol values and
+   down values model one global session, so interpreter work is mutually
+   exclusive across domains while compilation and compiled code run freely
+   in parallel (see DESIGN.md "Threading model"). *)
 let eval e =
   init ();
-  Eval.eval e
+  Wolf_base.Kernel_lock.with_lock (fun () -> Eval.eval e)
 
 let eval_protected e =
   init ();
-  Wolf_base.Abort_signal.with_abort_protection (fun () -> Eval.eval e)
+  Wolf_base.Abort_signal.with_abort_protection (fun () ->
+      Wolf_base.Kernel_lock.with_lock (fun () -> Eval.eval e))
 
 let run src = eval (Parser.parse src)
 

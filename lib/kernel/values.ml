@@ -2,11 +2,22 @@ open Wolf_wexpr
 
 type rule = { lhs : Expr.t; rhs : Expr.t }
 
+(* The kernel symbol store.  Logical consistency of an evaluation (read a
+   value, use it, maybe write it back) is the kernel lock's job
+   (Wolf_base.Kernel_lock, taken at every evaluator entry); this mutex
+   additionally makes each individual table operation safe against a
+   concurrent resize, so direct store probes from outside an evaluation
+   (tooling, tests, [install]) can't corrupt the tables. *)
 let owns : (int, Expr.t) Hashtbl.t = Hashtbl.create 256
 let downs : (int, rule list) Hashtbl.t = Hashtbl.create 256
 let compiled : (int, Wolf_runtime.Rtval.closure) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
 
-let own_value s = Hashtbl.find_opt owns (Symbol.id s)
+let[@inline] locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let own_value s = locked (fun () -> Hashtbl.find_opt owns (Symbol.id s))
 
 (* Own-value slots hold references: packed tensors are reference-counted so
    that indexed assignment copies exactly when another symbol still points
@@ -15,15 +26,18 @@ let retain = function Expr.Tensor t -> Tensor.acquire t | _ -> ()
 let forget = function Some (Expr.Tensor t) -> Tensor.release t | _ -> ()
 
 let set_own_value s v =
-  retain v;
-  forget (Hashtbl.find_opt owns (Symbol.id s));
-  Hashtbl.replace owns (Symbol.id s) v
+  locked (fun () ->
+      retain v;
+      forget (Hashtbl.find_opt owns (Symbol.id s));
+      Hashtbl.replace owns (Symbol.id s) v)
 
 let clear_own_value s =
-  forget (Hashtbl.find_opt owns (Symbol.id s));
-  Hashtbl.remove owns (Symbol.id s)
+  locked (fun () ->
+      forget (Hashtbl.find_opt owns (Symbol.id s));
+      Hashtbl.remove owns (Symbol.id s))
 
-let down_values s = Option.value ~default:[] (Hashtbl.find_opt downs (Symbol.id s))
+let down_values s =
+  locked (fun () -> Option.value ~default:[] (Hashtbl.find_opt downs (Symbol.id s)))
 
 let rec count_blanks e =
   match e with
@@ -52,20 +66,20 @@ let add_down_value s rule =
   let rules =
     List.stable_sort (fun a b -> compare (count_blanks a.lhs) (count_blanks b.lhs)) rules
   in
-  Hashtbl.replace downs (Symbol.id s) rules
+  locked (fun () -> Hashtbl.replace downs (Symbol.id s) rules)
 
-let clear_down_values s = Hashtbl.remove downs (Symbol.id s)
+let clear_down_values s = locked (fun () -> Hashtbl.remove downs (Symbol.id s))
 
-let compiled_value s = Hashtbl.find_opt compiled (Symbol.id s)
-let set_compiled_value s c = Hashtbl.replace compiled (Symbol.id s) c
-let clear_compiled_value s = Hashtbl.remove compiled (Symbol.id s)
+let compiled_value s = locked (fun () -> Hashtbl.find_opt compiled (Symbol.id s))
+let set_compiled_value s c = locked (fun () -> Hashtbl.replace compiled (Symbol.id s) c)
+let clear_compiled_value s = locked (fun () -> Hashtbl.remove compiled (Symbol.id s))
 
 type snapshot = (Symbol.t * Expr.t option * rule list option) list
 
 let save syms =
   List.map
     (fun s ->
-       (s, own_value s, Hashtbl.find_opt downs (Symbol.id s)))
+       (s, own_value s, locked (fun () -> Hashtbl.find_opt downs (Symbol.id s))))
     syms
 
 let restore snap =
@@ -75,11 +89,12 @@ let restore snap =
         | Some v -> set_own_value s v
         | None -> clear_own_value s);
        (match dvs with
-        | Some rules -> Hashtbl.replace downs (Symbol.id s) rules
-        | None -> Hashtbl.remove downs (Symbol.id s)))
+        | Some rules -> locked (fun () -> Hashtbl.replace downs (Symbol.id s) rules)
+        | None -> locked (fun () -> Hashtbl.remove downs (Symbol.id s))))
     snap
 
 let clear_all () =
-  Hashtbl.reset owns;
-  Hashtbl.reset downs;
-  Hashtbl.reset compiled
+  locked (fun () ->
+      Hashtbl.reset owns;
+      Hashtbl.reset downs;
+      Hashtbl.reset compiled)

@@ -1,0 +1,23 @@
+(** Domain pool: shard independent tasks across domains with deterministic
+    merge order.
+
+    The work queue is an atomic cursor over task indices (bounded, every
+    index claimed exactly once, idle domains steal remaining work); results
+    accumulate into per-index slots, so output order equals task order — the
+    same answer at every [jobs], only faster.  Used by [wolfc fuzz --jobs],
+    [wolfc compile --jobs] and [bench fig2 --jobs]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] is [Array.init n f] computed on up to [jobs] domains
+    (clamped to [max 1 (min jobs n)]; [jobs <= 1] runs inline with zero
+    overhead).  If any [f i] raises, the first failure is re-raised on the
+    calling domain after all domains join. *)
+
+val map_list : jobs:int -> 'a list -> ('a -> 'b) -> 'b list
+(** List version of {!map}; result order matches input order. *)
+
+val run : jobs:int -> (unit -> unit) list -> unit
+(** Run side-effecting thunks across the pool; returns when all finish. *)

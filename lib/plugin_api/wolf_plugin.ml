@@ -1,5 +1,22 @@
+(* Registry linking JIT-loaded modules to the host: entry closures and
+   host-side constants, keyed by mangled name.  Guarded so registrations
+   from concurrent JIT loads (and lookups from loading module initialisers)
+   never race a table resize. *)
 let table : (string, Obj.t) Hashtbl.t = Hashtbl.create 16
+let lock = Mutex.create ()
 
-let register name f = Hashtbl.replace table name f
-let lookup name = Hashtbl.find_opt table name
-let clear name = Hashtbl.remove table name
+let register name f =
+  Mutex.lock lock;
+  Hashtbl.replace table name f;
+  Mutex.unlock lock
+
+let lookup name =
+  Mutex.lock lock;
+  let r = Hashtbl.find_opt table name in
+  Mutex.unlock lock;
+  r
+
+let clear name =
+  Mutex.lock lock;
+  Hashtbl.remove table name;
+  Mutex.unlock lock

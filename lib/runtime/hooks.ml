@@ -3,7 +3,13 @@ let kernel_eval =
       raise (Wolf_base.Errors.Eval_error "no kernel installed (call Session.init)"))
 
 let set_kernel_eval f = kernel_eval := f
-let eval e = !kernel_eval e
+
+(* Every escape from compiled code into the kernel — Kernel_call
+   instructions, interpreter fallbacks, EvalEscape in the WVM — funnels
+   through here, so taking the big kernel lock at this one point serializes
+   all cross-domain access to interpreter state.  Reentrant: an evaluation
+   already on this domain passes through. *)
+let eval e = Wolf_base.Kernel_lock.with_lock (fun () -> !kernel_eval e)
 
 let auto_compile_scalar =
   ref (fun (_ : Wolf_wexpr.Expr.t) (_ : Wolf_wexpr.Symbol.t) : (float -> float) option ->

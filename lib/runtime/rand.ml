@@ -1,8 +1,19 @@
-let state = ref 0x9E3779B97F4A7C15L
+(* Runtime RNG for RandomReal/RandomInteger.
 
-let seed n = state := Int64.add (Int64.of_int n) 0x9E3779B97F4A7C15L
+   State is domain-local: compiled code on several domains draws from
+   independent splitmix streams instead of racing one global cell (losing
+   increments under contention and entangling otherwise-unrelated runs).
+   Each domain's stream starts from the same default seed; [seed] re-seeds
+   the calling domain only, which is what the deterministic tests use. *)
+
+let state_key = Domain.DLS.new_key (fun () -> ref 0x9E3779B97F4A7C15L)
+
+let state () = Domain.DLS.get state_key
+
+let seed n = state () := Int64.add (Int64.of_int n) 0x9E3779B97F4A7C15L
 
 let next_int64 () =
+  let state = state () in
   state := Int64.add !state 0x9E3779B97F4A7C15L;
   let z = !state in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in

@@ -1,36 +1,55 @@
 type t = { id : int; name : string; mutable attrs : Attributes.set }
 
+(* One process-wide intern table, guarded by [lock].  Interning must be
+   globally unique AND physically unique (Symbol.equal is [==]), so every
+   read-modify-write on the table — including the read side of intern, which
+   otherwise races a resize in another domain — happens under the lock. *)
 let table : (string, t) Hashtbl.t = Hashtbl.create 512
 let counter = Wolf_base.Id_gen.create ()
+let lock = Mutex.create ()
+
+let[@inline] locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let intern name =
-  match Hashtbl.find_opt table name with
-  | Some s -> s
-  | None ->
-    let s = { id = Wolf_base.Id_gen.next counter; name; attrs = Attributes.empty } in
-    Hashtbl.add table name s;
-    s
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some s -> s
+      | None ->
+        let s = { id = Wolf_base.Id_gen.next counter; name; attrs = Attributes.empty } in
+        Hashtbl.add table name s;
+        s)
 
 let fresh base =
-  let rec try_serial () =
-    let n = Wolf_base.Id_gen.next counter in
-    let name = Printf.sprintf "%s$%d" base n in
-    if Hashtbl.mem table name then try_serial ()
-    else begin
-      let s = { id = n; name; attrs = Attributes.empty } in
-      Hashtbl.add table name s;
-      s
-    end
-  in
-  try_serial ()
+  (* id draw and table insert happen under one critical section: two domains
+     generating serials concurrently each claim a distinct id, and a name a
+     user program already interned (say x$3) is skipped — the existing symbol
+     keeps sole ownership of that name and its physical identity. *)
+  locked (fun () ->
+      let rec try_serial () =
+        let n = Wolf_base.Id_gen.next counter in
+        let name = Printf.sprintf "%s$%d" base n in
+        if Hashtbl.mem table name then try_serial ()
+        else begin
+          let s = { id = n; name; attrs = Attributes.empty } in
+          Hashtbl.add table name s;
+          s
+        end
+      in
+      try_serial ())
 
 let name s = s.name
 let id s = s.id
 let equal a b = a == b
 let compare a b = Stdlib.compare a.id b.id
 let hash s = s.id
+
+(* [attrs] holds an immutable set value, so unlocked reads see a consistent
+   (if possibly slightly stale) set — a single word can't tear.  Writes are
+   read-modify-write and go under the lock. *)
 let attributes s = s.attrs
-let set_attributes s a = s.attrs <- a
-let add_attribute s a = s.attrs <- Attributes.add a s.attrs
+let set_attributes s a = locked (fun () -> s.attrs <- a)
+let add_attribute s a = locked (fun () -> s.attrs <- Attributes.add a s.attrs)
 let has_attribute s a = Attributes.mem a s.attrs
 let pp fmt s = Format.pp_print_string fmt s.name

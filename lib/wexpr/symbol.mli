@@ -2,7 +2,12 @@
 
     Symbols are the only mutable binding sites in the language (objective F5);
     the interpreter stores their values in side tables keyed by [id], keeping
-    this module free of any dependency on expression or evaluator types. *)
+    this module free of any dependency on expression or evaluator types.
+
+    Domain-safe: the intern table is guarded by a mutex, so [intern] from any
+    number of domains returns the one physically-unique symbol per name (the
+    [==] in {!equal} stays correct), and [fresh] allocates its serial and its
+    table entry in one critical section. *)
 
 type t = private { id : int; name : string; mutable attrs : Attributes.set }
 

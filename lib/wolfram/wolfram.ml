@@ -11,21 +11,30 @@ type compiled =
   | Native of Compiled_function.t
   | Wvm of Wvm.compiled_function
 
-let initialized = ref false
-
 (* The auto-compilation service used by numerical solvers (paper §1 / E4):
    compile a scalar real expression in one free variable into float -> float.
    The threaded backend keeps auto-compilation latency small, like the
    bytecode compiler the engine historically used for this. *)
 let auto_compile_cache : (string, (float -> float) option) Hashtbl.t = Hashtbl.create 32
+let auto_compile_lock = Mutex.create ()
 
 let rec auto_compile_scalar expr sym =
   let key = Expr.to_string expr ^ "|" ^ Symbol.name sym in
-  match Hashtbl.find_opt auto_compile_cache key with
+  let cached =
+    Mutex.lock auto_compile_lock;
+    let r = Hashtbl.find_opt auto_compile_cache key in
+    Mutex.unlock auto_compile_lock;
+    r
+  in
+  match cached with
   | Some cached -> cached
   | None ->
+    (* compiled outside the lock; a concurrent duplicate compile of the same
+       scalar is harmless (last writer wins, results are interchangeable) *)
     let result = auto_compile_scalar_uncached expr sym in
+    Mutex.lock auto_compile_lock;
     Hashtbl.replace auto_compile_cache key result;
+    Mutex.unlock auto_compile_lock;
     result
 
 and auto_compile_scalar_uncached expr sym =
@@ -50,14 +59,35 @@ and auto_compile_scalar_uncached expr sym =
          | _ -> raise (Wolf_base.Errors.Eval_error "autocompile: non-numeric"))
   | exception _ -> None
 
+(* once-only init, race-free: the first caller wins, concurrent callers wait
+   until installation has finished rather than observing a half-built kernel *)
+let initialized = Atomic.make false
+let init_lock = Mutex.create ()
+
 let init () =
-  if not !initialized then begin
-    initialized := true;
-    Wolf_kernel.Session.init ();
-    Wolf_runtime.Hooks.auto_compile_scalar := auto_compile_scalar
+  if not (Atomic.get initialized) then begin
+    Mutex.lock init_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock init_lock) (fun () ->
+        if not (Atomic.get initialized) then begin
+          Wolf_kernel.Session.init ();
+          Wolf_runtime.Hooks.auto_compile_scalar := auto_compile_scalar;
+          Atomic.set initialized true
+        end)
   end
 
 let pipelines : (string, Pipeline.compiled) Hashtbl.t = Hashtbl.create 16
+let pipelines_lock = Mutex.create ()
+
+let pipelines_put name c =
+  Mutex.lock pipelines_lock;
+  Hashtbl.replace pipelines name c;
+  Mutex.unlock pipelines_lock
+
+let pipelines_get name =
+  Mutex.lock pipelines_lock;
+  let r = Hashtbl.find_opt pipelines name in
+  Mutex.unlock pipelines_lock;
+  r
 
 (* The content-addressed compile cache (DESIGN.md "Pass manager & compile
    cache"): repeated Compile/run calls on identical (source, options,
@@ -102,7 +132,7 @@ let function_compile ?options ?type_env ?macro_env ?user_passes
         Compiled_function.wrap ~name ~source:fexpr ~arg_tys ~ret_ty closure
       in
       (* keep the pipeline result reachable for tooling *)
-      Hashtbl.replace pipelines wrapped.Compiled_function.cf_name c;
+      pipelines_put wrapped.Compiled_function.cf_name c;
       Native wrapped
   in
   let cacheable =
@@ -110,18 +140,14 @@ let function_compile ?options ?type_env ?macro_env ?user_passes
     && (match user_passes with None | Some [] -> true | Some _ -> false)
   in
   if not cacheable then build ()
-  else begin
+  else
     let key =
       Compile_cache.key ~source:fexpr ~options:opts
         ~target:(target_name target ^ ":" ^ name)
     in
-    match Compile_cache.find compile_cache key with
-    | Some cf -> cf
-    | None ->
-      let cf = build () in
-      Compile_cache.add compile_cache key cf;
-      cf
-  end
+    (* per-key in-flight dedup: two domains compiling the same source see
+       one compile; the second blocks briefly and shares the result *)
+    Compile_cache.find_or_compute compile_cache key ~build
 
 let function_compile_src ?options ?target ?name src =
   function_compile ?options ?target ?name (Parser.parse src)
@@ -184,9 +210,9 @@ let export_library ?options ?(name = "Main") ~path src =
   Jit.export_library c ~path
 
 let pipeline_of = function
-  | Native t -> Hashtbl.find_opt pipelines t.Compiled_function.cf_name
+  | Native t -> pipelines_get t.Compiled_function.cf_name
   | Wvm _ -> None
 
 let fallback_count = function
-  | Native t -> t.Compiled_function.fallbacks
+  | Native t -> Atomic.get t.Compiled_function.fallbacks
   | Wvm _ -> 0

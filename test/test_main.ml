@@ -17,4 +17,5 @@ let () =
       ("features (Table 1)", Test_features.tests);
       ("appendix (A.6)", Test_appendix.tests);
       ("export (F10)", Test_export.tests);
-      ("fuzz (differential)", Test_fuzz.tests) ]
+      ("fuzz (differential)", Test_fuzz.tests);
+      ("parallel (domain safety)", Test_parallel.tests) ]

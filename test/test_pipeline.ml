@@ -175,6 +175,8 @@ let test_cache_hit_identical () =
   let s2 = cache_stats () in
   Alcotest.(check (pair int int)) "second compile: 1 hit, 1 miss" (1, 1)
     (s2.Compile_cache.hits, s2.Compile_cache.misses);
+  Alcotest.(check int) "every lookup is a hit or a miss" s2.Compile_cache.lookups
+    (s2.Compile_cache.hits + s2.Compile_cache.misses);
   (* the hit returns the identical compiled function, program included *)
   Alcotest.(check bool) "physically identical compiled function" true (cf1 == cf2);
   (match Wolfram.pipeline_of cf1, Wolfram.pipeline_of cf2 with
@@ -255,9 +257,12 @@ let test_cache_lru_eviction () =
   Alcotest.(check int) "hits" 3 s.Compile_cache.hits;
   Alcotest.(check int) "misses" 1 s.Compile_cache.misses;
   Alcotest.(check int) "entries" 2 s.Compile_cache.entries;
+  Alcotest.(check int) "lookups = hits + misses" s.Compile_cache.lookups
+    (s.Compile_cache.hits + s.Compile_cache.misses);
   Compile_cache.clear c;
   let s = Compile_cache.stats c in
   Alcotest.(check int) "cleared hits" 0 s.Compile_cache.hits;
+  Alcotest.(check int) "cleared lookups" 0 s.Compile_cache.lookups;
   Alcotest.(check int) "cleared entries" 0 s.Compile_cache.entries
 
 (* ------------------------------------------------------------------ *)
