@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke bench-json smoke fuzz-smoke par-smoke fuzz clean
+.PHONY: all build test check bench bench-smoke bench-json smoke fuzz-smoke par-smoke obs-smoke fuzz clean
 
 all: build
 
@@ -18,6 +18,7 @@ check: build
 	dune runtest
 	$(MAKE) fuzz-smoke
 	$(MAKE) par-smoke
+	$(MAKE) obs-smoke
 	dune exec bench/main.exe -- smoke
 	$(MAKE) bench-smoke
 
@@ -48,6 +49,24 @@ fuzz-smoke: build
 # fuzz hooks) and must produce exactly the tallies of the sequential run
 par-smoke: build
 	dune exec bin/wolfc.exe -- fuzz --seed 1 --count 200 --quiet --jobs 4
+
+# observability smoke: compile and run one benchmark-shaped program with
+# tracing, profiling and metrics all on, then validate every output with
+# wolfc's own checker — the trace must be well-formed Chrome JSON with
+# balanced spans, the metrics export must carry named samples, and a
+# 4-domain fuzz slice must produce at least 4 distinct tracks
+obs-smoke: build
+	dune exec bin/wolfc.exe -- run \
+	  -e 'Function[{Typed[n, "Integer64"]}, Module[{s = 0}, Do[s = s + i*i, {i, n}]; s]]' \
+	  --args 100000 --profile --target threaded \
+	  --trace-out /tmp/wolf_obs_trace.json \
+	  --metrics-out /tmp/wolf_obs_metrics.json \
+	  --profile-out /tmp/wolf_obs_profile.json
+	dune exec bin/wolfc.exe -- fuzz --seed 1 --count 40 --quiet --jobs 4 \
+	  --trace-out /tmp/wolf_obs_par_trace.json
+	dune exec bin/wolfc.exe -- obs-check \
+	  /tmp/wolf_obs_trace.json /tmp/wolf_obs_metrics.json /tmp/wolf_obs_profile.json
+	dune exec bin/wolfc.exe -- obs-check --min-tracks 4 /tmp/wolf_obs_par_trace.json
 
 # longer free-running campaign for local bug hunting
 fuzz: build

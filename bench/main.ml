@@ -101,12 +101,23 @@ let compile_pipeline ?(options = Options.default) ?type_env ~name src_or_expr =
    shared cores would measure contention, not the compiler. *)
 let bench_jobs = ref 1
 
-let compile3 a b c =
-  match
-    Wolf_parallel.Pool.map_list ~jobs:!bench_jobs [ a; b; c ] (fun f -> f ())
-  with
-  | [ x; y; z ] -> (x, y, z)
-  | _ -> assert false
+(* compile-side cost per benchmark goes through the metrics registry, so
+   the --json record and any --metrics-out export agree on one number *)
+let compile3 ~bench a b c =
+  let t0 = Unix.gettimeofday () in
+  let r =
+    match
+      Wolf_parallel.Pool.map_list ~jobs:!bench_jobs [ a; b; c ] (fun f -> f ())
+    with
+    | [ x; y; z ] -> (x, y, z)
+    | _ -> assert false
+  in
+  Wolf_obs.Metrics.set_gauge
+    (Wolf_obs.Metrics.gauge
+       ~help:"wall-clock seconds compiling a benchmark's three arms"
+       ~labels:[ ("bench", bench) ] "bench_compile_seconds")
+    (Unix.gettimeofday () -. t0);
+  r
 
 let best_native c =
   match B.Jit.compile c with
@@ -160,13 +171,30 @@ let fig2_benchmarks () =
   let no_abort = { Options.default with abort_handling = false } in
   let no_loop = { Options.default with loop_opts = false } in
   let rows = ref [] in
-  let add row = rows := row :: !rows in
+  (* every measured arm lands in the registry as
+     bench_seconds{bench,arm}; fig2_write_json reads the JSON's seconds
+     from these gauges, so `wolfc`-style --metrics-out exports and
+     BENCH_fig2.json cannot disagree *)
+  let add row =
+    let set arm v =
+      Wolf_obs.Metrics.set_gauge
+        (Wolf_obs.Metrics.gauge ~help:"benchmark run seconds (best of group)"
+           ~labels:[ ("bench", row.bname); ("arm", arm) ] "bench_seconds")
+        v
+    in
+    set "hand" row.hand;
+    set "compiled" row.compiled;
+    set "compiled_no_loop_opts" row.compiled_noloop;
+    set "compiled_no_abort" row.compiled_noabort;
+    Option.iter (set "bytecode") row.bytecode;
+    rows := row :: !rows
+  in
 
   (* FNV1a *)
   let str = P.fnv_string s.fnv_len in
   let codes = Tensor.of_int_array (Array.init s.fnv_len (fun i -> Char.code str.[i])) in
   let c, cl, cn =
-    compile3
+    compile3 ~bench:"FNV1a"
       (fun () -> compile_pipeline ~name:"fnv1a" (`Src P.fnv1a_src))
       (fun () -> compile_pipeline ~options:no_loop ~name:"fnv1a" (`Src P.fnv1a_src))
       (fun () -> compile_pipeline ~options:no_abort ~name:"fnv1a" (`Src P.fnv1a_src))
@@ -194,7 +222,7 @@ let fig2_benchmarks () =
   let margs = [| Rtval.Real (-1.0); Rtval.Real 1.0; Rtval.Real (-1.0); Rtval.Real 0.5;
                  Rtval.Real 0.1 |] in
   let c, cl, cn =
-    compile3
+    compile3 ~bench:"Mandelbrot"
       (fun () -> compile_pipeline ~name:"mandel" (`Src P.mandelbrot_src))
       (fun () -> compile_pipeline ~options:no_loop ~name:"mandel" (`Src P.mandelbrot_src))
       (fun () -> compile_pipeline ~options:no_abort ~name:"mandel" (`Src P.mandelbrot_src))
@@ -222,7 +250,7 @@ let fig2_benchmarks () =
   let m = P.random_matrix s.dot_n in
   let dargs = [| Rtval.Tensor m; Rtval.Tensor m |] in
   let c, cl, cn =
-    compile3
+    compile3 ~bench:"Dot"
       (fun () -> compile_pipeline ~name:"dot" (`Src P.dot_src))
       (fun () -> compile_pipeline ~options:no_loop ~name:"dot" (`Src P.dot_src))
       (fun () -> compile_pipeline ~options:no_abort ~name:"dot" (`Src P.dot_src))
@@ -249,7 +277,7 @@ let fig2_benchmarks () =
   (* Blur *)
   let img = P.random_image s.blur_n in
   let c, cl, cn =
-    compile3
+    compile3 ~bench:"Blur"
       (fun () -> compile_pipeline ~name:"blur" (`Src P.blur_src))
       (fun () -> compile_pipeline ~options:no_loop ~name:"blur" (`Src P.blur_src))
       (fun () -> compile_pipeline ~options:no_abort ~name:"blur" (`Src P.blur_src))
@@ -278,7 +306,7 @@ let fig2_benchmarks () =
   let data = P.histogram_data s.hist_n in
   let hargs = [| Rtval.Tensor data |] in
   let c, cl, cn =
-    compile3
+    compile3 ~bench:"Histogram"
       (fun () -> compile_pipeline ~name:"hist" (`Src P.histogram_src))
       (fun () -> compile_pipeline ~options:no_loop ~name:"hist" (`Src P.histogram_src))
       (fun () -> compile_pipeline ~options:no_abort ~name:"hist" (`Src P.histogram_src))
@@ -308,7 +336,7 @@ let fig2_benchmarks () =
   (* each arm gets its own type env and expression: compiling mutates the
      unification variables inside them, so sharing across domains would race *)
   let c, cl, cn =
-    compile3
+    compile3 ~bench:"PrimeQ"
       (fun () -> compile_pipeline ~type_env:env ~name:"primeq" (`Expr (P.primeq_expr ())))
       (fun () ->
          compile_pipeline ~options:no_loop ~type_env:(P.primeq_type_env ())
@@ -342,7 +370,7 @@ let fig2_benchmarks () =
   let lst = P.sorted_list s.qsort_n in
   let no_abort = { Options.default with Options.abort_handling = false } in
   let c, cl, cn =
-    compile3
+    compile3 ~bench:"QSort"
       (fun () ->
          compile_pipeline ~type_env:(P.qsort_type_env ()) ~name:"qsortmain"
            (`Src P.qsort_driver_src))
@@ -383,20 +411,44 @@ let fig2_benchmarks () =
 let fig2_write_json path rows =
   let oc = open_out path in
   let fl v = Printf.sprintf "%.6e" v in
+  (* the seconds come back out of the metrics registry (where [add] put
+     them); the row fields are only the fallback if a gauge is somehow
+     missing.  Schema note: all pre-existing keys are unchanged;
+     "compile_seconds" is additive. *)
+  let gauge_or bench arm fallback =
+    Option.value ~default:fallback
+      (Wolf_obs.Metrics.find_gauge
+         ~labels:[ ("bench", bench); ("arm", arm) ] "bench_seconds")
+  in
   let entry r =
+    let hand = gauge_or r.bname "hand" r.hand in
+    let compiled = gauge_or r.bname "compiled" r.compiled in
+    let compiled_noloop =
+      gauge_or r.bname "compiled_no_loop_opts" r.compiled_noloop
+    in
+    let compiled_noabort =
+      gauge_or r.bname "compiled_no_abort" r.compiled_noabort
+    in
+    let bytecode =
+      Option.map (fun b -> gauge_or r.bname "bytecode" b) r.bytecode
+    in
+    let compile_seconds =
+      Wolf_obs.Metrics.find_gauge ~labels:[ ("bench", r.bname) ]
+        "bench_compile_seconds"
+    in
     let ratios =
       Printf.sprintf
         "      \"compiled_vs_hand\": %s,\n\
         \      \"abort_overhead\": %s,\n\
         \      \"loop_layer_speedup\": %s"
-        (fl (r.compiled /. r.hand))
-        (fl (r.compiled /. r.compiled_noabort))
-        (fl (r.compiled_noloop /. r.compiled))
+        (fl (compiled /. hand))
+        (fl (compiled /. compiled_noabort))
+        (fl (compiled_noloop /. compiled))
     in
     Printf.sprintf
       "  {\n\
       \    \"name\": \"%s\",\n\
-      \    \"backend\": \"%s\",\n\
+      \    \"backend\": \"%s\",\n%s\
       \    \"seconds\": {\n\
       \      \"hand\": %s,\n\
       \      \"compiled\": %s,\n\
@@ -404,9 +456,13 @@ let fig2_write_json path rows =
       \      \"compiled_no_abort\": %s%s\n\
       \    },\n\
       \    \"ratios\": {\n%s\n    }\n  }"
-      r.bname r.backend_used (fl r.hand) (fl r.compiled) (fl r.compiled_noloop)
-      (fl r.compiled_noabort)
-      (match r.bytecode with
+      r.bname r.backend_used
+      (match compile_seconds with
+       | Some cs -> Printf.sprintf "    \"compile_seconds\": %s,\n" (fl cs)
+       | None -> "")
+      (fl hand) (fl compiled) (fl compiled_noloop)
+      (fl compiled_noabort)
+      (match bytecode with
        | Some b -> Printf.sprintf ",\n      \"bytecode\": %s" (fl b)
        | None -> "")
       ratios

@@ -130,13 +130,51 @@ let json_escape s =
   Buffer.contents b
 
 let cache_json (s : Wolf_compiler.Compile_cache.stats) =
-  Printf.sprintf "{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d}"
-    s.hits s.misses s.evictions s.entries
+  Printf.sprintf
+    "{\"hits\":%d,\"misses\":%d,\"inflight_waits\":%d,\"evictions\":%d,\
+     \"entries\":%d,\"bytes\":%d}"
+    s.hits s.misses s.waits s.evictions s.entries s.bytes
 
 let print_cache_stats () =
   let s = Wolfram.compile_cache_stats () in
-  Printf.printf "compile cache: %d hits, %d misses, %d evictions, %d entries\n"
-    s.Wolf_compiler.Compile_cache.hits s.misses s.evictions s.entries
+  Printf.printf
+    "compile cache: %d hits, %d misses, %d in-flight waits, %d evictions, \
+     %d entries (~%d bytes)\n"
+    s.Wolf_compiler.Compile_cache.hits s.misses s.waits s.evictions s.entries
+    s.bytes
+
+(* observability flags shared by run/compile/fuzz (DESIGN.md
+   "Observability"): tracing records only when --trace-out asks for a file,
+   so the default path keeps its one-atomic-load cost per site *)
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Record spans and write a Chrome trace_event JSON to $(docv) \
+               (open in Perfetto or chrome://tracing).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Write the metrics registry to $(docv) when the command \
+               finishes.")
+
+let metrics_format_arg =
+  Arg.(value & opt (enum [ ("json", `Json); ("prometheus", `Prometheus) ]) `Json
+       & info [ "metrics-format" ] ~docv:"F"
+         ~doc:"Metrics output format: json (default) or prometheus.")
+
+let with_obs ~trace_out ~metrics_out ~metrics_format f =
+  if trace_out <> None then Wolf_obs.Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+        (match trace_out with
+         | Some path ->
+           Wolf_obs.Trace.write_file path;
+           Wolf_obs.Trace.disable ()
+         | None -> ());
+        match metrics_out with
+        | Some path -> Wolf_obs.Metrics.write_file ~format:metrics_format path
+        | None -> ())
+    f
 
 let print_program_stats (c : Wolf_compiler.Pipeline.compiled) =
   let open Wolf_compiler in
@@ -148,13 +186,19 @@ let print_program_stats (c : Wolf_compiler.Pipeline.compiled) =
 
 let run_cmd =
   let run expr file args target no_abort no_inline opt_level self dump_after
-      verify_each timings stats json repeat =
+      verify_each timings stats json repeat profile profile_out trace_out
+      metrics_out metrics_format =
     Wolfram.init ();
     let src = read_program expr file in
+    let profiling = profile || profile_out <> None in
     let options =
-      options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after ~verify_each
+      { (options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after
+           ~verify_each)
+        with Wolf_compiler.Options.profile = profiling }
     in
-    let fexpr = Parser.parse src in
+    if profiling then Wolf_obs.Profile.set_enabled true;
+    with_obs ~trace_out ~metrics_out ~metrics_format @@ fun () ->
+    let fexpr = Wolf_obs.Trace.with_span ~cat:"stage" "parse" (fun () -> Parser.parse src) in
     let t0 = Unix.gettimeofday () in
     let cf = Wolfram.function_compile ~options ~target fexpr in
     let compile_seconds = Unix.gettimeofday () -. t0 in
@@ -181,11 +225,17 @@ let run_cmd =
                Printf.sprintf "\"inplace_updates\":%d" c.Pipeline.inplace_updates ]
            | None -> [])
         @ [ "\"cache\":" ^ cache_json (Wolfram.compile_cache_stats ()) ]
+        @ (if profiling then [ "\"profile\":" ^ Wolf_obs.Profile.to_json () ]
+           else [])
       in
       print_endline ("{" ^ String.concat "," fields ^ "}")
     end
     else begin
       print_endline result;
+      if profile then begin
+        Printf.printf "\n== runtime profile ==\n";
+        print_string (Wolf_obs.Profile.report ())
+      end;
       (match pipeline with
        | Some c ->
          if timings then begin
@@ -206,6 +256,13 @@ let run_cmd =
            prerr_endline "(no pipeline instrumentation for the bytecode target)"
          end)
     end;
+    (match profile_out with
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Wolf_obs.Profile.to_json ());
+       output_char oc '\n';
+       close_out oc
+     | None -> ());
     0
   in
   let args_arg =
@@ -228,11 +285,24 @@ let run_cmd =
     Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
            ~doc:"Compile $(docv) times in-process (identical compiles hit the cache).")
   in
+  let profile_arg =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Compile with per-function instrumentation and print the \
+                 hot-function table (calls, self/total time) plus abort-poll, \
+                 kernel-escape and copy-on-write counters after the run.")
+  in
+  let profile_out_arg =
+    Arg.(value & opt (some string) None & info [ "profile-out" ] ~docv:"FILE"
+           ~doc:"Like $(b,--profile), but write the profile as JSON to \
+                 $(docv).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"FunctionCompile a program and apply it.")
     Term.(const run $ expr_arg $ file_arg $ args_arg $ target_arg $ no_abort
           $ no_inline $ opt_level $ self $ dump_after_arg $ verify_each_arg
-          $ timings_arg $ stats_arg $ json_arg $ repeat_arg)
+          $ timings_arg $ stats_arg $ json_arg $ repeat_arg $ profile_arg
+          $ profile_out_arg $ trace_out_arg $ metrics_out_arg
+          $ metrics_format_arg)
 
 let eval_cmd =
   let run expr file =
@@ -252,8 +322,10 @@ let jobs_arg =
 let resolve_jobs j = if j <= 0 then Wolf_parallel.Pool.default_jobs () else j
 
 let fuzz_cmd =
-  let run seed count max_size backends no_strings corpus quiet jobs =
+  let run seed count max_size backends no_strings corpus quiet jobs trace_out
+      metrics_out metrics_format =
     Wolfram.init ();
+    with_obs ~trace_out ~metrics_out ~metrics_format @@ fun () ->
     let backends =
       match Wolf_fuzz.Oracle.backends_of_string backends with
       | Ok [] -> prerr_endline "fuzz: no backends selected"; exit 2
@@ -322,12 +394,15 @@ let fuzz_cmd =
              results compared against the interpreter, and failures shrunk \
              to minimal reproducers.")
     Term.(const run $ seed_arg $ count_arg $ max_size_arg $ backends_arg
-          $ no_strings_arg $ corpus_arg $ quiet_arg $ jobs_arg)
+          $ no_strings_arg $ corpus_arg $ quiet_arg $ jobs_arg $ trace_out_arg
+          $ metrics_out_arg $ metrics_format_arg)
 
 let compile_cmd =
-  let run files target no_abort no_inline opt_level jobs stats =
+  let run files target no_abort no_inline opt_level jobs stats trace_out
+      metrics_out metrics_format =
     if files = [] then begin prerr_endline "compile: no input files"; exit 2 end;
     Wolfram.init ();
+    with_obs ~trace_out ~metrics_out ~metrics_format @@ fun () ->
     let jobs = resolve_jobs jobs in
     let options =
       options_of ~no_abort ~no_inline ~opt_level ~self:None ~dump_after:[]
@@ -385,7 +460,144 @@ let compile_cmd =
              ($(b,--jobs)); duplicate sources deduplicate through the \
              compile cache's in-flight tracking.")
     Term.(const run $ files_arg $ target_arg $ no_abort $ no_inline
-          $ opt_level $ jobs_arg $ stats_arg)
+          $ opt_level $ jobs_arg $ stats_arg $ trace_out_arg $ metrics_out_arg
+          $ metrics_format_arg)
+
+let stats_cmd =
+  let run expr file target opt_level format out =
+    Wolfram.init ();
+    (* compiling the given program (if any) populates the registry; with no
+       program this prints the instruments in their initial state, which is
+       still useful to see the metric names *)
+    (match expr, file with
+     | None, None -> ()
+     | _ ->
+       let src = read_program expr file in
+       let options = { Wolf_compiler.Options.default with opt_level } in
+       ignore (Wolfram.function_compile ~options ~target (Parser.parse src)));
+    (match out with
+     | Some path -> Wolf_obs.Metrics.write_file ~format path
+     | None ->
+       print_string
+         (match format with
+          | `Json -> Wolf_obs.Metrics.to_json () ^ "\n"
+          | `Prometheus -> Wolf_obs.Metrics.to_prometheus ()));
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Compile a program (optional) and export the metrics registry — \
+             pass timings, cache occupancy, runtime event counters — as JSON \
+             or Prometheus text.")
+    Term.(const run $ expr_arg $ file_arg $ target_arg $ opt_level
+          $ metrics_format_arg $ metrics_out_arg)
+
+(* obs-check: validate observability outputs (used by `make obs-smoke`).
+   Trace files get structural checks on top of JSON well-formedness: every
+   event carries the trace_event fields, begin/end depths balance per
+   track, and the track count can be bounded from below (--min-tracks). *)
+
+let check_trace ~min_tracks json =
+  let events = Option.value ~default:Wolf_obs.Json_min.Null
+      (Wolf_obs.Json_min.member "traceEvents" json) in
+  let events = Wolf_obs.Json_min.to_list events in
+  let depths : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  List.iteri
+    (fun i ev ->
+       let open Wolf_obs.Json_min in
+       let field name = member name ev in
+       let sfield name = Option.bind (field name) str in
+       let nfield name = Option.bind (field name) num in
+       (match sfield "name", sfield "ph", nfield "ts", nfield "pid", nfield "tid" with
+        | Some _, Some ph, Some _, Some _, Some tid ->
+          let tid = int_of_float tid in
+          let d = Option.value ~default:0 (Hashtbl.find_opt depths tid) in
+          (match ph with
+           | "B" -> Hashtbl.replace depths tid (d + 1)
+           | "E" ->
+             if d = 0 then err "event %d: E with no open span on tid %d" i tid
+             else Hashtbl.replace depths tid (d - 1)
+           | "i" -> ()
+           | ph -> err "event %d: unexpected phase %S" i ph)
+        | _ -> err "event %d: missing name/ph/ts/pid/tid" i))
+    events;
+  Hashtbl.iter
+    (fun tid d -> if d <> 0 then err "tid %d: %d unclosed span(s)" tid d)
+    depths;
+  let tracks = Hashtbl.length depths in
+  if tracks < min_tracks then
+    err "expected at least %d track(s), found %d" min_tracks tracks;
+  (List.length events, tracks, List.rev !errors)
+
+let obs_check_cmd =
+  let run min_tracks files =
+    if files = [] then begin prerr_endline "obs-check: no input files"; exit 2 end;
+    let failed = ref false in
+    List.iter
+      (fun file ->
+         let contents = read_program None (Some file) in
+         match Wolf_obs.Json_min.parse contents with
+         | Error e ->
+           failed := true;
+           Printf.printf "%s: INVALID JSON (%s)\n" file e
+         | Ok json ->
+           let open Wolf_obs.Json_min in
+           if member "traceEvents" json <> None then begin
+             let events, tracks, errors = check_trace ~min_tracks json in
+             if errors = [] then
+               Printf.printf "%s: ok (trace, %d events, %d tracks)\n" file
+                 events tracks
+             else begin
+               failed := true;
+               Printf.printf "%s: FAILED\n" file;
+               List.iter (fun e -> Printf.printf "  %s\n" e) errors
+             end
+           end
+           else if member "metrics" json <> None then begin
+             let samples =
+               to_list (Option.get (member "metrics" json))
+             in
+             let bad =
+               List.filter
+                 (fun s ->
+                    Option.bind (member "name" s) str = None
+                    ||
+                    (* scalar samples carry "value"; histograms expand to
+                       buckets + sum + count *)
+                    (member "value" s = None
+                     && (member "buckets" s = None || member "count" s = None)))
+                 samples
+             in
+             if bad = [] then
+               Printf.printf "%s: ok (metrics, %d samples)\n" file
+                 (List.length samples)
+             else begin
+               failed := true;
+               Printf.printf "%s: FAILED (%d sample(s) without name/value)\n"
+                 file (List.length bad)
+             end
+           end
+           else
+             (* plain JSON (e.g. a --profile-out file): well-formedness is
+                the contract *)
+             Printf.printf "%s: ok (json)\n" file)
+      files;
+    if !failed then 1 else 0
+  in
+  let min_tracks_arg =
+    Arg.(value & opt int 1 & info [ "min-tracks" ] ~docv:"N"
+           ~doc:"Require trace files to contain at least $(docv) distinct \
+                 track (tid) values.")
+  in
+  let files_arg = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "obs-check"
+       ~doc:"Validate observability outputs: JSON well-formedness for any \
+             file, plus per-track span balance and minimum track count for \
+             Chrome traces and shape checks for metrics exports.")
+    Term.(const run $ min_tracks_arg $ files_arg)
 
 let repl_cmd =
   let run () =
@@ -423,4 +635,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
                      [ emit_cmd; run_cmd; compile_cmd; eval_cmd; fuzz_cmd;
-                       repl_cmd ]))
+                       stats_cmd; obs_check_cmd; repl_cmd ]))

@@ -64,6 +64,7 @@ let available () =
   Dynlink.is_native && Option.is_some (include_dirs ()) && Option.is_some (ocamlopt ())
 
 let compile_to_cmxs (c : Wolf_compiler.Pipeline.compiled) =
+  Wolf_obs.Trace.with_span ~cat:"codegen" "jit-codegen" @@ fun () ->
   match include_dirs (), ocamlopt () with
   | None, _ -> Error "JIT unavailable: cannot locate the dune build tree (.cmi files)"
   | _, None -> Error "JIT unavailable: no ocamlopt on PATH"
@@ -112,6 +113,7 @@ let compile c =
   match compile_to_cmxs c with
   | Error _ as e -> e
   | Ok (emitted, cmxs) ->
+    Wolf_obs.Trace.with_span ~cat:"codegen" "jit-dynlink" @@ fun () ->
     Mutex.lock dynlink_lock;
     Fun.protect ~finally:(fun () -> Mutex.unlock dynlink_lock) @@ fun () ->
     (* host-side constants must be visible before the module initialises *)

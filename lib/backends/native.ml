@@ -653,6 +653,7 @@ let compile_func ctx (f : func) : Rtval.t array -> Rtval.t =
     fr.ret
 
 let compile (c : Pipeline.compiled) : Rtval.closure =
+  Wolf_obs.Trace.with_span ~cat:"codegen" "native-codegen" @@ fun () ->
   let prog = c.Pipeline.program in
   let funcs : (string, (Rtval.t array -> Rtval.t) ref) Hashtbl.t = Hashtbl.create 8 in
   List.iter
@@ -661,10 +662,18 @@ let compile (c : Pipeline.compiled) : Rtval.closure =
          (ref (fun _ -> invalid_arg ("native: " ^ f.fname ^ " not yet compiled"))))
     prog.funcs;
   let inline = c.Pipeline.coptions.Options.inline_level > 0 in
+  let profile = c.Pipeline.coptions.Options.profile in
   List.iter
     (fun f ->
        let ctx = { slots = Hashtbl.create 64; funcs; inline } in
        let compiled = compile_func ctx f in
+       (* under --profile every WIR function body is wrapped at its call
+          boundary, so the hot-function table sees calls/self-time per
+          function, including recursive and cross-function calls through
+          the [funcs] indirection *)
+       let compiled =
+         if profile then Wolf_obs.Profile.wrap_fn f.fname compiled else compiled
+       in
        Hashtbl.find funcs f.fname := compiled)
     prog.funcs;
   let main = Wir.main prog in

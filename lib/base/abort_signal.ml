@@ -32,6 +32,7 @@ let clear () =
 let requested () = Atomic.get flag
 
 let check () =
+  Wolf_obs.Profile.note_abort_poll ();
   let h = hooks () in
   h.count <- h.count + 1;
   if h.trigger >= 0 && h.count >= h.trigger then begin

@@ -23,7 +23,11 @@ let with_lock f =
   let me = (Domain.self () :> int) in
   if Atomic.get owner = me then f ()
   else begin
-    Mutex.lock mutex;
+    (* the acquisition is the interesting part for tracing: a long
+       "kernel-lock" span on one track is time spent queued behind the
+       interpreter serving another domain *)
+    Wolf_obs.Trace.with_span ~cat:"lock" "kernel-lock" (fun () ->
+        Mutex.lock mutex);
     Atomic.set owner me;
     Fun.protect
       ~finally:(fun () ->

@@ -2,32 +2,37 @@ type stats = {
   lookups : int;
   hits : int;
   misses : int;
+  waits : int;
   evictions : int;
   entries : int;
+  bytes : int;
 }
 
-type 'a entry = { value : 'a; mutable last_use : int }
+type 'a entry = { value : 'a; weight : int; mutable last_use : int }
 
 type 'a t = {
   capacity : int;
+  weigh : 'a -> int;
   tbl : (string, 'a entry) Hashtbl.t;
   (* keys some domain is currently compiling; waiters sleep on [cond] *)
   inflight : (string, unit) Hashtbl.t;
   lock : Mutex.t;
   cond : Condition.t;
   mutable clock : int;              (* LRU recency; guarded by [lock] *)
+  mutable bytes : int;              (* resident weight; guarded by [lock] *)
   lookups : int Atomic.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
+  waits : int Atomic.t;
   evictions : int Atomic.t;
 }
 
-let create ?(capacity = 128) () =
-  { capacity = max 1 capacity; tbl = Hashtbl.create 64;
+let create ?(capacity = 128) ?(weigh = fun _ -> 0) () =
+  { capacity = max 1 capacity; weigh; tbl = Hashtbl.create 64;
     inflight = Hashtbl.create 8; lock = Mutex.create ();
-    cond = Condition.create (); clock = 0;
+    cond = Condition.create (); clock = 0; bytes = 0;
     lookups = Atomic.make 0; hits = Atomic.make 0; misses = Atomic.make 0;
-    evictions = Atomic.make 0 }
+    waits = Atomic.make 0; evictions = Atomic.make 0 }
 
 let key ~source ~options ~target =
   Digest.to_hex
@@ -59,24 +64,37 @@ let evict_lru_locked c =
   in
   match victim with
   | Some (k, _) ->
+    (match Hashtbl.find_opt c.tbl k with
+     | Some e -> c.bytes <- c.bytes - e.weight
+     | None -> ());
     Hashtbl.remove c.tbl k;
     Atomic.incr c.evictions
   | None -> ()
 
 let add_locked c k v =
   c.clock <- c.clock + 1;
+  let w = c.weigh v in
   match Hashtbl.find_opt c.tbl k with
-  | Some _ -> Hashtbl.replace c.tbl k { value = v; last_use = c.clock }
+  | Some old ->
+    c.bytes <- c.bytes - old.weight + w;
+    Hashtbl.replace c.tbl k { value = v; weight = w; last_use = c.clock }
   | None ->
     if Hashtbl.length c.tbl >= c.capacity then evict_lru_locked c;
-    Hashtbl.replace c.tbl k { value = v; last_use = c.clock }
+    c.bytes <- c.bytes + w;
+    Hashtbl.replace c.tbl k { value = v; weight = w; last_use = c.clock }
 
 let find c k =
   Atomic.incr c.lookups;
   locked c (fun () ->
       match find_locked c k with
-      | Some v -> Atomic.incr c.hits; Some v
-      | None -> Atomic.incr c.misses; None)
+      | Some v ->
+        Atomic.incr c.hits;
+        Wolf_obs.Trace.instant ~cat:"cache" "cache-hit";
+        Some v
+      | None ->
+        Atomic.incr c.misses;
+        Wolf_obs.Trace.instant ~cat:"cache" "cache-miss";
+        None)
 
 let add c k v = locked c (fun () -> add_locked c k v)
 
@@ -86,20 +104,30 @@ let find_or_compute c k ~build =
   let rec claim () =
     match find_locked c k with
     | Some v ->
-      (* counts as one hit whether it was resident up front or appeared while
-         we waited for the in-flight compile of the same key *)
+      (* Counting invariant: every lookup resolves as exactly one hit or
+         one miss — hits + misses = lookups — and [waits] counts, on top
+         of that, the condition-variable sleeps a lookup took first.  A
+         dedup-satisfied lookup is therefore a hit with waits >= 1, not a
+         third outcome: it waited for the in-flight compile of the same
+         key and then claimed its result. *)
       Atomic.incr c.hits;
+      Wolf_obs.Trace.instant ~cat:"cache" "cache-hit";
       Mutex.unlock c.lock;
       v
     | None ->
       if Hashtbl.mem c.inflight k then begin
         (* another domain is compiling this key: wait rather than duplicating
            the compile and racing the LRU clock with a second insert *)
-        Condition.wait c.cond c.lock;
+        Atomic.incr c.waits;
+        Wolf_obs.Trace.begin_span ~cat:"cache" "cache-inflight-wait";
+        Fun.protect
+          ~finally:(fun () -> Wolf_obs.Trace.end_span "cache-inflight-wait")
+          (fun () -> Condition.wait c.cond c.lock);
         claim ()
       end
       else begin
         Atomic.incr c.misses;
+        Wolf_obs.Trace.instant ~cat:"cache" "cache-miss";
         Hashtbl.replace c.inflight k ();
         Mutex.unlock c.lock;
         let finish g =
@@ -128,14 +156,38 @@ let stats c =
       { lookups = Atomic.get c.lookups;
         hits = Atomic.get c.hits;
         misses = Atomic.get c.misses;
+        waits = Atomic.get c.waits;
         evictions = Atomic.get c.evictions;
-        entries = Hashtbl.length c.tbl })
+        entries = Hashtbl.length c.tbl;
+        bytes = c.bytes })
 
 let clear c =
   locked c (fun () ->
       Hashtbl.reset c.tbl;
       c.clock <- 0;
+      c.bytes <- 0;
       Atomic.set c.lookups 0;
       Atomic.set c.hits 0;
       Atomic.set c.misses 0;
+      Atomic.set c.waits 0;
       Atomic.set c.evictions 0)
+
+let register_metrics ~prefix c =
+  Wolf_obs.Metrics.register_source prefix (fun () ->
+      let s = stats c in
+      let open Wolf_obs.Metrics in
+      let counter name help v =
+        { s_name = prefix ^ "_" ^ name; s_labels = []; s_help = help;
+          s_kind = Counter; s_value = V_int v }
+      in
+      let gauge name help v =
+        { s_name = prefix ^ "_" ^ name; s_labels = []; s_help = help;
+          s_kind = Gauge; s_value = V_int v }
+      in
+      [ counter "lookups" "cache lookups (= hits + misses)" s.lookups;
+        counter "hits" "lookups satisfied from the cache (incl. after an in-flight wait)" s.hits;
+        counter "misses" "lookups that ran a compile" s.misses;
+        counter "inflight_waits" "lookups that slept behind an in-flight compile of the same key" s.waits;
+        counter "evictions" "LRU evictions" s.evictions;
+        gauge "entries" "resident entries" s.entries;
+        gauge "bytes" "estimated resident bytes (per-entry weight sum)" s.bytes ])

@@ -4,26 +4,39 @@
     under interactive and serving workloads; a compile is 10³–10⁶× the cost
     of a call, so the facade memoizes compilation results keyed by a content
     hash of (source expression FullForm, every {!Options.t} field, backend
-    target).  Bounded LRU with lookup/hit/miss/eviction counters.
+    target).  Bounded LRU with lookup/hit/miss/wait/eviction counters and a
+    byte-occupancy gauge.
 
-    Domain-safe: the table and LRU clock are guarded by a mutex, the
-    counters are atomics (so a lookup interleaving an insert can't drift
-    them — [hits + misses = lookups] always holds), and
-    {!find_or_compute} deduplicates in-flight compiles per key: two domains
-    asking for the same missing key run one compile, not two. *)
+    Domain-safe: the table, LRU clock and byte gauge are guarded by a
+    mutex, the counters are atomics (so a lookup interleaving an insert
+    can't drift them), and {!find_or_compute} deduplicates in-flight
+    compiles per key: two domains asking for the same missing key run one
+    compile, not two.
+
+    Counting invariant: [hits + misses = lookups] always — a lookup that
+    slept behind an in-flight compile of its key resolves as a {e hit} once
+    that compile lands, with the sleep counted separately in [waits].
+    [waits] is therefore not a third outcome but an annotation: it can
+    exceed zero only under concurrent compilation, and a single lookup can
+    contribute several waits if it is woken and finds its key still
+    in flight (spurious wakeup or a failed build). *)
 
 type stats = {
   lookups : int;   (** find + find_or_compute calls; = hits + misses *)
-  hits : int;
+  hits : int;      (** includes dedup-satisfied lookups *)
   misses : int;
+  waits : int;     (** condition-variable sleeps behind in-flight compiles *)
   evictions : int;
   entries : int;   (** current resident entries *)
+  bytes : int;     (** current resident weight (see [weigh]) *)
 }
 
 type 'a t
 
-val create : ?capacity:int -> unit -> 'a t
-(** LRU-bounded cache; default capacity 128. *)
+val create : ?capacity:int -> ?weigh:('a -> int) -> unit -> 'a t
+(** LRU-bounded cache; default capacity 128.  [weigh] estimates an entry's
+    resident size in bytes (default: 0, i.e. occupancy tracking off); it is
+    called once per insert, under the cache lock. *)
 
 val key : source:Wolf_wexpr.Expr.t -> options:Options.t -> target:string -> string
 (** Content hash of the compilation inputs.  [target] should name the
@@ -41,11 +54,19 @@ val find_or_compute : 'a t -> string -> build:(unit -> 'a) -> 'a
     [build] (outside the cache lock) and inserts the result.  If another
     domain is already building [k], blocks until that compile lands and
     returns its value — one compile per key, however many domains miss
-    simultaneously.  Counts one hit or one miss per call.  If [build]
-    raises, nothing is cached and one waiter retries. *)
+    simultaneously.  Counts one hit or one miss per call (plus [waits] for
+    time spent queued).  If [build] raises, nothing is cached and one
+    waiter retries. *)
 
 val stats : 'a t -> stats
 val length : 'a t -> int
 
 val clear : 'a t -> unit
 (** Drop all entries and zero the counters. *)
+
+val register_metrics : prefix:string -> 'a t -> unit
+(** Expose this cache through {!Wolf_obs.Metrics} as a pull-time source
+    named [prefix]: [prefix_lookups], [prefix_hits], [prefix_misses],
+    [prefix_inflight_waits], [prefix_evictions] (counters) and
+    [prefix_entries], [prefix_bytes] (gauges), always-current at export
+    time. *)

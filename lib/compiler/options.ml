@@ -13,6 +13,7 @@ type t = {
   use_cache : bool;
   loop_opts : bool;
   abort_stride : int;
+  profile : bool;
 }
 
 let default = {
@@ -30,6 +31,7 @@ let default = {
   use_cache = true;
   loop_opts = true;
   abort_stride = 1024;
+  profile = false;
 }
 
 let to_macro_options t =
@@ -54,4 +56,5 @@ let fingerprint t =
       "dump=" ^ String.concat "," t.dump_after;
       "cache=" ^ string_of_bool t.use_cache;
       "loops=" ^ string_of_bool t.loop_opts;
-      "stride=" ^ string_of_int t.abort_stride ]
+      "stride=" ^ string_of_int t.abort_stride;
+      "profile=" ^ string_of_bool t.profile ]

@@ -23,6 +23,10 @@ type t = {
   abort_stride : int;        (** back-edges between real abort checks in
                                  innermost call-free loops (1 = every
                                  iteration) *)
+  profile : bool;            (** instrument emitted functions with call
+                                 counts and self-time
+                                 ({!Wolf_obs.Profile}; wolfc
+                                 [run --profile]) *)
 }
 
 val default : t

@@ -59,6 +59,21 @@ let create ?(lint = false) ?(verify = false) ?(dump_after = []) ?(dump = default
   { lint; verify; dump_after; dump; accs = Hashtbl.create 16; order = [];
     timeline = [] }
 
+(* Registry instruments shared by every pass-manager instance: the central
+   place later perf PRs read compile-side costs from.  Created lazily so
+   that merely linking the compiler never touches the registry. *)
+let m_pass_seconds =
+  lazy (Wolf_obs.Metrics.histogram
+          ~help:"wall-clock seconds per pass execution" "compile_pass_seconds")
+
+let m_pass_runs =
+  lazy (Wolf_obs.Metrics.counter ~help:"pass executions" "compile_pass_runs")
+
+let m_verify_seconds =
+  lazy (Wolf_obs.Metrics.histogram
+          ~help:"wall-clock seconds per post-pass IR verification"
+          "compile_verify_seconds")
+
 let acc_of t name =
   match Hashtbl.find_opt t.accs name with
   | Some a -> a
@@ -79,16 +94,26 @@ let run_check t a name prog =
   if t.lint || t.verify then begin
     let t0 = Unix.gettimeofday () in
     Fun.protect
-      ~finally:(fun () -> a.a_verify <- a.a_verify +. (Unix.gettimeofday () -. t0))
-      (fun () -> Wir_verify.assert_ok name prog)
+      ~finally:(fun () ->
+          let dt = Unix.gettimeofday () -. t0 in
+          a.a_verify <- a.a_verify +. dt;
+          Wolf_obs.Metrics.observe (Lazy.force m_verify_seconds) dt)
+      (fun () ->
+         Wolf_obs.Trace.with_span ~cat:"verify" ("verify:" ^ name) (fun () ->
+             Wir_verify.assert_ok name prog))
   end
 
 let run_pass t pass prog =
   let a = acc_of t pass.pass_name in
   let ib = instr_count prog and bb = block_count prog in
   let t0 = Unix.gettimeofday () in
-  let changed = pass.pass_run prog in
+  let changed =
+    Wolf_obs.Trace.with_span ~cat:"pass" pass.pass_name (fun () ->
+        pass.pass_run prog)
+  in
   let dt = Unix.gettimeofday () -. t0 in
+  Wolf_obs.Metrics.observe (Lazy.force m_pass_seconds) dt;
+  Wolf_obs.Metrics.incr (Lazy.force m_pass_runs);
   let ia = instr_count prog and ba = block_count prog in
   a.a_runs <- a.a_runs + 1;
   if changed then a.a_changed <- a.a_changed + 1;
@@ -126,20 +151,21 @@ let run_fixpoint ?(budget = 16) t passes prog =
 let record t name f =
   let a = acc_of t name in
   let t0 = Unix.gettimeofday () in
-  let r = f () in
+  let r = Wolf_obs.Trace.with_span ~cat:"stage" name f in
   let dt = Unix.gettimeofday () -. t0 in
+  Wolf_obs.Metrics.observe (Lazy.force m_pass_seconds) dt;
+  Wolf_obs.Metrics.incr (Lazy.force m_pass_runs);
   a.a_runs <- a.a_runs + 1;
   a.a_time <- a.a_time +. dt;
   t.timeline <- (name, dt) :: t.timeline;
   r
 
 let checkpoint t name prog =
-  (match Hashtbl.find_opt t.accs name with
-   | Some a -> run_check t a name prog
-   | None ->
-     (* stage boundary without a stats row (e.g. "lower"): still verified,
-        but the time has no pass to be attributed to *)
-     if t.lint || t.verify then Wir_verify.assert_ok name prog);
+  (* Every verifier run is attributed to exactly one stats row — stage
+     boundaries without one (e.g. "lower") get a zero-run row — so the
+     per-pass verify column always sums to the verifier total in the
+     report footer (asserted by a unit test). *)
+  if t.lint || t.verify then run_check t (acc_of t name) name prog;
   if wants_dump t name then t.dump name prog
 
 let stats t =
@@ -151,6 +177,21 @@ let stats t =
     t.order
 
 let timings t = List.rev t.timeline
+
+(* The one source of truth for report footers: pass seconds and verify
+   seconds are disjoint by construction ([run_pass] times the pass body
+   only; [run_check] times the verifier only), so the report total is their
+   fold over the rows — verify time is counted exactly once, in the verify
+   column, never inside the per-pass ms column. *)
+type totals = { tot_pass : float; tot_verify : float }
+
+let totals stats =
+  List.fold_left
+    (fun acc s ->
+       { tot_pass = acc.tot_pass +. s.st_time;
+         tot_verify = acc.tot_verify +. s.st_verify })
+    { tot_pass = 0.0; tot_verify = 0.0 }
+    stats
 
 let stats_to_string stats =
   let b = Buffer.create 512 in
@@ -174,15 +215,17 @@ let stats_to_string stats =
             (if verifying then Printf.sprintf " %10.3f" (s.st_verify *. 1e3) else "")
             instrs blocks))
     stats;
-  if verifying then begin
-    let pass_total = List.fold_left (fun acc s -> acc +. s.st_time) 0.0 stats in
-    let verify_total = List.fold_left (fun acc s -> acc +. s.st_verify) 0.0 stats in
+  let t = totals stats in
+  Buffer.add_string b
+    (Printf.sprintf "%-24s %5s %8s %10.3f%s\n" "total" "" ""
+       (t.tot_pass *. 1e3)
+       (if verifying then Printf.sprintf " %10.3f" (t.tot_verify *. 1e3) else ""));
+  if verifying then
     Buffer.add_string b
       (Printf.sprintf
          "verifier total: %.3fms over %.3fms of passes (%.1f%% overhead)\n"
-         (verify_total *. 1e3) (pass_total *. 1e3)
-         (if pass_total > 0.0 then 100.0 *. verify_total /. pass_total else 0.0))
-  end;
+         (t.tot_verify *. 1e3) (t.tot_pass *. 1e3)
+         (if t.tot_pass > 0.0 then 100.0 *. t.tot_verify /. t.tot_pass else 0.0));
   Buffer.contents b
 
 let json_escape s =

@@ -81,7 +81,19 @@ val checkpoint : t -> string -> Wir.program -> unit
     via {!run_pass} (e.g. right after lowering). *)
 
 val stats : t -> stat list
-(** Aggregated per-pass statistics in first-execution order. *)
+(** Aggregated per-pass statistics in first-execution order.  A stage that
+    was only {!checkpoint}ed (verified but never run as a pass) appears as
+    a zero-run row carrying its verify time, so the verify column is
+    complete. *)
+
+type totals = { tot_pass : float; tot_verify : float }
+
+val totals : stat list -> totals
+(** The report footer's numbers, derived from the per-pass rows and nothing
+    else.  Pass time and verify time are disjoint by construction —
+    [st_time] never includes verification — so each is reported exactly
+    once: [tot_pass] is the fold of the ms column, [tot_verify] the fold of
+    the verify-ms column. *)
 
 val timings : t -> (string * float) list
 (** Per-run (pass name, seconds) in chronological order — the legacy

@@ -1,0 +1,3 @@
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+let epoch_ns = now_ns ()
+let now () = float_of_int (now_ns ()) *. 1e-9

@@ -1,0 +1,18 @@
+(** Monotonic time base shared by every observability pillar.
+
+    All span timestamps, histogram observations and profile self-times come
+    from one clock so that durations measured in different subsystems are
+    directly comparable.  The clock is CLOCK_MONOTONIC (via a noalloc C
+    stub), so NTP steps and wall-clock adjustments can never produce
+    negative spans. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since an arbitrary (per-process) origin.  Monotonic,
+    noalloc, safe from any domain. *)
+
+val now : unit -> float
+(** [now_ns] in seconds. *)
+
+val epoch_ns : int
+(** The process-start reading of the clock; trace timestamps are reported
+    relative to it so they stay small and positive. *)

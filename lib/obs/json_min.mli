@@ -1,0 +1,39 @@
+(** A deliberately tiny JSON reader/writer helper.
+
+    The observability exporters emit JSON by string concatenation (no
+    external dependency), and the smoke checks and tests need to confirm
+    those emissions actually parse and have the right shape.  This module is
+    that checker: a strict recursive-descent parser for the JSON subset we
+    emit (RFC 8259 minus surrogate-pair decoding — escapes are validated but
+    [\uXXXX] is kept literal in the decoded string), plus the escaping
+    function every emitter in the tree shares. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an error.
+    The error string includes the byte offset of the failure. *)
+
+val parse_exn : string -> t
+(** [parse] raising [Failure]. *)
+
+(* accessors (shape checks read much better through these) *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val to_list : t -> t list
+(** Elements of an array; [] for non-arrays. *)
+
+val str : t -> string option
+val num : t -> float option
+
+val escape : string -> string
+(** Escape a string for inclusion inside JSON quotes: backslash, quote,
+    control characters. *)

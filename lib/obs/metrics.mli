@@ -1,0 +1,74 @@
+(** Central metrics registry: counters, gauges and histograms, each
+    identified by a name plus an optional label set, exported as JSON or
+    Prometheus text.
+
+    Instruments are process-global and get-or-create: asking twice for the
+    same (name, labels) returns the same instrument, so independent
+    subsystems can meet on a metric without coordination.  Updates are
+    atomic and safe from any domain; creation takes the registry lock and
+    is expected to happen at setup time (hot paths hold the instrument).
+
+    Subsystems whose counters live elsewhere (the compile cache, the
+    runtime profiler) register a {e source}: a closure producing samples at
+    export time, so occupancy gauges are always current without polling. *)
+
+type kind = Counter | Gauge | Histogram
+
+type value =
+  | V_int of int
+  | V_float of float
+  | V_histogram of (float * int) list * float * int
+      (** cumulative (upper-bound, count) buckets, sum, total count *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_help : string;
+  s_kind : kind;
+  s_value : value;
+}
+
+type counter
+type gauge
+type histogram
+
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val find_gauge : ?labels:(string * string) list -> string -> float option
+(** Read a gauge back without creating it — [None] if never registered. *)
+
+val histogram : ?help:string -> ?labels:(string * string) list ->
+  ?bounds:float array -> string -> histogram
+(** [bounds] are bucket upper bounds in ascending order (an implicit +inf
+    bucket is added); the default covers 1µs…10s exponentially. *)
+
+val observe : histogram -> float -> unit
+
+val register_source : string -> (unit -> sample list) -> unit
+(** Install (or replace — the name is the identity) a pull-time sample
+    producer. *)
+
+val samples : unit -> sample list
+(** Everything: registered instruments first, then sources, in
+    registration order. *)
+
+val to_json : unit -> string
+(** [{"metrics": [...]}], one object per sample. *)
+
+val to_prometheus : unit -> string
+(** Prometheus text exposition format (counters get a [_total] suffix,
+    histograms expand to [_bucket]/[_sum]/[_count]). *)
+
+val write_file : ?format:[ `Json | `Prometheus ] -> string -> unit
+
+val reset : unit -> unit
+(** Zero every instrument and forget every source (tests). Instruments
+    stay registered so held references keep working. *)

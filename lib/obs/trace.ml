@@ -1,0 +1,197 @@
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char;                       (* 'B' | 'E' | 'i' *)
+  ev_ts_ns : int;                     (* Clock.now_ns at emission *)
+  ev_args : (string * string) list;   (* values pre-encoded as JSON *)
+}
+
+(* One buffer per domain.  Only the owning domain appends; the mutex exists
+   so a snapshot taken from another domain (to_json) sees a consistent
+   prefix, and is otherwise uncontended. *)
+type buffer = {
+  tid : int;
+  lock : Mutex.t;
+  mutable events : event array;
+  mutable len : int;
+  mutable open_depth : int;       (* recorded 'B' events not yet closed *)
+  mutable suppressed_depth : int; (* open spans whose 'B' was dropped *)
+  mutable dropped : int;
+}
+
+let dummy_event = { ev_name = ""; ev_cat = ""; ev_ph = 'i'; ev_ts_ns = 0; ev_args = [] }
+
+let enabled_flag = Atomic.make false
+let capacity = Atomic.make (1 lsl 19)
+
+let registry : buffer list ref = ref []
+let registry_lock = Mutex.create ()
+
+let new_buffer () =
+  let b =
+    { tid = (Domain.self () :> int); lock = Mutex.create ();
+      events = Array.make (min 1024 (Atomic.get capacity)) dummy_event;
+      len = 0; open_depth = 0; suppressed_depth = 0; dropped = 0 }
+  in
+  Mutex.lock registry_lock;
+  registry := b :: !registry;
+  Mutex.unlock registry_lock;
+  b
+
+let buffer_key = Domain.DLS.new_key new_buffer
+
+let enabled () = Atomic.get enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let set_capacity n = Atomic.set capacity (max 16 n)
+
+let reset () =
+  Mutex.lock registry_lock;
+  let buffers = !registry in
+  Mutex.unlock registry_lock;
+  List.iter
+    (fun b ->
+       Mutex.lock b.lock;
+       b.len <- 0;
+       b.open_depth <- 0;
+       b.suppressed_depth <- 0;
+       b.dropped <- 0;
+       Mutex.unlock b.lock)
+    buffers
+
+(* Append under the budget discipline that keeps the stream balanced:
+   - room is always reserved for the 'E' of every recorded 'B'
+     (invariant: capacity - len >= open_depth), so a recorded span can
+     always close;
+   - a 'B' that does not fit is suppressed together with its matching 'E'
+     (spans close LIFO per domain, so while suppressed_depth > 0 the
+     innermost open span is always a suppressed one). *)
+let push b (ev : event) =
+  Mutex.lock b.lock;
+  let cap = Atomic.get capacity in
+  let slots_left = cap - b.len in
+  let store () =
+    if b.len >= Array.length b.events then begin
+      let grown = Array.make (min cap (max 16 (2 * Array.length b.events))) dummy_event in
+      Array.blit b.events 0 grown 0 b.len;
+      b.events <- grown
+    end;
+    b.events.(b.len) <- ev;
+    b.len <- b.len + 1
+  in
+  (match ev.ev_ph with
+   | 'B' ->
+     if b.suppressed_depth = 0 && slots_left > b.open_depth + 1 then begin
+       store ();
+       b.open_depth <- b.open_depth + 1
+     end
+     else begin
+       b.suppressed_depth <- b.suppressed_depth + 1;
+       b.dropped <- b.dropped + 1
+     end
+   | 'E' ->
+     if b.suppressed_depth > 0 then begin
+       b.suppressed_depth <- b.suppressed_depth - 1;
+       b.dropped <- b.dropped + 1
+     end
+     else if b.open_depth > 0 then begin
+       (* reserved slot: the invariant guarantees slots_left >= 1 *)
+       store ();
+       b.open_depth <- b.open_depth - 1
+     end
+     else b.dropped <- b.dropped + 1 (* unmatched end: refuse, stay balanced *)
+   | _ ->
+     if slots_left > b.open_depth then store ()
+     else b.dropped <- b.dropped + 1);
+  Mutex.unlock b.lock
+
+let emit ph ?(cat = "") ?(args = []) name =
+  if Atomic.get enabled_flag then
+    push (Domain.DLS.get buffer_key)
+      { ev_name = name; ev_cat = cat; ev_ph = ph; ev_ts_ns = Clock.now_ns ();
+        ev_args = args }
+
+let begin_span ?cat ?args name = emit 'B' ?cat ?args name
+let end_span name = emit 'E' name
+let instant ?cat ?args name = emit 'i' ?cat ?args name
+
+let with_span ?cat ?args name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    begin_span ?cat ?args name;
+    Fun.protect ~finally:(fun () -> end_span name) f
+  end
+
+let arg_str s = "\"" ^ Json_min.escape s ^ "\""
+let arg_int i = string_of_int i
+
+let dropped () =
+  Mutex.lock registry_lock;
+  let buffers = !registry in
+  Mutex.unlock registry_lock;
+  List.fold_left
+    (fun acc b ->
+       Mutex.lock b.lock;
+       let d = b.dropped in
+       Mutex.unlock b.lock;
+       acc + d)
+    0 buffers
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let buffers = !registry in
+  Mutex.unlock registry_lock;
+  List.rev_map
+    (fun b ->
+       Mutex.lock b.lock;
+       let evs = Array.sub b.events 0 b.len in
+       let d = b.dropped in
+       Mutex.unlock b.lock;
+       (b.tid, evs, d))
+    buffers
+
+let to_json () =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let total_dropped = ref 0 in
+  List.iter
+    (fun (tid, evs, d) ->
+       total_dropped := !total_dropped + d;
+       Array.iter
+         (fun ev ->
+            if !first then first := false else Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
+                 (Json_min.escape ev.ev_name)
+                 (Json_min.escape (if ev.ev_cat = "" then "wolf" else ev.ev_cat))
+                 ev.ev_ph
+                 (float_of_int (ev.ev_ts_ns - Clock.epoch_ns) /. 1e3)
+                 tid);
+            if ev.ev_ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
+            (match ev.ev_args with
+             | [] -> ()
+             | args ->
+               Buffer.add_string buf ",\"args\":{";
+               List.iteri
+                 (fun i (k, v) ->
+                    if i > 0 then Buffer.add_char buf ',';
+                    Buffer.add_string buf
+                      (Printf.sprintf "\"%s\":%s" (Json_min.escape k) v))
+                 args;
+               Buffer.add_char buf '}');
+            Buffer.add_char buf '}')
+         evs)
+    (snapshot ());
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":%d,\"clock\":\"CLOCK_MONOTONIC\"}}"
+       !total_dropped);
+  Buffer.contents buf
+
+let write_file path =
+  let oc = open_out path in
+  output_string oc (to_json ());
+  output_char oc '\n';
+  close_out oc

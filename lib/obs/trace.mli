@@ -1,0 +1,65 @@
+(** Span/event tracing in Chrome [trace_event] format.
+
+    The recorder is built for the compiler's threading model: every domain
+    owns a bounded per-domain buffer (created on first use, registered
+    globally), so emitting an event never contends with another domain's
+    hot path; the buffer's own mutex is uncontended except while a snapshot
+    is being taken.  Domain ids double as Perfetto track ids, so a fuzz
+    campaign at [--jobs 4] renders as four overlapping tracks.
+
+    Events are begin/end pairs ([with_span] guarantees the end is emitted
+    even when the body raises) plus instants.  Buffers are bounded: once a
+    domain's budget is exhausted, whole spans are dropped (a dropped begin
+    suppresses its matching end, and room is always reserved for the ends
+    of spans already recorded), so the emitted stream stays balanced no
+    matter where the budget ran out.  The drop count is reported in the
+    JSON under ["otherData"].
+
+    When tracing is disabled — the default — the only cost at every
+    instrumentation point is one atomic load and a branch. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val set_capacity : int -> unit
+(** Per-domain event budget (default 2^19).  Applies to every buffer,
+    including already-registered ones; shrinking below a buffer's current
+    length truncates nothing but stops further recording in it. *)
+
+val reset : unit -> unit
+(** Clear every buffer and the drop counts.  Buffers stay registered. *)
+
+(* emission *)
+
+val with_span : ?cat:string -> ?args:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** [with_span name f] wraps [f] in a begin/end pair on the calling
+    domain's track.  [args] values must already be JSON-encoded — use
+    {!arg_str}/{!arg_int}.  Balanced under exceptions. *)
+
+val begin_span : ?cat:string -> ?args:(string * string) list -> string -> unit
+val end_span : string -> unit
+(** Explicit pair for spans that cannot be expressed as a [with_span]
+    (e.g. waiting sections inside a condition-variable loop).  Callers own
+    the balance obligation. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** A zero-duration marker (cache hits/misses, abort requests, …). *)
+
+val arg_str : string -> string
+val arg_int : int -> string
+(** Encode an argument value as JSON. *)
+
+(* output *)
+
+val dropped : unit -> int
+(** Events refused because some domain exhausted its budget. *)
+
+val to_json : unit -> string
+(** The whole recording as a Chrome trace JSON object
+    ([{"traceEvents": [...], ...}]) — load it in Perfetto or
+    [chrome://tracing]. *)
+
+val write_file : string -> unit
+(** [to_json] into a file. *)

@@ -31,7 +31,11 @@ let map ~jobs n (f : int -> 'a) : 'a array =
           let i = Atomic.fetch_and_add next 1 in
           if i >= n then continue := false
           else
-            match f i with
+            match
+              Wolf_obs.Trace.with_span ~cat:"pool" "job"
+                ~args:[ ("index", Wolf_obs.Trace.arg_int i) ]
+                (fun () -> f i)
+            with
             | v -> results.(i) <- Some v
             | exception exn ->
               let bt = Printexc.get_raw_backtrace () in

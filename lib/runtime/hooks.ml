@@ -9,7 +9,10 @@ let set_kernel_eval f = kernel_eval := f
    through here, so taking the big kernel lock at this one point serializes
    all cross-domain access to interpreter state.  Reentrant: an evaluation
    already on this domain passes through. *)
-let eval e = Wolf_base.Kernel_lock.with_lock (fun () -> !kernel_eval e)
+let eval e =
+  Wolf_obs.Profile.note_kernel_escape ();
+  Wolf_obs.Trace.with_span ~cat:"kernel" "kernel-escape" (fun () ->
+      Wolf_base.Kernel_lock.with_lock (fun () -> !kernel_eval e))
 
 let auto_compile_scalar =
   ref (fun (_ : Wolf_wexpr.Expr.t) (_ : Wolf_wexpr.Symbol.t) : (float -> float) option ->

@@ -66,7 +66,12 @@ let copy t =
    retain/forget).  An internal release here would double-count against that
    paired release, letting a shared array's count decay to "exclusive" while
    still aliased, so an indexed update would then corrupt every alias. *)
-let ensure_unique t = if t.refcount <= 1 then t else copy t
+let ensure_unique t =
+  if t.refcount <= 1 then t
+  else begin
+    Wolf_obs.Profile.note_cow_copy ();
+    copy t
+  end
 
 let get_int t i =
   match t.data with

@@ -94,7 +94,16 @@ let pipelines_get name =
    target, name) are near-free.  Only the plain path is cached — a custom
    type/macro environment or user passes can change the result in ways the
    key cannot see. *)
-let compile_cache : compiled Compile_cache.t = Compile_cache.create ~capacity:256 ()
+(* Occupancy estimate for the metrics registry: the words reachable from a
+   cached closure (compiled code, captured IR, constants).  Only paid once
+   per insert, against a multi-millisecond compile. *)
+let weigh_compiled (c : compiled) = 8 * Obj.reachable_words (Obj.repr c)
+
+let compile_cache : compiled Compile_cache.t =
+  Compile_cache.create ~capacity:256 ~weigh:weigh_compiled ()
+
+let () = Compile_cache.register_metrics ~prefix:"compile_cache" compile_cache
+let () = Wolf_obs.Profile.register_metrics ()
 
 let compile_cache_stats () = Compile_cache.stats compile_cache
 let compile_cache_clear () = Compile_cache.clear compile_cache
@@ -109,17 +118,26 @@ let function_compile ?options ?type_env ?macro_env ?user_passes
   init ();
   let opts = Option.value ~default:Options.default options in
   let build () =
+    Wolf_obs.Trace.with_span ~cat:"compile" "function-compile"
+      ~args:[ ("name", Wolf_obs.Trace.arg_str name);
+              ("target", Wolf_obs.Trace.arg_str (target_name target)) ]
+    @@ fun () ->
     match target with
     | Bytecode -> Wvm (Wvm.compile ~name fexpr)
     | Jit | Threaded ->
       let c = Pipeline.compile ~options:opts ?type_env ?macro_env ?user_passes ~name fexpr in
       let closure =
         match target with
-        | Jit ->
+        | Jit when not opts.Options.profile ->
           (match Jit.compile c with
            | Ok f -> f
            | Error _ -> Native.compile c)
-        | Threaded | Bytecode -> Native.compile c
+        | Jit | Threaded | Bytecode ->
+          (* profiling instruments per function, which only the threaded
+             backend's closure tree supports — a profiled jit request runs
+             threaded so the hot-function table is per-function, not one
+             opaque entry *)
+          Native.compile c
       in
       let main = Wir.main c.Pipeline.program in
       let arg_tys =

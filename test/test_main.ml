@@ -18,4 +18,5 @@ let () =
       ("appendix (A.6)", Test_appendix.tests);
       ("export (F10)", Test_export.tests);
       ("fuzz (differential)", Test_fuzz.tests);
-      ("parallel (domain safety)", Test_parallel.tests) ]
+      ("parallel (domain safety)", Test_parallel.tests);
+      ("obs (tracing/metrics/profiling)", Test_obs.tests) ]

@@ -1,0 +1,443 @@
+(* The observability layer (DESIGN.md "Observability"): trace emitter shape
+   and balance, metrics exporters, the runtime profiler, the compile-cache
+   metrics source, and the --timings totals invariant. *)
+
+open Wolf_obs
+open Wolf_compiler
+
+let domains = 4
+
+let spawn_all n f =
+  let ds = Array.init n (fun i -> Domain.spawn (fun () -> f i)) in
+  Array.map Domain.join ds
+
+(* ------------------------------------------------------------------ *)
+(* Json_min: the checker itself has to be trustworthy                   *)
+
+let test_json_min () =
+  let ok s = match Json_min.parse s with Ok v -> v | Error e -> Alcotest.failf "%S: %s" s e in
+  let bad s =
+    match Json_min.parse s with
+    | Ok _ -> Alcotest.failf "%S: expected a parse error" s
+    | Error _ -> ()
+  in
+  (match ok {|{"a":[1,2.5,-3e2],"b":"x\n\"y","c":[true,false,null]}|} with
+   | Json_min.Obj fields ->
+     Alcotest.(check int) "fields" 3 (List.length fields);
+     (match List.assoc "a" fields with
+      | Json_min.Arr [ Num a; Num b; Num c ] ->
+        Alcotest.(check (float 1e-9)) "1" 1.0 a;
+        Alcotest.(check (float 1e-9)) "2.5" 2.5 b;
+        Alcotest.(check (float 1e-9)) "-3e2" (-300.0) c
+      | _ -> Alcotest.fail "array shape");
+     (match List.assoc "b" fields with
+      | Json_min.Str s -> Alcotest.(check string) "escapes" "x\n\"y" s
+      | _ -> Alcotest.fail "string shape")
+   | _ -> Alcotest.fail "object shape");
+  bad "{\"a\":1,}";
+  bad "{\"a\":1} trailing";
+  bad "\"unterminated";
+  bad "{\"bad escape\":\"\\q\"}";
+  bad "[1,2";
+  (* the escaper round-trips through the parser (control characters are
+     escaped to \uXXXX, which the parser validates but keeps literal) *)
+  let nasty = "quote\" backslash\\ newline\n tab\t" in
+  (match Json_min.parse ("\"" ^ Json_min.escape nasty ^ "\"") with
+   | Ok (Json_min.Str s) -> Alcotest.(check string) "roundtrip" nasty s
+   | _ -> Alcotest.fail "escape roundtrip");
+  Alcotest.(check string) "control chars escape" "\\u0001" (Json_min.escape "\x01")
+
+(* ------------------------------------------------------------------ *)
+(* Trace emitter                                                        *)
+
+let with_tracing f =
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect ~finally:(fun () -> Trace.disable ()) f
+
+let parsed_events () =
+  let json = Json_min.parse_exn (Trace.to_json ()) in
+  match Json_min.member "traceEvents" json with
+  | Some evs -> Json_min.to_list evs
+  | None -> Alcotest.fail "no traceEvents member"
+
+let ev_str name ev = Option.bind (Json_min.member name ev) Json_min.str
+let ev_num name ev = Option.bind (Json_min.member name ev) Json_min.num
+
+(* per-tid begin/end balance; returns the set of tids seen *)
+let check_balance events =
+  let depths = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+       let tid =
+         match ev_num "tid" ev with
+         | Some t -> int_of_float t
+         | None -> Alcotest.fail "event without tid"
+       in
+       let d = Option.value ~default:0 (Hashtbl.find_opt depths tid) in
+       match ev_str "ph" ev with
+       | Some "B" -> Hashtbl.replace depths tid (d + 1)
+       | Some "E" ->
+         if d = 0 then Alcotest.failf "tid %d: E below depth 0" tid;
+         Hashtbl.replace depths tid (d - 1)
+       | Some "i" -> ()
+       | _ -> Alcotest.fail "event with unexpected ph")
+    events;
+  Hashtbl.iter
+    (fun tid d -> if d <> 0 then Alcotest.failf "tid %d: %d unclosed" tid d)
+    depths;
+  Hashtbl.fold (fun tid _ acc -> tid :: acc) depths []
+
+let test_trace_shape () =
+  with_tracing (fun () ->
+      Trace.with_span ~cat:"test" "outer"
+        ~args:[ ("k", Trace.arg_str "v\"quoted\""); ("n", Trace.arg_int 7) ]
+        (fun () -> Trace.with_span ~cat:"test" "inner" (fun () -> ()));
+      Trace.instant ~cat:"test" "mark");
+  let json = Json_min.parse_exn (Trace.to_json ()) in
+  Alcotest.(check bool) "displayTimeUnit" true
+    (Json_min.member "displayTimeUnit" json <> None);
+  (match Json_min.member "otherData" json with
+   | Some od -> Alcotest.(check bool) "dropped reported" true
+                  (Json_min.member "dropped" od <> None)
+   | None -> Alcotest.fail "no otherData");
+  let events = parsed_events () in
+  Alcotest.(check int) "2 B + 2 E + 1 i" 5 (List.length events);
+  List.iter
+    (fun ev ->
+       List.iter
+         (fun f ->
+            if Json_min.member f ev = None then
+              Alcotest.failf "event missing %s" f)
+         [ "name"; "cat"; "ph"; "ts"; "pid"; "tid" ])
+    events;
+  ignore (check_balance events);
+  (* timestamps are non-decreasing within the single-domain stream *)
+  let ts = List.filter_map (ev_num "ts") events in
+  Alcotest.(check int) "all ts present" 5 (List.length ts);
+  ignore
+    (List.fold_left
+       (fun prev t ->
+          if t < prev then Alcotest.fail "timestamps regress";
+          t)
+       neg_infinity ts);
+  (* span args survive with their JSON encoding intact *)
+  let outer = List.find (fun ev -> ev_str "name" ev = Some "outer") events in
+  match Json_min.member "args" outer with
+  | Some args ->
+    Alcotest.(check (option string)) "string arg" (Some "v\"quoted\"")
+      (Option.bind (Json_min.member "k" args) Json_min.str);
+    Alcotest.(check (option (float 1e-9))) "int arg" (Some 7.0)
+      (Option.bind (Json_min.member "n" args) Json_min.num)
+  | None -> Alcotest.fail "outer span lost its args"
+
+let test_trace_exception_balance () =
+  with_tracing (fun () ->
+      (try
+         Trace.with_span "a" (fun () ->
+             Trace.with_span "b" (fun () -> failwith "boom"))
+       with Failure _ -> ());
+      (* the recorder must still be usable and balanced after the raise *)
+      Trace.with_span "c" (fun () -> ()));
+  let events = parsed_events () in
+  Alcotest.(check int) "3 spans = 6 events" 6 (List.length events);
+  ignore (check_balance events)
+
+let test_trace_multidomain () =
+  with_tracing (fun () ->
+      ignore
+        (spawn_all domains (fun d ->
+             for i = 1 to 500 do
+               Trace.with_span ~cat:"stress" "outer"
+                 ~args:[ ("domain", Trace.arg_int d) ]
+                 (fun () ->
+                    Trace.with_span ~cat:"stress" "mid" (fun () ->
+                        if i mod 7 = 0 then Trace.instant "tick"))
+             done)));
+  let events = parsed_events () in
+  let tids = check_balance events in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least %d tracks (got %d)" domains (List.length tids))
+    true
+    (List.length tids >= domains);
+  (* nothing was dropped at the default capacity, so the count is exact:
+     500 outer + 500 mid pairs per domain plus the sevenths *)
+  let expected = domains * ((500 * 4) + (500 / 7)) in
+  Alcotest.(check int) "event count" expected (List.length events)
+
+let test_trace_bounded () =
+  let prev_dropped = ref 0 in
+  Trace.set_capacity 64;
+  Fun.protect ~finally:(fun () -> Trace.set_capacity (1 lsl 19)) (fun () ->
+      with_tracing (fun () ->
+          for _ = 1 to 1000 do
+            Trace.with_span "spam" (fun () ->
+                Trace.with_span "nested" (fun () -> Trace.instant "i"))
+          done;
+          prev_dropped := Trace.dropped ()));
+  let events = parsed_events () in
+  Alcotest.(check bool) "buffer bounded" true (List.length events <= 64);
+  Alcotest.(check bool) "drops counted" true (!prev_dropped > 0);
+  (* the whole point of the reservation discipline: a full buffer still
+     yields a balanced stream *)
+  ignore (check_balance events)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry and exporters                                       *)
+
+let sample_named name labels =
+  List.find_opt
+    (fun s ->
+       s.Metrics.s_name = name
+       && List.sort compare s.Metrics.s_labels = List.sort compare labels)
+    (Metrics.samples ())
+
+let test_metrics_registry () =
+  Metrics.reset ();
+  let c = Metrics.counter ~help:"a counter" "obs_test_events" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  (* get-or-create: same identity returns the same instrument *)
+  Metrics.incr (Metrics.counter "obs_test_events");
+  Alcotest.(check int) "shared instrument" 6 (Metrics.counter_value c);
+  let g = Metrics.gauge ~labels:[ ("shard", "a") ] "obs_test_depth" in
+  Metrics.set_gauge g 2.5;
+  Metrics.add_gauge g 0.5;
+  Alcotest.(check (option (float 1e-9))) "find_gauge" (Some 3.0)
+    (Metrics.find_gauge ~labels:[ ("shard", "a") ] "obs_test_depth");
+  Alcotest.(check (option (float 1e-9))) "find_gauge missing" None
+    (Metrics.find_gauge ~labels:[ ("shard", "b") ] "obs_test_depth");
+  let h = Metrics.histogram ~bounds:[| 0.1; 1.0 |] "obs_test_lat" in
+  Metrics.observe h 0.05;
+  Metrics.observe h 0.5;
+  Metrics.observe h 5.0;
+  match sample_named "obs_test_lat" [] with
+  | Some { Metrics.s_value = Metrics.V_histogram (buckets, sum, count); _ } ->
+    (* [count] covers the implicit +Inf bucket, so the 5.0 observation
+       shows up there and not in any finite bucket *)
+    Alcotest.(check int) "count" 3 count;
+    Alcotest.(check (float 1e-9)) "sum" 5.55 sum;
+    (* finite buckets are cumulative *)
+    Alcotest.(check (list int)) "buckets" [ 1; 2 ] (List.map snd buckets)
+  | _ -> Alcotest.fail "histogram sample missing or wrong kind"
+
+let test_metrics_exporters () =
+  Metrics.reset ();
+  Metrics.incr (Metrics.counter ~help:"evil \"help\"" "obs_exp_total_things");
+  Metrics.set_gauge (Metrics.gauge ~labels:[ ("k", "v") ] "obs_exp_depth") 1.5;
+  Metrics.observe (Metrics.histogram ~bounds:[| 1.0 |] "obs_exp_lat") 0.5;
+  (* a pull-time source appears in both exporters without pre-registration *)
+  Metrics.register_source "obs_exp_source" (fun () ->
+      [ { Metrics.s_name = "obs_exp_pulled"; s_labels = []; s_help = "";
+          s_kind = Metrics.Gauge; s_value = Metrics.V_int 42 } ]);
+  let json = Json_min.parse_exn (Metrics.to_json ()) in
+  let metrics =
+    match Json_min.member "metrics" json with
+    | Some m -> Json_min.to_list m
+    | None -> Alcotest.fail "no metrics member"
+  in
+  let names = List.filter_map (ev_str "name") metrics in
+  List.iter
+    (fun n ->
+       if not (List.mem n names) then Alcotest.failf "missing %s in JSON" n)
+    [ "obs_exp_total_things"; "obs_exp_depth"; "obs_exp_lat"; "obs_exp_pulled" ];
+  let prom = Metrics.to_prometheus () in
+  let has needle =
+    let nl = String.length needle and pl = String.length prom in
+    let rec go i = i + nl <= pl && (String.sub prom i nl = needle || go (i + 1)) in
+    if not (go 0) then Alcotest.failf "prometheus output lacks %S" needle
+  in
+  has "obs_exp_total_things_total 1";
+  has "obs_exp_depth{k=\"v\"} 1.5";
+  has "obs_exp_lat_bucket{le=\"1\"} 1";
+  has "obs_exp_lat_bucket{le=\"+Inf\"} 1";
+  has "obs_exp_lat_count 1";
+  has "obs_exp_pulled 42";
+  has "# TYPE obs_exp_total_things_total counter"
+
+(* ------------------------------------------------------------------ *)
+(* Runtime profiler                                                     *)
+
+let spin seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    ignore (Sys.opaque_identity (sqrt 2.0))
+  done
+
+let test_profile_self_time () =
+  Profile.reset ();
+  Profile.set_enabled true;
+  Fun.protect ~finally:(fun () -> Profile.set_enabled false) (fun () ->
+      let inner = Profile.wrap_fn "obs_inner" (fun () -> spin 0.02) in
+      let outer =
+        Profile.wrap_fn "obs_outer" (fun () -> spin 0.01; inner (); inner ())
+      in
+      outer ();
+      Profile.note_abort_poll ();
+      Profile.note_abort_poll ();
+      Profile.note_kernel_escape ());
+  let stat name =
+    match List.find_opt (fun s -> s.Profile.pf_name = name) (Profile.stats ()) with
+    | Some s -> s
+    | None -> Alcotest.failf "no profile row for %s" name
+  in
+  let outer = stat "obs_outer" and inner = stat "obs_inner" in
+  Alcotest.(check int) "outer calls" 1 outer.Profile.pf_calls;
+  Alcotest.(check int) "inner calls" 2 inner.Profile.pf_calls;
+  (* self excludes profiled callees: outer spent ~10ms itself but ~50ms
+     total; generous bounds keep this robust on loaded machines *)
+  Alcotest.(check bool) "outer total >= self + inner" true
+    (outer.Profile.pf_total >= outer.Profile.pf_self +. inner.Profile.pf_total -. 0.005);
+  Alcotest.(check bool) "outer self well below total" true
+    (outer.Profile.pf_self < outer.Profile.pf_total -. 0.02);
+  Alcotest.(check bool) "inner self ~= inner total" true
+    (abs_float (inner.Profile.pf_self -. inner.Profile.pf_total) < 0.005);
+  Alcotest.(check int) "abort polls" 2 (Profile.abort_polls ());
+  Alcotest.(check int) "kernel escapes" 1 (Profile.kernel_escapes ());
+  (* the JSON report parses and carries the table *)
+  let json = Json_min.parse_exn (Profile.to_json ()) in
+  Alcotest.(check bool) "functions member" true
+    (Json_min.member "functions" json <> None)
+
+let test_profile_disabled_is_free () =
+  Profile.reset ();
+  (* wrapping with profiling off must not record anything *)
+  let f = Profile.wrap_fn "obs_off" (fun x -> x + 1) in
+  for _ = 1 to 100 do ignore (f 1) done;
+  Alcotest.(check bool) "no row recorded" true
+    (List.for_all (fun s -> s.Profile.pf_calls = 0) (Profile.stats ()))
+
+(* profiled end-to-end through the facade: Options.profile reaches the
+   backend wrapper and distinguishes the cache key *)
+let test_profile_via_compile () =
+  Profile.reset ();
+  let src = "Function[{Typed[n, \"Integer64\"]}, Module[{s = 0}, Do[s = s + i, {i, n}]; s]]" in
+  let options = { Options.default with Options.profile = true } in
+  let cf = Wolfram.function_compile ~options ~name:"ObsProfiled" (Wolf_wexpr.Parser.parse src) in
+  Profile.set_enabled true;
+  Fun.protect ~finally:(fun () -> Profile.set_enabled false) (fun () ->
+      ignore (Wolfram.call cf [ Wolf_wexpr.Expr.Int 1000 ]));
+  Alcotest.(check bool) "profiled function recorded" true
+    (List.exists
+       (fun s -> s.Profile.pf_calls > 0)
+       (Profile.stats ()));
+  (* same source without profile must be a different cache key: its closure
+     is uninstrumented *)
+  let plain = Wolfram.function_compile ~name:"ObsProfiled" (Wolf_wexpr.Parser.parse src) in
+  Profile.reset ();
+  Profile.set_enabled true;
+  Fun.protect ~finally:(fun () -> Profile.set_enabled false) (fun () ->
+      ignore (Wolfram.call plain [ Wolf_wexpr.Expr.Int 1000 ]));
+  Alcotest.(check bool) "unprofiled compile stays unprofiled" true
+    (List.for_all (fun s -> s.Profile.pf_calls = 0) (Profile.stats ()))
+
+(* ------------------------------------------------------------------ *)
+(* Compile-cache metrics source                                         *)
+
+let test_cache_metrics () =
+  Metrics.reset ();
+  let cache = Compile_cache.create ~capacity:2 ~weigh:String.length () in
+  Compile_cache.register_metrics ~prefix:"obs_cache" cache;
+  ignore (Compile_cache.find_or_compute cache "a" ~build:(fun () -> "aaaa"));
+  ignore (Compile_cache.find_or_compute cache "a" ~build:(fun () -> assert false));
+  ignore (Compile_cache.find_or_compute cache "b" ~build:(fun () -> "bb"));
+  ignore (Compile_cache.find_or_compute cache "c" ~build:(fun () -> "cccccc"));
+  let s = Compile_cache.stats cache in
+  Alcotest.(check int) "lookups = hits + misses" s.Compile_cache.lookups
+    (s.Compile_cache.hits + s.Compile_cache.misses);
+  Alcotest.(check int) "evicted one" 1 s.Compile_cache.evictions;
+  Alcotest.(check int) "two resident" 2 s.Compile_cache.entries;
+  (* "a" (4 bytes) was evicted as LRU; "bb" + "cccccc" remain *)
+  Alcotest.(check int) "byte occupancy tracks weights" 8 s.Compile_cache.bytes;
+  let v name =
+    match sample_named name [] with
+    | Some { Metrics.s_value = Metrics.V_int v; _ } -> v
+    | _ -> Alcotest.failf "no int sample %s" name
+  in
+  Alcotest.(check int) "source lookups" 4 (v "obs_cache_lookups");
+  Alcotest.(check int) "source hits" 1 (v "obs_cache_hits");
+  Alcotest.(check int) "source misses" 3 (v "obs_cache_misses");
+  Alcotest.(check int) "source evictions" 1 (v "obs_cache_evictions");
+  Alcotest.(check int) "source entries" 2 (v "obs_cache_entries");
+  Alcotest.(check int) "source bytes" 8 (v "obs_cache_bytes")
+
+let test_cache_waits_counted () =
+  let cache = Compile_cache.create ~capacity:8 () in
+  (* only one domain runs the build; it holds the in-flight slot until every
+     domain has at least started its lookup, then a beat longer so the rest
+     are parked on the condvar *)
+  let started = Atomic.make 0 in
+  let slow_build () =
+    while Atomic.get started < domains do Domain.cpu_relax () done;
+    Unix.sleepf 0.05;
+    "value"
+  in
+  let results =
+    spawn_all domains (fun _ ->
+        Atomic.incr started;
+        Compile_cache.find_or_compute cache "k" ~build:(fun () -> slow_build ()))
+  in
+  Array.iter (fun r -> Alcotest.(check string) "shared result" "value" r) results;
+  let s = Compile_cache.stats cache in
+  Alcotest.(check int) "one compile" 1 s.Compile_cache.misses;
+  Alcotest.(check int) "rest are hits" (domains - 1) s.Compile_cache.hits;
+  Alcotest.(check int) "invariant holds" s.Compile_cache.lookups
+    (s.Compile_cache.hits + s.Compile_cache.misses);
+  Alcotest.(check bool) "waits annotated" true (s.Compile_cache.waits >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* --timings totals: each second reported exactly once (satellite 1)    *)
+
+let test_pass_totals () =
+  let src = "Function[{Typed[n, \"Integer64\"]}, Module[{s = 0}, Do[s = s + i*i, {i, n}]; s]]" in
+  let options = { Options.default with Options.verify_each = true; use_cache = false } in
+  let c = Pipeline.compile ~options ~name:"ObsTotals" (Wolf_wexpr.Parser.parse src) in
+  let stats = c.Pipeline.stats in
+  let t = Pass_manager.totals stats in
+  let sum f = List.fold_left (fun acc s -> acc +. f s) 0.0 stats in
+  (* the footer is the fold of the rows — pass and verify columns sum to
+     the totals with nothing counted twice and nothing dropped *)
+  Alcotest.(check (float 1e-12)) "pass total = column sum"
+    (sum (fun s -> s.Pass_manager.st_time)) t.Pass_manager.tot_pass;
+  Alcotest.(check (float 1e-12)) "verify total = column sum"
+    (sum (fun s -> s.Pass_manager.st_verify)) t.Pass_manager.tot_verify;
+  Alcotest.(check bool) "verifier actually ran" true (t.Pass_manager.tot_verify > 0.0);
+  Alcotest.(check bool) "passes actually ran" true (t.Pass_manager.tot_pass > 0.0);
+  (* checkpoint-only stages (verified but never run as a pass) appear as
+     zero-run rows so their verify time is attributed, not lost *)
+  Alcotest.(check bool) "lower checkpoint row present" true
+    (List.exists
+       (fun s -> s.Pass_manager.st_pass = "lower" && s.Pass_manager.st_runs = 0
+                 && s.Pass_manager.st_verify > 0.0)
+       stats);
+  (* the rendered report carries exactly one total row and one verifier
+     line, formatted from the same fold *)
+  let report = Pass_manager.stats_to_string stats in
+  let count_sub needle =
+    let nl = String.length needle and pl = String.length report in
+    let n = ref 0 in
+    for i = 0 to pl - nl do
+      if String.sub report i nl = needle then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "one total row" 1 (count_sub "\ntotal");
+  Alcotest.(check int) "one verifier line" 1 (count_sub "verifier total:");
+  let expect = Printf.sprintf "%.3f" (t.Pass_manager.tot_pass *. 1e3) in
+  Alcotest.(check bool) "footer prints the fold" true (count_sub expect >= 1)
+
+let tests =
+  [ Alcotest.test_case "json_min parses what we emit (and rejects junk)" `Quick test_json_min;
+    Alcotest.test_case "trace: chrome shape, args, ordering" `Quick test_trace_shape;
+    Alcotest.test_case "trace: balanced under exceptions" `Quick test_trace_exception_balance;
+    Alcotest.test_case "trace: 4-domain stress, distinct tracks" `Quick test_trace_multidomain;
+    Alcotest.test_case "trace: bounded buffer stays balanced" `Quick test_trace_bounded;
+    Alcotest.test_case "metrics: counters, gauges, histograms" `Quick test_metrics_registry;
+    Alcotest.test_case "metrics: JSON + prometheus exporters" `Quick test_metrics_exporters;
+    Alcotest.test_case "profile: self vs total time" `Quick test_profile_self_time;
+    Alcotest.test_case "profile: disabled wrapper records nothing" `Quick test_profile_disabled_is_free;
+    Alcotest.test_case "profile: end-to-end via Options.profile" `Quick test_profile_via_compile;
+    Alcotest.test_case "cache: metrics source incl. eviction + bytes" `Quick test_cache_metrics;
+    Alcotest.test_case "cache: in-flight waits annotate, not skew" `Quick test_cache_waits_counted;
+    Alcotest.test_case "timings: totals are the fold of the rows" `Quick test_pass_totals ]
