@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke bench-json smoke fuzz-smoke par-smoke obs-smoke fuzz clean
+.PHONY: all build test check bench bench-smoke bench-json bench-serve-json smoke fuzz-smoke par-smoke obs-smoke serve-smoke fuzz clean
 
 all: build
 
@@ -19,6 +19,7 @@ check: build
 	$(MAKE) fuzz-smoke
 	$(MAKE) par-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) serve-smoke
 	dune exec bench/main.exe -- smoke
 	$(MAKE) bench-smoke
 
@@ -67,6 +68,26 @@ obs-smoke: build
 	dune exec bin/wolfc.exe -- obs-check \
 	  /tmp/wolf_obs_trace.json /tmp/wolf_obs_metrics.json /tmp/wolf_obs_profile.json
 	dune exec bin/wolfc.exe -- obs-check --min-tracks 4 /tmp/wolf_obs_par_trace.json
+
+# service-layer smoke (DESIGN.md "Service layer"): load-test an embedded
+# wolfd daemon — 4 concurrent clients, a mixed eval/compile workload, zero
+# errors required — then replay a fixed-seed fuzz slice through the daemon
+# (the serve oracle arm: byte-identical replies required), and validate the
+# daemon trace (client track + worker tracks, balanced spans) and metrics
+serve-smoke: build
+	dune exec bin/wolfc.exe -- bench serve --clients 4 --requests 200 \
+	  --json /tmp/wolf_serve_bench.json \
+	  --trace-out /tmp/wolf_serve_trace.json \
+	  --metrics-out /tmp/wolf_serve_metrics.json
+	dune exec bin/wolfc.exe -- fuzz --seed 1 --count 40 --quiet --backends serve
+	dune exec bin/wolfc.exe -- obs-check --min-tracks 2 /tmp/wolf_serve_trace.json
+	dune exec bin/wolfc.exe -- obs-check \
+	  /tmp/wolf_serve_bench.json /tmp/wolf_serve_metrics.json
+
+# full-size serve load test refreshing the checked-in record
+bench-serve-json: build
+	dune exec bin/wolfc.exe -- bench serve --clients 4 --requests 200 \
+	  --json BENCH_serve.json
 
 # longer free-running campaign for local bug hunting
 fuzz: build

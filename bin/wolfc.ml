@@ -322,8 +322,8 @@ let jobs_arg =
 let resolve_jobs j = if j <= 0 then Wolf_parallel.Pool.default_jobs () else j
 
 let fuzz_cmd =
-  let run seed count max_size backends no_strings corpus quiet jobs trace_out
-      metrics_out metrics_format =
+  let run seed count max_size backends serve_socket no_strings corpus quiet
+      jobs trace_out metrics_out metrics_format =
     Wolfram.init ();
     with_obs ~trace_out ~metrics_out ~metrics_format @@ fun () ->
     let backends =
@@ -332,6 +332,7 @@ let fuzz_cmd =
       | Ok bs -> bs
       | Error e -> prerr_endline e; exit 2
     in
+    Wolf_fuzz.Oracle.serve_socket := serve_socket;
     let cfg =
       { Wolf_fuzz.Driver.default_config with
         Wolf_fuzz.Driver.seed;
@@ -374,7 +375,9 @@ let fuzz_cmd =
   in
   let backends_arg =
     Arg.(value & opt string "threaded,wvm" & info [ "backends" ] ~docv:"B,B"
-           ~doc:"Backends to check differentially: threaded, jit, wvm, c.")
+           ~doc:"Backends to check differentially: threaded, jit, wvm, c, \
+                 serve (replay through an embedded wolfd daemon; point \
+                 programs at an external one with $(b,--serve-socket)).")
   in
   let no_strings_arg =
     Arg.(value & flag & info [ "no-strings" ]
@@ -387,6 +390,11 @@ let fuzz_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress output.")
   in
+  let serve_socket_arg =
+    Arg.(value & opt (some string) None & info [ "serve-socket" ] ~docv:"PATH"
+           ~doc:"With the serve backend: replay through the wolfd daemon at \
+                 $(docv) instead of bootstrapping an embedded one.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differentially fuzz the compiler: random typed programs are run \
@@ -394,8 +402,8 @@ let fuzz_cmd =
              results compared against the interpreter, and failures shrunk \
              to minimal reproducers.")
     Term.(const run $ seed_arg $ count_arg $ max_size_arg $ backends_arg
-          $ no_strings_arg $ corpus_arg $ quiet_arg $ jobs_arg $ trace_out_arg
-          $ metrics_out_arg $ metrics_format_arg)
+          $ serve_socket_arg $ no_strings_arg $ corpus_arg $ quiet_arg
+          $ jobs_arg $ trace_out_arg $ metrics_out_arg $ metrics_format_arg)
 
 let compile_cmd =
   let run files target no_abort no_inline opt_level jobs stats trace_out
@@ -628,6 +636,231 @@ let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive interpreter session.")
     Term.(const run $ const ())
 
+(* ---- the service layer: wolfd / connect / bench serve ----------------- *)
+
+let socket_arg =
+  Arg.(value & opt string "/tmp/wolfd.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path of the daemon.")
+
+let wolfd_cmd =
+  let run socket jobs queue max_frame quiet trace_out metrics_out
+      metrics_format =
+    with_obs ~trace_out ~metrics_out ~metrics_format @@ fun () ->
+    let cfg =
+      { Wolf_serve.Server.socket_path = socket;
+        jobs = (if jobs <= 0 then Wolf_parallel.Pool.default_jobs () else jobs);
+        queue_capacity = queue;
+        max_frame;
+        log = (if quiet then ignore else prerr_endline) }
+    in
+    let srv = Wolf_serve.Server.start cfg in
+    (* runs until a client sends the shutdown op (or the process is killed;
+       the stale socket file is replaced on the next start) *)
+    Wolf_serve.Server.wait srv;
+    Wolf_serve.Server.stop srv;
+    0
+  in
+  let jobs_arg =
+    Arg.(value & opt int 2 & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains executing compiles and evals (0 = one per \
+                 core).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Admission-queue bound; requests beyond it are answered \
+                 $(i,overloaded) immediately.")
+  in
+  let max_frame_arg =
+    Arg.(value & opt int Wolf_serve.Protocol.default_max_frame
+         & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Per-frame size limit.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the connection log.")
+  in
+  Cmd.v
+    (Cmd.info "wolfd"
+       ~doc:"Run the compile-and-eval daemon: sessions are isolated (each \
+             connection owns its kernel values), the compile cache is \
+             shared, admission is a bounded queue, and requests support \
+             deadlines and cancellation.")
+    Term.(const run $ socket_arg $ jobs_arg $ queue_arg $ max_frame_arg
+          $ quiet_arg $ trace_out_arg $ metrics_out_arg $ metrics_format_arg)
+
+let connect_cmd =
+  let run socket expr file deadline_ms =
+    let c = Wolf_serve.Client.connect socket in
+    Fun.protect ~finally:(fun () -> Wolf_serve.Client.close c) @@ fun () ->
+    let eval_one src =
+      match Wolf_serve.Client.eval_string ?deadline_ms c src with
+      | Ok printed -> print_endline printed; true
+      | Error (kind, msg) -> Printf.printf "Error (%s): %s\n" kind msg; false
+    in
+    match expr, file with
+    | None, None ->
+      (* line-oriented remote REPL *)
+      let n = ref 0 in
+      (try
+         while true do
+           incr n;
+           Printf.printf "In[%d]:= %!" !n;
+           let line = input_line stdin in
+           if String.trim line <> "" then ignore (eval_one line)
+         done
+       with End_of_file | Wolf_serve.Protocol.Closed -> print_newline ());
+      0
+    | _ -> if eval_one (read_program expr file) then 0 else 1
+  in
+  let deadline_arg =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request deadline forwarded to the daemon.")
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:"Evaluate through a running wolfd daemon: one-shot with $(b,-e) \
+             or FILE, interactive otherwise.")
+    Term.(const run $ socket_arg $ expr_arg $ file_arg $ deadline_arg)
+
+(* bench serve: the protocol load generator (EXPERIMENTS.md E13).  N client
+   threads share one daemon; each request's latency is measured around the
+   full rpc round-trip, so queueing shows up in the percentiles exactly as a
+   client would feel it. *)
+
+let bench_serve_cmd =
+  let run socket clients requests jobs queue json_out trace_out metrics_out
+      metrics_format =
+    if clients <= 0 || requests <= 0 then begin
+      prerr_endline "bench serve: --clients and --requests must be positive";
+      exit 2
+    end;
+    with_obs ~trace_out ~metrics_out ~metrics_format @@ fun () ->
+    (* embedded daemon unless pointed at an external socket *)
+    let embedded, path =
+      match socket with
+      | Some p -> None, p
+      | None ->
+        let p =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "wolfd-bench-%d.sock" (Unix.getpid ()))
+        in
+        let srv =
+          Wolf_serve.Server.start
+            { (Wolf_serve.Server.default_config ~socket_path:p ()) with
+              jobs = (if jobs <= 0 then 2 else jobs);
+              queue_capacity = queue }
+        in
+        Some srv, p
+    in
+    Fun.protect
+      ~finally:(fun () -> Option.iter Wolf_serve.Server.stop embedded)
+    @@ fun () ->
+    (* the workload mixes interpreter evals with a rotating trio of compile
+       requests, so the shared cache (and its in-flight dedup) is on the
+       benched path, not just the kernel *)
+    let eval_src i =
+      Printf.sprintf "Total[Table[i * %d, {i, 1, 40}]]" ((i mod 7) + 1)
+    in
+    let compile_src i =
+      Printf.sprintf
+        "Function[{Typed[x, \"MachineInteger\"]}, x * x + %d]" (i mod 3)
+    in
+    let base = requests / clients and extra = requests mod clients in
+    let lat = Array.make requests 0.0 in
+    let errors = Atomic.make 0 in
+    let next = Atomic.make 0 in
+    let worker k () =
+      let mine = base + (if k < extra then 1 else 0) in
+      let c = Wolf_serve.Client.connect path in
+      Fun.protect ~finally:(fun () -> Wolf_serve.Client.close c) @@ fun () ->
+      for _ = 1 to mine do
+        let i = Atomic.fetch_and_add next 1 in
+        let req =
+          if i mod 10 = 9 then
+            Wolf_serve.Protocol.Compile
+              { code = compile_src i; target = "threaded"; opt = 1 }
+          else Wolf_serve.Protocol.Eval { code = eval_src i; deadline_ms = None }
+        in
+        let t0 = Wolf_obs.Clock.now () in
+        (match Wolf_serve.Client.rpc c req with
+         | { Wolf_serve.Protocol.rsp = Ok _; _ } -> ()
+         | { rsp = Error (kind, msg); _ } ->
+           Atomic.incr errors;
+           Printf.eprintf "request %d failed (%s): %s\n"
+             i (Wolf_serve.Protocol.error_kind_name kind) msg
+         | exception e ->
+           Atomic.incr errors;
+           Printf.eprintf "request %d: %s\n" i (Printexc.to_string e));
+        lat.(i) <- Wolf_obs.Clock.now () -. t0
+      done
+    in
+    let t0 = Wolf_obs.Clock.now () in
+    (* the load-generation span lives on the main domain, so a daemon trace
+       always shows the client track next to the worker tracks *)
+    Wolf_obs.Trace.with_span ~cat:"bench" "bench-serve"
+      ~args:[ ("clients", Wolf_obs.Trace.arg_int clients);
+              ("requests", Wolf_obs.Trace.arg_int requests) ]
+      (fun () ->
+         let threads =
+           List.init clients (fun k -> Thread.create (worker k) ())
+         in
+         List.iter Thread.join threads);
+    let duration = Wolf_obs.Clock.now () -. t0 in
+    Array.sort compare lat;
+    let pctl p =
+      lat.(int_of_float (float_of_int (requests - 1) *. p /. 100.0)) *. 1e3
+    in
+    let req_per_s = float_of_int requests /. duration in
+    let json =
+      Printf.sprintf
+        "{\"clients\":%d,\"requests\":%d,\"errors\":%d,\
+         \"duration_seconds\":%.4f,\"req_per_s\":%.1f,\
+         \"p50_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f,\"cache\":%s}"
+        clients requests (Atomic.get errors) duration req_per_s
+        (pctl 50.0) (pctl 99.0) (lat.(requests - 1) *. 1e3)
+        (cache_json (Wolfram.compile_cache_stats ()))
+    in
+    let oc = open_out json_out in
+    output_string oc json; output_char oc '\n'; close_out oc;
+    Printf.printf
+      "bench serve: %d clients, %d requests, %d error(s)\n\
+       %.1f req/s; latency p50 %.2fms, p99 %.2fms; wrote %s\n"
+      clients requests (Atomic.get errors) req_per_s (pctl 50.0) (pctl 99.0)
+      json_out;
+    if Atomic.get errors = 0 then 0 else 1
+  in
+  let socket_opt_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Bench an already-running daemon at $(docv) instead of an \
+                 embedded one.")
+  in
+  let clients_arg =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N"
+           ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 200 & info [ "requests" ] ~docv:"N"
+           ~doc:"Total requests, split across clients.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Admission-queue bound of the embedded daemon.")
+  in
+  let json_arg =
+    Arg.(value & opt string "BENCH_serve.json" & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the latency/throughput summary to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Load-test the wolfd daemon: concurrent clients, a mixed \
+             eval/compile workload, p50/p99 latency and req/s published as \
+             JSON.")
+    Term.(const run $ socket_opt_arg $ clients_arg $ requests_arg $ jobs_arg
+          $ queue_arg $ json_arg $ trace_out_arg $ metrics_out_arg
+          $ metrics_format_arg)
+
+let bench_cmd =
+  Cmd.group (Cmd.info "bench" ~doc:"Benchmarks with published JSON results.")
+    [ bench_serve_cmd ]
+
 let () =
   let info =
     Cmd.info "wolfc" ~version:(fst Wolf_backends.Compiled_function.versions)
@@ -635,4 +868,5 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
                      [ emit_cmd; run_cmd; compile_cmd; eval_cmd; fuzz_cmd;
-                       stats_cmd; obs_check_cmd; repl_cmd ]))
+                       stats_cmd; obs_check_cmd; repl_cmd; wolfd_cmd;
+                       connect_cmd; bench_cmd ]))

@@ -156,6 +156,33 @@ let run cfg =
      builtins, the stdlib declarations, the cc probe.  Workers then only
      touch state behind the locks/atomics of the domain-safe core. *)
   Wolfram.init ();
+  (* the serve arm needs a daemon: bootstrap an embedded one unless the
+     caller already pointed Oracle.serve_socket at an external process *)
+  let embedded =
+    if List.mem Oracle.Serve cfg.backends && !Oracle.serve_socket = None
+    then begin
+      let path =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "wolfd-fuzz-%d.sock" (Unix.getpid ()))
+      in
+      let srv =
+        Wolf_serve.Server.start
+          (Wolf_serve.Server.default_config ~socket_path:path ())
+      in
+      Oracle.serve_socket := Some path;
+      cfg.log (Printf.sprintf "embedded wolfd on %s" path);
+      Some srv
+    end
+    else None
+  in
+  let teardown () =
+    match embedded with
+    | Some srv ->
+      Oracle.serve_socket := None;
+      Wolf_serve.Server.stop srv
+    | None -> ()
+  in
+  Fun.protect ~finally:teardown @@ fun () ->
   let done_count = Atomic.make 0 in
   let progress msg =
     if msg = "" then begin

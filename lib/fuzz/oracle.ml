@@ -6,13 +6,14 @@ type outcome =
   | Aborted
   | Failed of string
 
-type backend = Threaded | Jit | Wvm | C
+type backend = Threaded | Jit | Wvm | C | Serve
 
 let backend_name = function
   | Threaded -> "threaded"
   | Jit -> "jit"
   | Wvm -> "wvm"
   | C -> "c"
+  | Serve -> "serve"
 
 let backends_of_string s =
   let parts =
@@ -25,7 +26,9 @@ let backends_of_string s =
     | "jit" :: r -> go (Jit :: acc) r
     | "wvm" :: r -> go (Wvm :: acc) r
     | "c" :: r -> go (C :: acc) r
-    | x :: _ -> Error (Printf.sprintf "unknown backend %S (threaded,jit,wvm,c)" x)
+    | "serve" :: r -> go (Serve :: acc) r
+    | x :: _ ->
+      Error (Printf.sprintf "unknown backend %S (threaded,jit,wvm,c,serve)" x)
   in
   go [] parts
 
@@ -117,7 +120,7 @@ let target_of = function
   | Threaded -> Wolfram.Threaded
   | Jit -> Wolfram.Jit
   | Wvm -> Wolfram.Bytecode
-  | C -> Wolfram.Threaded  (* unused; C has its own path *)
+  | C | Serve -> Wolfram.Threaded  (* unused; C and serve have own paths *)
 
 let run_native backend level fexpr args =
   guard (fun () ->
@@ -178,6 +181,68 @@ let run_c level fexpr args =
             let line = try input_line ic with End_of_file -> "" in
             ignore (Unix.close_process_in ic);
             Parser.parse (String.trim line)))
+
+(* ---- serve arm: replay through a wolfd daemon ------------------------
+
+   The daemon evaluates with the very same interpreter, so unlike the
+   backend arms the property is exact: the printed reply must be
+   byte-identical to the reference's InputForm.  What the arm actually
+   exercises is everything in between — protocol encode/decode, session
+   state swapping, the executor, and concurrent clients (each fuzz worker
+   domain keeps its own connection, so a sharded campaign is a concurrent
+   protocol test for free). *)
+
+let serve_socket : string option ref = ref None
+
+(* one client per worker domain, reconnected if the socket path changes
+   (a new embedded daemon for a new campaign) or the connection died *)
+let serve_client_key : (string * Wolf_serve.Client.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let serve_connect path =
+  let slot = Domain.DLS.get serve_client_key in
+  (match !slot with
+   | Some (p, c) when p <> path ->
+     (try Wolf_serve.Client.close c with _ -> ());
+     slot := None
+   | _ -> ());
+  match !slot with
+  | Some (_, c) -> c
+  | None ->
+    let c = Wolf_serve.Client.connect path in
+    slot := Some (path, c);
+    c
+
+let serve_eval source =
+  match !serve_socket with
+  | None -> failwith "serve backend requested but no daemon socket is set"
+  | Some path ->
+    (match Wolf_serve.Client.eval_string (serve_connect path) source with
+     | r -> r
+     | exception _ ->
+       (* the daemon may have restarted since the last campaign; one fresh
+          reconnect, then let failures surface *)
+       (Domain.DLS.get serve_client_key) := None;
+       Wolf_serve.Client.eval_string (serve_connect path) source)
+
+let check_serve fexpr args ref_outcome =
+  let source = Form.input_form (Expr.Normal (fexpr, args)) in
+  let fail fgot = [ { fwhere = "serve"; fexpected = outcome_str ref_outcome; fgot } ] in
+  match serve_eval source with
+  | exception exn ->
+    [ { fwhere = "serve"; fexpected = "a daemon reply";
+        fgot = Printexc.to_string exn } ]
+  | Error (kind, msg) ->
+    (match ref_outcome with
+     | Failed _ -> []   (* error reply <-> reference failure: same laxity as
+                           Failed-vs-Failed between backends *)
+     | _ -> fail (Printf.sprintf "<%s error: %s>" kind msg))
+  | Ok "$Aborted" ->
+    (match ref_outcome with Aborted -> [] | _ -> fail "$Aborted")
+  | Ok printed ->
+    (match ref_outcome with
+     | Value v when Form.input_form v = printed -> []
+     | _ -> fail printed)
 
 let scalar = function Ast.TInt | Ast.TReal | Ast.TBool -> true | _ -> false
 
@@ -245,6 +310,7 @@ let check_parsed ?(backends = [ Threaded; Wvm ]) ?(levels = [ 0; 1; 2 ])
                (fun lvl ->
                   mismatch (Printf.sprintf "c/O%d" lvl) (run_c lvl fexpr args))
                levels
+         | Serve -> check_serve fexpr args ref_outcome
          | Threaded | Jit ->
            List.filter_map
              (fun lvl ->

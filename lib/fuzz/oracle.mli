@@ -11,11 +11,19 @@ type outcome =
       fallback (F2) re-raising through the interpreter, and the exact
       message depends on the backend's entry point. *)
 
-type backend = Threaded | Jit | Wvm | C
+type backend = Threaded | Jit | Wvm | C | Serve
 
 val backend_name : backend -> string
 val backends_of_string : string -> (backend list, string) result
-(** Parse a comma-separated [--backends] value: threaded,jit,wvm,c. *)
+(** Parse a comma-separated [--backends] value: threaded,jit,wvm,c,serve. *)
+
+val serve_socket : string option ref
+(** Socket path of the [wolfd] daemon the [Serve] arm replays through.
+    {!Driver.run} sets it when it bootstraps an embedded daemon; point it at
+    a running daemon to fuzz an external process.  The serve arm is exact:
+    the daemon's printed reply must be byte-identical to the reference's
+    InputForm (same interpreter on both sides — the protocol, session
+    swapping and executor are what is under test). *)
 
 type failure = {
   fwhere : string;   (** e.g. ["threaded/O2"], ["wvm"], ["abort/threaded/k=5"] *)

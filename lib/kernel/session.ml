@@ -40,8 +40,12 @@ let run src = eval (Parser.parse src)
 
 let run_string src = Form.input_form (run src)
 
-let reset () =
-  Values.clear_all ();
-  (* numeric constants live in the value store; reinstate them *)
+(* numeric constants live in the value store; a freshly-installed store
+   (reset, or a new [wolfd] session state) needs them reinstated *)
+let seed_constants () =
   Values.set_own_value (Symbol.intern "Pi") (Expr.Real Float.pi);
   Values.set_own_value (Symbol.intern "E") (Expr.Real (Float.exp 1.0))
+
+let reset () =
+  Values.clear_all ();
+  seed_constants ()

@@ -23,3 +23,8 @@ val run_string : string -> string
 
 val reset : unit -> unit
 (** Clear all user definitions (test isolation); builtins survive. *)
+
+val seed_constants : unit -> unit
+(** Install the numeric constants ([Pi], [E]) into the currently live
+    {!Values} store — called by {!reset} and by [wolfd] when it installs a
+    brand-new per-session state. *)

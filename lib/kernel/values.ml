@@ -7,17 +7,38 @@ type rule = { lhs : Expr.t; rhs : Expr.t }
    (Wolf_base.Kernel_lock, taken at every evaluator entry); this mutex
    additionally makes each individual table operation safe against a
    concurrent resize, so direct store probes from outside an evaluation
-   (tooling, tests, [install]) can't corrupt the tables. *)
-let owns : (int, Expr.t) Hashtbl.t = Hashtbl.create 256
-let downs : (int, rule list) Hashtbl.t = Hashtbl.create 256
-let compiled : (int, Wolf_runtime.Rtval.closure) Hashtbl.t = Hashtbl.create 64
+   (tooling, tests, [install]) can't corrupt the tables.
+
+   The three tables live behind one mutable [current] pointer so a service
+   can give every client its own store: [wolfd] swaps a session's state in
+   under the kernel lock, evaluates, and swaps it back out.  Swapping moves
+   the tables themselves (never copies them), so the tensor refcount held by
+   each own-value slot stays balanced: a slot owns exactly one retain for
+   the whole life of its state, whichever state is installed. *)
+type state = {
+  st_owns : (int, Expr.t) Hashtbl.t;
+  st_downs : (int, rule list) Hashtbl.t;
+  st_compiled : (int, Wolf_runtime.Rtval.closure) Hashtbl.t;
+}
+
+let fresh_state () =
+  { st_owns = Hashtbl.create 256; st_downs = Hashtbl.create 256;
+    st_compiled = Hashtbl.create 64 }
+
+let current = ref (fresh_state ())
 let lock = Mutex.create ()
 
 let[@inline] locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let own_value s = locked (fun () -> Hashtbl.find_opt owns (Symbol.id s))
+let swap_state st =
+  locked (fun () ->
+      let prev = !current in
+      current := st;
+      prev)
+
+let own_value s = locked (fun () -> Hashtbl.find_opt !current.st_owns (Symbol.id s))
 
 (* Own-value slots hold references: packed tensors are reference-counted so
    that indexed assignment copies exactly when another symbol still points
@@ -28,16 +49,16 @@ let forget = function Some (Expr.Tensor t) -> Tensor.release t | _ -> ()
 let set_own_value s v =
   locked (fun () ->
       retain v;
-      forget (Hashtbl.find_opt owns (Symbol.id s));
-      Hashtbl.replace owns (Symbol.id s) v)
+      forget (Hashtbl.find_opt !current.st_owns (Symbol.id s));
+      Hashtbl.replace !current.st_owns (Symbol.id s) v)
 
 let clear_own_value s =
   locked (fun () ->
-      forget (Hashtbl.find_opt owns (Symbol.id s));
-      Hashtbl.remove owns (Symbol.id s))
+      forget (Hashtbl.find_opt !current.st_owns (Symbol.id s));
+      Hashtbl.remove !current.st_owns (Symbol.id s))
 
 let down_values s =
-  locked (fun () -> Option.value ~default:[] (Hashtbl.find_opt downs (Symbol.id s)))
+  locked (fun () -> Option.value ~default:[] (Hashtbl.find_opt !current.st_downs (Symbol.id s)))
 
 let rec count_blanks e =
   match e with
@@ -66,20 +87,20 @@ let add_down_value s rule =
   let rules =
     List.stable_sort (fun a b -> compare (count_blanks a.lhs) (count_blanks b.lhs)) rules
   in
-  locked (fun () -> Hashtbl.replace downs (Symbol.id s) rules)
+  locked (fun () -> Hashtbl.replace !current.st_downs (Symbol.id s) rules)
 
-let clear_down_values s = locked (fun () -> Hashtbl.remove downs (Symbol.id s))
+let clear_down_values s = locked (fun () -> Hashtbl.remove !current.st_downs (Symbol.id s))
 
-let compiled_value s = locked (fun () -> Hashtbl.find_opt compiled (Symbol.id s))
-let set_compiled_value s c = locked (fun () -> Hashtbl.replace compiled (Symbol.id s) c)
-let clear_compiled_value s = locked (fun () -> Hashtbl.remove compiled (Symbol.id s))
+let compiled_value s = locked (fun () -> Hashtbl.find_opt !current.st_compiled (Symbol.id s))
+let set_compiled_value s c = locked (fun () -> Hashtbl.replace !current.st_compiled (Symbol.id s) c)
+let clear_compiled_value s = locked (fun () -> Hashtbl.remove !current.st_compiled (Symbol.id s))
 
 type snapshot = (Symbol.t * Expr.t option * rule list option) list
 
 let save syms =
   List.map
     (fun s ->
-       (s, own_value s, locked (fun () -> Hashtbl.find_opt downs (Symbol.id s))))
+       (s, own_value s, locked (fun () -> Hashtbl.find_opt !current.st_downs (Symbol.id s))))
     syms
 
 let restore snap =
@@ -89,12 +110,12 @@ let restore snap =
         | Some v -> set_own_value s v
         | None -> clear_own_value s);
        (match dvs with
-        | Some rules -> locked (fun () -> Hashtbl.replace downs (Symbol.id s) rules)
-        | None -> locked (fun () -> Hashtbl.remove downs (Symbol.id s))))
+        | Some rules -> locked (fun () -> Hashtbl.replace !current.st_downs (Symbol.id s) rules)
+        | None -> locked (fun () -> Hashtbl.remove !current.st_downs (Symbol.id s))))
     snap
 
 let clear_all () =
   locked (fun () ->
-      Hashtbl.reset owns;
-      Hashtbl.reset downs;
-      Hashtbl.reset compiled)
+      Hashtbl.reset !current.st_owns;
+      Hashtbl.reset !current.st_downs;
+      Hashtbl.reset !current.st_compiled)

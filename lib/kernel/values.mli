@@ -39,3 +39,25 @@ val restore : snapshot -> unit
 
 val clear_all : unit -> unit
 (** Reset the whole store (test isolation). *)
+
+(** {2 Whole-store swapping (session isolation)}
+
+    The store is one mutable pointer to a triple of tables.  A service that
+    wants one kernel state per client ([wolfd]) installs the client's state
+    before evaluating and restores the previous one afterwards — always
+    under the big kernel lock, so no other evaluation can observe the
+    foreign state.  States are moved, never copied: each own-value slot owns
+    exactly one tensor retain for its whole life, whichever state is
+    currently installed, so swapping preserves the reference-count balance
+    that [set_own_value]/[clear_own_value] maintain. *)
+
+type state
+
+val fresh_state : unit -> state
+(** A new empty store (no own/down/compiled values — seed constants with
+    {!Wolf_kernel.Session.seed_constants} after installing it). *)
+
+val swap_state : state -> state
+(** Install [state] as the live store and return the previously live one.
+    Callers must hold the big kernel lock (or otherwise guarantee no
+    concurrent evaluation) across the install/evaluate/restore window. *)

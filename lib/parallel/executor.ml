@@ -1,0 +1,115 @@
+(* Persistent domain pool with a bounded submission queue.
+
+   [Pool.map] shards a known-size batch and tears its domains down when the
+   batch is done; a long-running service needs the dual shape: workers that
+   outlive any one request and a queue whose depth is the admission-control
+   signal.  [submit] never blocks — when the queue is at capacity the caller
+   gets [`Saturated] back immediately and turns it into an explicit
+   "overloaded" reply instead of an invisible convoy.
+
+   Jobs are fire-and-forget thunks that carry their own reply channel; an
+   exception escaping a job is the job's bug, so it is counted and dropped
+   rather than allowed to kill the worker (the daemon must survive any one
+   request). *)
+
+type stats = {
+  queued : int;      (** jobs waiting in the queue *)
+  running : int;     (** jobs currently executing on a worker *)
+  capacity : int;    (** queue bound ([submit] beyond it is [`Saturated]) *)
+  jobs : int;        (** worker domains *)
+  executed : int;    (** jobs completed since [create] *)
+  crashed : int;     (** jobs that escaped with an exception *)
+}
+
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  idle : Condition.t;                  (* signalled when a worker finishes *)
+  queue : (unit -> unit) Queue.t;
+  capacity : int;
+  mutable stopping : bool;
+  mutable running : int;
+  mutable executed : int;
+  mutable crashed : int;
+  mutable workers : unit Domain.t list;
+}
+
+let create ?(capacity = 64) ~jobs () =
+  let t =
+    { lock = Mutex.create (); nonempty = Condition.create ();
+      idle = Condition.create (); queue = Queue.create ();
+      capacity = max 1 capacity; stopping = false; running = 0;
+      executed = 0; crashed = 0; workers = [] }
+  in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      Mutex.lock t.lock;
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.nonempty t.lock
+      done;
+      if Queue.is_empty t.queue && t.stopping then begin
+        Mutex.unlock t.lock;
+        continue := false
+      end
+      else begin
+        let job = Queue.pop t.queue in
+        t.running <- t.running + 1;
+        Mutex.unlock t.lock;
+        (match Wolf_obs.Trace.with_span ~cat:"pool" "job" job with
+         | () -> ()
+         | exception _ ->
+           Mutex.lock t.lock;
+           t.crashed <- t.crashed + 1;
+           Mutex.unlock t.lock);
+        Mutex.lock t.lock;
+        t.running <- t.running - 1;
+        t.executed <- t.executed + 1;
+        Condition.broadcast t.idle;
+        Mutex.unlock t.lock
+      end
+    done
+  in
+  t.workers <- List.init (max 1 jobs) (fun _ -> Domain.spawn worker);
+  t
+
+let submit t job =
+  Mutex.lock t.lock;
+  let r =
+    if t.stopping then `Stopped
+    else if Queue.length t.queue >= t.capacity then `Saturated
+    else begin
+      Queue.push job t.queue;
+      Condition.signal t.nonempty;
+      `Accepted
+    end
+  in
+  Mutex.unlock t.lock;
+  r
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    { queued = Queue.length t.queue; running = t.running;
+      capacity = t.capacity; jobs = List.length t.workers;
+      executed = t.executed; crashed = t.crashed }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let quiesce t =
+  Mutex.lock t.lock;
+  while not (Queue.is_empty t.queue) || t.running > 0 do
+    Condition.wait t.idle t.lock
+  done;
+  Mutex.unlock t.lock
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  Mutex.lock t.lock;
+  t.workers <- [];
+  Mutex.unlock t.lock

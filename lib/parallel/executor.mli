@@ -1,0 +1,38 @@
+(** Persistent domain pool with a bounded, non-blocking submission queue.
+
+    Where {!Pool.map} shards one known-size batch and joins, an executor's
+    workers outlive any single request: [wolfd] schedules every compile and
+    eval job here.  The queue bound is the admission-control signal —
+    [submit] never blocks, it reports [`Saturated] so the caller can answer
+    "overloaded" instead of silently queuing without bound. *)
+
+type t
+
+type stats = {
+  queued : int;      (** jobs waiting in the queue *)
+  running : int;     (** jobs currently executing on a worker *)
+  capacity : int;    (** queue bound *)
+  jobs : int;        (** worker domains *)
+  executed : int;    (** jobs completed since [create] *)
+  crashed : int;     (** jobs that escaped with an exception (a job bug —
+                         the worker survives and keeps serving) *)
+}
+
+val create : ?capacity:int -> jobs:int -> unit -> t
+(** Spawn [max 1 jobs] worker domains sharing one FIFO queue bounded at
+    [capacity] (default 64) waiting entries; running jobs do not count
+    against the bound. *)
+
+val submit : t -> (unit -> unit) -> [ `Accepted | `Saturated | `Stopped ]
+(** Enqueue a job, or refuse immediately: [`Saturated] when the queue is at
+    capacity, [`Stopped] after {!shutdown} began.  Jobs own their error
+    handling; an escaping exception is counted in [crashed] and dropped. *)
+
+val stats : t -> stats
+
+val quiesce : t -> unit
+(** Block until the queue is empty and no job is running (tests). *)
+
+val shutdown : t -> unit
+(** Stop accepting work, let queued jobs drain, join all workers.
+    Idempotent-ish: second call joins an empty worker list. *)

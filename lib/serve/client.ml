@@ -1,0 +1,81 @@
+(* Client side of the wolfd protocol.
+
+   Deliberately small: a connection, an id counter, and a reorder buffer.
+   Responses can arrive out of request order (a cancel overtakes the eval
+   it targets), so [wait] parks frames it was not asked about in [got] and
+   hands them out when their id is requested.  One client per thread — the
+   structure is not locked. *)
+
+module P = Protocol
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  max_frame : int;
+  mutable next_id : int;
+  got : (int, P.response) Hashtbl.t;
+}
+
+let connect ?(max_frame = P.default_max_frame) path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e -> (try Unix.close fd with _ -> ()); raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd;
+    max_frame; next_id = 0; got = Hashtbl.create 8 }
+
+let close t =
+  (try close_out_noerr t.oc with _ -> ());
+  (try close_in_noerr t.ic with _ -> ())
+
+(* raw frame access, for tests that need to speak mis-framed bytes *)
+let send_raw t bytes = P.write_frame t.oc bytes
+
+let recv_any t =
+  match P.read_frame ~max_frame:t.max_frame t.ic with
+  | Error `Eof -> raise P.Closed
+  | Error (`Oversize _) -> raise P.Closed
+  | Ok payload ->
+    (match P.decode_response payload with
+     | Ok r -> r
+     | Error e -> failwith ("wolfd client: bad response frame: " ^ e))
+
+let send t req =
+  t.next_id <- t.next_id + 1;
+  let rid = t.next_id in
+  P.write_frame t.oc (P.encode_request { P.rid; req });
+  rid
+
+let wait t rid =
+  match Hashtbl.find_opt t.got rid with
+  | Some r -> Hashtbl.remove t.got rid; r
+  | None ->
+    let rec loop () =
+      let r = recv_any t in
+      if r.P.rsp_id = rid then r
+      else begin Hashtbl.replace t.got r.P.rsp_id r; loop () end
+    in
+    loop ()
+
+let rpc t req = wait t (send t req)
+
+let eval ?deadline_ms t code = rpc t (P.Eval { code; deadline_ms })
+
+let compile ?(target = "threaded") ?(opt = 1) t code =
+  rpc t (P.Compile { code; target; opt })
+
+let cancel t ~target = rpc t (P.Cancel { target })
+
+let stats t = rpc t P.Stats
+
+let metrics ?(format = `Json) t = rpc t (P.Metrics format)
+
+let shutdown t = rpc t P.Shutdown
+
+(* convenience for one-string-in, one-string-out callers (connect REPL,
+   fuzz oracle): collapse the response to a printable outcome *)
+let eval_string ?deadline_ms t code =
+  match (eval ?deadline_ms t code).P.rsp with
+  | Ok (P.Text s) -> Ok s
+  | Ok (P.Json s) -> Ok s
+  | Error (kind, msg) -> Error (P.error_kind_name kind, msg)

@@ -1,0 +1,46 @@
+(** Client library for the [wolfd] daemon ({!Server}, {!Protocol}).
+
+    Not thread-safe: use one client per thread.  Requests are numbered by
+    the client; {!wait} buffers responses arriving out of order, so several
+    requests may be in flight on one connection (that is how cancel works). *)
+
+type t
+
+val connect : ?max_frame:int -> string -> t
+(** Dial the Unix-domain socket at the path. *)
+
+val close : t -> unit
+
+(** {2 Request/response} *)
+
+val send : t -> Protocol.request -> int
+(** Fire a request, return its id. *)
+
+val wait : t -> int -> Protocol.response
+(** Block until the response with that id arrives (other responses are
+    buffered).  Raises {!Protocol.Closed} if the daemon hangs up first. *)
+
+val rpc : t -> Protocol.request -> Protocol.response
+(** [send] then [wait]. *)
+
+(** {2 Typed conveniences} *)
+
+val eval : ?deadline_ms:int -> t -> string -> Protocol.response
+val compile : ?target:string -> ?opt:int -> t -> string -> Protocol.response
+val cancel : t -> target:int -> Protocol.response
+val stats : t -> Protocol.response
+val metrics : ?format:[ `Json | `Prometheus ] -> t -> Protocol.response
+val shutdown : t -> Protocol.response
+
+val eval_string :
+  ?deadline_ms:int -> t -> string -> (string, string * string) result
+(** Evaluation collapsed to a printable outcome: [Ok printed_result] or
+    [Error (kind_name, message)]. *)
+
+(** {2 Raw frame access (protocol tests)} *)
+
+val send_raw : t -> string -> unit
+(** Write an arbitrary payload as one frame. *)
+
+val recv_any : t -> Protocol.response
+(** Read whatever response comes next.  Raises {!Protocol.Closed} on EOF. *)

@@ -1,0 +1,214 @@
+(* Wire protocol of the wolfd daemon (DESIGN.md "Service layer").
+
+   Frames are a 4-byte big-endian payload length followed by that many
+   bytes of JSON — one request or response object per frame.  The length
+   prefix makes framing trivial to validate: a declared length beyond the
+   negotiated limit is rejected before a single payload byte is read, and a
+   payload that is not a JSON object of the expected shape is a [Bad_frame]
+   the daemon answers without dropping the connection (the stream is still
+   in sync; only a lying length prefix forces a close).
+
+   JSON is emitted by string concatenation like every other emitter in the
+   tree and parsed with the same [Wolf_obs.Json_min] the smoke checks use,
+   so client and server agree with the observability pillar on what "JSON"
+   means. *)
+
+module J = Wolf_obs.Json_min
+
+let default_max_frame = 4 * 1024 * 1024
+
+(* ---- frames ----------------------------------------------------------- *)
+
+exception Closed
+
+let write_frame oc payload =
+  let n = String.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set_uint8 hdr 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 hdr 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 hdr 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 hdr 3 (n land 0xff);
+  output_bytes oc hdr;
+  output_string oc payload;
+  flush oc
+
+let read_frame ~max_frame ic =
+  match really_input_string ic 4 with
+  | exception End_of_file -> Error `Eof
+  | exception Sys_error _ -> Error `Eof
+  | hdr ->
+    let b i = Char.code hdr.[i] in
+    let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if n > max_frame then Error (`Oversize n)
+    else
+      (match really_input_string ic n with
+       | payload -> Ok payload
+       | exception End_of_file -> Error `Eof
+       | exception Sys_error _ -> Error `Eof)
+
+(* ---- requests --------------------------------------------------------- *)
+
+type request =
+  | Eval of { code : string; deadline_ms : int option }
+  | Compile of { code : string; target : string; opt : int }
+  | Cancel of { target : int }
+  | Stats
+  | Metrics of [ `Json | `Prometheus ]
+  | Shutdown
+
+type req_frame = { rid : int; req : request }
+
+let esc = J.escape
+
+let encode_request { rid; req } =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "{\"id\":%d" rid);
+  (match req with
+   | Eval { code; deadline_ms } ->
+     Buffer.add_string b
+       (Printf.sprintf ",\"op\":\"eval\",\"code\":\"%s\"" (esc code));
+     (match deadline_ms with
+      | Some d -> Buffer.add_string b (Printf.sprintf ",\"deadline_ms\":%d" d)
+      | None -> ())
+   | Compile { code; target; opt } ->
+     Buffer.add_string b
+       (Printf.sprintf
+          ",\"op\":\"compile\",\"code\":\"%s\",\"target\":\"%s\",\"opt\":%d"
+          (esc code) (esc target) opt)
+   | Cancel { target } ->
+     Buffer.add_string b (Printf.sprintf ",\"op\":\"cancel\",\"target_id\":%d" target)
+   | Stats -> Buffer.add_string b ",\"op\":\"stats\""
+   | Metrics `Json -> Buffer.add_string b ",\"op\":\"metrics\",\"format\":\"json\""
+   | Metrics `Prometheus ->
+     Buffer.add_string b ",\"op\":\"metrics\",\"format\":\"prometheus\""
+   | Shutdown -> Buffer.add_string b ",\"op\":\"shutdown\"");
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let int_field j name = Option.map int_of_float (Option.bind (J.member name j) J.num)
+let str_field j name = Option.bind (J.member name j) J.str
+
+let decode_request payload =
+  match J.parse payload with
+  | Error e -> Error (Printf.sprintf "request is not JSON: %s" e)
+  | Ok j ->
+    let rid = Option.value ~default:0 (int_field j "id") in
+    (match str_field j "op" with
+     | None -> Error "request has no \"op\""
+     | Some op ->
+       let code () =
+         match str_field j "code" with
+         | Some c -> Ok c
+         | None -> Error (Printf.sprintf "%s request has no \"code\"" op)
+       in
+       (match op with
+        | "eval" ->
+          Result.map
+            (fun code ->
+               { rid; req = Eval { code; deadline_ms = int_field j "deadline_ms" } })
+            (code ())
+        | "compile" ->
+          Result.map
+            (fun code ->
+               { rid;
+                 req =
+                   Compile
+                     { code;
+                       target = Option.value ~default:"threaded" (str_field j "target");
+                       opt = Option.value ~default:1 (int_field j "opt") } })
+            (code ())
+        | "cancel" ->
+          (match int_field j "target_id" with
+           | Some target -> Ok { rid; req = Cancel { target } }
+           | None -> Error "cancel request has no \"target_id\"")
+        | "stats" -> Ok { rid; req = Stats }
+        | "metrics" ->
+          let fmt =
+            if str_field j "format" = Some "prometheus" then `Prometheus else `Json
+          in
+          Ok { rid; req = Metrics fmt }
+        | "shutdown" -> Ok { rid; req = Shutdown }
+        | op -> Error (Printf.sprintf "unknown op %S" op)))
+
+(* ---- responses -------------------------------------------------------- *)
+
+type error_kind =
+  | Overloaded       (** admission control refused: queue at capacity *)
+  | Cancelled        (** a cancel frame (or disconnect) stopped the request *)
+  | Deadline         (** the per-request deadline expired *)
+  | Bad_frame        (** payload was not a well-formed request *)
+  | Oversize         (** declared frame length beyond the limit *)
+  | Parse_error      (** program text does not parse *)
+  | Compile_failed   (** the pipeline rejected the program *)
+  | Eval_failed      (** evaluation raised *)
+  | Shutting_down    (** daemon no longer admits work *)
+
+let error_kind_name = function
+  | Overloaded -> "overloaded"
+  | Cancelled -> "cancelled"
+  | Deadline -> "deadline"
+  | Bad_frame -> "bad-frame"
+  | Oversize -> "oversize"
+  | Parse_error -> "parse"
+  | Compile_failed -> "compile"
+  | Eval_failed -> "eval"
+  | Shutting_down -> "shutting-down"
+
+let error_kind_of_name = function
+  | "overloaded" -> Some Overloaded
+  | "cancelled" -> Some Cancelled
+  | "deadline" -> Some Deadline
+  | "bad-frame" -> Some Bad_frame
+  | "oversize" -> Some Oversize
+  | "parse" -> Some Parse_error
+  | "compile" -> Some Compile_failed
+  | "eval" -> Some Eval_failed
+  | "shutting-down" -> Some Shutting_down
+  | _ -> None
+
+type payload =
+  | Text of string   (** a printed result — ["result"] field *)
+  | Json of string   (** an already-encoded JSON value — ["data"] field *)
+
+type response = {
+  rsp_id : int;
+  rsp : (payload, error_kind * string) result;
+  micros : int;
+}
+
+let encode_response { rsp_id; rsp; micros } =
+  match rsp with
+  | Ok (Text s) ->
+    Printf.sprintf "{\"id\":%d,\"ok\":true,\"result\":\"%s\",\"micros\":%d}"
+      rsp_id (esc s) micros
+  | Ok (Json s) ->
+    Printf.sprintf "{\"id\":%d,\"ok\":true,\"data\":%s,\"micros\":%d}"
+      rsp_id s micros
+  | Error (kind, msg) ->
+    Printf.sprintf "{\"id\":%d,\"ok\":false,\"kind\":\"%s\",\"error\":\"%s\",\"micros\":%d}"
+      rsp_id (error_kind_name kind) (esc msg) micros
+
+let decode_response payload =
+  match J.parse payload with
+  | Error e -> Error (Printf.sprintf "response is not JSON: %s" e)
+  | Ok j ->
+    let rsp_id = Option.value ~default:0 (int_field j "id") in
+    let micros = Option.value ~default:0 (int_field j "micros") in
+    (match J.member "ok" j with
+     | Some (J.Bool true) ->
+       (match str_field j "result", J.member "data" j with
+        | Some r, _ -> Ok { rsp_id; rsp = Ok (Text r); micros }
+        | None, Some _ ->
+          (* the raw data text is not recoverable from the parsed tree
+             byte-for-byte; clients that need the structure re-parse the
+             whole frame, so carrying the payload substring is enough *)
+          Ok { rsp_id; rsp = Ok (Json payload); micros }
+        | None, None -> Error "ok response has neither \"result\" nor \"data\"")
+     | Some (J.Bool false) ->
+       let kind =
+         Option.bind (str_field j "kind") error_kind_of_name
+         |> Option.value ~default:Eval_failed
+       in
+       let msg = Option.value ~default:"" (str_field j "error") in
+       Ok { rsp_id; rsp = Error (kind, msg); micros }
+     | _ -> Error "response has no boolean \"ok\"")

@@ -1,0 +1,83 @@
+(** Wire protocol of the [wolfd] daemon: length-prefixed JSON frames.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    bytes of JSON — one request or response object per frame.  Requests
+    carry a client-chosen [id]; responses echo it, so a connection may keep
+    several requests in flight (that is how a client cancels a running
+    evaluation: the cancel frame overtakes it on the same socket).
+
+    Grammar (all objects, field order irrelevant):
+    {v
+    request  := {"id":N, "op":"eval",    "code":S, "deadline_ms":N?}
+              | {"id":N, "op":"compile", "code":S, "target":S?, "opt":N?}
+              | {"id":N, "op":"cancel",  "target_id":N}
+              | {"id":N, "op":"stats"}
+              | {"id":N, "op":"metrics", "format":("json"|"prometheus")?}
+              | {"id":N, "op":"shutdown"}
+    response := {"id":N, "ok":true,  ("result":S | "data":J), "micros":N}
+              | {"id":N, "ok":false, "kind":S, "error":S, "micros":N}
+    v} *)
+
+val default_max_frame : int
+(** 4 MiB. *)
+
+exception Closed
+(** Raised by client helpers when the peer went away. *)
+
+(** {2 Framing} *)
+
+val write_frame : out_channel -> string -> unit
+(** Length prefix + payload, flushed. *)
+
+val read_frame :
+  max_frame:int -> in_channel ->
+  (string, [ `Eof | `Oversize of int ]) result
+(** One frame.  [`Oversize n] is returned {e before} reading the payload of
+    a frame whose declared length [n] exceeds [max_frame] — the stream can
+    no longer be trusted and should be closed. *)
+
+(** {2 Requests} *)
+
+type request =
+  | Eval of { code : string; deadline_ms : int option }
+  | Compile of { code : string; target : string; opt : int }
+  | Cancel of { target : int }
+  | Stats
+  | Metrics of [ `Json | `Prometheus ]
+  | Shutdown
+
+type req_frame = { rid : int; req : request }
+
+val encode_request : req_frame -> string
+val decode_request : string -> (req_frame, string) result
+
+(** {2 Responses} *)
+
+type error_kind =
+  | Overloaded       (** admission control refused: queue at capacity *)
+  | Cancelled        (** a cancel frame (or disconnect) stopped the request *)
+  | Deadline         (** the per-request deadline expired *)
+  | Bad_frame        (** payload was not a well-formed request *)
+  | Oversize         (** declared frame length beyond the limit *)
+  | Parse_error      (** program text does not parse *)
+  | Compile_failed   (** the pipeline rejected the program *)
+  | Eval_failed      (** evaluation raised *)
+  | Shutting_down    (** daemon no longer admits work *)
+
+val error_kind_name : error_kind -> string
+val error_kind_of_name : string -> error_kind option
+
+type payload =
+  | Text of string   (** a printed result — the ["result"] field *)
+  | Json of string   (** raw JSON — the ["data"] field (stats, metrics);
+                         on decode this holds the whole response frame,
+                         re-parse it for structure *)
+
+type response = {
+  rsp_id : int;                                  (** echoes the request id *)
+  rsp : (payload, error_kind * string) result;
+  micros : int;                                  (** server-side service time *)
+}
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result

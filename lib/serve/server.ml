@@ -1,0 +1,613 @@
+(* wolfd: the long-running compile-and-eval daemon (DESIGN.md "Service
+   layer").
+
+   One process, three kinds of actors:
+
+   - connection threads (systhreads on the accepting domain) own the socket
+     IO: they parse frames, run the cheap control operations (cancel,
+     stats, metrics, shutdown) inline, and submit compile/eval work;
+   - executor worker domains (lib/parallel Executor) run the submitted
+     jobs: compiles in parallel — they share the in-flight-deduped compile
+     cache — and evals serialized under the big kernel lock with the
+     session's own Values state swapped in;
+   - a deadline monitor thread turns an expired per-request deadline into
+     a targeted abort of the currently-evaluating request.
+
+   Targeted cancellation with one global abort flag: the kernel lock means
+   at most one evaluation runs at a time, so the flag is unambiguous as
+   long as it is only ever raised at the request that is *currently
+   evaluating* ([current_eval]).  A cancel for a request that is queued, or
+   claimed but still waiting for the kernel lock, only marks it — the
+   runner checks the mark immediately after acquiring the lock and replies
+   [cancelled] without evaluating.  When an evaluation finishes, any
+   leftover request flag is cleared under [reg_mu] before the next one can
+   start, so a cancel that lost the race against completion cannot leak
+   into an innocent evaluation.
+
+   Session isolation: each connection gets a fresh [Values.state]; eval
+   jobs swap it in under the kernel lock and swap it back out afterwards.
+   States are moved, never copied, so tensor refcounts stay balanced.  The
+   compile cache, by design, is the one deliberately shared piece. *)
+
+open Wolf_wexpr
+module P = Protocol
+
+type config = {
+  socket_path : string;
+  jobs : int;              (** executor worker domains *)
+  queue_capacity : int;    (** bounded admission queue; beyond it: overloaded *)
+  max_frame : int;         (** per-frame byte limit *)
+  log : string -> unit;
+}
+
+let default_config ?(socket_path = "/tmp/wolfd.sock") () =
+  { socket_path; jobs = 2; queue_capacity = 64;
+    max_frame = P.default_max_frame; log = ignore }
+
+type rstate = Queued | Running | Evaluating | Done
+
+type pending = {
+  p_rid : int;
+  p_op : string;
+  p_sid : int;
+  p_deadline : float option;          (* absolute, Clock.now seconds *)
+  mutable p_state : rstate;
+  mutable p_cancelled : bool;
+  mutable p_deadline_hit : bool;
+}
+
+type session = {
+  s_id : int;
+  s_values : Wolf_kernel.Values.state;
+  mutable s_seeded : bool;
+  s_fd : Unix.file_descr;
+  s_ic : in_channel;
+  s_oc : out_channel;
+  s_wmu : Mutex.t;
+  mutable s_alive : bool;
+  s_pending : (int, pending) Hashtbl.t;   (* rid -> pending; under reg_mu *)
+  mutable s_requests : int;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  exec : Wolf_parallel.Executor.t;
+  started_at : float;
+  (* registry: sessions, request states, the currently-evaluating request *)
+  reg_mu : Mutex.t;
+  sessions : (int, session) Hashtbl.t;
+  mutable next_sid : int;
+  mutable current_eval : pending option;
+  mutable conns : Thread.t list;
+  (* lifecycle *)
+  stop_mu : Mutex.t;
+  stop_cond : Condition.t;
+  mutable stop_requested : bool;
+  mutable stopped : bool;
+  mutable accept_thread : Thread.t option;
+  mutable monitor_thread : Thread.t option;
+  (* tallies (also exported as metrics) *)
+  evals : int Atomic.t;
+  compiles : int Atomic.t;
+  cancels : int Atomic.t;
+  overloaded : int Atomic.t;
+  cancelled : int Atomic.t;
+  deadlined : int Atomic.t;
+  errors : int Atomic.t;
+}
+
+let[@inline] with_reg t f =
+  Mutex.lock t.reg_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.reg_mu) f
+
+(* ---- metrics ---------------------------------------------------------- *)
+
+let m_requests = Wolf_obs.Metrics.counter "serve_requests"
+    ~help:"frames admitted for execution (eval + compile)"
+let m_overloaded = Wolf_obs.Metrics.counter "serve_overloaded"
+    ~help:"requests refused by admission control (queue at capacity)"
+let m_cancelled = Wolf_obs.Metrics.counter "serve_cancelled"
+    ~help:"requests stopped by a cancel frame or client disconnect"
+let m_deadlined = Wolf_obs.Metrics.counter "serve_deadline"
+    ~help:"requests stopped by their per-request deadline"
+let m_seconds = Wolf_obs.Metrics.histogram "serve_request_seconds"
+    ~help:"service time of executed requests (queue wait included)"
+
+(* The pull-time source is (re-)registered at every [start]: the name is
+   the identity, so a daemon restarted in the same process replaces the
+   closure capturing the dead instance instead of erroring or leaking a
+   stale sampler (see the regression in test_serve). *)
+let register_sources t =
+  Wolf_obs.Metrics.register_source "serve" (fun () ->
+      let open Wolf_obs.Metrics in
+      let xs = Wolf_parallel.Executor.stats t.exec in
+      let n = with_reg t (fun () -> Hashtbl.length t.sessions) in
+      let gauge name help v =
+        { s_name = name; s_labels = []; s_help = help; s_kind = Gauge;
+          s_value = V_int v }
+      in
+      [ gauge "serve_sessions" "connected client sessions" n;
+        gauge "serve_queue_depth" "requests waiting in the admission queue"
+          xs.Wolf_parallel.Executor.queued;
+        gauge "serve_queue_running" "requests executing on a worker"
+          xs.Wolf_parallel.Executor.running;
+        gauge "serve_queue_capacity" "admission queue bound"
+          xs.Wolf_parallel.Executor.capacity ])
+
+(* ---- replies ---------------------------------------------------------- *)
+
+let mark_conn_dead t sess =
+  (* flip under the write mutex so no half-written frame follows *)
+  Mutex.lock sess.s_wmu;
+  sess.s_alive <- false;
+  Mutex.unlock sess.s_wmu;
+  (try Unix.shutdown sess.s_fd Unix.SHUTDOWN_ALL with _ -> ());
+  ignore t
+
+let send _t sess (resp : P.response) =
+  Mutex.lock sess.s_wmu;
+  let ok =
+    if not sess.s_alive then false
+    else
+      match P.write_frame sess.s_oc (P.encode_response resp) with
+      | () -> true
+      | exception _ -> sess.s_alive <- false; false
+  in
+  Mutex.unlock sess.s_wmu;
+  if not ok then
+    (try Unix.shutdown sess.s_fd Unix.SHUTDOWN_ALL with _ -> ())
+
+let micros_since t0 = int_of_float ((Wolf_obs.Clock.now () -. t0) *. 1e6)
+
+let reply t sess ~rid ~t0 rsp =
+  let micros = micros_since t0 in
+  (match rsp with
+   | Error (P.Overloaded, _) ->
+     Atomic.incr t.overloaded; Wolf_obs.Metrics.incr m_overloaded
+   | Error (P.Cancelled, _) ->
+     Atomic.incr t.cancelled; Wolf_obs.Metrics.incr m_cancelled
+   | Error (P.Deadline, _) ->
+     Atomic.incr t.deadlined; Wolf_obs.Metrics.incr m_deadlined
+   | Error _ -> Atomic.incr t.errors
+   | Ok _ -> ());
+  send t sess { P.rsp_id = rid; rsp; micros }
+
+(* ---- the work itself -------------------------------------------------- *)
+
+let parse_target = function
+  | "jit" -> Ok Wolfram.Jit
+  | "threaded" -> Ok Wolfram.Threaded
+  | "bytecode" -> Ok Wolfram.Bytecode
+  | s -> Error (Printf.sprintf "unknown target %S (jit, threaded, bytecode)" s)
+
+let run_compile ~code ~target ~opt =
+  match parse_target target with
+  | Error e -> Error (P.Compile_failed, e)
+  | Ok tgt ->
+    (match Parser.parse_opt code with
+     | Error e -> Error (P.Parse_error, e)
+     | Ok fexpr ->
+       let options = { Wolf_compiler.Options.default with opt_level = opt } in
+       (* the fixed name keeps the cache key a function of (source, options,
+          target) alone, so identical programs from different sessions
+          share one entry and in-flight compiles dedup across clients *)
+       (match Wolfram.function_compile ~options ~target:tgt ~name:"Serve" fexpr with
+        | cf ->
+          let summary =
+            match Wolfram.pipeline_of cf with
+            | Some c ->
+              Printf.sprintf "ok: %d instrs, %d blocks"
+                (Wolf_compiler.Pass_manager.instr_count c.Wolf_compiler.Pipeline.program)
+                (Wolf_compiler.Pass_manager.block_count c.Wolf_compiler.Pipeline.program)
+            | None -> "ok: bytecode"
+          in
+          Ok (P.Text summary)
+        | exception Wolf_base.Errors.Compile_error e -> Error (P.Compile_failed, e)
+        | exception Wolf_base.Errors.Eval_error e -> Error (P.Compile_failed, e)
+        | exception exn -> Error (P.Compile_failed, Printexc.to_string exn)))
+
+let deadline_passed p =
+  match p.p_deadline with
+  | Some d -> Wolf_obs.Clock.now () > d
+  | None -> false
+
+(* Evaluate [code] in [sess]'s own kernel state.  Runs on a worker domain.
+   The whole install/evaluate/restore window sits under the big kernel
+   lock, so no other evaluation — daemon or in-process — can observe the
+   session's state, and the state swap cannot tear. *)
+let run_eval t sess p code =
+  Wolf_base.Kernel_lock.with_lock @@ fun () ->
+  let proceed =
+    with_reg t (fun () ->
+        if p.p_cancelled then `Cancelled
+        else if deadline_passed p then `Deadline
+        else begin
+          p.p_state <- Evaluating;
+          t.current_eval <- Some p;
+          `Go
+        end)
+  in
+  match proceed with
+  | `Cancelled -> Error (P.Cancelled, "cancelled before evaluation")
+  | `Deadline -> Error (P.Deadline, "deadline expired while queued")
+  | `Go ->
+    let prev = Wolf_kernel.Values.swap_state sess.s_values in
+    let finish () =
+      ignore (Wolf_kernel.Values.swap_state prev);
+      with_reg t (fun () ->
+          t.current_eval <- None;
+          p.p_state <- Done;
+          (* a cancel/deadline/Abort[] that fired is fully consumed here:
+             the flag must not leak into the next evaluation *)
+          if Wolf_base.Abort_signal.requested () then
+            Wolf_base.Abort_signal.clear ())
+    in
+    Fun.protect ~finally:finish @@ fun () ->
+    if not sess.s_seeded then begin
+      Wolf_kernel.Session.seed_constants ();
+      sess.s_seeded <- true
+    end;
+    (match Parser.parse_opt code with
+     | Error e -> Error (P.Parse_error, e)
+     | Ok expr ->
+       (match Wolf_kernel.Eval.eval expr with
+        | v -> Ok (P.Text (Form.input_form v))
+        | exception Wolf_base.Abort_signal.Aborted ->
+          (* who pulled the trigger decides the reply *)
+          let cause =
+            with_reg t (fun () ->
+                if p.p_cancelled then `Cancel
+                else if p.p_deadline_hit then `Deadline
+                else `Program)
+          in
+          (match cause with
+           | `Cancel -> Error (P.Cancelled, "evaluation aborted by cancel")
+           | `Deadline -> Error (P.Deadline, "evaluation aborted at deadline")
+           | `Program ->
+             (* the program itself called Abort[]: notebook semantics *)
+             Ok (P.Text "$Aborted"))
+        | exception Wolf_base.Errors.Runtime_error f ->
+          Error (P.Eval_failed, Wolf_base.Errors.describe_failure f)
+        | exception Wolf_base.Errors.Eval_error e -> Error (P.Eval_failed, e)
+        | exception Wolf_base.Errors.Compile_error e ->
+          Error (P.Compile_failed, e)
+        | exception exn -> Error (P.Eval_failed, Printexc.to_string exn)))
+
+let job t sess p ~t0 work =
+  let trace_id = Printf.sprintf "s%d.r%d" p.p_sid p.p_rid in
+  Wolf_obs.Trace.with_span ~cat:"serve" "request"
+    ~args:[ ("trace_id", Wolf_obs.Trace.arg_str trace_id);
+            ("op", Wolf_obs.Trace.arg_str p.p_op) ]
+  @@ fun () ->
+  let claim =
+    with_reg t (fun () ->
+        if p.p_cancelled then `Cancelled
+        else if deadline_passed p then `Deadline
+        else begin p.p_state <- Running; `Go end)
+  in
+  let rsp =
+    match claim with
+    | `Cancelled -> Error (P.Cancelled, "cancelled while queued")
+    | `Deadline -> Error (P.Deadline, "deadline expired while queued")
+    | `Go -> work ()
+  in
+  (match claim with
+   | `Go -> Wolf_obs.Metrics.observe m_seconds (Wolf_obs.Clock.now () -. t0)
+   | _ -> ());
+  with_reg t (fun () ->
+      p.p_state <- Done;
+      Hashtbl.remove sess.s_pending p.p_rid);
+  reply t sess ~rid:p.p_rid ~t0 rsp
+
+(* ---- control operations (inline on the connection thread) ------------- *)
+
+let cache_json () =
+  let s = Wolfram.compile_cache_stats () in
+  Printf.sprintf
+    "{\"lookups\":%d,\"hits\":%d,\"misses\":%d,\"inflight_waits\":%d,\
+     \"evictions\":%d,\"entries\":%d,\"bytes\":%d}"
+    s.Wolf_compiler.Compile_cache.lookups s.hits s.misses s.waits s.evictions
+    s.entries s.bytes
+
+let stats_json t =
+  let xs = Wolf_parallel.Executor.stats t.exec in
+  let sessions = with_reg t (fun () -> Hashtbl.length t.sessions) in
+  Printf.sprintf
+    "{\"sessions\":%d,\"uptime_seconds\":%.3f,\
+     \"evals\":%d,\"compiles\":%d,\"cancels\":%d,\
+     \"overloaded\":%d,\"cancelled\":%d,\"deadline\":%d,\"errors\":%d,\
+     \"queue\":{\"depth\":%d,\"running\":%d,\"capacity\":%d,\"jobs\":%d,\
+     \"executed\":%d,\"crashed\":%d},\
+     \"cache\":%s}"
+    sessions
+    (Wolf_obs.Clock.now () -. t.started_at)
+    (Atomic.get t.evals) (Atomic.get t.compiles) (Atomic.get t.cancels)
+    (Atomic.get t.overloaded) (Atomic.get t.cancelled)
+    (Atomic.get t.deadlined) (Atomic.get t.errors)
+    xs.Wolf_parallel.Executor.queued xs.running xs.capacity xs.jobs
+    xs.executed xs.crashed
+    (cache_json ())
+
+let handle_cancel t sess ~target =
+  Atomic.incr t.cancels;
+  with_reg t (fun () ->
+      match Hashtbl.find_opt sess.s_pending target with
+      | None -> "finished"
+      | Some p ->
+        (match p.p_state with
+         | Done -> "finished"
+         | Queued | Running ->
+           p.p_cancelled <- true;
+           "cancelling"
+         | Evaluating ->
+           p.p_cancelled <- true;
+           (* only the currently-evaluating request may be shot: the kernel
+              lock guarantees it is the one the flag will reach *)
+           (match t.current_eval with
+            | Some q when q == p -> Wolf_base.Abort_signal.request ()
+            | _ -> ());
+           "cancelling"))
+
+let request_stop t =
+  Mutex.lock t.stop_mu;
+  let first = not t.stop_requested in
+  t.stop_requested <- true;
+  Condition.broadcast t.stop_cond;
+  Mutex.unlock t.stop_mu;
+  first
+
+(* ---- connection loop --------------------------------------------------- *)
+
+let disconnect t sess =
+  let shoot =
+    with_reg t (fun () ->
+        if Hashtbl.mem t.sessions sess.s_id then begin
+          Hashtbl.remove t.sessions sess.s_id;
+          (* release every queue slot the session still holds: queued jobs
+             are marked cancelled (workers skip them in O(1)) and a running
+             evaluation is aborted *)
+          Hashtbl.iter
+            (fun _ p -> if p.p_state <> Done then p.p_cancelled <- true)
+            sess.s_pending;
+          match t.current_eval with
+          | Some p when p.p_sid = sess.s_id -> true
+          | _ -> false
+        end
+        else false)
+  in
+  if shoot then Wolf_base.Abort_signal.request ();
+  mark_conn_dead t sess
+
+let handle_request t sess ~t0 { P.rid; req } =
+  match req with
+  | P.Stats -> reply t sess ~rid ~t0 (Ok (P.Json (stats_json t)))
+  | P.Metrics `Json -> reply t sess ~rid ~t0 (Ok (P.Json (Wolf_obs.Metrics.to_json ())))
+  | P.Metrics `Prometheus ->
+    reply t sess ~rid ~t0 (Ok (P.Text (Wolf_obs.Metrics.to_prometheus ())))
+  | P.Cancel { target } ->
+    reply t sess ~rid ~t0 (Ok (P.Text (handle_cancel t sess ~target)))
+  | P.Shutdown ->
+    t.cfg.log (Printf.sprintf "session %d requested shutdown" sess.s_id);
+    reply t sess ~rid ~t0 (Ok (P.Text "stopping"));
+    ignore (request_stop t)
+  | P.Eval _ | P.Compile _ ->
+    let stopping =
+      Mutex.lock t.stop_mu;
+      let s = t.stop_requested in
+      Mutex.unlock t.stop_mu;
+      s
+    in
+    if stopping then
+      reply t sess ~rid ~t0 (Error (P.Shutting_down, "daemon is shutting down"))
+    else begin
+      let op, deadline_ms =
+        match req with
+        | P.Eval { deadline_ms; _ } -> "eval", deadline_ms
+        | _ -> "compile", None
+      in
+      let p =
+        { p_rid = rid; p_op = op; p_sid = sess.s_id;
+          p_deadline =
+            Option.map (fun ms -> t0 +. float_of_int ms /. 1e3) deadline_ms;
+          p_state = Queued; p_cancelled = false; p_deadline_hit = false }
+      in
+      let fresh =
+        with_reg t (fun () ->
+            if Hashtbl.mem sess.s_pending rid then false
+            else begin
+              Hashtbl.replace sess.s_pending rid p;
+              sess.s_requests <- sess.s_requests + 1;
+              true
+            end)
+      in
+      if not fresh then
+        reply t sess ~rid ~t0
+          (Error (P.Bad_frame, Printf.sprintf "request id %d already in flight" rid))
+      else begin
+        let work () =
+          match req with
+          | P.Eval { code; _ } ->
+            Atomic.incr t.evals;
+            run_eval t sess p code
+          | P.Compile { code; target; opt } ->
+            Atomic.incr t.compiles;
+            run_compile ~code ~target ~opt
+          | _ -> assert false
+        in
+        match
+          Wolf_parallel.Executor.submit t.exec (fun () -> job t sess p ~t0 work)
+        with
+        | `Accepted -> Wolf_obs.Metrics.incr m_requests
+        | `Saturated ->
+          with_reg t (fun () -> Hashtbl.remove sess.s_pending rid);
+          let xs = Wolf_parallel.Executor.stats t.exec in
+          reply t sess ~rid ~t0
+            (Error
+               (P.Overloaded,
+                Printf.sprintf "queue full (%d waiting, capacity %d)"
+                  xs.Wolf_parallel.Executor.queued xs.capacity))
+        | `Stopped ->
+          with_reg t (fun () -> Hashtbl.remove sess.s_pending rid);
+          reply t sess ~rid ~t0 (Error (P.Shutting_down, "daemon is shutting down"))
+      end
+    end
+
+let conn_loop t sess =
+  let continue = ref true in
+  while !continue do
+    match P.read_frame ~max_frame:t.cfg.max_frame sess.s_ic with
+    | Error `Eof -> continue := false
+    | Error (`Oversize n) ->
+      reply t sess ~rid:0 ~t0:(Wolf_obs.Clock.now ())
+        (Error
+           (P.Oversize,
+            Printf.sprintf "frame of %d bytes exceeds limit %d" n t.cfg.max_frame));
+      (* the stream can no longer be trusted; drop the connection *)
+      continue := false
+    | Ok payload ->
+      let t0 = Wolf_obs.Clock.now () in
+      (match P.decode_request payload with
+       | Error e -> reply t sess ~rid:0 ~t0 (Error (P.Bad_frame, e))
+       | Ok frame -> handle_request t sess ~t0 frame)
+  done;
+  disconnect t sess;
+  t.cfg.log (Printf.sprintf "session %d disconnected" sess.s_id);
+  (try close_out_noerr sess.s_oc with _ -> ());
+  (try close_in_noerr sess.s_ic with _ -> ())
+
+let accept_loop t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> continue := false
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | fd, _ ->
+      let stopping =
+        Mutex.lock t.stop_mu;
+        let s = t.stop_requested in
+        Mutex.unlock t.stop_mu;
+        s
+      in
+      if stopping then begin
+        (try Unix.close fd with _ -> ());
+        continue := false
+      end
+      else begin
+        let sess =
+          { s_id = 0; s_values = Wolf_kernel.Values.fresh_state ();
+            s_seeded = false; s_fd = fd;
+            s_ic = Unix.in_channel_of_descr fd;
+            s_oc = Unix.out_channel_of_descr fd;
+            s_wmu = Mutex.create (); s_alive = true;
+            s_pending = Hashtbl.create 8; s_requests = 0 }
+        in
+        let sess =
+          with_reg t (fun () ->
+              t.next_sid <- t.next_sid + 1;
+              let sess = { sess with s_id = t.next_sid } in
+              Hashtbl.replace t.sessions sess.s_id sess;
+              sess)
+        in
+        t.cfg.log (Printf.sprintf "session %d connected" sess.s_id);
+        let th = Thread.create (fun () -> conn_loop t sess) () in
+        with_reg t (fun () -> t.conns <- th :: t.conns)
+      end
+  done
+
+let monitor_loop t =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.stop_mu;
+    let stopping = t.stop_requested in
+    Mutex.unlock t.stop_mu;
+    if stopping then continue := false
+    else begin
+      with_reg t (fun () ->
+          match t.current_eval with
+          | Some p
+            when (not p.p_deadline_hit) && (not p.p_cancelled)
+                 && deadline_passed p ->
+            p.p_deadline_hit <- true;
+            Wolf_base.Abort_signal.request ()
+          | _ -> ());
+      Thread.delay 0.005
+    end
+  done
+
+(* ---- lifecycle -------------------------------------------------------- *)
+
+let start cfg =
+  Wolfram.init ();
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+   | _ -> () | exception _ -> ());
+  if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+  Unix.listen listen_fd 64;
+  let t =
+    { cfg; listen_fd;
+      exec =
+        Wolf_parallel.Executor.create ~capacity:cfg.queue_capacity
+          ~jobs:cfg.jobs ();
+      started_at = Wolf_obs.Clock.now ();
+      reg_mu = Mutex.create (); sessions = Hashtbl.create 16; next_sid = 0;
+      current_eval = None; conns = [];
+      stop_mu = Mutex.create (); stop_cond = Condition.create ();
+      stop_requested = false; stopped = false;
+      accept_thread = None; monitor_thread = None;
+      evals = Atomic.make 0; compiles = Atomic.make 0;
+      cancels = Atomic.make 0; overloaded = Atomic.make 0;
+      cancelled = Atomic.make 0; deadlined = Atomic.make 0;
+      errors = Atomic.make 0 }
+  in
+  register_sources t;
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t.monitor_thread <- Some (Thread.create (fun () -> monitor_loop t) ());
+  t.cfg.log (Printf.sprintf "wolfd listening on %s (%d worker domain(s), queue %d)"
+               cfg.socket_path cfg.jobs cfg.queue_capacity);
+  t
+
+let wait t =
+  Mutex.lock t.stop_mu;
+  while not t.stop_requested do
+    Condition.wait t.stop_cond t.stop_mu
+  done;
+  Mutex.unlock t.stop_mu
+
+let stop t =
+  let proceed =
+    Mutex.lock t.stop_mu;
+    let p = not t.stopped in
+    t.stopped <- true;
+    Mutex.unlock t.stop_mu;
+    p
+  in
+  if proceed then begin
+    ignore (request_stop t);
+    (* wake the accept thread with a throwaway self-connection *)
+    (match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+     | fd ->
+       (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path) with _ -> ());
+       (try Unix.close fd with _ -> ())
+     | exception _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (match t.monitor_thread with Some th -> Thread.join th | None -> ());
+    (* let claimed jobs finish and reply, then take the workers down;
+       replies to already-gone clients fail silently *)
+    Wolf_parallel.Executor.quiesce t.exec;
+    Wolf_parallel.Executor.shutdown t.exec;
+    (* hang up every session; connection threads see EOF and reap *)
+    let sessions = with_reg t (fun () -> Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []) in
+    List.iter (fun s -> mark_conn_dead t s) sessions;
+    let conns = with_reg t (fun () -> t.conns) in
+    List.iter Thread.join conns;
+    (try Unix.close t.listen_fd with _ -> ());
+    if Sys.file_exists t.cfg.socket_path then
+      (try Sys.remove t.cfg.socket_path with _ -> ());
+    t.cfg.log "wolfd stopped"
+  end
+
+let session_count t = with_reg t (fun () -> Hashtbl.length t.sessions)
+
+let executor_stats t = Wolf_parallel.Executor.stats t.exec

@@ -1,0 +1,44 @@
+(** The [wolfd] daemon: a Unix-domain-socket service that compiles and
+    evaluates Wolfram Language programs on the {!Wolf_parallel.Executor}
+    domain pool.
+
+    Every connection is a {e session} with its own kernel value store
+    ({!Wolf_kernel.Values.state}), so clients cannot observe each other's
+    [Set]s; the compile cache is the one deliberately shared piece — hits
+    and in-flight dedup work across all sessions.  Admission control is a
+    bounded queue: when it is full the daemon answers [overloaded]
+    immediately instead of building an invisible backlog.  Requests may
+    carry a deadline; a cancel frame (or a client disconnect) aborts the
+    targeted evaluation via the cross-domain abort flag — only ever aimed
+    at the request currently holding the kernel lock, so the one global
+    flag cannot hit an innocent evaluation. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;              (** executor worker domains *)
+  queue_capacity : int;    (** bounded admission queue; beyond it: overloaded *)
+  max_frame : int;         (** per-frame byte limit *)
+  log : string -> unit;
+}
+
+val default_config : ?socket_path:string -> unit -> config
+(** [/tmp/wolfd.sock], 2 worker domains, queue of 64, 4 MiB frames,
+    silent log. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen, spawn the accept loop, the deadline monitor, and the
+    worker domains; (re-)register the ["serve"] metrics source.  An existing
+    socket file at the path is replaced. *)
+
+val wait : t -> unit
+(** Block until a client sends [shutdown] (or {!stop} is called). *)
+
+val stop : t -> unit
+(** Stop admitting work, let claimed jobs finish and reply, shut down the
+    executor, hang up every session, join all threads, remove the socket
+    file.  Idempotent; safe after {!wait}. *)
+
+val session_count : t -> int
+val executor_stats : t -> Wolf_parallel.Executor.stats

@@ -19,4 +19,5 @@ let () =
       ("export (F10)", Test_export.tests);
       ("fuzz (differential)", Test_fuzz.tests);
       ("parallel (domain safety)", Test_parallel.tests);
-      ("obs (tracing/metrics/profiling)", Test_obs.tests) ]
+      ("obs (tracing/metrics/profiling)", Test_obs.tests);
+      ("serve (wolfd daemon)", Test_serve.tests) ]
