@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke bench-json bench-serve-json smoke fuzz-smoke par-smoke obs-smoke serve-smoke fuzz clean
+.PHONY: all build test check bench bench-smoke bench-json bench-serve-json bench-tier-json smoke fuzz-smoke par-smoke obs-smoke serve-smoke tier-smoke fuzz clean
 
 all: build
 
@@ -20,6 +20,7 @@ check: build
 	$(MAKE) par-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) tier-smoke
 	dune exec bench/main.exe -- smoke
 	$(MAKE) bench-smoke
 
@@ -83,6 +84,35 @@ serve-smoke: build
 	dune exec bin/wolfc.exe -- obs-check --min-tracks 2 /tmp/wolf_serve_trace.json
 	dune exec bin/wolfc.exe -- obs-check \
 	  /tmp/wolf_serve_bench.json /tmp/wolf_serve_metrics.json
+
+# tiered-execution smoke (DESIGN.md "Tiered execution"): a fixed-seed
+# differential campaign through the tier arm sharded over 4 domains (the
+# tier-0 call, the promotion hand-off, the promoted call and an Abort[]
+# raced against the background compile must all agree with the
+# interpreter), a quick E14 benchmark pass, then disk-cache persistence
+# across two wolfc processes — the second process must revive the first's
+# -O2 artifact with zero misses — and a full cache integrity walk
+tier-smoke: build
+	dune exec bin/wolfc.exe -- fuzz --seed 1 --count 500 --quiet \
+	  --backends tier --jobs 4
+	dune exec bench/main.exe -- tier --quick
+	rm -rf /tmp/wolf_tier_cache
+	dune exec bin/wolfc.exe -- run \
+	  -e 'Function[{Typed[n, "Integer64"]}, Module[{s = 0}, Do[s = s + i*i, {i, n}]; s]]' \
+	  --args 200000 --tier --tier-threshold 1 --repeat 3 \
+	  --disk-cache /tmp/wolf_tier_cache --json > /tmp/wolf_tier_run1.json
+	grep -q '"writes":1' /tmp/wolf_tier_run1.json
+	dune exec bin/wolfc.exe -- run \
+	  -e 'Function[{Typed[n, "Integer64"]}, Module[{s = 0}, Do[s = s + i*i, {i, n}]; s]]' \
+	  --args 200000 --tier --tier-threshold 1 --repeat 3 \
+	  --disk-cache /tmp/wolf_tier_cache --json > /tmp/wolf_tier_run2.json
+	grep -q '"misses":0' /tmp/wolf_tier_run2.json
+	dune exec bin/wolfc.exe -- cache stat --dir /tmp/wolf_tier_cache
+	dune exec bin/wolfc.exe -- cache verify --dir /tmp/wolf_tier_cache
+
+# full-size E14 run refreshing the machine-readable record
+bench-tier-json: build
+	dune exec bench/main.exe -- tier --json
 
 # full-size serve load test refreshing the checked-in record
 bench-serve-json: build

@@ -695,13 +695,191 @@ let compile_time () =
   Printf.printf "%!"
 
 (* ------------------------------------------------------------------ *)
+(* E14: tiered execution — time-to-first-result and steady state.
+
+   Three programs small enough that the interpreted arm stays feasible.
+   TTFR is what a first-time caller waits for an answer: the interpreter
+   evaluates immediately, the tier arm adds only controller creation on
+   top of that, an AOT -O2 compile pays the whole pipeline first.
+   Steady state compares the promoted tier closure against the same AOT
+   compile — the difference is tier dispatch (one atomic load and a
+   state check per call). *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let min_over n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let t = f () in
+    if t < !best then best := t
+  done;
+  !best
+
+type tier_row = {
+  tname : string;
+  ttfr_interp : float;
+  ttfr_tier : float;
+  ttfr_aot : float;
+  promote_seconds : float;
+  steady_interp : float;
+  steady_tier : float;
+  steady_aot : float;
+}
+
+let tier_programs quick =
+  let sum_src =
+    "Function[{Typed[n, \"MachineInteger\"]}, \
+     Module[{s = 0}, Do[s = s + i*i, {i, 1, n}]; s]]"
+  in
+  [ ("SumLoop", sum_src, [ Expr.Int (if quick then 1500 else 4000) ]);
+    ("FNV1a", P.fnv1a_src,
+     [ Expr.Str (P.fnv_string (if quick then 600 else 2000)) ]);
+    ("Mandelbrot", P.mandelbrot_src,
+     [ Expr.Real (-1.0); Expr.Real 1.0; Expr.Real (-1.0); Expr.Real 0.5;
+       Expr.Real (if quick then 0.5 else 0.25) ]) ]
+
+let tier_bench_rows () =
+  let quick = !quota < 0.5 in
+  List.map
+    (fun (tname, src, argl) ->
+       let fexpr = Parser.parse src in
+       let args_a = Array.of_list argl in
+       (* the cache is off for every compiling arm: each TTFR rep must pay
+          the real pipeline, not a lookup *)
+       let uncached = { Options.default with Options.use_cache = false } in
+       let aot_opts = { uncached with Options.opt_level = 2 } in
+       let reps = 3 in
+       let ttfr_interp =
+         min_over reps (fun () ->
+             time_once (fun () ->
+                 ignore (Wolfram.interpret_expr (Expr.Normal (fexpr, args_a)))))
+       in
+       let ttfr_tier =
+         min_over reps (fun () ->
+             time_once (fun () ->
+                 let cf = Wolfram.tiered ~options:uncached ~name:tname fexpr in
+                 ignore (Wolfram.call cf argl)))
+       in
+       let ttfr_aot =
+         min_over reps (fun () ->
+             time_once (fun () ->
+                 let cf =
+                   Wolfram.function_compile ~options:aot_opts
+                     ~target:Wolfram.Jit ~name:tname fexpr
+                 in
+                 ignore (Wolfram.call cf argl)))
+       in
+       (* steady state: one tier instance driven to promotion vs one AOT
+          compile, measured interleaved *)
+       let tcf = Wolfram.tiered ~options:uncached ~name:tname fexpr in
+       let tc = Option.get (Wolfram.tier_of tcf) in
+       ignore (Wolfram.call tcf argl);
+       let promote_seconds =
+         time_once (fun () -> ignore (Wolfram.Tier.force_promote tc))
+       in
+       (match Wolfram.Tier.state tc with
+        | Wolfram.Tier.Promoted -> ()
+        | s ->
+          Printf.printf "tier bench: %s promotion ended %s\n%!" tname
+            (Wolfram.Tier.state_name s));
+       let acf =
+         Wolfram.function_compile ~options:aot_opts ~target:Wolfram.Jit
+           ~name:tname fexpr
+       in
+       match
+         measure_group
+           [ (fun () ->
+                ignore (Wolfram.interpret_expr (Expr.Normal (fexpr, args_a))));
+             (fun () -> ignore (Wolfram.call tcf argl));
+             (fun () -> ignore (Wolfram.call acf argl)) ]
+       with
+       | [ steady_interp; steady_tier; steady_aot ] ->
+         { tname; ttfr_interp; ttfr_tier; ttfr_aot; promote_seconds;
+           steady_interp; steady_tier; steady_aot }
+       | _ -> assert false)
+    (tier_programs quick)
+
+let tier_json_path : string option ref = ref None
+
+let tier_write_json path rows =
+  let oc = open_out path in
+  let fl v = Printf.sprintf "%.6e" v in
+  let entry r =
+    Printf.sprintf
+      "  {\n\
+      \    \"name\": \"%s\",\n\
+      \    \"seconds\": {\n\
+      \      \"ttfr_interp\": %s,\n\
+      \      \"ttfr_tier\": %s,\n\
+      \      \"ttfr_aot\": %s,\n\
+      \      \"promote\": %s,\n\
+      \      \"steady_interp\": %s,\n\
+      \      \"steady_tier\": %s,\n\
+      \      \"steady_aot\": %s\n\
+      \    },\n\
+      \    \"ratios\": {\n\
+      \      \"ttfr_tier_vs_interp\": %s,\n\
+      \      \"steady_tier_vs_aot\": %s,\n\
+      \      \"steady_speedup_vs_interp\": %s\n\
+      \    }\n  }"
+      r.tname (fl r.ttfr_interp) (fl r.ttfr_tier) (fl r.ttfr_aot)
+      (fl r.promote_seconds) (fl r.steady_interp) (fl r.steady_tier)
+      (fl r.steady_aot)
+      (fl (r.ttfr_tier /. r.ttfr_interp))
+      (fl (r.steady_tier /. r.steady_aot))
+      (fl (r.steady_interp /. r.steady_tier))
+  in
+  let worst f = List.fold_left (fun acc r -> Float.max acc (f r)) 0.0 rows in
+  Printf.fprintf oc
+    "{\n\
+    \  \"figure\": \"tier\",\n\
+    \  \"benchmarks\": [\n%s\n  ],\n\
+    \  \"summary\": {\n\
+    \    \"max_ttfr_tier_vs_interp\": %s,\n\
+    \    \"max_steady_tier_vs_aot\": %s\n  }\n}\n"
+    (String.concat ",\n" (List.map entry rows))
+    (fl (worst (fun r -> r.ttfr_tier /. r.ttfr_interp)))
+    (fl (worst (fun r -> r.steady_tier /. r.steady_aot)));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let tier_bench () =
+  B.Compiled_function.quiet := true;
+  let rows = tier_bench_rows () in
+  print_table
+    ~title:"Tiered execution (E14): time-to-first-result and steady state"
+    ~columns:[ "ttfr-interp"; "ttfr-tier"; "ttfr-aot"; "promote";
+               "steady-tier"; "steady-aot"; "tier/aot" ]
+    (List.map
+       (fun r ->
+          ( r.tname,
+            [ secs (Some r.ttfr_interp); secs (Some r.ttfr_tier);
+              secs (Some r.ttfr_aot); secs (Some r.promote_seconds);
+              secs (Some r.steady_tier); secs (Some r.steady_aot);
+              Printf.sprintf "%.2fx" (r.steady_tier /. r.steady_aot) ] ))
+       rows);
+  let worst f = List.fold_left (fun acc r -> Float.max acc (f r)) 0.0 rows in
+  Printf.printf
+    "\nworst TTFR tier-vs-interpreter: %.2fx (target <= 1.3x)\n\
+     worst steady tier-vs-AOT: %.2fx (target <= ~1.05x, i.e. >= 0.95x \
+     AOT throughput)\n%!"
+    (worst (fun r -> r.ttfr_tier /. r.ttfr_interp))
+    (worst (fun r -> r.steady_tier /. r.steady_aot));
+  Option.iter (fun path -> tier_write_json path rows) !tier_json_path;
+  Wolfram.Tier.shutdown ()
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe [all|fig2|table1|fig1|findroot|ablation-inline|\n\
-    \                 ablation-abort|ablation-consts|compile-time|smoke]\n\
+    \                 ablation-abort|ablation-consts|compile-time|tier|smoke]\n\
     \                [--quick|--paper] [--json] [--jobs=N]\n\
-    \                (--json: fig2 also writes BENCH_fig2.json;\n\
+    \                (--json: fig2 writes BENCH_fig2.json and tier writes\n\
+    \                 BENCH_tier.json;\n\
     \                 --jobs=N: compile benchmark arms on N domains, 0 = cores)"
 
 (* smoke: the fast tier-1 gate arm (make check) — feature probes plus the
@@ -721,7 +899,10 @@ let () =
     sizes := quick_sizes;
     quota := 0.25
   end;
-  if List.mem "--json" args then json_path := Some "BENCH_fig2.json";
+  if List.mem "--json" args then begin
+    json_path := Some "BENCH_fig2.json";
+    tier_json_path := Some "BENCH_tier.json"
+  end;
   List.iter
     (fun a ->
        match String.index_opt a '=' with
@@ -747,6 +928,7 @@ let () =
     | "ablation-abort" -> ablation_abort ()
     | "ablation-consts" -> ablation_consts ()
     | "compile-time" -> compile_time ()
+    | "tier" -> tier_bench ()
     | "smoke" -> smoke ()
     | "all" ->
       table1 ();
@@ -756,7 +938,8 @@ let () =
       ablation_inline ();
       ablation_abort ();
       ablation_consts ();
-      compile_time ()
+      compile_time ();
+      tier_bench ()
     | "help" | "-h" | "--help" -> usage ()
     | other ->
       Printf.printf "unknown command %s\n" other;

@@ -107,10 +107,11 @@ let parse_call_args s =
 
 let target_arg =
   let targets =
-    [ ("jit", Wolfram.Jit); ("threaded", Wolfram.Threaded); ("bytecode", Wolfram.Bytecode) ]
+    [ ("jit", Wolfram.Jit); ("threaded", Wolfram.Threaded);
+      ("bytecode", Wolfram.Bytecode); ("tier", Wolfram.Tier) ]
   in
   Arg.(value & opt (enum targets) Wolfram.Jit & info [ "target" ] ~docv:"T"
-         ~doc:"Backend: jit (default), threaded, bytecode.")
+         ~doc:"Backend: jit (default), threaded, bytecode, tier.")
 
 (* --timings/--stats/--json reports for the run command *)
 
@@ -142,6 +143,44 @@ let print_cache_stats () =
      %d entries (~%d bytes)\n"
     s.Wolf_compiler.Compile_cache.hits s.misses s.waits s.evictions s.entries
     s.bytes
+
+(* ---- the persistent disk cache and tiered execution ------------------- *)
+
+let disk_cache_json (s : Wolf_compiler.Disk_cache.stats) =
+  Printf.sprintf
+    "{\"lookups\":%d,\"hits\":%d,\"misses\":%d,\"writes\":%d,\
+     \"evictions\":%d,\"errors\":%d,\"entries\":%d,\"bytes\":%d}"
+    s.Wolf_compiler.Disk_cache.lookups s.hits s.misses s.writes s.evictions
+    s.errors s.entries s.bytes
+
+let disk_cache_arg =
+  Arg.(value & opt ~vopt:(Some "") (some string) None
+       & info [ "disk-cache" ] ~docv:"DIR"
+         ~doc:"Attach the persistent on-disk compile cache at $(docv); a \
+               bare $(b,--disk-cache) uses \\$WOLFC_CACHE_DIR, else \
+               \\$XDG_CACHE_HOME/wolfc, else ~/.cache/wolfc.")
+
+let resolve_disk_cache = function
+  | None -> None
+  | Some "" -> Some (Wolf_compiler.Disk_cache.default_dir ())
+  | Some dir -> Some dir
+
+let attach_disk_cache dir_opt =
+  match resolve_disk_cache dir_opt with
+  | None -> ()
+  | Some dir ->
+    Wolfram.set_disk_cache (Some (Wolf_compiler.Disk_cache.open_dir dir))
+
+let tier_flag =
+  Arg.(value & flag & info [ "tier" ]
+         ~doc:"Tiered execution: start in the interpreter and promote to a \
+               background -O2 compile once the function is hot (shorthand \
+               for $(b,--target tier)).")
+
+let tier_threshold_arg =
+  Arg.(value & opt int 12 & info [ "tier-threshold" ] ~docv:"H"
+         ~doc:"Heat (invocations + loop backedges/64) at which a tiered \
+               function queues its background promotion.")
 
 (* observability flags shared by run/compile/fuzz (DESIGN.md
    "Observability"): tracing records only when --trace-out asks for a file,
@@ -185,10 +224,13 @@ let print_program_stats (c : Wolf_compiler.Pipeline.compiled) =
     c.Pipeline.inplace_updates
 
 let run_cmd =
-  let run expr file args target no_abort no_inline opt_level self dump_after
-      verify_each timings stats json repeat profile profile_out trace_out
-      metrics_out metrics_format =
+  let run expr file args target tier tier_threshold disk_cache no_abort
+      no_inline opt_level self dump_after verify_each timings stats json
+      repeat profile profile_out trace_out metrics_out metrics_format =
     Wolfram.init ();
+    let target = if tier then Wolfram.Tier else target in
+    Atomic.set Wolfram.Tier.default_threshold tier_threshold;
+    attach_disk_cache disk_cache;
     let src = read_program expr file in
     let profiling = profile || profile_out <> None in
     let options =
@@ -202,13 +244,32 @@ let run_cmd =
     let t0 = Unix.gettimeofday () in
     let cf = Wolfram.function_compile ~options ~target fexpr in
     let compile_seconds = Unix.gettimeofday () -. t0 in
-    (* --repeat demonstrates the compile cache: identical in-process
-       compiles after the first are hits *)
-    for _ = 2 to max 1 repeat do
-      ignore (Wolfram.function_compile ~options ~target fexpr)
-    done;
     let call_args = parse_call_args args in
     let result = Form.input_form (Wolfram.call cf call_args) in
+    (* --repeat N applies the function N times total.  The compiled value
+       is resolved exactly once above — cache lookups grow by 1, not N —
+       so the loop measures steady-state dispatch, and under --tier it is
+       what feeds the heat counters that trigger promotion. *)
+    for _ = 2 to max 1 repeat do
+      ignore (Wolfram.call cf call_args)
+    done;
+    let tier_mismatch = ref false in
+    (* a tiered run promotes before reporting — the state in the report is
+       deterministic, and the promoted closure is exercised at least once
+       and checked against the tier-0 answer *)
+    (match Wolfram.tier_of cf with
+     | Some tc ->
+       ignore (Wolfram.Tier.force_promote tc);
+       if Wolfram.Tier.state tc = Wolfram.Tier.Promoted then begin
+         let promoted = Form.input_form (Wolfram.call cf call_args) in
+         if promoted <> result then begin
+           tier_mismatch := true;
+           Printf.eprintf
+             "tier: promoted result %s differs from tier-0 result %s\n"
+             promoted result
+         end
+       end
+     | None -> ());
     let pipeline = Wolfram.pipeline_of cf in
     if json then begin
       let open Wolf_compiler in
@@ -225,6 +286,21 @@ let run_cmd =
                Printf.sprintf "\"inplace_updates\":%d" c.Pipeline.inplace_updates ]
            | None -> [])
         @ [ "\"cache\":" ^ cache_json (Wolfram.compile_cache_stats ()) ]
+        @ (match Wolfram.tier_of cf with
+           | Some tc ->
+             [ Printf.sprintf
+                 "\"tier\":{\"state\":\"%s\",\"calls\":%d,\"backedges\":%d,\
+                  \"threshold\":%d,\"promoted_at\":%s}"
+                 (Wolfram.Tier.state_name (Wolfram.Tier.state tc))
+                 (Wolfram.Tier.calls tc) (Wolfram.Tier.backedges tc)
+                 (Wolfram.Tier.threshold tc)
+                 (match Wolfram.Tier.promoted_at tc with
+                  | Some n -> string_of_int n
+                  | None -> "null") ]
+           | None -> [])
+        @ (match Wolfram.disk_cache_stats () with
+           | Some s -> [ "\"disk_cache\":" ^ disk_cache_json s ]
+           | None -> [])
         @ (if profiling then [ "\"profile\":" ^ Wolf_obs.Profile.to_json () ]
            else [])
       in
@@ -236,6 +312,25 @@ let run_cmd =
         Printf.printf "\n== runtime profile ==\n";
         print_string (Wolf_obs.Profile.report ())
       end;
+      (match Wolfram.tier_of cf with
+       | Some tc when stats || timings ->
+         Printf.printf
+           "tier: %s after %d call(s), ~%d backedge(s) (threshold %d%s)\n"
+           (Wolfram.Tier.state_name (Wolfram.Tier.state tc))
+           (Wolfram.Tier.calls tc) (Wolfram.Tier.backedges tc)
+           (Wolfram.Tier.threshold tc)
+           (match Wolfram.Tier.promoted_at tc with
+            | Some n -> Printf.sprintf "; promoted at call %d" n
+            | None -> "")
+       | _ -> ());
+      (match Wolfram.disk_cache_stats () with
+       | Some s when stats ->
+         Printf.printf
+           "disk cache: %d lookups, %d hits, %d misses, %d writes, \
+            %d entries (%d bytes)\n"
+           s.Wolf_compiler.Disk_cache.lookups s.hits s.misses s.writes
+           s.entries s.bytes
+       | _ -> ());
       (match pipeline with
        | Some c ->
          if timings then begin
@@ -263,7 +358,8 @@ let run_cmd =
        output_char oc '\n';
        close_out oc
      | None -> ());
-    0
+    Wolfram.Tier.shutdown ();
+    if !tier_mismatch then 1 else 0
   in
   let args_arg =
     Arg.(value & opt string "" & info [ "args" ] ~docv:"A,B,…"
@@ -283,7 +379,9 @@ let run_cmd =
   in
   let repeat_arg =
     Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
-           ~doc:"Compile $(docv) times in-process (identical compiles hit the cache).")
+           ~doc:"Apply the compiled function $(docv) times (the compile \
+                 itself is resolved once; with $(b,--tier) the calls feed \
+                 the heat counters).")
   in
   let profile_arg =
     Arg.(value & flag & info [ "profile" ]
@@ -298,7 +396,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"FunctionCompile a program and apply it.")
-    Term.(const run $ expr_arg $ file_arg $ args_arg $ target_arg $ no_abort
+    Term.(const run $ expr_arg $ file_arg $ args_arg $ target_arg $ tier_flag
+          $ tier_threshold_arg $ disk_cache_arg $ no_abort
           $ no_inline $ opt_level $ self $ dump_after_arg $ verify_each_arg
           $ timings_arg $ stats_arg $ json_arg $ repeat_arg $ profile_arg
           $ profile_out_arg $ trace_out_arg $ metrics_out_arg
@@ -636,6 +735,77 @@ let repl_cmd =
   Cmd.v (Cmd.info "repl" ~doc:"Interactive interpreter session.")
     Term.(const run $ const ())
 
+(* ---- wolfc cache: manage the persistent on-disk compile cache --------- *)
+
+let cache_dir_arg =
+  Arg.(value & opt string "" & info [ "dir" ] ~docv:"DIR"
+         ~doc:"Cache directory (default: \\$WOLFC_CACHE_DIR, else \
+               \\$XDG_CACHE_HOME/wolfc, else ~/.cache/wolfc).")
+
+let open_cache dir =
+  let dir = if dir = "" then Wolf_compiler.Disk_cache.default_dir () else dir in
+  Wolf_compiler.Disk_cache.open_dir dir
+
+let cache_stat_cmd =
+  let run dir json =
+    let d = open_cache dir in
+    let s = Wolf_compiler.Disk_cache.stats d in
+    if json then
+      Printf.printf "{\"dir\":\"%s\",\"stats\":%s}\n"
+        (json_escape (Wolf_compiler.Disk_cache.dir d)) (disk_cache_json s)
+    else
+      Printf.printf "cache %s: %d entries, %d bytes\n"
+        (Wolf_compiler.Disk_cache.dir d)
+        s.Wolf_compiler.Disk_cache.entries s.bytes;
+    0
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stat" ~doc:"Report entry count and size of the disk cache.")
+    Term.(const run $ cache_dir_arg $ json_arg)
+
+let cache_clear_cmd =
+  let run dir =
+    let d = open_cache dir in
+    let n = Wolf_compiler.Disk_cache.clear d in
+    Printf.printf "cache %s: removed %d file(s)\n"
+      (Wolf_compiler.Disk_cache.dir d) n;
+    0
+  in
+  Cmd.v
+    (Cmd.info "clear" ~doc:"Remove every artifact, blob and temp file.")
+    Term.(const run $ cache_dir_arg)
+
+let cache_verify_cmd =
+  let run dir fix =
+    let d = open_cache dir in
+    let intact, problems = Wolf_compiler.Disk_cache.verify ~fix d in
+    Printf.printf "cache %s: %d intact entr%s, %d problem(s)%s\n"
+      (Wolf_compiler.Disk_cache.dir d) intact
+      (if intact = 1 then "y" else "ies") (List.length problems)
+      (if fix && problems <> [] then " (removed)" else "");
+    List.iter (fun (path, what) -> Printf.printf "  %s: %s\n" path what)
+      problems;
+    if problems = [] || fix then 0 else 1
+  in
+  let fix_arg =
+    Arg.(value & flag & info [ "fix" ] ~doc:"Delete the offending entries.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Integrity-walk the disk cache: magic, header and payload \
+             digest of every entry; non-zero exit if problems remain.")
+    Term.(const run $ cache_dir_arg $ fix_arg)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Manage the persistent on-disk compile cache (see \
+             $(b,--disk-cache) on run/wolfd).")
+    [ cache_stat_cmd; cache_clear_cmd; cache_verify_cmd ]
+
 (* ---- the service layer: wolfd / connect / bench serve ----------------- *)
 
 let socket_arg =
@@ -643,15 +813,18 @@ let socket_arg =
          ~doc:"Unix-domain socket path of the daemon.")
 
 let wolfd_cmd =
-  let run socket jobs queue max_frame quiet trace_out metrics_out
-      metrics_format =
+  let run socket jobs queue max_frame quiet tier tier_threshold disk_cache
+      trace_out metrics_out metrics_format =
     with_obs ~trace_out ~metrics_out ~metrics_format @@ fun () ->
     let cfg =
       { Wolf_serve.Server.socket_path = socket;
         jobs = (if jobs <= 0 then Wolf_parallel.Pool.default_jobs () else jobs);
         queue_capacity = queue;
         max_frame;
-        log = (if quiet then ignore else prerr_endline) }
+        log = (if quiet then ignore else prerr_endline);
+        tier;
+        tier_threshold;
+        disk_cache_dir = resolve_disk_cache disk_cache }
     in
     let srv = Wolf_serve.Server.start cfg in
     (* runs until a client sends the shutdown op (or the process is killed;
@@ -684,7 +857,8 @@ let wolfd_cmd =
              shared, admission is a bounded queue, and requests support \
              deadlines and cancellation.")
     Term.(const run $ socket_arg $ jobs_arg $ queue_arg $ max_frame_arg
-          $ quiet_arg $ trace_out_arg $ metrics_out_arg $ metrics_format_arg)
+          $ quiet_arg $ tier_flag $ tier_threshold_arg $ disk_cache_arg
+          $ trace_out_arg $ metrics_out_arg $ metrics_format_arg)
 
 let connect_cmd =
   let run socket expr file deadline_ms =
@@ -868,5 +1042,5 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
                      [ emit_cmd; run_cmd; compile_cmd; eval_cmd; fuzz_cmd;
-                       stats_cmd; obs_check_cmd; repl_cmd; wolfd_cmd;
-                       connect_cmd; bench_cmd ]))
+                       stats_cmd; obs_check_cmd; repl_cmd; cache_cmd;
+                       wolfd_cmd; connect_cmd; bench_cmd ]))

@@ -109,27 +109,52 @@ let compile_to_cmxs (c : Wolf_compiler.Pipeline.compiled) =
        Error (Printf.sprintf "ocamlopt failed:\n%s" diag)
      | None -> Ok (emitted, cmxs))
 
-let compile c =
+(* Everything needed to relink a compiled module in another process of the
+   same build: the .cmxs on disk plus the host-side state its entry needs.
+   The persistent compile cache stores [a_constants] marshaled — callers
+   must re-intern any symbols inside before handing the artifact here. *)
+type artifact = {
+  a_entry_symbol : string;
+  a_constants : (string * Rtval.t) list;
+  a_arity : int;
+}
+
+let link_artifact ~cmxs art =
+  Wolf_obs.Trace.with_span ~cat:"codegen" "jit-dynlink" @@ fun () ->
+  Mutex.lock dynlink_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock dynlink_lock) @@ fun () ->
+  (* host-side constants must be visible before the module initialises *)
+  List.iter
+    (fun (key, rt) -> Wolf_plugin.register key (Obj.repr (rt : Rtval.t)))
+    art.a_constants;
+  (match Dynlink.loadfile_private cmxs with
+   | () ->
+     (match Wolf_plugin.lookup art.a_entry_symbol with
+      | Some entry ->
+        let call : Rtval.t array -> Rtval.t = Obj.obj entry in
+        Ok { Rtval.arity = art.a_arity; call }
+      | None -> Error "JIT: plugin loaded but entry symbol missing")
+   | exception Dynlink.Error e -> Error ("Dynlink: " ^ Dynlink.error_message e)
+   | exception e -> Error ("Dynlink: " ^ Printexc.to_string e))
+
+let compile_artifact c =
   match compile_to_cmxs c with
-  | Error _ as e -> e
+  | Error e -> Error e
   | Ok (emitted, cmxs) ->
-    Wolf_obs.Trace.with_span ~cat:"codegen" "jit-dynlink" @@ fun () ->
-    Mutex.lock dynlink_lock;
-    Fun.protect ~finally:(fun () -> Mutex.unlock dynlink_lock) @@ fun () ->
-    (* host-side constants must be visible before the module initialises *)
-    List.iter
-      (fun (key, rt) -> Wolf_plugin.register key (Obj.repr (rt : Rtval.t)))
-      emitted.Ocaml_emit.constants;
-    (match Dynlink.loadfile_private cmxs with
-     | () ->
-       (match Wolf_plugin.lookup emitted.Ocaml_emit.entry_symbol with
-        | Some entry ->
-          let call : Rtval.t array -> Rtval.t = Obj.obj entry in
-          let main = Wolf_compiler.Wir.main c.Wolf_compiler.Pipeline.program in
-          Ok { Rtval.arity = Array.length main.Wolf_compiler.Wir.fparams; call }
-        | None -> Error "JIT: plugin loaded but entry symbol missing")
-     | exception Dynlink.Error e -> Error ("Dynlink: " ^ Dynlink.error_message e)
-     | exception e -> Error ("Dynlink: " ^ Printexc.to_string e))
+    let main = Wolf_compiler.Wir.main c.Wolf_compiler.Pipeline.program in
+    let art =
+      { a_entry_symbol = emitted.Ocaml_emit.entry_symbol;
+        a_constants = emitted.Ocaml_emit.constants;
+        a_arity = Array.length main.Wolf_compiler.Wir.fparams }
+    in
+    (match link_artifact ~cmxs art with
+     | Ok closure -> Ok (art, cmxs, closure)
+     | Error e -> Error e)
+
+let compile c =
+  match compile_artifact c with
+  | Error e -> Error e
+  | Ok (_, _, closure) -> Ok closure
 
 let export_library c ~path =
   match compile_to_cmxs c with

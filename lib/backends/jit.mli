@@ -20,6 +20,29 @@ val compile : Wolf_compiler.Pipeline.compiled -> (Rtval.closure, string) result
     ocamlopt diagnostic) rather than raising; JIT failures must never break
     compilation, only deoptimise it. *)
 
+(** Everything needed to relink a JIT-compiled module in another process of
+    the same build, short of the .cmxs bytes themselves: the entry symbol,
+    the host-side constants its initialiser reads, and the entry arity.
+    This is what the persistent compile cache marshals; symbols inside
+    [a_constants] must be re-interned after unmarshaling, before
+    {!link_artifact}. *)
+type artifact = {
+  a_entry_symbol : string;
+  a_constants : (string * Rtval.t) list;
+  a_arity : int;
+}
+
+val compile_artifact :
+  Wolf_compiler.Pipeline.compiled ->
+  (artifact * string * Rtval.closure, string) result
+(** Like {!compile} but also returns the relink recipe and the .cmxs path
+    (for the disk cache to slurp). *)
+
+val link_artifact : cmxs:string -> artifact -> (Rtval.closure, string) result
+(** Register the constants, dynlink [cmxs] privately, look up the entry.
+    Only meaningful for a .cmxs produced by the same executable build —
+    the disk cache enforces that with an executable digest. *)
+
 val export_library : Wolf_compiler.Pipeline.compiled -> path:string -> (string, string) result
 (** [FunctionCompileExportLibrary] analogue: leave the compiled shared
     object at [path] and return the entry symbol; the object can be loaded

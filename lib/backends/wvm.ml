@@ -701,6 +701,94 @@ let call cf (args : Expr.t array) : Expr.t =
     (* soft failure: revert to the interpreter (F2) *)
     Hooks.eval (Expr.Normal (cf.wsource, args))
 
+(* ------------------------------------------------------------------ *)
+(* Image serialization (the persistent compile cache stores WVM images).
+
+   [winstr] is not marshalable as-is: [Op.fn] is a closure.  It is,
+   however, a pure function of the opcode name, so images are written
+   through a data-only twin of the instruction set and [fn] is rebuilt
+   with [resolve_op] on load.  Symbols marshal as dead copies (equality
+   is physical), so parameter/escape-environment symbols travel by name
+   and every embedded expression is re-interned on load.  [Poll.budget]
+   is live countdown state and restarts at [stride]. *)
+
+type sinstr =
+  | SLoadArg of int * int * bool
+  | SConstV of int * wval
+  | SMove of int * int
+  | SOp of int * string * int array
+  | SJumpIfFalse of int * int
+  | SGoto of int
+  | SPoll of int
+  | SEvalEscape of int * Expr.t * (string * int) list
+  | SRet of int
+
+type simage = {
+  s_version : int;
+  s_name : string;
+  s_params : (string * string) array;
+  s_code : sinstr array;
+  s_nregs : int;
+  s_source : Expr.t;
+}
+
+let image_version = 1
+
+let serialize cf =
+  let instr_out = function
+    | LoadArg { dst; index; assume_real } -> SLoadArg (dst, index, assume_real)
+    | ConstV { dst; v } -> SConstV (dst, v)
+    | Move { dst; src } -> SMove (dst, src)
+    | Op { dst; op; srcs; _ } -> SOp (dst, op, srcs)
+    | JumpIfFalse { src; target } -> SJumpIfFalse (src, target)
+    | Goto { target } -> SGoto target
+    | Poll { stride; _ } -> SPoll stride
+    | EvalEscape { dst; expr; env } ->
+      SEvalEscape (dst, expr, List.map (fun (s, r) -> (Symbol.name s, r)) env)
+    | Ret { src } -> SRet src
+  in
+  let img =
+    { s_version = image_version; s_name = cf.wname;
+      s_params = Array.map (fun (s, tag) -> (Symbol.name s, tag)) cf.params;
+      s_code = Array.map instr_out cf.code; s_nregs = cf.nregs;
+      s_source = cf.wsource }
+  in
+  Marshal.to_string img []
+
+let deserialize data =
+  match (Marshal.from_string data 0 : simage) with
+  | exception _ -> None
+  | img ->
+    if img.s_version <> image_version then None
+    else begin
+      let reintern_wval = function
+        | WE e -> WE (Expr.reintern e)
+        | v -> v
+      in
+      let instr_in = function
+        | SLoadArg (dst, index, assume_real) -> LoadArg { dst; index; assume_real }
+        | SConstV (dst, v) -> ConstV { dst; v = reintern_wval v }
+        | SMove (dst, src) -> Move { dst; src }
+        | SOp (dst, op, srcs) -> Op { dst; op; fn = resolve_op op; srcs }
+        | SJumpIfFalse (src, target) -> JumpIfFalse { src; target }
+        | SGoto target -> Goto { target }
+        | SPoll stride -> Poll { stride; budget = stride }
+        | SEvalEscape (dst, expr, env) ->
+          EvalEscape
+            { dst; expr = Expr.reintern expr;
+              env = List.map (fun (n, r) -> (Symbol.intern n, r)) env }
+        | SRet src -> Ret { src }
+      in
+      let cf =
+        { wname = img.s_name;
+          params =
+            Array.map (fun (n, tag) -> (Symbol.intern n, tag)) img.s_params;
+          code = Array.map instr_in img.s_code; nregs = img.s_nregs;
+          wsource = Expr.reintern img.s_source }
+      in
+      match verify cf with () -> Some cf | exception _ -> None
+    end
+
 let arity cf = Array.length cf.params
 let instruction_count cf = Array.length cf.code
 

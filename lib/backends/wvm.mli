@@ -29,6 +29,18 @@ val call : compiled_function -> Expr.t array -> Expr.t
 val call_values : compiled_function -> Rtval.t array -> Rtval.t
 (** Raw VM entry; raises on runtime failures. *)
 
+val serialize : compiled_function -> string
+(** Marshal the image through a data-only instruction twin (opcode
+    dispatchers are closures rebuilt from their names on load).  The bytes
+    are only meaningful to {!deserialize} in a binary of the same build —
+    the disk cache guards that with an executable digest. *)
+
+val deserialize : string -> compiled_function option
+(** Rebuild an image: re-resolve opcode dispatchers, re-intern every
+    symbol (equality is physical, so marshaled copies match nothing),
+    reset poll budgets, and re-verify the bytecode.  [None] on any
+    mismatch or corruption. *)
+
 val arity : compiled_function -> int
 val instruction_count : compiled_function -> int
 val dump : compiled_function -> string

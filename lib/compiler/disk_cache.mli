@@ -1,0 +1,81 @@
+(** Content-addressed on-disk artifact store — the persistent layer under
+    {!Compile_cache}.
+
+    Keys are the same fingerprints as the in-memory cache ({!Compile_cache.key}:
+    source FullForm + every {!Options.t} field + target), so opt-level and
+    --profile variants cannot collide.  One artifact per file under
+    [<dir>/objects/], published by write-to-temp + rename: a concurrent or
+    crashed writer can never expose a torn artifact — readers see the old
+    entry or a clean miss.  Destructive phases (eviction, clear, verify
+    [~fix]) take an fcntl lock on [<dir>/lock] so concurrent [wolfd]
+    workers can share one cache directory; an in-process mutex backs the
+    fcntl lock up (fcntl does not exclude threads of one process).
+
+    Payloads are caller-marshaled bytes.  Marshal is not type-safe across
+    differing binaries, so every entry records a digest of the writing
+    executable; a mismatch reads as a clean miss (the entry stays for the
+    binary that wrote it, until eviction).  Corrupt entries (bad magic,
+    torn payload, digest mismatch) are deleted on sight and counted in
+    [errors]. *)
+
+type t
+
+type stats = {
+  lookups : int;
+  hits : int;
+  misses : int;    (** includes stale entries written by other binaries *)
+  writes : int;
+  evictions : int;
+  errors : int;    (** corrupt entries and failed writes *)
+  entries : int;   (** live artifacts + blobs on disk (scanned fresh) *)
+  bytes : int;     (** their total size *)
+}
+
+val default_dir : unit -> string
+(** [$WOLFC_CACHE_DIR], else [$XDG_CACHE_HOME/wolfc], else
+    [~/.cache/wolfc], else a temp-dir fallback. *)
+
+val open_dir : ?budget_bytes:int -> string -> t
+(** Open (creating if needed) a cache directory.  [budget_bytes]
+    (default 256 MiB) bounds artifacts + blobs together; crossing it
+    triggers oldest-first eviction after the next store. *)
+
+val dir : t -> string
+
+val load : t -> key:string -> kind:string -> string option
+(** Payload bytes for [(key, kind)], or [None].  [kind] names the artifact
+    family ("wvm", "jit", …) so one fingerprint can carry several artifact
+    shapes.  A hit refreshes the entry's mtime (eviction is ~LRU). *)
+
+val store : t -> key:string -> kind:string -> string -> unit
+(** Publish atomically, then evict if over budget.  Best-effort: a full
+    disk or permission error counts in [errors] and is otherwise silent —
+    the cache must never fail a compile. *)
+
+val ensure_blob : t -> name:string -> digest:string -> string -> string option
+(** [ensure_blob t ~name ~digest data] guarantees [<dir>/blobs/<name>]
+    exists with content matching [digest] (hex MD5), writing [data]
+    atomically if absent or mismatched, and returns its path.  For
+    artifacts that must live as real files — dynlinked [.cmxs] images are
+    revalidated by content hash here on every reuse. *)
+
+val blob_path : t -> name:string -> string
+
+val stats : t -> stats
+
+val clear : t -> int
+(** Remove every artifact, blob and temp file; returns the count. *)
+
+val verify : ?fix:bool -> t -> int * (string * string) list
+(** Full integrity walk: magic, header, payload digest of every entry.
+    Returns (intact count, [(path, problem)] list); [~fix:true] deletes
+    the offenders.  Entries from other binaries count as intact. *)
+
+val register_metrics : ?prefix:string -> t -> unit
+(** Pull-time {!Wolf_obs.Metrics} source (default prefix ["disk_cache"]):
+    [<prefix>_{lookups,hits,misses,writes,evictions,errors}] counters and
+    [<prefix>_{entries,bytes}] gauges. *)
+
+val fault_before_rename : (unit -> unit) ref
+(** Test hook, called between completing a temp file and the rename that
+    publishes it.  Raising simulates a writer killed mid-publish. *)

@@ -176,6 +176,9 @@ let run cfg =
     else None
   in
   let teardown () =
+    (* join the tier arm's background compile domains so a campaign never
+       leaks domains into the caller (tests run many campaigns in-process) *)
+    if List.mem Oracle.Tier cfg.backends then Wolfram.Tier.shutdown ();
     match embedded with
     | Some srv ->
       Oracle.serve_socket := None;

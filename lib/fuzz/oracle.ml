@@ -6,7 +6,7 @@ type outcome =
   | Aborted
   | Failed of string
 
-type backend = Threaded | Jit | Wvm | C | Serve
+type backend = Threaded | Jit | Wvm | C | Serve | Tier
 
 let backend_name = function
   | Threaded -> "threaded"
@@ -14,6 +14,7 @@ let backend_name = function
   | Wvm -> "wvm"
   | C -> "c"
   | Serve -> "serve"
+  | Tier -> "tier"
 
 let backends_of_string s =
   let parts =
@@ -27,8 +28,10 @@ let backends_of_string s =
     | "wvm" :: r -> go (Wvm :: acc) r
     | "c" :: r -> go (C :: acc) r
     | "serve" :: r -> go (Serve :: acc) r
+    | "tier" :: r -> go (Tier :: acc) r
     | x :: _ ->
-      Error (Printf.sprintf "unknown backend %S (threaded,jit,wvm,c,serve)" x)
+      Error
+        (Printf.sprintf "unknown backend %S (threaded,jit,wvm,c,serve,tier)" x)
   in
   go [] parts
 
@@ -47,12 +50,34 @@ let close_float x y =
   || (Float.is_nan x && Float.is_nan y)
   || Float.abs (x -. y) <= rtol *. Float.max 1.0 (Float.max (Float.abs x) (Float.abs y))
 
+(* Module-variable uniquification ("m1" -> "m1$8388") leaks into results
+   when a failed binding leaves the variable symbolic, and the counter
+   value depends on how many evaluations ran before — two interpreter
+   runs of one program (e.g. the tier arm's tier-0 call vs the reference)
+   differ textually.  Alpha-equivalence is the sound comparison: strip
+   the counter, keep the base name and the '$' marker. *)
+let strip_uniq name =
+  let n = String.length name in
+  match String.rindex_opt name '$' with
+  | Some i when i > 0 && i < n - 1 ->
+    let digits = ref true in
+    for j = i + 1 to n - 1 do
+      match name.[j] with '0' .. '9' -> () | _ -> digits := false
+    done;
+    if !digits then String.sub name 0 (i + 1) else name
+  | _ -> name
+
 (* normalise packed tensors to nested List expressions so Tensor-vs-List
-   results (interpreter and backends box differently) compare structurally *)
+   results (interpreter and backends box differently) compare structurally,
+   and gensym'd symbols up to alpha-equivalence *)
 let rec norm e =
   match e with
   | Expr.Tensor t -> norm (Wolf_runtime.Rtval.tensor_to_expr t)
   | Expr.Normal (h, args) -> Expr.Normal (norm h, Array.map norm args)
+  | Expr.Sym s ->
+    let n = Symbol.name s in
+    let n' = strip_uniq n in
+    if String.equal n n' then e else Expr.Sym (Symbol.intern n')
   | _ -> e
 
 let rec close_expr a b =
@@ -120,7 +145,7 @@ let target_of = function
   | Threaded -> Wolfram.Threaded
   | Jit -> Wolfram.Jit
   | Wvm -> Wolfram.Bytecode
-  | C | Serve -> Wolfram.Threaded  (* unused; C and serve have own paths *)
+  | C | Serve | Tier -> Wolfram.Threaded  (* unused; these have own paths *)
 
 let run_native backend level fexpr args =
   guard (fun () ->
@@ -280,6 +305,89 @@ let check_abort ~level fexpr args ref_outcome =
              fgot = outcome_str o })
     abort_ks
 
+(* ---- tier arm: the full promotion lifecycle on every program ---------
+
+   A fresh uncached controller with threshold 1: the first call runs at
+   tier 0 (pure interpreter — must match the reference), crossing the
+   threshold on its way out; we then wait for the background -O2 compile
+   to land (promotion goes through Threaded so the arm needs no
+   toolchain) and call again through the promoted closure — which must
+   still match.  A promotion that ends [Failed] is legitimate only for
+   programs whose compile legitimately fails; those keep interpreting,
+   and the second call must still agree. *)
+
+let fresh_tier fexpr =
+  let cf =
+    Wolfram.tiered ~options:(fuzz_options 2) ~threshold:1
+      ~promote_target:Wolfram.Threaded ~name:"fz" fexpr
+  in
+  cf, Option.get (Wolfram.tier_of cf)
+
+let check_tier fexpr args ref_outcome =
+  let cf, t = fresh_tier fexpr in
+  let call () = guard (fun () -> Wolfram.call cf (Array.to_list args)) in
+  let mismatch where got =
+    if agree got ref_outcome then None
+    else
+      Some
+        { fwhere = where; fexpected = outcome_str ref_outcome;
+          fgot = outcome_str got }
+  in
+  let pre = call () in
+  let st = Wolfram.Tier.await_promotion ~timeout:60.0 t in
+  let post = call () in
+  Option.to_list (mismatch "tier/t0" pre)
+  @ (match st with
+     | Wolfram.Tier.Promoted | Wolfram.Tier.Failed -> []
+     | s ->
+       [ { fwhere = "tier/promotion"; fexpected = "promoted or failed";
+           fgot = "<stuck in state " ^ Wolfram.Tier.state_name s ^ ">" } ])
+  @ Option.to_list
+      (mismatch
+         (Printf.sprintf "tier/%s"
+            (Wolfram.Tier.state_name (Wolfram.Tier.state t)))
+         post)
+
+(* Abort[] racing a promotion: schedule an abort after the k-th check and
+   make the first call; the abort may land mid-tier-0 (call aborts), after
+   the result (call agrees), or inside the background compile (promotion
+   retreats to Cold and retries).  Whatever the interleaving: the settled
+   function must still agree with the reference and the abort flag must
+   not leak past the protection scope. *)
+let check_tier_abort fexpr args ref_outcome =
+  let module A = Wolf_base.Abort_signal in
+  List.filter_map
+    (fun k ->
+       let cf, t = fresh_tier fexpr in
+       let call () = guard (fun () -> Wolfram.call cf (Array.to_list args)) in
+       A.clear ();
+       A.abort_after k;
+       let got = Fun.protect ~finally:(fun () -> A.clear ()) call in
+       (* settle: a compile the abort shot down retries from Cold here *)
+       ignore (Wolfram.Tier.force_promote t);
+       let post = call () in
+       let leaked = A.requested () in
+       if leaked then A.clear ();
+       let where what = Printf.sprintf "tier-abort/k=%d/%s" k what in
+       if leaked then
+         Some
+           { fwhere = where "flag"; fexpected = "a clear abort flag";
+             fgot = "<leaked abort request>" }
+       else if not (agree post ref_outcome) then
+         Some
+           { fwhere = where (Wolfram.Tier.state_name (Wolfram.Tier.state t));
+             fexpected = outcome_str ref_outcome; fgot = outcome_str post }
+       else
+         match got with
+         | Aborted -> None
+         | o when agree o ref_outcome -> None
+         | o ->
+           Some
+             { fwhere = where "t0";
+               fexpected = outcome_str ref_outcome ^ " or <aborted>";
+               fgot = outcome_str o })
+    abort_ks
+
 (* ---- the oracle ------------------------------------------------------ *)
 
 let check_parsed ?(backends = [ Threaded; Wvm ]) ?(levels = [ 0; 1; 2 ])
@@ -311,6 +419,7 @@ let check_parsed ?(backends = [ Threaded; Wvm ]) ?(levels = [ 0; 1; 2 ])
                   mismatch (Printf.sprintf "c/O%d" lvl) (run_c lvl fexpr args))
                levels
          | Serve -> check_serve fexpr args ref_outcome
+         | Tier -> check_tier fexpr args ref_outcome
          | Threaded | Jit ->
            List.filter_map
              (fun lvl ->
@@ -326,7 +435,12 @@ let check_parsed ?(backends = [ Threaded; Wvm ]) ?(levels = [ 0; 1; 2 ])
         [ 0; 2 ]
     else []
   in
-  failures @ abort_failures
+  let tier_abort_failures =
+    if abort && List.mem Tier backends then
+      check_tier_abort fexpr args ref_outcome
+    else []
+  in
+  failures @ abort_failures @ tier_abort_failures
 
 let check_case ?backends ?levels ?abort (case : Ast.case) =
   match parse_case case with

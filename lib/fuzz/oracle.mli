@@ -11,11 +11,16 @@ type outcome =
       fallback (F2) re-raising through the interpreter, and the exact
       message depends on the backend's entry point. *)
 
-type backend = Threaded | Jit | Wvm | C | Serve
+type backend = Threaded | Jit | Wvm | C | Serve | Tier
 
 val backend_name : backend -> string
 val backends_of_string : string -> (backend list, string) result
-(** Parse a comma-separated [--backends] value: threaded,jit,wvm,c,serve. *)
+(** Parse a comma-separated [--backends] value:
+    threaded,jit,wvm,c,serve,tier.  The [Tier] arm runs each program
+    through a fresh tier controller (threshold 1, promotion via the
+    threaded backend): the tier-0 call, the promotion hand-off and the
+    promoted call must all agree with the reference; with abort injection
+    on, an [Abort[]] is also raced against the background promotion. *)
 
 val serve_socket : string option ref
 (** Socket path of the [wolfd] daemon the [Serve] arm replays through.

@@ -14,6 +14,13 @@ let install () =
        if List.for_all Option.is_some parts then
          Some (Expr.Str (String.concat "" (List.map Option.get parts)))
        else None);
+  Eval.register "StringByte" (fun _ args ->
+      (* 1-indexed byte, matching the compiled runtime's string_byte prim;
+         out-of-range stays symbolic like the other string builtins *)
+      match args with
+      | [| Expr.Str s; Expr.Int i |] when i >= 1 && i <= String.length s ->
+        Some (Expr.Int (Char.code s.[i - 1]))
+      | _ -> None);
   Eval.register "StringTake" (fun _ args ->
       match args with
       | [| Expr.Str s; Expr.Int n |] ->

@@ -97,6 +97,32 @@ let stats t =
   Mutex.unlock t.lock;
   s
 
+let register_metrics ~name t =
+  (* Pull-time source: queue depth / utilization are read fresh at every
+     export, so `wolfc stats` and --metrics-out see the live executor
+     without the daemon's stats op in the loop.  register_source replaces
+     by name, so re-registering after a restart never duplicates samples. *)
+  let labels = [ ("pool", name) ] in
+  Wolf_obs.Metrics.register_source ("executor:" ^ name) (fun () ->
+      let s = stats t in
+      let g mname help v =
+        { Wolf_obs.Metrics.s_name = mname; s_labels = labels; s_help = help;
+          s_kind = Wolf_obs.Metrics.Gauge; s_value = Wolf_obs.Metrics.V_float v }
+      in
+      let c mname help v =
+        { Wolf_obs.Metrics.s_name = mname; s_labels = labels; s_help = help;
+          s_kind = Wolf_obs.Metrics.Counter; s_value = Wolf_obs.Metrics.V_int v }
+      in
+      [ g "executor_queue_depth" "jobs waiting in the executor queue"
+          (float_of_int s.queued);
+        g "executor_queue_capacity" "executor queue bound" (float_of_int s.capacity);
+        g "executor_running" "jobs currently executing" (float_of_int s.running);
+        g "executor_workers" "worker domains" (float_of_int s.jobs);
+        g "executor_utilization" "running workers / total workers"
+          (if s.jobs = 0 then 0.0 else float_of_int s.running /. float_of_int s.jobs);
+        c "executor_executed" "jobs completed since create" s.executed;
+        c "executor_crashed" "jobs that escaped with an exception" s.crashed ])
+
 let quiesce t =
   Mutex.lock t.lock;
   while not (Queue.is_empty t.queue) || t.running > 0 do

@@ -30,6 +30,14 @@ val submit : t -> (unit -> unit) -> [ `Accepted | `Saturated | `Stopped ]
 
 val stats : t -> stats
 
+val register_metrics : name:string -> t -> unit
+(** Install a pull-time metrics source named [executor:<name>] exporting
+    [executor_queue_depth], [executor_running], [executor_queue_capacity],
+    [executor_workers], [executor_utilization] (gauges) and
+    [executor_executed]/[executor_crashed] (counters), all labelled
+    [pool=<name>].  Replaces any previous source of the same name, so
+    restarting a pool never duplicates samples. *)
+
 val quiesce : t -> unit
 (** Block until the queue is empty and no job is running (tests). *)
 

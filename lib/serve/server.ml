@@ -38,11 +38,15 @@ type config = {
   queue_capacity : int;    (** bounded admission queue; beyond it: overloaded *)
   max_frame : int;         (** per-frame byte limit *)
   log : string -> unit;
+  tier : bool;             (** tiered execution of [Function[…][args]] evals *)
+  tier_threshold : int;    (** heat before a background -O2 promotion *)
+  disk_cache_dir : string option;  (** persistent compile cache, all workers *)
 }
 
 let default_config ?(socket_path = "/tmp/wolfd.sock") () =
   { socket_path; jobs = 2; queue_capacity = 64;
-    max_frame = P.default_max_frame; log = ignore }
+    max_frame = P.default_max_frame; log = ignore;
+    tier = false; tier_threshold = 12; disk_cache_dir = None }
 
 type rstate = Queued | Running | Evaluating | Done
 
@@ -67,6 +71,11 @@ type session = {
   mutable s_alive : bool;
   s_pending : (int, pending) Hashtbl.t;   (* rid -> pending; under reg_mu *)
   mutable s_requests : int;
+  (* per-session tiering state: Function-source text -> tier controller.
+     Touched only while this session's eval holds the kernel lock, so no
+     extra mutex; isolation mirrors [s_values] — one session's heat never
+     promotes (or pollutes counters) for another. *)
+  s_tier : (string, Wolfram.compiled) Hashtbl.t;
 }
 
 type t = {
@@ -212,6 +221,51 @@ let deadline_passed p =
   | Some d -> Wolf_obs.Clock.now () > d
   | None -> false
 
+(* ---- tiered evaluation (opt-in, [config.tier]) ------------------------- *)
+
+(* Only a literal argument can be handed to a (possibly already promoted)
+   compiled closure unevaluated; anything symbolic must go through the
+   interpreter so the usual evaluation order applies. *)
+let rec literal_arg (e : Expr.t) =
+  match e with
+  | Expr.Int _ | Expr.Real _ | Expr.Str _ | Expr.Big _ | Expr.Tensor _ -> true
+  | Expr.Normal (Expr.Sym h, args) when h == Expr.Sy.list ->
+    Array.for_all literal_arg args
+  | Expr.Sym _ | Expr.Normal _ -> false
+
+let m_tier_intercepts = Wolf_obs.Metrics.counter "serve_tier_intercepts"
+    ~help:"evals routed through a per-session tier controller"
+
+(* [Function[…][literals]] routed through the session's tier table: the
+   first evals interpret (tier 0), the hot ones trigger a background -O2
+   compile, later evals of the same Function call the promoted closure.
+   Anything else — or a tier-disabled daemon — takes the plain kernel
+   path.  The tier instances are deliberately per-session and uncached
+   ([Wolfram.tiered]), mirroring value isolation. *)
+let eval_expr t sess (expr : Expr.t) =
+  if not t.cfg.tier then Wolf_kernel.Eval.eval expr
+  else
+    match expr with
+    | Expr.Normal ((Expr.Normal (Expr.Sym h, _) as f), args)
+      when h == Expr.Sy.function_ && Array.for_all literal_arg args ->
+      let cf =
+        let key = Expr.to_string f in
+        match Hashtbl.find_opt sess.s_tier key with
+        | Some cf -> cf
+        | None ->
+          (* heat is per-session, but the promoted compile itself goes
+             through the shared caches under the fixed "Serve" name, so two
+             sessions promoting the same Function dedup into one compile *)
+          let cf =
+            Wolfram.tiered ~threshold:t.cfg.tier_threshold ~name:"Serve" f
+          in
+          Hashtbl.replace sess.s_tier key cf;
+          cf
+      in
+      Wolf_obs.Metrics.incr m_tier_intercepts;
+      Wolfram.call cf (Array.to_list args)
+    | _ -> Wolf_kernel.Eval.eval expr
+
 (* Evaluate [code] in [sess]'s own kernel state.  Runs on a worker domain.
    The whole install/evaluate/restore window sits under the big kernel
    lock, so no other evaluation — daemon or in-process — can observe the
@@ -251,7 +305,7 @@ let run_eval t sess p code =
     (match Parser.parse_opt code with
      | Error e -> Error (P.Parse_error, e)
      | Ok expr ->
-       (match Wolf_kernel.Eval.eval expr with
+       (match eval_expr t sess expr with
         | v -> Ok (P.Text (Form.input_form v))
         | exception Wolf_base.Abort_signal.Aborted ->
           (* who pulled the trigger decides the reply *)
@@ -500,7 +554,8 @@ let accept_loop t =
             s_ic = Unix.in_channel_of_descr fd;
             s_oc = Unix.out_channel_of_descr fd;
             s_wmu = Mutex.create (); s_alive = true;
-            s_pending = Hashtbl.create 8; s_requests = 0 }
+            s_pending = Hashtbl.create 8; s_requests = 0;
+            s_tier = Hashtbl.create 4 }
         in
         let sess =
           with_reg t (fun () ->
@@ -539,6 +594,17 @@ let monitor_loop t =
 
 let start cfg =
   Wolfram.init ();
+  (* one persistent cache shared by every worker domain and session; the
+     store's flock also coordinates separate wolfd processes on the dir *)
+  (match cfg.disk_cache_dir with
+   | Some dir ->
+     (match Wolf_compiler.Disk_cache.open_dir dir with
+      | dc -> Wolfram.set_disk_cache (Some dc)
+      | exception exn ->
+        cfg.log
+          (Printf.sprintf "wolfd: disk cache %s unavailable (%s)" dir
+             (Printexc.to_string exn)))
+   | None -> ());
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
    | _ -> () | exception _ -> ());
   if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;

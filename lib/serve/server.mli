@@ -19,11 +19,22 @@ type config = {
   queue_capacity : int;    (** bounded admission queue; beyond it: overloaded *)
   max_frame : int;         (** per-frame byte limit *)
   log : string -> unit;
+  tier : bool;
+  (** Tiered execution (off by default): an eval of
+      [Function[…][literal args]] routes through a per-session tier
+      controller — interpreted first, promoted to a background -O2 compile
+      when hot.  Off, replies are byte-identical to the plain kernel path
+      (the fuzzer's serve oracle relies on this default). *)
+  tier_threshold : int;    (** heat before a background -O2 promotion *)
+  disk_cache_dir : string option;
+  (** When set, attach {!Wolf_compiler.Disk_cache} at this directory so
+      compiles persist across daemon restarts and are shared (via flock)
+      with concurrent wolfd processes on the same directory. *)
 }
 
 val default_config : ?socket_path:string -> unit -> config
 (** [/tmp/wolfd.sock], 2 worker domains, queue of 64, 4 MiB frames,
-    silent log. *)
+    silent log, tiering off (threshold 12), no disk cache. *)
 
 type t
 

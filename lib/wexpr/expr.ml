@@ -141,6 +141,17 @@ and equal a b =
         go 0)
   | (Int _ | Big _ | Real _ | Str _ | Sym _ | Tensor _ | Normal _), _ -> false
 
+(* Symbol equality is physical (one process-wide intern table), so an
+   expression that crossed a process boundary — e.g. unmarshaled from the
+   on-disk compile cache — carries symbol copies that compare unequal to
+   every live symbol.  Re-intern by name before letting such an expression
+   near the kernel.  Atoms other than symbols are plain data and shared. *)
+let rec reintern e =
+  match e with
+  | Sym s -> Sym (Symbol.intern (Symbol.name s))
+  | Normal (h, a) -> Normal (reintern h, Array.map reintern a)
+  | Int _ | Big _ | Real _ | Str _ | Tensor _ -> e
+
 let class_rank = function
   | Int _ | Big _ | Real _ -> 0
   | Str _ -> 1

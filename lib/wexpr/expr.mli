@@ -60,6 +60,11 @@ val compare : t -> t -> int
 
 val hash : t -> int
 
+val reintern : t -> t
+(** Rebuild every [Sym] leaf through the live intern table.  Required after
+    unmarshaling an expression (symbol equality is physical): the copy's
+    symbols match nothing until re-interned.  Non-symbol atoms are shared. *)
+
 (** Interned symbols for heads used throughout the system. *)
 module Sy : sig
   val list : Symbol.t

@@ -1,0 +1,115 @@
+(* Per-target artifact codec over the generic Disk_cache blob store.
+
+   What persists, per backend:
+   - Bytecode: the WVM image (data-only instruction twin, Wvm.serialize).
+   - Jit: the relink recipe — entry symbol, host-side constants, arity,
+     argument/return types — plus the .cmxs bytes; on load the .cmxs is
+     materialised as a content-addressed blob (revalidated by digest) and
+     dynlinked privately.
+   - Threaded: nothing.  Its compilation result is an OCaml closure tree,
+     which no marshal format can ship across processes; threaded entries
+     live only in the in-memory cache, by design.
+
+   Marshaled payloads carry Symbols and Exprs as dead copies (symbol
+   equality is physical), so everything expression-shaped is re-interned
+   on the way in.  Any marshal failure on the way out (e.g. a function
+   value hiding in a constant) just skips the store: the disk layer must
+   never fail a compile. *)
+
+open Wolf_compiler
+open Wolf_backends
+
+let active : Disk_cache.t option Atomic.t = Atomic.make None
+
+let set dc =
+  Atomic.set active dc;
+  match dc with
+  | Some d -> Disk_cache.register_metrics d
+  | None -> ()
+
+let get () = Atomic.get active
+
+let payload_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* WVM images *)
+
+let store_wvm d ~key w =
+  match Wvm.serialize w with
+  | bytes -> Disk_cache.store d ~key ~kind:"wvm" bytes
+  | exception _ -> ()
+
+let load_wvm d ~key =
+  match Disk_cache.load d ~key ~kind:"wvm" with
+  | None -> None
+  | Some bytes -> Wvm.deserialize bytes
+
+(* ------------------------------------------------------------------ *)
+(* Jit artifacts *)
+
+type jit_payload = {
+  jp_version : int;
+  jp_entry : string;
+  jp_constants : (string * Wolf_runtime.Rtval.t) list;
+  jp_arity : int;
+  jp_cmxs : string;          (* raw .cmxs bytes *)
+  jp_cmxs_digest : string;   (* hex MD5 of jp_cmxs, revalidated at reuse *)
+  jp_arg_tys : Types.t array;
+  jp_ret_ty : Types.t;
+}
+
+let rtval_reintern (v : Wolf_runtime.Rtval.t) =
+  match v with
+  | Wolf_runtime.Rtval.Expr e -> Wolf_runtime.Rtval.Expr (Wolf_wexpr.Expr.reintern e)
+  | Wolf_runtime.Rtval.Str _ | Wolf_runtime.Rtval.Unit | Wolf_runtime.Rtval.Int _
+  | Wolf_runtime.Rtval.Real _ | Wolf_runtime.Rtval.Bool _
+  | Wolf_runtime.Rtval.Complex _ | Wolf_runtime.Rtval.Tensor _
+  | Wolf_runtime.Rtval.Fun _ -> v
+
+let store_jit d ~key ~(art : Jit.artifact) ~cmxs ~arg_tys ~ret_ty =
+  match
+    let ic = open_in_bin cmxs in
+    let bytes =
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          really_input_string ic (in_channel_length ic))
+    in
+    let payload =
+      { jp_version = payload_version; jp_entry = art.Jit.a_entry_symbol;
+        jp_constants = art.Jit.a_constants; jp_arity = art.Jit.a_arity;
+        jp_cmxs = bytes; jp_cmxs_digest = Digest.to_hex (Digest.string bytes);
+        jp_arg_tys = arg_tys; jp_ret_ty = ret_ty }
+    in
+    (* raises on closures (Rtval.Fun constants); that skips the store *)
+    Marshal.to_string payload []
+  with
+  | bytes -> Disk_cache.store d ~key ~kind:"jit" bytes
+  | exception _ -> ()
+
+let load_jit d ~key ~name ~source =
+  match Disk_cache.load d ~key ~kind:"jit" with
+  | None -> None
+  | Some bytes ->
+    match (Marshal.from_string bytes 0 : jit_payload) with
+    | exception _ -> None
+    | p ->
+      if p.jp_version <> payload_version then None
+      else begin
+        match
+          Disk_cache.ensure_blob d ~name:(p.jp_cmxs_digest ^ ".cmxs")
+            ~digest:p.jp_cmxs_digest p.jp_cmxs
+        with
+        | None -> None
+        | Some cmxs_path ->
+          let art =
+            { Jit.a_entry_symbol = p.jp_entry;
+              a_constants =
+                List.map (fun (k, v) -> (k, rtval_reintern v)) p.jp_constants;
+              a_arity = p.jp_arity }
+          in
+          match Jit.link_artifact ~cmxs:cmxs_path art with
+          | Error _ -> None
+          | Ok closure ->
+            Some
+              (Compiled_function.wrap ~name ~source ~arg_tys:p.jp_arg_tys
+                 ~ret_ty:p.jp_ret_ty closure)
+      end

@@ -6,10 +6,14 @@ type target =
   | Jit
   | Threaded
   | Bytecode
+  | Tier
 
 type compiled =
   | Native of Compiled_function.t
   | Wvm of Wvm.compiled_function
+  | Tiered of Tier.t
+
+module Tier = Tier
 
 (* The auto-compilation service used by numerical solvers (paper §1 / E4):
    compile a scalar real expression in one free variable into float -> float.
@@ -112,74 +116,155 @@ let target_name = function
   | Jit -> "jit"
   | Threaded -> "threaded"
   | Bytecode -> "bytecode"
+  | Tier -> "tier"
 
-let function_compile ?options ?type_env ?macro_env ?user_passes
+(* The persistent layer: when a directory is attached, cacheable compiles
+   probe it between the in-memory cache and the pipeline, and publish
+   what they build.  Facade-level so wolfc, wolfd and the bench harness
+   share one switch. *)
+let set_disk_cache dc = Disk_store.set dc
+let disk_cache () = Disk_store.get ()
+let disk_cache_stats () = Option.map Disk_cache.stats (Disk_store.get ())
+
+let rec function_compile ?options ?type_env ?macro_env ?user_passes
     ?(target = Jit) ?(name = "Main") fexpr =
   init ();
   let opts = Option.value ~default:Options.default options in
+  let cacheable =
+    opts.Options.use_cache && Option.is_none type_env && Option.is_none macro_env
+    && (match user_passes with None | Some [] -> true | Some _ -> false)
+  in
+  let key =
+    if cacheable then
+      Some
+        (Compile_cache.key ~source:fexpr ~options:opts
+           ~target:(target_name target ^ ":" ^ name))
+    else None
+  in
+  let disk = if cacheable then Disk_store.get () else None in
   let build () =
     Wolf_obs.Trace.with_span ~cat:"compile" "function-compile"
       ~args:[ ("name", Wolf_obs.Trace.arg_str name);
               ("target", Wolf_obs.Trace.arg_str (target_name target)) ]
     @@ fun () ->
-    match target with
-    | Bytecode -> Wvm (Wvm.compile ~name fexpr)
-    | Jit | Threaded ->
-      let c = Pipeline.compile ~options:opts ?type_env ?macro_env ?user_passes ~name fexpr in
-      let closure =
-        match target with
-        | Jit when not opts.Options.profile ->
-          (match Jit.compile c with
-           | Ok f -> f
-           | Error _ -> Native.compile c)
-        | Jit | Threaded | Bytecode ->
-          (* profiling instruments per function, which only the threaded
-             backend's closure tree supports — a profiled jit request runs
-             threaded so the hot-function table is per-function, not one
-             opaque entry *)
-          Native.compile c
-      in
-      let main = Wir.main c.Pipeline.program in
-      let arg_tys =
-        Array.map
-          (fun (v : Wir.var) -> Option.value ~default:Types.expression v.Wir.vty)
-          main.Wir.fparams
-      in
-      let ret_ty = Option.value ~default:Types.expression main.Wir.ret_ty in
-      let wrapped =
-        Compiled_function.wrap ~name ~source:fexpr ~arg_tys ~ret_ty closure
-      in
-      (* keep the pipeline result reachable for tooling *)
-      pipelines_put wrapped.Compiled_function.cf_name c;
-      Native wrapped
-  in
-  let cacheable =
-    opts.Options.use_cache && Option.is_none type_env && Option.is_none macro_env
-    && (match user_passes with None | Some [] -> true | Some _ -> false)
-  in
-  if not cacheable then build ()
-  else
-    let key =
-      Compile_cache.key ~source:fexpr ~options:opts
-        ~target:(target_name target ^ ":" ^ name)
+    (* the disk probe sits under the in-memory layer: an in-memory hit
+       never touches disk, a disk hit skips the whole pipeline *)
+    let disk_hit =
+      match disk, key with
+      | Some d, Some k ->
+        (match target with
+         | Bytecode ->
+           (match Disk_store.load_wvm d ~key:k with
+            | Some w -> Some (Wvm w)
+            | None -> None)
+         | Jit when not opts.Options.profile ->
+           (match Disk_store.load_jit d ~key:k ~name ~source:fexpr with
+            | Some cf -> Some (Native cf)
+            | None -> None)
+         | Jit | Threaded | Tier -> None)
+      | _ -> None
     in
+    match disk_hit with
+    | Some r -> r
+    | None ->
+      match target with
+      | Tier -> Tiered (make_tiered ~options:opts ~name fexpr)
+      | Bytecode ->
+        let w = Wvm.compile ~name fexpr in
+        (match disk, key with
+         | Some d, Some k -> Disk_store.store_wvm d ~key:k w
+         | _ -> ());
+        Wvm w
+      | Jit | Threaded ->
+        let c = Pipeline.compile ~options:opts ?type_env ?macro_env ?user_passes ~name fexpr in
+        let closure, jit_artifact =
+          match target with
+          | Jit when not opts.Options.profile ->
+            (match Jit.compile_artifact c with
+             | Ok (art, cmxs, f) -> f, Some (art, cmxs)
+             | Error _ -> Native.compile c, None)
+          | Jit | Threaded | Bytecode | Tier ->
+            (* profiling instruments per function, which only the threaded
+               backend's closure tree supports — a profiled jit request runs
+               threaded so the hot-function table is per-function, not one
+               opaque entry *)
+            Native.compile c, None
+        in
+        let main = Wir.main c.Pipeline.program in
+        let arg_tys =
+          Array.map
+            (fun (v : Wir.var) -> Option.value ~default:Types.expression v.Wir.vty)
+            main.Wir.fparams
+        in
+        let ret_ty = Option.value ~default:Types.expression main.Wir.ret_ty in
+        let wrapped =
+          Compiled_function.wrap ~name ~source:fexpr ~arg_tys ~ret_ty closure
+        in
+        (match disk, key, jit_artifact with
+         | Some d, Some k, Some (art, cmxs) ->
+           Disk_store.store_jit d ~key:k ~art ~cmxs ~arg_tys ~ret_ty
+         | _ -> ());
+        (* keep the pipeline result reachable for tooling *)
+        pipelines_put wrapped.Compiled_function.cf_name c;
+        Native wrapped
+  in
+  match key with
+  | None -> build ()
+  | Some key ->
     (* per-key in-flight dedup: two domains compiling the same source see
-       one compile; the second blocks briefly and shares the result *)
+       one compile; the second blocks briefly and shares the result.
+       Tiered entries are cached too: the instance (with its heat and its
+       promoted closure) is shared by every requester of the same
+       (source, options, name), so one wolfd session's heat promotes for
+       all of them. *)
     Compile_cache.find_or_compute compile_cache key ~build
 
-let function_compile_src ?options ?target ?name src =
-  function_compile ?options ?target ?name (Parser.parse src)
+(* Build a tiered callable: tier 0 applies the source through the
+   interpreter; the promotion thunk runs the normal compile path (at
+   opt_level 2, through both cache layers) on the background domain and
+   returns a closure with identical call semantics (admission, soft
+   fallback, abort) to an AOT compile. *)
+and make_tiered ?threshold ?(promote_target = Jit) ~options ~name fexpr =
+  let promote () =
+    let popts = { options with Options.opt_level = 2 } in
+    let target = match promote_target with Tier -> Jit | t -> t in
+    let cf = function_compile ~options:popts ~target ~name fexpr in
+    (* unwrap the common case so a promoted call costs exactly an AOT
+       call: no list round-trip, no re-dispatch through the facade *)
+    (match cf with
+     | Native t -> fun args -> Compiled_function.call t args
+     | Wvm w -> fun args -> Wvm.call w args
+     | Tiered _ -> fun args -> call cf (Array.to_list args))
+  in
+  Tier.create ?threshold ~name ~source:fexpr ~promote ()
 
-let call cf args =
+and call cf args =
   init ();
   match cf with
   | Native t -> Compiled_function.call t (Array.of_list args)
   | Wvm w -> Wvm.call w (Array.of_list args)
+  | Tiered t -> Tier.call t (Array.of_list args)
+
+let tiered ?options ?threshold ?promote_target ?(name = "Main") fexpr =
+  init ();
+  let opts = Option.value ~default:Options.default options in
+  Tiered (make_tiered ?threshold ?promote_target ~options:opts ~name fexpr)
+
+let tier_of = function
+  | Tiered t -> Some t
+  | Native _ | Wvm _ -> None
+
+let function_compile_src ?options ?target ?name src =
+  function_compile ?options ?target ?name (Parser.parse src)
 
 let call_values cf args =
   match cf with
   | Native t -> Compiled_function.call_values t (Array.of_list args)
   | Wvm w -> Wvm.call_values w (Array.of_list args)
+  | Tiered t ->
+    Wolf_runtime.Rtval.of_expr
+      (Tier.call t
+         (Array.of_list (List.map Wolf_runtime.Rtval.to_expr args)))
 
 let install name cf =
   init ();
@@ -191,6 +276,13 @@ let install name cf =
     Wolf_kernel.Values.set_compiled_value sym
       { Wolf_runtime.Rtval.arity = Wvm.arity w;
         call = (fun vals -> Wvm.call_values w vals) }
+  | Tiered t ->
+    Wolf_kernel.Values.set_compiled_value sym
+      { Wolf_runtime.Rtval.arity = Tier.arity t;
+        call =
+          (fun vals ->
+            Wolf_runtime.Rtval.of_expr
+              (Tier.call t (Array.map Wolf_runtime.Rtval.to_expr vals))) }
 
 let interpret src =
   init ();
@@ -229,8 +321,8 @@ let export_library ?options ?(name = "Main") ~path src =
 
 let pipeline_of = function
   | Native t -> pipelines_get t.Compiled_function.cf_name
-  | Wvm _ -> None
+  | Wvm _ | Tiered _ -> None
 
 let fallback_count = function
   | Native t -> Atomic.get t.Compiled_function.fallbacks
-  | Wvm _ -> 0
+  | Wvm _ | Tiered _ -> 0

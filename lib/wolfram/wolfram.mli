@@ -13,10 +13,15 @@ type target =
   | Jit              (** ocamlopt native JIT (default; the LLVM stand-in) *)
   | Threaded         (** closure-threaded native backend (no toolchain needed) *)
   | Bytecode         (** the legacy WVM bytecode compiler (the baseline) *)
+  | Tier             (** interpret now, promote to -O2 in the background *)
+
+(** Tiering controller (re-export; see DESIGN.md "Tiered execution"). *)
+module Tier : module type of Tier
 
 type compiled =
   | Native of Wolf_backends.Compiled_function.t
   | Wvm of Wolf_backends.Wvm.compiled_function
+  | Tiered of Tier.t
 
 val init : unit -> unit
 (** Start the kernel session, and install the compiler's auto-compilation
@@ -38,6 +43,24 @@ val function_compile_src :
   ?options:Wolf_compiler.Options.t -> ?target:target -> ?name:string ->
   string -> compiled
 (** Parse then compile. *)
+
+val tiered :
+  ?options:Wolf_compiler.Options.t ->
+  ?threshold:int ->
+  ?promote_target:target ->
+  ?name:string ->
+  Expr.t ->
+  compiled
+(** A [Tiered] callable without touching any cache: tier 0 is the
+    interpreter, and once heat crosses [threshold] (default
+    {!Tier.default_threshold}) a background domain compiles at -O2 via
+    [promote_target] (default [Jit]; [Tier] coerces to [Jit]) and
+    hot-swaps the closure.  [function_compile ~target:Tier] is the cached
+    variant: the instance — heat, state, promoted closure — is shared by
+    everyone who asks for the same (source, options, name). *)
+
+val tier_of : compiled -> Tier.t option
+(** The controller behind a [Tiered] value (state, counters, await). *)
 
 val call : compiled -> Expr.t list -> Expr.t
 (** Apply with full language semantics (boxing, soft failure, abort). *)
@@ -88,3 +111,15 @@ val compile_cache_stats : unit -> Wolf_compiler.Compile_cache.stats
 
 val compile_cache_clear : unit -> unit
 (** Drop all cached compilations and zero the counters. *)
+
+val set_disk_cache : Wolf_compiler.Disk_cache.t option -> unit
+(** Attach (or detach) a persistent on-disk compile cache.  While attached,
+    cacheable compiles probe it between the in-memory cache and the
+    pipeline — WVM images and JIT artifacts (.cmxs + relink recipe) are
+    loaded/stored by the same fingerprint keys; threaded results stay
+    memory-only (closure trees don't marshal).  Attaching registers the
+    cache's metrics source ([disk_cache_*]). *)
+
+val disk_cache : unit -> Wolf_compiler.Disk_cache.t option
+
+val disk_cache_stats : unit -> Wolf_compiler.Disk_cache.stats option

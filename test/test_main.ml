@@ -20,4 +20,5 @@ let () =
       ("fuzz (differential)", Test_fuzz.tests);
       ("parallel (domain safety)", Test_parallel.tests);
       ("obs (tracing/metrics/profiling)", Test_obs.tests);
-      ("serve (wolfd daemon)", Test_serve.tests) ]
+      ("serve (wolfd daemon)", Test_serve.tests);
+      ("tier (adaptive execution + disk cache)", Test_tier.tests) ]

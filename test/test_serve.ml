@@ -11,12 +11,13 @@ module P = Wolf_serve.Protocol
 module C = Wolf_serve.Client
 module S = Wolf_serve.Server
 
-let with_server ?(jobs = 2) ?(queue = 64) ?(max_frame = P.default_max_frame) f =
+let with_server ?(jobs = 2) ?(queue = 64) ?(max_frame = P.default_max_frame)
+    ?(tier = false) ?(tier_threshold = 12) f =
   let path = Filename.temp_file "wolfd" ".sock" in
   let srv =
     S.start
-      { S.socket_path = path; jobs; queue_capacity = queue; max_frame;
-        log = ignore }
+      { (S.default_config ~socket_path:path ()) with
+        S.jobs; queue_capacity = queue; max_frame; tier; tier_threshold }
   in
   Fun.protect
     ~finally:(fun () ->
@@ -405,6 +406,27 @@ let test_fuzz_serve_arm () =
   Alcotest.(check int) "daemon agrees with in-process eval byte-for-byte" 0
     report.Wolf_fuzz.Driver.disagreements
 
+(* ------------------------------------------------------------------ *)
+(* Tiered evaluation inside the daemon                                  *)
+
+let test_tier_eval () =
+  with_server ~tier:true ~tier_threshold:2 @@ fun _ path ->
+  let c = C.connect path in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  let src =
+    "Function[{Typed[n, \"MachineInteger\"]}, \
+     Module[{s = 0}, Do[s = s + i, {i, 1, n}]; s]][100]"
+  in
+  (* drive the session's controller across its promotion threshold: every
+     reply — interpreted, racing the background compile, and promoted —
+     must be the same *)
+  for i = 1 to 8 do
+    check_eval c (Printf.sprintf "tiered eval %d" i) src "5050"
+  done;
+  (* non-literal and non-Function requests still take the plain path *)
+  check_eval c "plain eval unaffected" "1 + 1" "2";
+  check_eval c "symbolic args skip the tier" "Function[{x}, x + y][z]" "y + z"
+
 let tests =
   [ Alcotest.test_case "protocol: codec round-trip + malformed" `Quick
       test_protocol_roundtrip;
@@ -435,4 +457,6 @@ let tests =
     Alcotest.test_case "metrics: sources idempotent across restarts" `Quick
       test_metrics_reregistration;
     Alcotest.test_case "fuzz: serve arm, 0 disagreements" `Quick
-      test_fuzz_serve_arm ]
+      test_fuzz_serve_arm;
+    Alcotest.test_case "tier: session promotion, stable replies" `Quick
+      test_tier_eval ]

@@ -1,0 +1,408 @@
+(* Tiered adaptive execution + persistent disk cache tests: promotion
+   lifecycle (heat from invocations and loop backedges), atomic closure
+   publication under a slow compile, failure/abort handling on the
+   promotion path, a qcheck property interleaving tier-0 evaluation,
+   background promotion and Abort[] injection, and the on-disk layer
+   (round-trip, crash safety via an injected fault before the publishing
+   rename, corrupt-entry handling, eviction, cross-handle reuse, and the
+   facade wiring).  Also the two satellite regressions: repeated calls
+   consult the compile cache once, and the background pool exports a
+   metrics source. *)
+
+open Wolf_wexpr
+module Tier = Wolfram.Tier
+module DC = Wolf_compiler.Disk_cache
+module A = Wolf_base.Abort_signal
+
+let parse = Parser.parse
+
+(* sum of i^2, with a Do loop so every call contributes backedges *)
+let sum_src =
+  "Function[{Typed[n, \"MachineInteger\"]}, \
+   Module[{s = 0}, Do[s = s + i*i, {i, 1, n}]; s]]"
+
+let sum_sq n = n * (n + 1) * (2 * n + 1) / 6
+
+let expect_int what e =
+  match e with
+  | Expr.Int n -> n
+  | e -> Alcotest.failf "%s: expected an integer, got %s" what (Expr.to_string e)
+
+let until ?(timeout = 10.0) ?(what = "condition") pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.005;
+      go ()
+    end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Promotion lifecycle                                                  *)
+
+let test_promotion_lifecycle () =
+  Wolfram.init ();
+  let cf =
+    Wolfram.tiered ~threshold:4 ~promote_target:Wolfram.Threaded
+      ~name:"t_life" (parse sum_src)
+  in
+  let t = Option.get (Wolfram.tier_of cf) in
+  Alcotest.(check string) "starts cold" "cold" (Tier.state_name (Tier.state t));
+  Alcotest.(check int) "tier-0 result" (sum_sq 10)
+    (expect_int "first call" (Wolfram.call cf [ Expr.Int 10 ]));
+  for _ = 2 to 8 do ignore (Wolfram.call cf [ Expr.Int 10 ]) done;
+  (match Tier.await_promotion t with
+   | Tier.Promoted -> ()
+   | s -> Alcotest.failf "promotion ended %s" (Tier.state_name s));
+  Alcotest.(check int) "promoted result equals tier-0 result" (sum_sq 10)
+    (expect_int "promoted call" (Wolfram.call cf [ Expr.Int 10 ]));
+  Alcotest.(check bool) "promoted_at recorded" true
+    (Tier.promoted_at t <> None);
+  Alcotest.(check bool) "heat crossed the threshold" true (Tier.heat t >= 4)
+
+(* one long call must promote about as fast as many short ones: loop
+   backedges (abort-poll delta) count toward heat, so a single hot call
+   with a 10⁴-iteration loop crosses a threshold of 50 alone *)
+let test_backedge_heat () =
+  let cf =
+    Wolfram.tiered ~threshold:50 ~promote_target:Wolfram.Threaded
+      ~name:"t_backedge" (parse sum_src)
+  in
+  let t = Option.get (Wolfram.tier_of cf) in
+  ignore (Wolfram.call cf [ Expr.Int 10_000 ]);
+  Alcotest.(check int) "one invocation" 1 (Tier.calls t);
+  Alcotest.(check bool) "backedges alone heated past the threshold" true
+    (Tier.heat t >= 50);
+  match Tier.await_promotion t with
+  | Tier.Promoted -> ()
+  | s -> Alcotest.failf "promotion ended %s" (Tier.state_name s)
+
+(* the closure slot is read once per call: while a slow promote is in
+   flight every call keeps interpreting and returns the right value; after
+   publication new calls run the compiled closure *)
+let test_publication_hot_swap () =
+  let fexpr = parse sum_src in
+  let promoted_calls = Atomic.make 0 in
+  let t =
+    Tier.create ~threshold:1 ~name:"t_swap" ~source:fexpr
+      ~promote:(fun () ->
+          Thread.delay 0.05;
+          fun args ->
+            Atomic.incr promoted_calls;
+            Wolfram.interpret_expr (Expr.Normal (fexpr, args)))
+      ()
+  in
+  for i = 1 to 100 do
+    let r = expect_int "during promotion" (Tier.call t [| Expr.Int 10 |]) in
+    if r <> sum_sq 10 then Alcotest.failf "call %d returned %d" i r
+  done;
+  (match Tier.force_promote t with
+   | Tier.Promoted -> ()
+   | s -> Alcotest.failf "promotion ended %s" (Tier.state_name s));
+  Alcotest.(check int) "post-swap result" (sum_sq 10)
+    (expect_int "after promotion" (Tier.call t [| Expr.Int 10 |]));
+  Alcotest.(check bool) "compiled closure took over" true
+    (Atomic.get promoted_calls >= 1)
+
+let test_failed_promotion_interprets () =
+  let fexpr = parse sum_src in
+  let t =
+    Tier.create ~threshold:1 ~name:"t_fail" ~source:fexpr
+      ~promote:(fun () -> failwith "toolchain exploded") ()
+  in
+  for _ = 1 to 3 do ignore (Tier.call t [| Expr.Int 5 |]) done;
+  (match Tier.await_promotion t with
+   | Tier.Failed -> ()
+   | s -> Alcotest.failf "expected failed, got %s" (Tier.state_name s));
+  Alcotest.(check int) "keeps interpreting after a failed compile"
+    (sum_sq 5) (expect_int "post-failure call" (Tier.call t [| Expr.Int 5 |]))
+
+(* a compile killed by a stray in-flight Abort[] is the caller's program
+   racing the promotion, not a compile bug: reset to cold and retry *)
+let test_abort_during_compile_retries () =
+  let fexpr = parse sum_src in
+  let attempts = Atomic.make 0 in
+  let t =
+    Tier.create ~threshold:1 ~name:"t_retry" ~source:fexpr
+      ~promote:(fun () ->
+          if Atomic.fetch_and_add attempts 1 = 0 then raise A.Aborted;
+          fun args -> Wolfram.interpret_expr (Expr.Normal (fexpr, args)))
+      ()
+  in
+  ignore (Tier.call t [| Expr.Int 5 |]);
+  until ~what:"first (aborted) promotion attempt"
+    (fun () -> Atomic.get attempts >= 1 && Tier.state t <> Tier.Queued);
+  Alcotest.(check string) "aborted compile resets to cold" "cold"
+    (Tier.state_name (Tier.state t));
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Tier.state t <> Tier.Promoted && Unix.gettimeofday () < deadline do
+    ignore (Tier.call t [| Expr.Int 5 |]);
+    Thread.delay 0.005
+  done;
+  Alcotest.(check string) "second attempt promotes" "promoted"
+    (Tier.state_name (Tier.state t));
+  Alcotest.(check int) "exactly one retry" 2 (Atomic.get attempts)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: tier-0 eval x background promotion x Abort[] at random points *)
+
+let loop_src =
+  "Function[{Typed[n, \"MachineInteger\"]}, \
+   Module[{s = 0, i = 1}, While[i <= n, s = s + i; i = i + 1]; s]]"
+
+let qcheck_interleave =
+  QCheck.Test.make ~count:30
+    ~name:"tier-0 x promotion x Abort[]: agreement, no leaked flags"
+    QCheck.(pair (int_range 1 60) (int_range 0 6))
+    (fun (k, pre_calls) ->
+       let fexpr = parse loop_src in
+       let cf =
+         Wolfram.tiered ~threshold:1 ~promote_target:Wolfram.Threaded
+           ~name:"t_prop" fexpr
+       in
+       let t = Option.get (Wolfram.tier_of cf) in
+       let args = [ Expr.Int 9 ] in
+       let expected = 45 in
+       (* heat up: 0-6 clean calls race the background promotion *)
+       for _ = 1 to pre_calls do ignore (Wolfram.call cf args) done;
+       (* inject an abort after k polls: the call may complete or raise
+          Aborted, and may race the background compile either way *)
+       A.clear ();
+       A.abort_after k;
+       let aborted_call =
+         Fun.protect ~finally:A.clear (fun () ->
+             match Wolfram.call cf args with
+             | e -> Some (expect_int "call under abort" e)
+             | exception A.Aborted -> None)
+       in
+       (match aborted_call with
+        | Some v when v <> expected ->
+          QCheck.Test.fail_reportf "call under abort returned %d" v
+        | _ -> ());
+       (* settle the race deterministically, then the promoted (or, after
+          an abort-killed compile, interpreted) closure must agree *)
+       ignore (Tier.force_promote t);
+       let post = expect_int "post call" (Wolfram.call cf args) in
+       if A.requested () then
+         QCheck.Test.fail_report "abort flag leaked past the tier machinery";
+       if post <> expected then
+         QCheck.Test.fail_reportf "post-promotion call returned %d" post;
+       true)
+
+(* ------------------------------------------------------------------ *)
+(* Disk cache                                                           *)
+
+let with_dc ?budget_bytes f =
+  let dir = Filename.temp_file "wolf_dc" "" in
+  Sys.remove dir;
+  let dc = DC.open_dir ?budget_bytes dir in
+  Fun.protect ~finally:(fun () -> ignore (DC.clear dc)) (fun () -> f dc)
+
+let test_disk_roundtrip () =
+  with_dc @@ fun dc ->
+  DC.store dc ~key:"k1" ~kind:"jit" "payload-one";
+  Alcotest.(check (option string)) "hit returns the payload"
+    (Some "payload-one") (DC.load dc ~key:"k1" ~kind:"jit");
+  Alcotest.(check (option string)) "other kind is a miss" None
+    (DC.load dc ~key:"k1" ~kind:"wvm");
+  let s = DC.stats dc in
+  Alcotest.(check int) "writes" 1 s.DC.writes;
+  Alcotest.(check int) "hits" 1 s.DC.hits;
+  Alcotest.(check int) "misses" 1 s.DC.misses;
+  Alcotest.(check int) "lookups = hits + misses" s.DC.lookups
+    (s.DC.hits + s.DC.misses);
+  Alcotest.(check int) "one live entry" 1 s.DC.entries
+
+(* a writer killed between the temp write and the publishing rename must
+   leave readers with the old entry or a clean miss — never a torn file *)
+let test_disk_crash_safety () =
+  with_dc @@ fun dc ->
+  DC.store dc ~key:"settled" ~kind:"jit" "v1";
+  DC.fault_before_rename := (fun () -> failwith "writer killed mid-publish");
+  Fun.protect
+    ~finally:(fun () -> DC.fault_before_rename := (fun () -> ()))
+    (fun () ->
+       DC.store dc ~key:"settled" ~kind:"jit" "v2-must-not-publish";
+       DC.store dc ~key:"fresh" ~kind:"jit" "torn?");
+  Alcotest.(check (option string)) "overwrite crash: reader sees old entry"
+    (Some "v1") (DC.load dc ~key:"settled" ~kind:"jit");
+  Alcotest.(check (option string)) "fresh-key crash: clean miss" None
+    (DC.load dc ~key:"fresh" ~kind:"jit");
+  let intact, problems = DC.verify dc in
+  Alcotest.(check int) "the settled entry is intact" 1 intact;
+  Alcotest.(check (list (pair string string))) "no torn entries on disk" []
+    problems;
+  Alcotest.(check bool) "failed publishes counted as errors" true
+    ((DC.stats dc).DC.errors >= 2)
+
+let test_disk_corrupt_entry () =
+  with_dc @@ fun dc ->
+  DC.store dc ~key:"kc" ~kind:"jit" "trustworthy bytes";
+  (* smash the artifact on disk behind the cache's back *)
+  let objects = Filename.concat (DC.dir dc) "objects" in
+  let smashed = ref 0 in
+  Array.iter
+    (fun shard ->
+       let sd = Filename.concat objects shard in
+       if Sys.is_directory sd then
+         Array.iter
+           (fun f ->
+              let oc = open_out (Filename.concat sd f) in
+              output_string oc "garbage";
+              close_out oc;
+              incr smashed)
+           (Sys.readdir sd))
+    (Sys.readdir objects);
+  Alcotest.(check int) "found the artifact to corrupt" 1 !smashed;
+  Alcotest.(check (option string)) "corrupt entry reads as a miss" None
+    (DC.load dc ~key:"kc" ~kind:"jit");
+  Alcotest.(check bool) "corruption counted" true ((DC.stats dc).DC.errors >= 1);
+  Alcotest.(check int) "corrupt entry deleted on sight" 0
+    (DC.stats dc).DC.entries
+
+let test_disk_eviction () =
+  with_dc ~budget_bytes:600 @@ fun dc ->
+  for i = 1 to 8 do
+    DC.store dc ~key:(Printf.sprintf "k%d" i) ~kind:"jit" (String.make 200 'x')
+  done;
+  let s = DC.stats dc in
+  Alcotest.(check bool) "evicted down toward the budget" true
+    (s.DC.evictions > 0 && s.DC.entries < 8);
+  Alcotest.(check bool) "stayed near the byte budget" true (s.DC.bytes <= 800)
+
+let test_disk_second_handle () =
+  with_dc @@ fun dc ->
+  DC.store dc ~key:"shared" ~kind:"jit" "written by handle A";
+  (* a second handle on the same directory (same binary: the exe-digest
+     guard admits the entry) models a second wolfc process warming up *)
+  let dc2 = DC.open_dir (DC.dir dc) in
+  Alcotest.(check (option string)) "handle B hits handle A's entry"
+    (Some "written by handle A") (DC.load dc2 ~key:"shared" ~kind:"jit");
+  let s = DC.stats dc2 in
+  Alcotest.(check int) "clean reuse: no misses on handle B" 0 s.DC.misses
+
+(* facade wiring: a cacheable compile publishes to the attached disk
+   cache, and once the in-memory layer is dropped the next compile is a
+   disk hit that skips the whole pipeline *)
+let test_disk_facade_wiring () =
+  with_dc @@ fun dc ->
+  Wolfram.set_disk_cache (Some dc);
+  Fun.protect ~finally:(fun () -> Wolfram.set_disk_cache None)
+    (fun () ->
+       let src = "Function[{Typed[n, \"MachineInteger\"]}, n*2 + 12]" in
+       let cf1 =
+         Wolfram.function_compile_src ~target:Wolfram.Bytecode
+           ~name:"t_disk" src
+       in
+       Alcotest.(check int) "fresh compile result" 22
+         (expect_int "cf1" (Wolfram.call cf1 [ Expr.Int 5 ]));
+       Alcotest.(check bool) "compile published to disk" true
+         ((DC.stats dc).DC.writes >= 1);
+       Wolfram.compile_cache_clear ();
+       let cf2 =
+         Wolfram.function_compile_src ~target:Wolfram.Bytecode
+           ~name:"t_disk" src
+       in
+       Alcotest.(check int) "disk-revived compile result" 22
+         (expect_int "cf2" (Wolfram.call cf2 [ Expr.Int 5 ]));
+       Alcotest.(check bool) "second compile hit the disk layer" true
+         ((DC.stats dc).DC.hits >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite regressions                                                *)
+
+(* `wolfc run --repeat N` resolves the compile once and loops the call:
+   the cache must be consulted once, not N times *)
+let test_repeat_single_cache_lookup () =
+  Tier.drain ();  (* quiesce background promotions racing the counters *)
+  let src = "Function[{Typed[n, \"MachineInteger\"]}, n*3]" in
+  let before = (Wolfram.compile_cache_stats ()).Wolf_compiler.Compile_cache.lookups in
+  let cf =
+    Wolfram.function_compile_src ~target:Wolfram.Threaded ~name:"t_repeat" src
+  in
+  for _ = 1 to 10 do
+    Alcotest.(check int) "repeat call" 12
+      (expect_int "repeat" (Wolfram.call cf [ Expr.Int 4 ]))
+  done;
+  let after = (Wolfram.compile_cache_stats ()).Wolf_compiler.Compile_cache.lookups in
+  Alcotest.(check int) "cache consulted once for 10 repeats" 1 (after - before)
+
+(* the shared background pool registers a pull-time metrics source *)
+let test_executor_metrics_source () =
+  let cf =
+    Wolfram.tiered ~threshold:1 ~promote_target:Wolfram.Threaded
+      ~name:"t_exec" (parse sum_src)
+  in
+  let t = Option.get (Wolfram.tier_of cf) in
+  ignore (Wolfram.call cf [ Expr.Int 100 ]);  (* queues a background job *)
+  (match Tier.await_promotion t with
+   | Tier.Promoted -> ()
+   | s -> Alcotest.failf "promotion ended %s" (Tier.state_name s));
+  (match Tier.executor_stats () with
+   | Some s ->
+     Alcotest.(check bool) "pool executed promotions" true
+       (s.Wolf_parallel.Executor.executed >= 1)
+   | None -> Alcotest.fail "background pool exists but exports no stats");
+  let samples = Wolf_obs.Metrics.samples () in
+  let has name =
+    List.exists
+      (fun s ->
+         s.Wolf_obs.Metrics.s_name = name
+         && List.assoc_opt "pool" s.Wolf_obs.Metrics.s_labels = Some "tier")
+      samples
+  in
+  List.iter
+    (fun m ->
+       Alcotest.(check bool) (m ^ " sample present") true (has m))
+    [ "executor_queue_depth"; "executor_running"; "executor_utilization";
+      "executor_executed" ]
+
+let test_shutdown () =
+  Tier.drain ();
+  Tier.shutdown ();
+  (* promotions after a shutdown recreate the pool *)
+  let cf =
+    Wolfram.tiered ~threshold:1 ~promote_target:Wolfram.Threaded
+      ~name:"t_after_shutdown" (parse sum_src)
+  in
+  let t = Option.get (Wolfram.tier_of cf) in
+  ignore (Wolfram.call cf [ Expr.Int 10 ]);
+  (match Tier.await_promotion t with
+   | Tier.Promoted -> ()
+   | s -> Alcotest.failf "post-shutdown promotion ended %s" (Tier.state_name s));
+  Tier.shutdown ()
+
+let tests =
+  [ Alcotest.test_case "promotion: lifecycle cold -> promoted" `Quick
+      test_promotion_lifecycle;
+    Alcotest.test_case "promotion: loop backedges count as heat" `Quick
+      test_backedge_heat;
+    Alcotest.test_case "publication: calls stay correct across the swap" `Quick
+      test_publication_hot_swap;
+    Alcotest.test_case "promotion: compile failure parks at failed" `Quick
+      test_failed_promotion_interprets;
+    Alcotest.test_case "promotion: abort-killed compile retries" `Quick
+      test_abort_during_compile_retries;
+    QCheck_alcotest.to_alcotest qcheck_interleave;
+    Alcotest.test_case "disk: store/load round-trip + stats" `Quick
+      test_disk_roundtrip;
+    Alcotest.test_case "disk: crash before rename is old-or-miss" `Quick
+      test_disk_crash_safety;
+    Alcotest.test_case "disk: corrupt entry is a miss, then deleted" `Quick
+      test_disk_corrupt_entry;
+    Alcotest.test_case "disk: size budget evicts oldest-first" `Quick
+      test_disk_eviction;
+    Alcotest.test_case "disk: second handle reuses warm entries" `Quick
+      test_disk_second_handle;
+    Alcotest.test_case "disk: facade publishes and revives compiles" `Quick
+      test_disk_facade_wiring;
+    Alcotest.test_case "repeat: one cache lookup for N calls" `Quick
+      test_repeat_single_cache_lookup;
+    Alcotest.test_case "metrics: background pool exports a source" `Quick
+      test_executor_metrics_source;
+    Alcotest.test_case "shutdown: pool joins and recreates" `Quick
+      test_shutdown ]
