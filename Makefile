@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke bench-json bench-serve-json bench-tier-json smoke fuzz-smoke par-smoke obs-smoke serve-smoke tier-smoke fuzz clean
+.PHONY: all build test check bench bench-smoke bench-json bench-serve-json bench-tier-json bench-parloop-json smoke fuzz-smoke par-smoke par-loop-smoke obs-smoke serve-smoke tier-smoke fuzz clean
 
 all: build
 
@@ -18,6 +18,7 @@ check: build
 	dune runtest
 	$(MAKE) fuzz-smoke
 	$(MAKE) par-smoke
+	$(MAKE) par-loop-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) tier-smoke
@@ -51,6 +52,26 @@ fuzz-smoke: build
 # fuzz hooks) and must produce exactly the tallies of the sequential run
 par-smoke: build
 	dune exec bin/wolfc.exe -- fuzz --seed 1 --count 200 --quiet --jobs 4
+
+# data-parallel loop smoke (DESIGN.md "Data-parallel loops"): a fixed-seed
+# differential campaign through the par arm — every program compiles with
+# parallel-loops on and must agree with the interpreter at jobs=1, jobs=4
+# (measured schedules) and jobs=4 under forced dynamic chunking, including
+# mid-loop Abort[] injection; the campaign fails if the pass parallelises
+# zero loops (generator drift guard).  The exported metrics must carry the
+# parloop chunk counter and per-loop speedup gauge and pass obs-check, and
+# a quick E15 bench pass must prove jobs=4 == jobs=1 outputs
+par-loop-smoke: build
+	dune exec bin/wolfc.exe -- fuzz --seed 42 --count 500 --quiet \
+	  --backends par --jobs 4 --metrics-out /tmp/wolf_parloop_metrics.json
+	grep -q 'parloop_chunks_total' /tmp/wolf_parloop_metrics.json
+	grep -q 'parloop_speedup' /tmp/wolf_parloop_metrics.json
+	dune exec bin/wolfc.exe -- obs-check /tmp/wolf_parloop_metrics.json
+	dune exec bench/main.exe -- parloop --quick
+
+# full-size E15 run refreshing the machine-readable record
+bench-parloop-json: build
+	dune exec bench/main.exe -- parloop --json
 
 # observability smoke: compile and run one benchmark-shaped program with
 # tracing, profiling and metrics all on, then validate every output with

@@ -872,14 +872,188 @@ let tier_bench () =
   Wolfram.Tier.shutdown ()
 
 (* ------------------------------------------------------------------ *)
+(* E15: data-parallel loops — map / reduce / fused map+reduce timed at
+   jobs 1/2/4 with the measured schedule the runtime settled on.  The
+   schedule cache is cleared per jobs level so every level pays (and
+   reports) its own search; output equality between jobs=4 and jobs=1 is
+   part of the record because on a single-core host the honest result is
+   "no speedup, same answers" (the E11 caveat). *)
+
+module PR = Wolf_runtime.Par_runtime
+
+type parloop_row = {
+  pname : string;
+  pkind : string;                            (* map | reduce | fused *)
+  per_jobs : (int * float * string) list;    (* jobs, seconds, schedule *)
+  pequal : bool;                             (* jobs=4 value = jobs=1 value *)
+}
+
+let parloop_programs quick =
+  let map_src =
+    "Function[{Typed[n, \"MachineInteger\"]}, \
+     Module[{a = ConstantArray[0.0, n], i = 1}, \
+     While[i <= n, a[[i]] = 0.5*i + 1.0; i = i + 1]; a[[n]]]]"
+  in
+  let reduce_src =
+    "Function[{Typed[n, \"MachineInteger\"]}, \
+     Module[{s = 0.0, i = 1}, \
+     While[i <= n, s = s + Sin[0.001*i]; i = i + 1]; s]]"
+  in
+  let fused_src =
+    "Function[{Typed[n, \"MachineInteger\"]}, \
+     Module[{a = ConstantArray[0.0, n], i = 1, s = 0.0}, \
+     While[i <= n, a[[i]] = 0.5*i + 1.0; i = i + 1]; \
+     i = 1; \
+     While[i <= n, s = s + a[[i]]; i = i + 1]; s]]"
+  in
+  let k = if quick then 1 else 8 in
+  [ ("MapFill", "map", map_src, 250_000 * k);
+    ("SinSum", "reduce", reduce_src, 250_000 * k);
+    ("FillThenSum", "fused", fused_src, 200_000 * k) ]
+
+let parloop_jobs_levels = [ 1; 2; 4 ]
+
+let parloop_bench_rows () =
+  let quick = !quota < 0.5 in
+  let options =
+    { Options.default with
+      Options.parallel_loops = true; opt_level = 2; use_cache = false }
+  in
+  List.map
+    (fun (pname, pkind, src, n) ->
+       let cf =
+         Wolfram.function_compile ~options ~target:Wolfram.Threaded
+           ~name:pname (Parser.parse src)
+       in
+       let call () = Wolfram.call cf [ Expr.Int n ] in
+       (* spawn the helper domains before any timing: once extra domains
+          exist every GC pays multi-domain synchronisation, so the jobs=1
+          arm must be measured in the same world as the jobs=4 arm or the
+          "speedup" mostly measures GC regime change *)
+       ignore
+         (PR.with_jobs 4 (fun () ->
+              PR.with_forced_schedule (PR.Dynamic 8) call));
+       let per_jobs =
+         List.map
+           (fun j ->
+              PR.clear_schedules ();
+              PR.with_jobs j @@ fun () ->
+              ignore (call ());  (* pays the schedule search, fills cache *)
+              let sched =
+                match PR.last_schedule () with
+                | Some s -> PR.schedule_to_string s
+                | None -> "none"
+              in
+              let t = min_over 5 (fun () -> time_once (fun () -> ignore (call ()))) in
+              (j, t, sched))
+           parloop_jobs_levels
+       in
+       let v1 = PR.with_jobs 1 call in
+       let v4 = PR.with_jobs 4 call in
+       let pequal =
+         match (v1, v4) with
+         | Expr.Real a, Expr.Real b ->
+           Float.abs (a -. b)
+           <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+         | a, b -> Expr.equal a b
+       in
+       { pname; pkind; per_jobs; pequal })
+    (parloop_programs quick)
+
+let parloop_json_path : string option ref = ref None
+
+let parloop_speedup4 r =
+  match
+    ( List.find_opt (fun (j, _, _) -> j = 1) r.per_jobs,
+      List.find_opt (fun (j, _, _) -> j = 4) r.per_jobs )
+  with
+  | Some (_, t1, _), Some (_, t4, _) when t4 > 0.0 -> t1 /. t4
+  | _ -> nan
+
+let parloop_write_json path rows =
+  let oc = open_out path in
+  let fl v = Printf.sprintf "%.6e" v in
+  let cores = Wolf_parallel.Pool.default_jobs () in
+  let entry r =
+    let per (j, t, s) =
+      Printf.sprintf
+        "      { \"jobs\": %d, \"seconds\": %s, \"schedule\": \"%s\" }" j
+        (fl t) s
+    in
+    Printf.sprintf
+      "  {\n\
+      \    \"name\": \"%s\",\n\
+      \    \"kind\": \"%s\",\n\
+      \    \"runs\": [\n%s\n    ],\n\
+      \    \"speedup_jobs4\": %s,\n\
+      \    \"jobs4_equals_jobs1\": %b\n  }"
+      r.pname r.pkind
+      (String.concat ",\n" (List.map per r.per_jobs))
+      (fl (parloop_speedup4 r)) r.pequal
+  in
+  let best =
+    List.fold_left (fun acc r -> Float.max acc (parloop_speedup4 r)) 0.0 rows
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"figure\": \"parloop\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"benchmarks\": [\n%s\n  ],\n\
+    \  \"summary\": {\n\
+    \    \"max_speedup_jobs4\": %s,\n\
+    \    \"single_core_host\": %b,\n\
+    \    \"all_outputs_equal\": %b\n  }\n}\n"
+    cores
+    (String.concat ",\n" (List.map entry rows))
+    (fl best) (cores <= 1)
+    (List.for_all (fun r -> r.pequal) rows);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let parloop_bench () =
+  B.Compiled_function.quiet := true;
+  let rows = parloop_bench_rows () in
+  print_table ~title:"Data-parallel loops (E15): jobs scaling per schedule"
+    ~columns:[ "jobs-1"; "jobs-2"; "jobs-4"; "speedup-4"; "sched-4"; "j4=j1" ]
+    (List.map
+       (fun r ->
+          let t j =
+            match List.find_opt (fun (j', _, _) -> j' = j) r.per_jobs with
+            | Some (_, t, _) -> secs (Some t)
+            | None -> "-"
+          in
+          let sched4 =
+            match List.find_opt (fun (j, _, _) -> j = 4) r.per_jobs with
+            | Some (_, _, s) -> s
+            | None -> "-"
+          in
+          ( Printf.sprintf "%s (%s)" r.pname r.pkind,
+            [ t 1; t 2; t 4;
+              Printf.sprintf "%.2fx" (parloop_speedup4 r); sched4;
+              (if r.pequal then "yes" else "NO") ] ))
+       rows);
+  let cores = Wolf_parallel.Pool.default_jobs () in
+  if cores <= 1 then
+    Printf.printf
+      "\nsingle-core host (%d core): speedup <= 1.0x is expected here; the \
+       record proves jobs=4 output equality instead (E11 caveat)\n%!"
+      cores;
+  if not (List.for_all (fun r -> r.pequal) rows) then begin
+    Printf.printf "parloop bench: jobs=4 output DIVERGED from jobs=1\n%!";
+    exit 1
+  end;
+  Option.iter (fun path -> parloop_write_json path rows) !parloop_json_path
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe [all|fig2|table1|fig1|findroot|ablation-inline|\n\
-    \                 ablation-abort|ablation-consts|compile-time|tier|smoke]\n\
+    \                 ablation-abort|ablation-consts|compile-time|tier|\n\
+    \                 parloop|smoke]\n\
     \                [--quick|--paper] [--json] [--jobs=N]\n\
-    \                (--json: fig2 writes BENCH_fig2.json and tier writes\n\
-    \                 BENCH_tier.json;\n\
+    \                (--json: fig2 writes BENCH_fig2.json, tier writes\n\
+    \                 BENCH_tier.json, parloop writes BENCH_parloop.json;\n\
     \                 --jobs=N: compile benchmark arms on N domains, 0 = cores)"
 
 (* smoke: the fast tier-1 gate arm (make check) — feature probes plus the
@@ -901,7 +1075,8 @@ let () =
   end;
   if List.mem "--json" args then begin
     json_path := Some "BENCH_fig2.json";
-    tier_json_path := Some "BENCH_tier.json"
+    tier_json_path := Some "BENCH_tier.json";
+    parloop_json_path := Some "BENCH_parloop.json"
   end;
   List.iter
     (fun a ->
@@ -929,6 +1104,7 @@ let () =
     | "ablation-consts" -> ablation_consts ()
     | "compile-time" -> compile_time ()
     | "tier" -> tier_bench ()
+    | "parloop" -> parloop_bench ()
     | "smoke" -> smoke ()
     | "all" ->
       table1 ();

@@ -169,7 +169,53 @@ let attach_disk_cache dir_opt =
   match resolve_disk_cache dir_opt with
   | None -> ()
   | Some dir ->
-    Wolfram.set_disk_cache (Some (Wolf_compiler.Disk_cache.open_dir dir))
+    Wolfram.set_disk_cache (Some (Wolf_compiler.Disk_cache.open_dir dir));
+    (* measured parallel-loop schedules ride along as a sidecar file *)
+    Wolf_runtime.Par_runtime.set_persist_path
+      (Filename.concat dir "parloop-schedules.bin")
+
+(* ---- data-parallel loops (--parallel-loops[=jobs]) -------------------- *)
+
+let parallel_loops_arg =
+  Arg.(value & opt ~vopt:(Some 0) (some int) None
+       & info [ "parallel-loops" ] ~docv:"JOBS"
+         ~doc:"Recognise data-parallel counted loops (maps over packed \
+               arrays, associative reductions) and run them chunked on the \
+               domain pool, with the chunking chosen by measurement.  \
+               $(docv) sets the worker count; bare flag or 0 uses one per \
+               core.")
+
+let parallel_report_arg =
+  Arg.(value & flag & info [ "parallel-report" ]
+         ~doc:"After the run, print the per-loop parallelisation decisions \
+               (parallelized/rejected with the reason, outlined function, \
+               schedule-cache fingerprint).")
+
+let apply_parallel_loops popt (options : Wolf_compiler.Options.t) =
+  match popt with
+  | None -> options
+  | Some j ->
+    Wolf_runtime.Par_runtime.set_jobs
+      (if j <= 0 then Wolf_parallel.Pool.default_jobs () else j);
+    { options with Wolf_compiler.Options.parallel_loops = true }
+
+let print_parallel_report (pipeline : Wolf_compiler.Pipeline.compiled option) =
+  Printf.printf "\n== parallel loops ==\n";
+  match pipeline with
+  | None -> print_endline "(no pipeline instrumentation for this target)"
+  | Some c ->
+    let entries =
+      List.filter
+        (fun (k, _) ->
+           String.length k >= 8 && String.sub k 0 8 = "parloop.")
+        c.Wolf_compiler.Pipeline.program.Wolf_compiler.Wir.pmeta
+    in
+    if entries = [] then print_endline "(no loops considered)"
+    else
+      List.iter
+        (fun (k, v) ->
+           Printf.printf "%s: %s\n" (String.sub k 8 (String.length k - 8)) v)
+        entries
 
 let tier_flag =
   Arg.(value & flag & info [ "tier" ]
@@ -224,7 +270,8 @@ let print_program_stats (c : Wolf_compiler.Pipeline.compiled) =
     c.Pipeline.inplace_updates
 
 let run_cmd =
-  let run expr file args target tier tier_threshold disk_cache no_abort
+  let run expr file args target tier tier_threshold disk_cache parallel_loops
+      parallel_report no_abort
       no_inline opt_level self dump_after verify_each timings stats json
       repeat profile profile_out trace_out metrics_out metrics_format =
     Wolfram.init ();
@@ -234,9 +281,10 @@ let run_cmd =
     let src = read_program expr file in
     let profiling = profile || profile_out <> None in
     let options =
-      { (options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after
-           ~verify_each)
-        with Wolf_compiler.Options.profile = profiling }
+      apply_parallel_loops parallel_loops
+        { (options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after
+             ~verify_each)
+          with Wolf_compiler.Options.profile = profiling }
     in
     if profiling then Wolf_obs.Profile.set_enabled true;
     with_obs ~trace_out ~metrics_out ~metrics_format @@ fun () ->
@@ -351,6 +399,7 @@ let run_cmd =
            prerr_endline "(no pipeline instrumentation for the bytecode target)"
          end)
     end;
+    if parallel_report then print_parallel_report pipeline;
     (match profile_out with
      | Some path ->
        let oc = open_out path in
@@ -397,7 +446,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"FunctionCompile a program and apply it.")
     Term.(const run $ expr_arg $ file_arg $ args_arg $ target_arg $ tier_flag
-          $ tier_threshold_arg $ disk_cache_arg $ no_abort
+          $ tier_threshold_arg $ disk_cache_arg $ parallel_loops_arg
+          $ parallel_report_arg $ no_abort
           $ no_inline $ opt_level $ self $ dump_after_arg $ verify_each_arg
           $ timings_arg $ stats_arg $ json_arg $ repeat_arg $ profile_arg
           $ profile_out_arg $ trace_out_arg $ metrics_out_arg
@@ -446,6 +496,11 @@ let fuzz_cmd =
     let report = Wolf_fuzz.Driver.run cfg in
     Printf.printf "fuzz: %d programs, %d disagreement(s)\n"
       report.Wolf_fuzz.Driver.generated report.Wolf_fuzz.Driver.disagreements;
+    let par_selected = List.mem Wolf_fuzz.Oracle.Par backends in
+    if par_selected then
+      Printf.printf "fuzz: par arm parallelised %d loop(s) in %d program(s)\n"
+        report.Wolf_fuzz.Driver.par_loops
+        report.Wolf_fuzz.Driver.par_programs;
     List.iter
       (fun (i, case, fs) ->
          Printf.printf "\n== program %d (shrunk to %d nodes) ==\n%s\n" i
@@ -458,7 +513,17 @@ let fuzz_cmd =
                 f.Wolf_fuzz.Oracle.fgot)
            fs)
       report.Wolf_fuzz.Driver.failures;
-    if report.Wolf_fuzz.Driver.disagreements = 0 then 0 else 1
+    if report.Wolf_fuzz.Driver.disagreements <> 0 then 1
+    else if par_selected && count >= 300 && report.Wolf_fuzz.Driver.par_loops = 0
+    then begin
+      (* a sizeable par campaign that never parallelised anything means the
+         pass is rejecting every loop — that is a failure of the arm, not a
+         clean run *)
+      prerr_endline
+        "fuzz: par arm parallelised zero loops in a >=300-program campaign";
+      1
+    end
+    else 0
   in
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
@@ -476,7 +541,10 @@ let fuzz_cmd =
     Arg.(value & opt string "threaded,wvm" & info [ "backends" ] ~docv:"B,B"
            ~doc:"Backends to check differentially: threaded, jit, wvm, c, \
                  serve (replay through an embedded wolfd daemon; point \
-                 programs at an external one with $(b,--serve-socket)).")
+                 programs at an external one with $(b,--serve-socket)), \
+                 tier, par (compile with --parallel-loops and compare \
+                 jobs=1 vs jobs=4 vs forced dynamic chunking, including \
+                 mid-loop abort injection).")
   in
   let no_strings_arg =
     Arg.(value & flag & info [ "no-strings" ]
@@ -814,8 +882,11 @@ let socket_arg =
 
 let wolfd_cmd =
   let run socket jobs queue max_frame quiet tier tier_threshold disk_cache
-      trace_out metrics_out metrics_format =
+      parallel_loops trace_out metrics_out metrics_format =
     with_obs ~trace_out ~metrics_out ~metrics_format @@ fun () ->
+    (match parallel_loops with
+     | Some j when j > 0 -> Wolf_runtime.Par_runtime.set_jobs j
+     | _ -> ());
     let cfg =
       { Wolf_serve.Server.socket_path = socket;
         jobs = (if jobs <= 0 then Wolf_parallel.Pool.default_jobs () else jobs);
@@ -824,7 +895,8 @@ let wolfd_cmd =
         log = (if quiet then ignore else prerr_endline);
         tier;
         tier_threshold;
-        disk_cache_dir = resolve_disk_cache disk_cache }
+        disk_cache_dir = resolve_disk_cache disk_cache;
+        parallel_loops = parallel_loops <> None }
     in
     let srv = Wolf_serve.Server.start cfg in
     (* runs until a client sends the shutdown op (or the process is killed;
@@ -858,7 +930,8 @@ let wolfd_cmd =
              deadlines and cancellation.")
     Term.(const run $ socket_arg $ jobs_arg $ queue_arg $ max_frame_arg
           $ quiet_arg $ tier_flag $ tier_threshold_arg $ disk_cache_arg
-          $ trace_out_arg $ metrics_out_arg $ metrics_format_arg)
+          $ parallel_loops_arg $ trace_out_arg $ metrics_out_arg
+          $ metrics_format_arg)
 
 let connect_cmd =
   let run socket expr file deadline_ms =

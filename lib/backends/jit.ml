@@ -123,9 +123,16 @@ let link_artifact ~cmxs art =
   Wolf_obs.Trace.with_span ~cat:"codegen" "jit-dynlink" @@ fun () ->
   Mutex.lock dynlink_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock dynlink_lock) @@ fun () ->
-  (* host-side constants must be visible before the module initialises *)
+  (* host-side constants must be visible before the module initialises;
+     the linked module pools each constant for its lifetime, so hold a
+     claim on tensors — a COW store then copies instead of mutating the
+     pooled value on the next call *)
   List.iter
-    (fun (key, rt) -> Wolf_plugin.register key (Obj.repr (rt : Rtval.t)))
+    (fun (key, rt) ->
+       (match rt with
+        | Rtval.Tensor t -> Wolf_wexpr.Tensor.acquire t
+        | _ -> ());
+       Wolf_plugin.register key (Obj.repr (rt : Rtval.t)))
     art.a_constants;
   (match Dynlink.loadfile_private cmxs with
    | () ->

@@ -73,7 +73,12 @@ let get_r ctx op : frame -> float =
 
 let get_o ctx op : frame -> Rtval.t =
   match op with
-  | Oconst c -> let v = const_rtval c in fun _ -> v
+  | Oconst c ->
+    let v = const_rtval c in
+    (* the closure pools this value across calls: hold a claim so a COW
+       store inside the function copies instead of mutating the pool *)
+    (match v with Rtval.Tensor t -> Wolf_wexpr.Tensor.acquire t | _ -> ());
+    fun _ -> v
   | Ovar v ->
     let s = slot_of ctx v in
     (match s.bank with

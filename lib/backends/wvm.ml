@@ -112,6 +112,9 @@ let rec compile_expr st e =
     r
   | Expr.Tensor t ->
     let r = fresh_reg st in
+    (* the instruction array pools this tensor across executions: hold a
+       claim so SetPart's COW copies instead of mutating the constant *)
+    Tensor.acquire t;
     ignore (emit st (ConstV { dst = r; v = WT t }));
     r
   | Expr.Str _ ->
@@ -144,6 +147,7 @@ let rec compile_expr st e =
     (match Rtval.of_expr e with
      | Rtval.Tensor t ->
        let r = fresh_reg st in
+       Tensor.acquire t;  (* pooled in the instruction array, see above *)
        ignore (emit st (ConstV { dst = r; v = WT t }));
        r
      | _ -> escape st e)

@@ -1,0 +1,61 @@
+(* Indirect-call promotion.
+
+   The lowerer gives every applied [Function] literal the general shape
+
+     c = New_closure { fname; captured }
+     r = Call { callee = Indirect c; args }
+
+   even when the closure never escapes — the common case for the
+   [f /@ list] / [Fold[f, …]] macro expansions, whose lambda is applied
+   exactly once per iteration inside the loop the macro built.  The
+   indirection blocks every later pass: the inliner only considers direct
+   [Func] calls, and the parallel-loop recognizer must reject bodies with
+   indirect calls (it cannot prove them pure).
+
+   When the callee is locally evident — the call operand chases through SSA
+   copies to a [New_closure] in the same function — the call is rewritten to
+   a direct [Func] call with the captured operands prepended (the lifted
+   function's parameter convention, see {!Lower.lower_closure}).  This is
+   sound: the closure value is immutable, the captured operands dominate the
+   [New_closure] which dominates (transitively through the copy chain) the
+   call site, and {!Infer} already unified argument and result types through
+   the closure's [Types.Fun] type.  The [New_closure] itself is left for DCE
+   to collect once no other use remains.
+
+   Promoted lambdas are additionally marked inlinable: [finline] is false on
+   lifted closures only because inlining never applied to them — as the
+   target of a direct call they are ordinary small functions. *)
+
+open Wir
+
+let promote_in_func (p : program) (f : func) =
+  let def_of = Analysis.def_table f in
+  let changed = ref false in
+  List.iter
+    (fun b ->
+       b.instrs <-
+         List.map
+           (fun i ->
+              match i with
+              | Call { dst; callee = Indirect (Ovar c); args } -> (
+                match Analysis.resolved_def def_of c with
+                | Some (New_closure { fname; captured; _ }) -> (
+                  match Wir.find_func p fname with
+                  | Some lifted
+                    when Array.length lifted.fparams
+                         = Array.length captured + Array.length args ->
+                    changed := true;
+                    if lifted.fname <> f.fname then lifted.finline <- true;
+                    Call
+                      { dst;
+                        callee = Func fname;
+                        args = Array.append captured args }
+                  | _ -> i)
+                | _ -> i)
+              | i -> i)
+           b.instrs)
+    f.blocks;
+  !changed
+
+let run (p : program) =
+  List.fold_left (fun acc f -> promote_in_func p f || acc) false p.funcs

@@ -1,0 +1,9 @@
+(** Indirect-call promotion: rewrite [Call (Indirect c)] where [c] chases to
+    a same-function [New_closure] into a direct [Func] call with the captured
+    operands prepended, and mark the lifted lambda inlinable.  Member of the
+    optimisation fixpoint; feeds {!Opt_inline} (which only sees direct calls)
+    and thereby {!Opt_parloop} (whose safety analysis rejects loops with
+    indirect calls). *)
+
+val run : Wir.program -> bool
+(** Returns whether anything changed. *)

@@ -1,0 +1,15 @@
+(** Data-parallel loop recognition ([Options.parallel_loops]).
+
+    Outlines innermost counted loops with a single carried accumulator —
+    map-style [part_set_1] chains indexed by the induction variable, or
+    associative Plus/Times/Min/Max reductions — into fresh
+    [<fname>$par<k>] functions and replaces them with guarded calls to the
+    [parallel_for_map] / [parallel_reduce] runtime primitives
+    ({!Wolf_runtime.Par_runtime}), which own chunking, measured schedule
+    search and merging.  Runs once after the optimisation fixpoint, before
+    the mutability/abort/memory obligation passes.  Appends per-loop
+    decisions ([parallelized …] / [rejected: reason]) to [program.pmeta]
+    under ["parloop."] keys. *)
+
+val run : Wir.program -> bool
+(** Returns whether any loop was outlined. *)

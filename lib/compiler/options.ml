@@ -14,6 +14,7 @@ type t = {
   loop_opts : bool;
   abort_stride : int;
   profile : bool;
+  parallel_loops : bool;
 }
 
 let default = {
@@ -32,6 +33,7 @@ let default = {
   loop_opts = true;
   abort_stride = 1024;
   profile = false;
+  parallel_loops = false;
 }
 
 let to_macro_options t =
@@ -57,4 +59,5 @@ let fingerprint t =
       "cache=" ^ string_of_bool t.use_cache;
       "loops=" ^ string_of_bool t.loop_opts;
       "stride=" ^ string_of_int t.abort_stride;
-      "profile=" ^ string_of_bool t.profile ]
+      "profile=" ^ string_of_bool t.profile;
+      "parloops=" ^ string_of_bool t.parallel_loops ]

@@ -27,6 +27,10 @@ type t = {
                                  counts and self-time
                                  ({!Wolf_obs.Profile}; wolfc
                                  [run --profile]) *)
+  parallel_loops : bool;     (** recognise parallelisable counted loops and
+                                 lower them onto the domain pool
+                                 ({!Opt_parloop}; wolfc
+                                 [run --parallel-loops]) *)
 }
 
 val default : t

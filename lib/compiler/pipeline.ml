@@ -37,6 +37,7 @@ let opt_passes ~(options : Options.t) =
   let max_instrs = if options.Options.opt_level >= 2 then 96 else 48 in
   [ Pass_manager.mk "fold" Opt_fold.run;
     Pass_manager.mk "simplify-cfg" Opt_simplify_cfg.run;
+    Pass_manager.mk "indirect" Opt_indirect.run;
     Pass_manager.mk "cse" Opt_cse.run ]
   @ (if options.Options.loop_opts then [ Pass_manager.mk "licm" Opt_licm.run ] else [])
   @ [ Pass_manager.mk "dce" Opt_dce.run;
@@ -103,6 +104,11 @@ let compile ?(options = Options.default) ?type_env ?macro_env ?(user_passes = []
     ignore
       (Pass_manager.run_fixpoint ~budget:(fixpoint_budget options) mgr
          (opt_passes ~options) prog);
+  if options.Options.parallel_loops && options.Options.opt_level > 0 then
+    ignore
+      (Pass_manager.run_pass mgr
+         (Pass_manager.mk "parallel-loops" Opt_parloop.run)
+         prog);
   List.iter
     (fun up ->
        ignore
@@ -146,7 +152,11 @@ let compile ?(options = Options.default) ?type_env ?macro_env ?(user_passes = []
   prog.Wir.pmeta <-
     [ ("AbortHandling", string_of_bool options.Options.abort_handling);
       ("InlineLevel", string_of_int options.Options.inline_level);
-      ("OptimizationLevel", string_of_int options.Options.opt_level) ];
+      ("OptimizationLevel", string_of_int options.Options.opt_level) ]
+    @ List.filter
+        (fun (k, _) ->
+           String.length k >= 8 && String.sub k 0 8 = "parloop.")
+        prog.Wir.pmeta;
   {
     program = prog;
     resolution;

@@ -16,10 +16,13 @@ type expr =
   | Part of string * expr
   | StrJoin of expr * expr
   | ConstArr of expr * int
+  | MapArr of string * expr * expr
+  | FoldMM of string * string * string * expr * expr
 
 type stmt =
   | Assign of string * ty * expr
   | PartSet of string * expr * expr
+  | PartSetIv of string * string * expr
   | SIf of expr * stmt list * stmt list
   | While of string * int * stmt list
   | DoLoop of string * int * stmt list
@@ -54,6 +57,8 @@ let expr_ty = function
   | Part _ -> TInt
   | StrJoin _ -> TStr
   | ConstArr _ -> TArr
+  | MapArr _ -> TArr
+  | FoldMM _ -> TInt
 
 let ty_name = function
   | TInt -> {|"MachineInteger"|}
@@ -87,6 +92,11 @@ let rec expr_src e =
   | Part (v, i) -> Printf.sprintf "%s[[%s]]" v (clamped_index v i)
   | StrJoin (a, b) -> Printf.sprintf "(%s <> %s)" (expr_src a) (expr_src b)
   | ConstArr (e, k) -> Printf.sprintf "ConstantArray[%s, %d]" (expr_src e) k
+  | MapArr (x, b, a) ->
+    Printf.sprintf "Map[Function[{%s}, %s], %s]" x (expr_src b) (expr_src a)
+  | FoldMM (op, s, x, init, a) ->
+    Printf.sprintf "Fold[Function[{%s, %s}, %s[%s, %s]], %s, %s]" s x op s x
+      (expr_src init) (expr_src a)
 
 and clamped_index v i =
   (* always in [1, Length[v]]: arrays are non-empty by construction *)
@@ -115,6 +125,11 @@ let rec stmt_src ind s =
   | Assign (v, _, e) -> Printf.sprintf "%s%s = %s" pad v (expr_src e)
   | PartSet (v, i, e) ->
     Printf.sprintf "%s%s[[%s]] = %s" pad v (clamped_index v i) (expr_src e)
+  | PartSetIv (v, i, e) ->
+    (* raw induction-variable index: the generator guarantees the counter
+       stays within the array bounds, so no clamp — this is the store shape
+       the parallel-loops pass recognises *)
+    Printf.sprintf "%s%s[[%s]] = %s" pad v i (expr_src e)
   | SIf (c, ts, []) ->
     Printf.sprintf "%sIf[%s,\n%s]" pad (expr_src c) (stmts_src (ind + 1) ts)
   | SIf (c, ts, fs) ->
@@ -173,13 +188,16 @@ let rec expr_size e =
      | StrJoin (a, b) ->
        expr_size a + expr_size b
      | Un (_, _, a) | Part (_, a) | ConstArr (a, _) -> expr_size a
-     | If (_, c, t, f) -> expr_size c + expr_size t + expr_size f)
+     | If (_, c, t, f) -> expr_size c + expr_size t + expr_size f
+     | MapArr (_, b, a) -> expr_size b + expr_size a
+     | FoldMM (_, _, _, i, a) -> expr_size i + expr_size a)
 
 let rec stmt_size s =
   1
   + (match s with
      | Assign (_, _, e) -> expr_size e
      | PartSet (_, i, e) -> expr_size i + expr_size e
+     | PartSetIv (_, _, e) -> expr_size e
      | SIf (c, ts, fs) -> expr_size c + stmts_size ts + stmts_size fs
      | While (_, _, body) | DoLoop (_, _, body) -> stmts_size body)
 
@@ -201,11 +219,14 @@ let rec expr_strings e =
     expr_strings a || expr_strings b
   | Un (_, _, a) | Part (_, a) | ConstArr (a, _) -> expr_strings a
   | If (_, c, t, f) -> expr_strings c || expr_strings t || expr_strings f
+  | MapArr (_, b, a) -> expr_strings b || expr_strings a
+  | FoldMM (_, _, _, i, a) -> expr_strings i || expr_strings a
 
 let rec stmt_strings s =
   match s with
   | Assign (_, _, e) -> expr_strings e
   | PartSet (_, i, e) -> expr_strings i || expr_strings e
+  | PartSetIv (_, _, e) -> expr_strings e
   | SIf (c, ts, fs) ->
     expr_strings c || List.exists stmt_strings ts || List.exists stmt_strings fs
   | While (_, _, body) | DoLoop (_, _, body) -> List.exists stmt_strings body
@@ -215,3 +236,30 @@ let uses_strings f =
   || List.exists (fun l -> l.lty = TStr || expr_strings l.linit) (f.withs @ f.locals)
   || List.exists stmt_strings f.body
   || expr_strings f.result
+
+(* [Map]/[Fold] with an explicit [Function] literal: representable by the
+   compiler pipeline (the closure is promoted to a direct call) but not by
+   the legacy bytecode compiler, which has no function values *)
+let rec expr_closures e =
+  match e with
+  | MapArr _ | FoldMM _ -> true
+  | Int _ | Real _ | Bool _ | Str _ | Arr _ | Var _ -> false
+  | Bin (_, _, a, b) | Cmp (_, _, a, b) | And (a, b) | Or (a, b)
+  | StrJoin (a, b) ->
+    expr_closures a || expr_closures b
+  | Un (_, _, a) | Part (_, a) | ConstArr (a, _) -> expr_closures a
+  | If (_, c, t, f) -> expr_closures c || expr_closures t || expr_closures f
+
+let rec stmt_closures s =
+  match s with
+  | Assign (_, _, e) | PartSetIv (_, _, e) -> expr_closures e
+  | PartSet (_, i, e) -> expr_closures i || expr_closures e
+  | SIf (c, ts, fs) ->
+    expr_closures c || List.exists stmt_closures ts
+    || List.exists stmt_closures fs
+  | While (_, _, body) | DoLoop (_, _, body) -> List.exists stmt_closures body
+
+let uses_closures f =
+  List.exists (fun l -> expr_closures l.linit) (f.withs @ f.locals)
+  || List.exists stmt_closures f.body
+  || expr_closures f.result

@@ -27,10 +27,18 @@ type expr =
   | Part of string * expr              (** [v[[1 + Mod[idx, Length[v]]]]] *)
   | StrJoin of expr * expr
   | ConstArr of expr * int             (** [ConstantArray[e, k]], k >= 1 *)
+  | MapArr of string * expr * expr     (** [Map[Function[{x}, body], arr]];
+                                           body is [TInt] and may use [x] *)
+  | FoldMM of string * string * string * expr * expr
+      (** [FoldMM (op, s, x, init, arr)] renders
+          [Fold[Function[{s, x}, op[s, x]], init, arr]]; [op] is [Min]/[Max] *)
 
 type stmt =
   | Assign of string * ty * expr
   | PartSet of string * expr * expr    (** clamped index, int value *)
+  | PartSetIv of string * string * expr
+      (** [v[[i]] = e] with a raw counter index the generator keeps in
+          bounds — the store shape the parallel-loops pass recognises *)
   | SIf of expr * stmt list * stmt list
   | While of string * int * stmt list  (** dedicated counter, constant bound *)
   | DoLoop of string * int * stmt list (** [Do[body, {i, k}]] *)
@@ -69,3 +77,8 @@ val expr_size : expr -> int
 val uses_strings : fn -> bool
 (** True when the program touches strings anywhere — such programs are not
     WVM-representable (L1). *)
+
+val uses_closures : fn -> bool
+(** True when the program contains a [Function] literal ([MapArr]/[FoldMM]) —
+    the legacy bytecode compiler has no function values, so such programs
+    are not WVM-representable either. *)

@@ -22,6 +22,8 @@ type report = {
   disagreements : int;
   failures : (int * Ast.case * Oracle.failure list) list;
   written : string list;
+  par_programs : int;
+  par_loops : int;
 }
 
 (* program i depends on (seed, i) only: regenerating one program never
@@ -41,7 +43,8 @@ let write_corpus ~dir ~name ~note (case : Ast.case) =
   Printf.fprintf oc "(* %s *)\n" note;
   Printf.fprintf oc "(* args: {%s} *)\n"
     (String.concat ", " (List.map Ast.arg_source case.Ast.args));
-  if Ast.uses_strings case.Ast.fn then Printf.fprintf oc "(* wvm: false *)\n";
+  if Ast.uses_strings case.Ast.fn || Ast.uses_closures case.Ast.fn then
+    Printf.fprintf oc "(* wvm: false *)\n";
   output_string oc (Ast.to_source case.Ast.fn);
   output_char oc '\n';
   close_out oc;
@@ -120,11 +123,23 @@ let check_entry ?backends ?levels entry =
     [ { Oracle.fwhere = "parse"; fexpected = "parseable corpus program";
         fgot = e } ]
   | Ok fexpr ->
-    let c_ok =
+    let has_function_literal =
+      (* an inner Function value is not representable in standalone C *)
+      let rec go = function
+        | Expr.Normal (Expr.Sym h, _) when Symbol.name h = "Function" -> true
+        | Expr.Normal (h, args) -> go h || Array.exists go args
+        | _ -> false
+      in
       match fexpr with
-      | Expr.Normal (_, [| Expr.Normal (_, params); _ |]) ->
-        Array.for_all scalar_param params
+      | Expr.Normal (_, [| _; body |]) -> go body
       | _ -> false
+    in
+    let c_ok =
+      (match fexpr with
+       | Expr.Normal (_, [| Expr.Normal (_, params); _ |]) ->
+         Array.for_all scalar_param params
+       | _ -> false)
+      && not has_function_literal
     in
     Oracle.check_parsed ?backends ?levels ~wvm_ok:entry.ce_wvm ~c_ok fexpr
       (Array.of_list entry.ce_args)
@@ -186,6 +201,7 @@ let run cfg =
     | None -> ()
   in
   Fun.protect ~finally:teardown @@ fun () ->
+  Oracle.reset_par_stats ();
   let done_count = Atomic.make 0 in
   let progress msg =
     if msg = "" then begin
@@ -226,5 +242,11 @@ let run cfg =
             written := path :: !written;
             cfg.log ("  wrote " ^ path)))
     outcomes;
+  let par_programs, par_loops = Oracle.par_stats () in
+  if List.mem Oracle.Par cfg.backends then
+    cfg.log
+      (Printf.sprintf "  par: %d loop(s) parallelised across %d program(s)"
+         par_loops par_programs);
   { generated = cfg.count; disagreements = !disagreements;
-    failures = List.rev !failures; written = List.rev !written }
+    failures = List.rev !failures; written = List.rev !written;
+    par_programs; par_loops }

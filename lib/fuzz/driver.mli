@@ -37,6 +37,10 @@ type report = {
   failures : (int * Ast.case * Oracle.failure list) list;
       (** program index, ALREADY-SHRUNK case, its failures *)
   written : string list;           (** corpus files persisted *)
+  par_programs : int;
+      (** programs where the [par] arm parallelised >= 1 loop (0 when the
+          par backend was not selected) *)
+  par_loops : int;                 (** total loops parallelised by the arm *)
 }
 
 val case_for : config -> int -> Ast.case

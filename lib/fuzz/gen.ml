@@ -45,6 +45,10 @@ let leaf ctx t =
 
 (* ---- expressions ----------------------------------------------------- *)
 
+let fresh_counter ctx prefix =
+  ctx.counters <- ctx.counters + 1;
+  Printf.sprintf "%s%d" prefix ctx.counters
+
 let rec expr ctx t depth =
   spend ctx;
   if depth <= 0 || ctx.fuel <= 0 then leaf ctx t
@@ -61,6 +65,14 @@ let rec expr ctx t depth =
         match arr_var () with
         | Some v -> [ (3, fun () -> Part (v, sub TInt)) ]
         | None -> []
+      in
+      let fold =
+        (* Fold[Function[{s, x}, Min|Max[s, x]], init, arr]: desugars to a
+           counted reduction loop the parallel-loops pass recognises *)
+        [ (1, fun () ->
+              let sv = fresh_counter ctx "s" and xv = fresh_counter ctx "x" in
+              let op = if Rng.bool ctx.rng then "Min" else "Max" in
+              FoldMM (op, sv, xv, sub TInt, sub TArr)) ]
       in
       let strlen =
         if ctx.cfg.strings && (vars_of ctx TStr <> [] || Rng.chance ctx.rng 0.2)
@@ -81,7 +93,7 @@ let rec expr ctx t depth =
            (2, fun () -> Un ("Total", TInt, sub TArr));
            (2, fun () -> Un ("Length", TInt, sub TArr));
            (2, fun () -> If (TInt, sub TBool, sub TInt, sub TInt)) ]
-         @ part @ strlen)
+         @ part @ strlen @ fold)
         ()
     | TReal ->
       Rng.weighted ctx.rng
@@ -123,18 +135,124 @@ let rec expr ctx t depth =
           [ (2, fun () -> Un ("Chars", TArr, sub TStr)) ]
         else []
       in
+      let maparr =
+        (* Map[Function[{x}, body], arr]: desugars to a counted map loop
+           writing a fresh packed array — the parallel-loops pass's map
+           shape.  The lambda variable is visible while the body grows. *)
+        [ (2, fun () ->
+              let x = fresh_counter ctx "f" in
+              let saved = ctx.vars in
+              ctx.vars <- (x, TInt) :: ctx.vars;
+              let body = expr ctx TInt (depth - 1) in
+              ctx.vars <- saved;
+              MapArr (x, body, sub TArr)) ]
+      in
       Rng.weighted ctx.rng
         ([ (5, fun () -> leaf ctx TArr);
            (2, fun () -> Un ("Reverse", TArr, sub TArr));
            (3, fun () -> ConstArr (sub TInt, Rng.range ctx.rng 1 5)) ]
-         @ chars)
+         @ chars @ maparr)
         ()
 
-(* ---- statements ------------------------------------------------------ *)
+(* ---- data-parallel loop shapes --------------------------------------- *)
 
-let fresh_counter ctx prefix =
-  ctx.counters <- ctx.counters + 1;
-  Printf.sprintf "%s%d" prefix ctx.counters
+(* Dedicated counted-loop families for the parallel-loops pass: map-style
+   stores indexed by the counter, single-accumulator real reductions, and
+   deliberately unsafe variants — non-associative accumulation, checked
+   integer accumulation, reads of the array being written — that the pass
+   must leave serial.  Either way the program must agree with the
+   interpreter on every backend; with the [par] oracle arm the safe shapes
+   additionally exercise cross-domain chunked execution. *)
+let par_loop ctx ~depth =
+  spend ctx;
+  let n = Rng.range ctx.rng 12 40 in
+  let c = fresh_counter ctx "c" in
+  ctx.extra_locals <-
+    ctx.extra_locals @ [ { lname = c; lty = TInt; linit = Int 1 } ];
+  let iv = Var (c, TInt) in
+  let add_local name lty linit =
+    ctx.extra_locals <- ctx.extra_locals @ [ { lname = name; lty; linit } ];
+    ctx.vars <- (name, lty) :: ctx.vars;
+    ctx.mutables <- (name, lty) :: ctx.mutables
+  in
+  (* values may read the counter and any *outer* binding; the accumulator
+     is registered only after the value is generated, so the body never
+     reads its own carry except through the accumulation op itself *)
+  let real_value () =
+    Rng.weighted ctx.rng
+      [ (3, fun () ->
+            Bin ("*", TReal,
+                 Real (float_of_int (Rng.range ctx.rng (-8) 8) /. 4.0), iv));
+        (2, fun () ->
+            Bin ("+", TReal, Bin ("*", TReal, Real 0.25, iv),
+                 expr ctx TReal (max 1 (depth - 1))));
+        (1, fun () -> Un ("Sin", TReal, Bin ("*", TReal, Real 0.5, iv))) ]
+      ()
+  in
+  let int_value () =
+    Rng.weighted ctx.rng
+      [ (3, fun () -> Bin ("*", TInt, iv, Int (Rng.range ctx.rng (-4) 4)));
+        (2, fun () ->
+            Bin ("+", TInt, Bin ("*", TInt, iv, iv),
+                 expr ctx TInt (max 1 (depth - 1)))) ]
+      ()
+  in
+  let reduce ?value op init =
+    let value = match value with Some v -> v | None -> real_value () in
+    let r = fresh_counter ctx "r" in
+    add_local r TReal (Real init);
+    [ While (c, n, [ Assign (r, TReal, Bin (op, TReal, Var (r, TReal), value)) ]) ]
+  in
+  let reduce_int () =
+    (* checked integer Plus: overflow order is observable, must stay serial *)
+    let value = int_value () in
+    let r = fresh_counter ctx "r" in
+    add_local r TInt (Int 0);
+    [ While (c, n, [ Assign (r, TInt, Bin ("+", TInt, Var (r, TInt), value)) ]) ]
+  in
+  let map_safe () =
+    let value = int_value () in
+    let a = fresh_counter ctx "a" in
+    add_local a TArr (ConstArr (Int (Rng.range ctx.rng (-3) 3), n));
+    [ While (c, n, [ PartSetIv (a, c, value) ]) ]
+  in
+  let map_unsafe () =
+    (* reads the array it writes: a cross-iteration dependency in general,
+       so the pass must reject it *)
+    let a = fresh_counter ctx "a" in
+    add_local a TArr (ConstArr (Int 1, n));
+    [ While (c, n, [ PartSetIv (a, c, Bin ("+", TInt, Part (a, iv), Int 1)) ]) ]
+  in
+  let nested () =
+    (* re-entered inner reduction under an outer Do: only the innermost
+       loop may parallelise *)
+    let j = fresh_counter ctx "d" in
+    let value =
+      Bin ("+", TReal, Bin ("*", TReal, Real 0.25, iv),
+           Bin ("*", TReal, Real 0.5, Var (j, TInt)))
+    in
+    let r = fresh_counter ctx "r" in
+    add_local r TReal (Real 0.0);
+    [ DoLoop
+        (j, Rng.range ctx.rng 2 3,
+         [ Assign (c, TInt, Int 1);
+           While (c, n,
+                  [ Assign (r, TReal, Bin ("+", TReal, Var (r, TReal), value)) ]) ]) ]
+  in
+  Rng.weighted ctx.rng
+    [ (4, fun () -> reduce "+" 0.0);
+      (1, fun () ->
+          reduce "*" 1.0
+            ~value:(Bin ("+", TReal, Real 1.0, Bin ("*", TReal, Real 0.001, iv))));
+      (2, fun () -> reduce (if Rng.bool ctx.rng then "Min" else "Max") 0.0);
+      (2, fun () -> reduce "-" 0.0);
+      (2, fun () -> reduce_int ());
+      (4, fun () -> map_safe ());
+      (2, fun () -> map_unsafe ());
+      (1, fun () -> nested ()) ]
+    ()
+
+(* ---- statements ------------------------------------------------------ *)
 
 let rec stmts ctx ~depth ~count =
   List.concat (List.init count (fun _ -> stmt ctx ~depth))
@@ -158,7 +276,8 @@ and stmt ctx ~depth =
                  let v, _ = Rng.pick ctx.rng arrs in
                  [ PartSet (v, expr ctx TInt 1, expr ctx TInt 2) ]) ])
       @ (if depth > 0 then
-           [ (3, fun () ->
+           [ (4, fun () -> par_loop ctx ~depth);
+             (3, fun () ->
                  let c = expr ctx TBool 2 in
                  let ts = stmts ctx ~depth:(depth - 1) ~count:(Rng.range ctx.rng 1 2) in
                  let fs =
@@ -245,6 +364,9 @@ let case ?(config = default_config) rng =
 let rec stmt_loops = function
   | While _ | DoLoop _ -> true
   | SIf (_, ts, fs) -> List.exists stmt_loops ts || List.exists stmt_loops fs
-  | Assign _ | PartSet _ -> false
+  | Assign _ | PartSet _ | PartSetIv _ -> false
 
-let has_loops f = List.exists stmt_loops f.body
+let has_loops f =
+  (* Map/Fold expressions desugar to counted loops too, so they count for
+     the abort-injection property *)
+  List.exists stmt_loops f.body || Ast.uses_closures f

@@ -6,7 +6,7 @@ type outcome =
   | Aborted
   | Failed of string
 
-type backend = Threaded | Jit | Wvm | C | Serve | Tier
+type backend = Threaded | Jit | Wvm | C | Serve | Tier | Par
 
 let backend_name = function
   | Threaded -> "threaded"
@@ -15,6 +15,7 @@ let backend_name = function
   | C -> "c"
   | Serve -> "serve"
   | Tier -> "tier"
+  | Par -> "par"
 
 let backends_of_string s =
   let parts =
@@ -29,9 +30,11 @@ let backends_of_string s =
     | "c" :: r -> go (C :: acc) r
     | "serve" :: r -> go (Serve :: acc) r
     | "tier" :: r -> go (Tier :: acc) r
+    | "par" :: r -> go (Par :: acc) r
     | x :: _ ->
       Error
-        (Printf.sprintf "unknown backend %S (threaded,jit,wvm,c,serve,tier)" x)
+        (Printf.sprintf
+           "unknown backend %S (threaded,jit,wvm,c,serve,tier,par)" x)
   in
   go [] parts
 
@@ -145,7 +148,8 @@ let target_of = function
   | Threaded -> Wolfram.Threaded
   | Jit -> Wolfram.Jit
   | Wvm -> Wolfram.Bytecode
-  | C | Serve | Tier -> Wolfram.Threaded  (* unused; these have own paths *)
+  | C | Serve | Tier | Par ->
+    Wolfram.Threaded  (* unused; these have own paths *)
 
 let run_native backend level fexpr args =
   guard (fun () ->
@@ -274,6 +278,9 @@ let scalar = function Ast.TInt | Ast.TReal | Ast.TBool -> true | _ -> false
 let c_applicable (case : Ast.case) =
   scalar case.Ast.fn.Ast.ret
   && List.for_all (fun (_, t) -> scalar t) case.Ast.fn.Ast.params
+  (* the C emitter rejects residual function values, and at O0 nothing
+     promotes a [Function] literal's closure to a direct call *)
+  && not (Ast.uses_closures case.Ast.fn)
 
 (* ---- abort injection -------------------------------------------------
 
@@ -388,6 +395,116 @@ let check_tier_abort fexpr args ref_outcome =
                fgot = outcome_str o })
     abort_ks
 
+(* ---- par arm: the parallel-loop backend ------------------------------
+
+   Compile once with [parallel_loops] on, then call three ways: jobs=1
+   (the runtime's serial degeneration), jobs=4 with measured schedule
+   selection (exercises the measurement + cache path), and jobs=4 with a
+   forced 16-way dynamic chunking (guarantees cross-domain chunked
+   execution even when measurement would pick serial on this host).  All
+   three must agree with the interpreter reference.  With [abort] on, the
+   injected-abort membership property runs under forced chunking: a
+   domain-local abort scheduled after the k-th poll must land on the
+   reference value or <aborted> — the caller polls between chunk claims
+   and inside the chunks it runs itself, so a mid-loop abort kills the
+   parallel-for.  Unsafe loops (non-associative ops, cross-iteration
+   reads) are rejected by the pass and simply run serial here — same
+   property, no special-casing. *)
+
+let par_options level =
+  { (fuzz_options level) with Wolf_compiler.Options.parallel_loops = true }
+
+(* campaign-wide coverage counters, so a par campaign can assert that the
+   pass actually fired instead of silently rejecting everything *)
+let par_loops_seen = Atomic.make 0
+let par_programs_seen = Atomic.make 0
+
+let reset_par_stats () =
+  Atomic.set par_loops_seen 0;
+  Atomic.set par_programs_seen 0
+
+let par_stats () = (Atomic.get par_programs_seen, Atomic.get par_loops_seen)
+
+let count_parallelized cf =
+  match Wolfram.pipeline_of cf with
+  | None -> ()
+  | Some p ->
+    let n =
+      List.length
+        (List.filter
+           (fun (k, v) ->
+              String.length k >= 8
+              && String.sub k 0 8 = "parloop."
+              && String.length v >= 12
+              && String.sub v 0 12 = "parallelized")
+           p.Wolf_compiler.Pipeline.program.Wolf_compiler.Wir.pmeta)
+    in
+    if n > 0 then begin
+      Atomic.incr par_programs_seen;
+      ignore (Atomic.fetch_and_add par_loops_seen n)
+    end
+
+let check_par ~level ~abort fexpr args ref_outcome =
+  let mismatch where got =
+    if agree got ref_outcome then None
+    else
+      Some
+        { fwhere = where; fexpected = outcome_str ref_outcome;
+          fgot = outcome_str got }
+  in
+  match
+    Wolfram.function_compile ~options:(par_options level)
+      ~target:Wolfram.Threaded fexpr
+  with
+  | exception e ->
+    let msg =
+      match e with
+      | Wolf_base.Errors.Compile_error m -> "compile: " ^ m
+      | Wolf_base.Errors.Eval_error m -> m
+      | e -> Printexc.to_string e
+    in
+    Option.to_list
+      (mismatch (Printf.sprintf "par/O%d/compile" level) (Failed msg))
+  | cf ->
+    count_parallelized cf;
+    let module P = Wolf_runtime.Par_runtime in
+    let call () = guard (fun () -> Wolfram.call cf (Array.to_list args)) in
+    let runs =
+      [ (Printf.sprintf "par/O%d/j1" level, fun () -> P.with_jobs 1 call);
+        (Printf.sprintf "par/O%d/j4" level, fun () -> P.with_jobs 4 call);
+        (Printf.sprintf "par/O%d/j4-dyn16" level,
+         fun () ->
+           P.with_jobs 4 (fun () ->
+               P.with_forced_schedule (P.Dynamic 16) call)) ]
+    in
+    let fs = List.filter_map (fun (w, r) -> mismatch w (r ())) runs in
+    let afs =
+      if not abort then []
+      else
+        List.filter_map
+          (fun k ->
+             let module A = Wolf_base.Abort_signal in
+             A.clear ();
+             A.abort_after k;
+             let got =
+               Fun.protect
+                 ~finally:(fun () -> A.clear ())
+                 (fun () ->
+                    P.with_jobs 4 (fun () ->
+                        P.with_forced_schedule (P.Dynamic 8) call))
+             in
+             match got with
+             | Aborted -> None
+             | o when agree o ref_outcome -> None
+             | o ->
+               Some
+                 { fwhere = Printf.sprintf "par-abort/O%d/k=%d" level k;
+                   fexpected = outcome_str ref_outcome ^ " or <aborted>";
+                   fgot = outcome_str o })
+          abort_ks
+    in
+    fs @ afs
+
 (* ---- the oracle ------------------------------------------------------ *)
 
 let check_parsed ?(backends = [ Threaded; Wvm ]) ?(levels = [ 0; 1; 2 ])
@@ -420,6 +537,16 @@ let check_parsed ?(backends = [ Threaded; Wvm ]) ?(levels = [ 0; 1; 2 ])
                levels
          | Serve -> check_serve fexpr args ref_outcome
          | Tier -> check_tier fexpr args ref_outcome
+         | Par ->
+           (* the parallel-loops pass is gated on opt_level > 0 *)
+           let lvls =
+             match List.filter (fun l -> l > 0) levels with
+             | [] -> [ 2 ]
+             | ls -> ls
+           in
+           List.concat_map
+             (fun lvl -> check_par ~level:lvl ~abort fexpr args ref_outcome)
+             lvls
          | Threaded | Jit ->
            List.filter_map
              (fun lvl ->
@@ -451,5 +578,7 @@ let check_case ?backends ?levels ?abort (case : Ast.case) =
       match abort with Some a -> a | None -> Gen.has_loops case.Ast.fn
     in
     check_parsed ?backends ?levels ~abort
-      ~wvm_ok:(not (Ast.uses_strings case.Ast.fn))
+      ~wvm_ok:
+        (not (Ast.uses_strings case.Ast.fn)
+         && not (Ast.uses_closures case.Ast.fn))
       ~c_ok:(c_applicable case) fexpr args

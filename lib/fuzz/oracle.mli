@@ -11,16 +11,21 @@ type outcome =
       fallback (F2) re-raising through the interpreter, and the exact
       message depends on the backend's entry point. *)
 
-type backend = Threaded | Jit | Wvm | C | Serve | Tier
+type backend = Threaded | Jit | Wvm | C | Serve | Tier | Par
 
 val backend_name : backend -> string
 val backends_of_string : string -> (backend list, string) result
 (** Parse a comma-separated [--backends] value:
-    threaded,jit,wvm,c,serve,tier.  The [Tier] arm runs each program
+    threaded,jit,wvm,c,serve,tier,par.  The [Tier] arm runs each program
     through a fresh tier controller (threshold 1, promotion via the
     threaded backend): the tier-0 call, the promotion hand-off and the
     promoted call must all agree with the reference; with abort injection
-    on, an [Abort[]] is also raced against the background promotion. *)
+    on, an [Abort[]] is also raced against the background promotion.
+    The [Par] arm compiles with [parallel_loops] on and calls under
+    jobs=1, jobs=4 (measured schedules) and jobs=4 with forced dynamic
+    chunking — all must agree with the reference — and replays the
+    injected-abort membership property under forced chunking, so a
+    mid-loop abort must kill every chunk worker. *)
 
 val serve_socket : string option ref
 (** Socket path of the [wolfd] daemon the [Serve] arm replays through.
@@ -41,6 +46,14 @@ val agree : outcome -> outcome -> bool
 
 val reference : Ast.case -> outcome
 (** Interpreter run of [fn[args]]. *)
+
+val reset_par_stats : unit -> unit
+val par_stats : unit -> int * int
+(** [(programs, loops)] where the [Par] arm's compile actually
+    parallelised at least one loop (read from the pipeline's ["parloop."]
+    pass decisions), accumulated across every check since the last
+    {!reset_par_stats}.  A par campaign uses this to assert the pass fired
+    rather than silently rejecting every loop. *)
 
 val check_parsed :
   ?backends:backend list -> ?levels:int list -> ?abort:bool ->

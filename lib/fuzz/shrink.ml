@@ -12,11 +12,15 @@ let rec expr_used v e =
     expr_used v a || expr_used v b
   | Un (_, _, a) | ConstArr (a, _) -> expr_used v a
   | If (_, c, t, f) -> expr_used v c || expr_used v t || expr_used v f
+  | MapArr (x, b, a) -> x = v || expr_used v b || expr_used v a
+  | FoldMM (_, sv, xv, i, a) ->
+    sv = v || xv = v || expr_used v i || expr_used v a
 
 let rec stmt_used v s =
   match s with
   | Assign (n, _, e) -> n = v || expr_used v e
   | PartSet (n, i, e) -> n = v || expr_used v i || expr_used v e
+  | PartSetIv (n, i, e) -> n = v || i = v || expr_used v e
   | SIf (c, ts, fs) ->
     expr_used v c || List.exists (stmt_used v) ts || List.exists (stmt_used v) fs
   | While (n, _, body) -> n = v || List.exists (stmt_used v) body
@@ -32,7 +36,7 @@ let fn_uses fn v =
 let rec assigns v s =
   match s with
   | Assign (n, _, _) -> n = v
-  | PartSet (n, _, _) -> n = v
+  | PartSet (n, _, _) | PartSetIv (n, _, _) -> n = v
   | SIf (_, ts, fs) -> List.exists (assigns v) ts || List.exists (assigns v) fs
   | While (n, _, body) | DoLoop (n, _, body) ->
     n = v || List.exists (assigns v) body
@@ -51,11 +55,14 @@ let rec expr_part_target v e =
   | Un (_, _, a) | ConstArr (a, _) -> expr_part_target v a
   | If (_, c, t, f) ->
     expr_part_target v c || expr_part_target v t || expr_part_target v f
+  | MapArr (_, b, a) -> expr_part_target v b || expr_part_target v a
+  | FoldMM (_, _, _, i, a) -> expr_part_target v i || expr_part_target v a
 
 let rec stmt_part_target v s =
   match s with
   | Assign (_, _, e) -> expr_part_target v e
   | PartSet (n, i, e) -> n = v || expr_part_target v i || expr_part_target v e
+  | PartSetIv (n, i, e) -> n = v || i = v || expr_part_target v e
   | SIf (c, ts, fs) ->
     expr_part_target v c
     || List.exists (stmt_part_target v) ts
@@ -82,11 +89,16 @@ let rec subst_expr v r e =
   | Part (n, i) -> Part (n, subst_expr v r i)
   | StrJoin (a, b) -> StrJoin (subst_expr v r a, subst_expr v r b)
   | ConstArr (a, k) -> ConstArr (subst_expr v r a, k)
+  | MapArr (x, b, a) ->
+    MapArr (x, (if x = v then b else subst_expr v r b), subst_expr v r a)
+  | FoldMM (op, sv, xv, i, a) ->
+    FoldMM (op, sv, xv, subst_expr v r i, subst_expr v r a)
 
 let rec subst_stmt v r s =
   match s with
   | Assign (n, t, e) -> Assign (n, t, subst_expr v r e)
   | PartSet (n, i, e) -> PartSet (n, subst_expr v r i, subst_expr v r e)
+  | PartSetIv (n, i, e) -> PartSetIv (n, i, subst_expr v r e)
   | SIf (c, ts, fs) ->
     SIf (subst_expr v r c, List.map (subst_stmt v r) ts,
          List.map (subst_stmt v r) fs)
@@ -103,7 +115,7 @@ let subst_fn v r fn =
 let is_literal = function
   | Int _ | Real _ | Bool _ | Str _ | Arr _ -> true
   | Var _ | Bin _ | Un _ | Cmp _ | And _ | Or _ | If _ | Part _ | StrJoin _
-  | ConstArr _ -> false
+  | ConstArr _ | MapArr _ | FoldMM _ -> false
 
 (* ---- expression reductions ------------------------------------------ *)
 
@@ -133,6 +145,8 @@ let rec expr_variants e =
     | Un (_, _, a) | ConstArr (a, _) -> sub_same [ a ]
     | Part (_, i) -> sub_same [ i ]
     | If (_, _, a, b) -> sub_same [ a; b ]
+    | MapArr (_, _, a) -> sub_same [ a ]
+    | FoldMM (_, _, _, i, _) -> sub_same [ i ]
   in
   let rebuilt =
     match e with
@@ -159,6 +173,12 @@ let rec expr_variants e =
       List.map (fun a' -> StrJoin (a', b)) (expr_variants a)
       @ List.map (fun b' -> StrJoin (a, b')) (expr_variants b)
     | ConstArr (a, k) -> List.map (fun a' -> ConstArr (a', k)) (expr_variants a)
+    | MapArr (x, b, a) ->
+      List.map (fun b' -> MapArr (x, b', a)) (expr_variants b)
+      @ List.map (fun a' -> MapArr (x, b, a')) (expr_variants a)
+    | FoldMM (op, sv, xv, i, a) ->
+      List.map (fun i' -> FoldMM (op, sv, xv, i', a)) (expr_variants i)
+      @ List.map (fun a' -> FoldMM (op, sv, xv, i, a')) (expr_variants a)
   in
   lit @ direct @ rebuilt
 
@@ -175,6 +195,8 @@ let rec stmt_variants s : stmt list list =
     drop
     @ List.map (fun i' -> [ PartSet (v, i', e) ]) (expr_variants i)
     @ List.map (fun e' -> [ PartSet (v, i, e') ]) (expr_variants e)
+  | PartSetIv (v, i, e) ->
+    drop @ List.map (fun e' -> [ PartSetIv (v, i, e') ]) (expr_variants e)
   | SIf (c, ts, fs) ->
     drop @ [ ts ]
     @ (if fs <> [] then [ fs ] else [])
@@ -211,7 +233,7 @@ let measure (case : case) =
       k + List.fold_left (fun a s -> a + bounds_stmt s) 0 body
     | SIf (_, ts, fs) ->
       List.fold_left (fun a s -> a + bounds_stmt s) 0 (ts @ fs)
-    | Assign _ | PartSet _ -> 0
+    | Assign _ | PartSet _ | PartSetIv _ -> 0
   in
   let args_size =
     List.fold_left (fun a e -> a + Ast.expr_size e) 0 case.args

@@ -19,6 +19,7 @@ type stats = {
   jobs : int;        (** worker domains *)
   executed : int;    (** jobs completed since [create] *)
   crashed : int;     (** jobs that escaped with an exception *)
+  saturated : int;   (** [submit]s bounced with [`Saturated] since [create] *)
 }
 
 type t = {
@@ -31,6 +32,7 @@ type t = {
   mutable running : int;
   mutable executed : int;
   mutable crashed : int;
+  mutable saturated : int;
   mutable workers : unit Domain.t list;
 }
 
@@ -39,7 +41,7 @@ let create ?(capacity = 64) ~jobs () =
     { lock = Mutex.create (); nonempty = Condition.create ();
       idle = Condition.create (); queue = Queue.create ();
       capacity = max 1 capacity; stopping = false; running = 0;
-      executed = 0; crashed = 0; workers = [] }
+      executed = 0; crashed = 0; saturated = 0; workers = [] }
   in
   let worker () =
     let continue = ref true in
@@ -77,7 +79,10 @@ let submit t job =
   Mutex.lock t.lock;
   let r =
     if t.stopping then `Stopped
-    else if Queue.length t.queue >= t.capacity then `Saturated
+    else if Queue.length t.queue >= t.capacity then begin
+      t.saturated <- t.saturated + 1;
+      `Saturated
+    end
     else begin
       Queue.push job t.queue;
       Condition.signal t.nonempty;
@@ -92,7 +97,7 @@ let stats t =
   let s =
     { queued = Queue.length t.queue; running = t.running;
       capacity = t.capacity; jobs = List.length t.workers;
-      executed = t.executed; crashed = t.crashed }
+      executed = t.executed; crashed = t.crashed; saturated = t.saturated }
   in
   Mutex.unlock t.lock;
   s
@@ -121,7 +126,8 @@ let register_metrics ~name t =
         g "executor_utilization" "running workers / total workers"
           (if s.jobs = 0 then 0.0 else float_of_int s.running /. float_of_int s.jobs);
         c "executor_executed" "jobs completed since create" s.executed;
-        c "executor_crashed" "jobs that escaped with an exception" s.crashed ])
+        c "executor_crashed" "jobs that escaped with an exception" s.crashed;
+        c "executor_saturated" "submissions bounced at a full queue" s.saturated ])
 
 let quiesce t =
   Mutex.lock t.lock;

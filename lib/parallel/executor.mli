@@ -16,6 +16,9 @@ type stats = {
   executed : int;    (** jobs completed since [create] *)
   crashed : int;     (** jobs that escaped with an exception (a job bug —
                          the worker survives and keeps serving) *)
+  saturated : int;   (** [submit]s refused with [`Saturated] since [create]
+                         (the backpressure observability signal: a saturated
+                         parallel-for shows up here, not as a hang) *)
 }
 
 val create : ?capacity:int -> jobs:int -> unit -> t
@@ -34,7 +37,7 @@ val register_metrics : name:string -> t -> unit
 (** Install a pull-time metrics source named [executor:<name>] exporting
     [executor_queue_depth], [executor_running], [executor_queue_capacity],
     [executor_workers], [executor_utilization] (gauges) and
-    [executor_executed]/[executor_crashed] (counters), all labelled
+    [executor_executed]/[executor_crashed]/[executor_saturated] (counters), all labelled
     [pool=<name>].  Replaces any previous source of the same name, so
     restarting a pool never duplicates samples. *)
 

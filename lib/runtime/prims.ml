@@ -441,6 +441,8 @@ let apply ~base args =
         | Some i -> Int i
         | None -> raise (Errors.Runtime_error (Errors.Invalid_runtime_argument "expr_to_int")))
      | _ -> bad base args)
+  | "parallel_for_map" -> Par_runtime.parallel_for_map args
+  | "parallel_reduce" -> Par_runtime.parallel_reduce args
   | "materializeconstant" | "MaterializeConstant" ->
     (* the E7 ablation: deep-copy the constant on every evaluation *)
     (match args with

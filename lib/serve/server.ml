@@ -41,12 +41,14 @@ type config = {
   tier : bool;             (** tiered execution of [Function[…][args]] evals *)
   tier_threshold : int;    (** heat before a background -O2 promotion *)
   disk_cache_dir : string option;  (** persistent compile cache, all workers *)
+  parallel_loops : bool;   (** compile with data-parallel loop recognition *)
 }
 
 let default_config ?(socket_path = "/tmp/wolfd.sock") () =
   { socket_path; jobs = 2; queue_capacity = 64;
     max_frame = P.default_max_frame; log = ignore;
-    tier = false; tier_threshold = 12; disk_cache_dir = None }
+    tier = false; tier_threshold = 12; disk_cache_dir = None;
+    parallel_loops = false }
 
 type rstate = Queued | Running | Evaluating | Done
 
@@ -190,14 +192,16 @@ let parse_target = function
   | "bytecode" -> Ok Wolfram.Bytecode
   | s -> Error (Printf.sprintf "unknown target %S (jit, threaded, bytecode)" s)
 
-let run_compile ~code ~target ~opt =
+let run_compile ~code ~target ~opt ~parallel_loops =
   match parse_target target with
   | Error e -> Error (P.Compile_failed, e)
   | Ok tgt ->
     (match Parser.parse_opt code with
      | Error e -> Error (P.Parse_error, e)
      | Ok fexpr ->
-       let options = { Wolf_compiler.Options.default with opt_level = opt } in
+       let options =
+         { Wolf_compiler.Options.default with opt_level = opt; parallel_loops }
+       in
        (* the fixed name keeps the cache key a function of (source, options,
           target) alone, so identical programs from different sessions
           share one entry and in-flight compiles dedup across clients *)
@@ -257,7 +261,11 @@ let eval_expr t sess (expr : Expr.t) =
              through the shared caches under the fixed "Serve" name, so two
              sessions promoting the same Function dedup into one compile *)
           let cf =
-            Wolfram.tiered ~threshold:t.cfg.tier_threshold ~name:"Serve" f
+            Wolfram.tiered
+              ~options:
+                { Wolf_compiler.Options.default with
+                  parallel_loops = t.cfg.parallel_loops }
+              ~threshold:t.cfg.tier_threshold ~name:"Serve" f
           in
           Hashtbl.replace sess.s_tier key cf;
           cf
@@ -487,6 +495,7 @@ let handle_request t sess ~t0 { P.rid; req } =
           | P.Compile { code; target; opt } ->
             Atomic.incr t.compiles;
             run_compile ~code ~target ~opt
+              ~parallel_loops:t.cfg.parallel_loops
           | _ -> assert false
         in
         match

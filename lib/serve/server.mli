@@ -30,6 +30,9 @@ type config = {
   (** When set, attach {!Wolf_compiler.Disk_cache} at this directory so
       compiles persist across daemon restarts and are shared (via flock)
       with concurrent wolfd processes on the same directory. *)
+  parallel_loops : bool;
+  (** Compile requests recognise data-parallel counted loops and run them
+      chunked on the domain pool ({!Wolf_compiler.Opt_parloop}). *)
 }
 
 val default_config : ?socket_path:string -> unit -> config

@@ -1,0 +1,6 @@
+(* pooled compiled constants must COW on Part-store: call 2 of the same compiled function read a corrupted {0,7,3} and returned {0,0,3} *)
+(* args: {} *)
+Function[{},
+ Module[{m3 = {5, 7, 3}},
+  m3[[1 + Mod[Total[m3], Length[m3]]]] = 0;
+  m3]]

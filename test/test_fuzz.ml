@@ -40,6 +40,17 @@ let test_regressions_on_jit () =
   |> List.iter (fun e ->
       check_clean ~backends:[ Oracle.Jit ] ~levels:[ 1; 2 ] e)
 
+(* the par arm is the only one that calls a single compiled function more
+   than once, so it alone catches state leaking across calls (e.g. the
+   pooled-constant mutation regression) *)
+let test_regressions_on_par () =
+  Lazy.force entries
+  |> List.filter (fun e ->
+      String.length (Filename.basename e.Driver.ce_path) >= 7
+      && String.sub (Filename.basename e.Driver.ce_path) 0 7 = "regress")
+  |> List.iter (fun e ->
+      check_clean ~backends:[ Oracle.Par ] ~levels:[ 1; 2 ] e)
+
 (* ---- shrinker properties --------------------------------------------- *)
 
 let gen_case seed =
@@ -106,5 +117,7 @@ let tests =
   [ Alcotest.test_case "corpus present" `Quick test_corpus_present;
     Alcotest.test_case "corpus replay (threaded+wvm, O0-O2, abort)" `Slow
       test_corpus_replay;
-    Alcotest.test_case "regressions on jit" `Slow test_regressions_on_jit ]
+    Alcotest.test_case "regressions on jit" `Slow test_regressions_on_jit;
+    Alcotest.test_case "regressions on par (repeated calls)" `Quick
+      test_regressions_on_par ]
   @ qcheck_tests

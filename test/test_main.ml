@@ -21,4 +21,5 @@ let () =
       ("parallel (domain safety)", Test_parallel.tests);
       ("obs (tracing/metrics/profiling)", Test_obs.tests);
       ("serve (wolfd daemon)", Test_serve.tests);
-      ("tier (adaptive execution + disk cache)", Test_tier.tests) ]
+      ("tier (adaptive execution + disk cache)", Test_tier.tests);
+      ("parloop (data-parallel loops)", Test_parloop.tests) ]
