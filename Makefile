@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-smoke bench-json bench-serve-json bench-tier-json bench-parloop-json smoke fuzz-smoke par-smoke par-loop-smoke obs-smoke serve-smoke tier-smoke fuzz clean
+.PHONY: all build test check bench bench-smoke bench-json bench-serve-json bench-tier-json bench-parloop-json bench-build-json smoke fuzz-smoke par-smoke par-loop-smoke obs-smoke serve-smoke tier-smoke build-smoke fuzz clean
 
 all: build
 
@@ -22,6 +22,7 @@ check: build
 	$(MAKE) obs-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) tier-smoke
+	$(MAKE) build-smoke
 	dune exec bench/main.exe -- smoke
 	$(MAKE) bench-smoke
 
@@ -134,6 +135,47 @@ tier-smoke: build
 # full-size E14 run refreshing the machine-readable record
 bench-tier-json: build
 	dune exec bench/main.exe -- tier --json
+
+# standalone-binary smoke (DESIGN.md "Standalone binaries"): wolfc build two
+# Figure-2-style programs (scalar result, tensor result), run the shipped
+# executables and require stdout byte-identical to the interpreter, check
+# the argv-usage exit code (2), then replay a fixed-seed differential
+# campaign through the binary oracle arm (300 generated programs built with
+# cc, run out-of-process, compared to the interpreter) and a quick E16
+# bench pass.  Degrades to a skip message when no C compiler is on PATH
+# (the fuzz arm and the bench self-skip on their own).
+build-smoke: build
+	@if dune exec bin/wolfc.exe -- build \
+	    -e 'Function[{Typed[n, "Integer64"]}, Module[{s = 0}, Do[s = s + i*i, {i, n}]; s]]' \
+	    -o /tmp/wolf_build_sum >/dev/null 2>/tmp/wolf_build_smoke.err; then \
+	  set -e; \
+	  /tmp/wolf_build_sum 100000 > /tmp/wolf_build_sum.bin; \
+	  dune exec bin/wolfc.exe -- eval \
+	    -e 'Function[{Typed[n, "Integer64"]}, Module[{s = 0}, Do[s = s + i*i, {i, n}]; s]][100000]' \
+	    > /tmp/wolf_build_sum.ref; \
+	  cmp /tmp/wolf_build_sum.bin /tmp/wolf_build_sum.ref; \
+	  dune exec bin/wolfc.exe -- build \
+	    -e 'Function[{Typed[n, "Integer64"]}, Module[{a = ConstantArray[0, n]}, Do[a[[i]] = i*i, {i, n}]; a]]' \
+	    -o /tmp/wolf_build_tab >/dev/null; \
+	  /tmp/wolf_build_tab 8 > /tmp/wolf_build_tab.bin; \
+	  dune exec bin/wolfc.exe -- eval \
+	    -e 'Function[{Typed[n, "Integer64"]}, Module[{a = ConstantArray[0, n]}, Do[a[[i]] = i*i, {i, n}]; a]][8]' \
+	    > /tmp/wolf_build_tab.ref; \
+	  cmp /tmp/wolf_build_tab.bin /tmp/wolf_build_tab.ref; \
+	  st=0; /tmp/wolf_build_sum notanumber 2>/dev/null || st=$$?; \
+	  test $$st -eq 2; \
+	  echo "build-smoke: binaries byte-identical to the interpreter"; \
+	else \
+	  grep -q 'no working C compiler' /tmp/wolf_build_smoke.err \
+	    && echo "build-smoke: no C compiler; skipping" \
+	    || { cat /tmp/wolf_build_smoke.err; exit 1; }; \
+	fi
+	dune exec bin/wolfc.exe -- fuzz --seed 7 --count 300 --quiet --backends binary
+	dune exec bench/main.exe -- build --quick
+
+# full-size E16 run refreshing the machine-readable record
+bench-build-json: build
+	dune exec bench/main.exe -- build --json
 
 # full-size serve load test refreshing the checked-in record
 bench-serve-json: build

@@ -1045,15 +1045,182 @@ let parloop_bench () =
   Option.iter (fun path -> parloop_write_json path rows) !parloop_json_path
 
 (* ------------------------------------------------------------------ *)
+(* E16: shipped standalone binaries (wolfc build).
+
+   The C-supportable Figure-2 subset built into self-contained executables
+   and raced against the in-process arms.  The binary arm spawns one
+   process per run — fork/exec and argv parsing are part of what shipping
+   a binary costs, so they stay inside the measurement and the JSON says
+   so.  Arguments travel on the command line (FNV1a's string is capped
+   well under the kernel's per-argument limit); PrimeQ carries its 2^14
+   seed table as static constant data, so the constant pool is exercised
+   at real size.  The interpreter arm is omitted where the program leans
+   on type-environment helper functions the interpreter cannot see. *)
+
+type build_row = {
+  uname : string;
+  binterp : float option;
+  bnative : float;
+  bbinary : float;          (* includes one process spawn per run *)
+  bbuild : float;           (* pipeline + emit + cc -O2, one-off *)
+  bnbackend : string;
+  bagree : bool;            (* binary stdout = in-process result *)
+}
+
+let build_json_path : string option ref = ref None
+
+let build_write_json path rows =
+  let oc = open_out path in
+  let fl v = Printf.sprintf "%.6e" v in
+  let entry r =
+    Printf.sprintf
+      "  {\n\
+      \    \"name\": \"%s\",\n\
+      \    \"interpreter_seconds\": %s,\n\
+      \    \"native_seconds\": %s,\n\
+      \    \"binary_seconds\": %s,\n\
+      \    \"build_seconds\": %s,\n\
+      \    \"native_backend\": \"%s\",\n\
+      \    \"binary_agrees\": %b\n  }"
+      r.uname
+      (match r.binterp with Some t -> fl t | None -> "null")
+      (fl r.bnative) (fl r.bbinary) (fl r.bbuild) r.bnbackend r.bagree
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"figure\": \"build\",\n\
+    \  \"note\": \"binary_seconds includes one fork/exec + argv parse per \
+     run; build_seconds is pipeline + emit + cc -O2\",\n\
+    \  \"benchmarks\": [\n%s\n  ],\n\
+    \  \"summary\": { \"all_binaries_agree\": %b }\n}\n"
+    (String.concat ",\n" (List.map entry rows))
+    (List.for_all (fun r -> r.bagree) rows);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let run_binary_once exe argv =
+  let ic = Unix.open_process_args_in exe (Array.of_list (exe :: argv)) in
+  let line = try input_line ic with End_of_file -> "" in
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> line
+  | Unix.WEXITED n -> Printf.sprintf "<exit %d>" n
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> "<killed>"
+
+let build_bench () =
+  B.Compiled_function.quiet := true;
+  if not (B.C_build.available ()) then
+    Printf.printf "build bench (E16): no C compiler available; skipped\n%!"
+  else begin
+    let s = !sizes in
+    let dir = Filename.temp_file "wolf_bench_build" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    let rm () =
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+    in
+    Fun.protect ~finally:rm @@ fun () ->
+    let progs =
+      [ (let str = P.fnv_string (min s.fnv_len 30_000) in
+         ( "FNV1a",
+           (fun () -> compile_pipeline ~name:"fnv1a" (`Src P.fnv1a_src)),
+           [| Rtval.Str str |], [ str ],
+           Some (P.fnv1a_src, [| Expr.Str str |]) ));
+        ( "Mandelbrot",
+          (fun () -> compile_pipeline ~name:"mandel" (`Src P.mandelbrot_src)),
+          [| Rtval.Real (-1.0); Rtval.Real 1.0; Rtval.Real (-1.0);
+             Rtval.Real 0.5; Rtval.Real 0.1 |],
+          [ "-1.0"; "1.0"; "-1.0"; "0.5"; "0.1" ],
+          Some
+            ( P.mandelbrot_src,
+              [| Expr.Real (-1.0); Expr.Real 1.0; Expr.Real (-1.0);
+                 Expr.Real 0.5; Expr.Real 0.1 |] ) );
+        ( "PrimeQ",
+          (fun () ->
+             compile_pipeline ~type_env:(P.primeq_type_env ()) ~name:"primeq"
+               (`Expr (P.primeq_expr ()))),
+          [| Rtval.Int s.primeq_limit |],
+          [ string_of_int s.primeq_limit ],
+          None ) ]
+    in
+    let rows =
+      List.filter_map
+        (fun (uname, compile, rargs, argv, interp) ->
+           let t0 = Unix.gettimeofday () in
+           let c = compile () in
+           match B.C_emit.emit_standalone c with
+           | Error e ->
+             Printf.printf "build bench: %s skipped (%s)\n%!" uname e;
+             None
+           | Ok em ->
+             let exe = Filename.concat dir uname in
+             (match
+                B.C_build.build ~source:em.B.C_emit.source ~output:exe ()
+              with
+              | Error e ->
+                Printf.printf "build bench: %s cc failed: %s\n%!" uname e;
+                None
+              | Ok () ->
+                let bbuild = Unix.gettimeofday () -. t0 in
+                let f, bnbackend = best_native c in
+                let expected =
+                  match f.call rargs with
+                  | Rtval.Int i -> string_of_int i
+                  | v -> Rtval.type_name v
+                in
+                let bagree = String.trim (run_binary_once exe argv) = expected in
+                let interp_thunk =
+                  Option.map
+                    (fun (src, eargs) ->
+                       let fexpr = Parser.parse src in
+                       fun () ->
+                         ignore
+                           (Wolfram.interpret_expr (Expr.Normal (fexpr, eargs))))
+                    interp
+                in
+                let arms =
+                  (match interp_thunk with Some t -> [ t ] | None -> [])
+                  @ [ run_with f.call rargs;
+                      (fun () -> ignore (run_binary_once exe argv)) ]
+                in
+                (match measure_group arms, interp_thunk with
+                 | [ i; n; b ], Some _ ->
+                   Some
+                     { uname; binterp = Some i; bnative = n; bbinary = b;
+                       bbuild; bnbackend; bagree }
+                 | [ n; b ], None ->
+                   Some
+                     { uname; binterp = None; bnative = n; bbinary = b;
+                       bbuild; bnbackend; bagree }
+                 | _ -> assert false)))
+        progs
+    in
+    print_table ~title:"Standalone binaries (E16): shipped vs in-process"
+      ~columns:[ "interp"; "native"; "binary"; "vs-native"; "build"; "agree" ]
+      (List.map
+         (fun r ->
+            ( r.uname,
+              [ secs r.binterp; secs (Some r.bnative); secs (Some r.bbinary);
+                ratio r.bnative (Some r.bbinary); secs (Some r.bbuild);
+                (if r.bagree then "yes" else "NO") ] ))
+         rows);
+    if not (List.for_all (fun r -> r.bagree) rows) then begin
+      Printf.printf "build bench: binary output DIVERGED from in-process\n%!";
+      exit 1
+    end;
+    Option.iter (fun path -> build_write_json path rows) !build_json_path
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe [all|fig2|table1|fig1|findroot|ablation-inline|\n\
     \                 ablation-abort|ablation-consts|compile-time|tier|\n\
-    \                 parloop|smoke]\n\
+    \                 parloop|build|smoke]\n\
     \                [--quick|--paper] [--json] [--jobs=N]\n\
     \                (--json: fig2 writes BENCH_fig2.json, tier writes\n\
-    \                 BENCH_tier.json, parloop writes BENCH_parloop.json;\n\
+    \                 BENCH_tier.json, parloop writes BENCH_parloop.json,\n\
+    \                 build writes BENCH_build.json;\n\
     \                 --jobs=N: compile benchmark arms on N domains, 0 = cores)"
 
 (* smoke: the fast tier-1 gate arm (make check) — feature probes plus the
@@ -1076,7 +1243,8 @@ let () =
   if List.mem "--json" args then begin
     json_path := Some "BENCH_fig2.json";
     tier_json_path := Some "BENCH_tier.json";
-    parloop_json_path := Some "BENCH_parloop.json"
+    parloop_json_path := Some "BENCH_parloop.json";
+    build_json_path := Some "BENCH_build.json"
   end;
   List.iter
     (fun a ->
@@ -1105,6 +1273,7 @@ let () =
     | "compile-time" -> compile_time ()
     | "tier" -> tier_bench ()
     | "parloop" -> parloop_bench ()
+    | "build" -> build_bench ()
     | "smoke" -> smoke ()
     | "all" ->
       table1 ();

@@ -463,6 +463,78 @@ let eval_cmd =
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate with the interpreter (no compilation).")
     Term.(const run $ expr_arg $ file_arg)
 
+let build_cmd =
+  let run expr file output cc cflags keep_c no_abort no_inline opt_level self
+      dump_after verify_each =
+    Wolfram.init ();
+    let src = read_program expr file in
+    let options =
+      options_of ~no_abort ~no_inline ~opt_level ~self ~dump_after ~verify_each
+    in
+    let output =
+      match output, file with
+      | Some o, _ -> o
+      | None, Some f -> Filename.remove_extension (Filename.basename f)
+      | None, None -> "a.out"
+    in
+    let fexpr = Parser.parse src in
+    match Wolf_compiler.Pipeline.compile ~options ~name:output fexpr with
+    | exception e ->
+      Printf.eprintf "wolfc build: compile failed: %s\n" (Printexc.to_string e);
+      1
+    | compiled ->
+      (match Wolf_backends.C_emit.emit_standalone compiled with
+       | Error e -> Printf.eprintf "wolfc build: %s\n" e; 1
+       | Ok emitted ->
+         let cflags =
+           match cflags with
+           | None -> []
+           | Some s ->
+             String.split_on_char ' ' s |> List.filter (fun f -> f <> "")
+         in
+         if not (Wolf_backends.C_build.available ?cc ()) then begin
+           Printf.eprintf
+             "wolfc build: no working C compiler (tried %s; set $WOLF_CC or --cc)\n"
+             (match cc with Some c -> c | None -> Wolf_backends.C_build.default_cc ());
+           1
+         end
+         else
+           match
+             Wolf_backends.C_build.build ?cc ~cflags ?keep_c
+               ~source:emitted.Wolf_backends.C_emit.source ~output ()
+           with
+           | Ok () -> Printf.printf "%s\n" output; 0
+           | Error e -> Printf.eprintf "wolfc build: %s\n" e; 1)
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH"
+           ~doc:"Executable to produce (default: FILE without extension, or \
+                 a.out).")
+  in
+  let cc_arg =
+    Arg.(value & opt (some string) None & info [ "cc" ] ~docv:"CC"
+           ~doc:"C compiler to invoke (default: \\$WOLF_CC or cc).")
+  in
+  let cflags_arg =
+    Arg.(value & opt (some string) None & info [ "cflags" ] ~docv:"FLAGS"
+           ~doc:"Extra space-separated flags appended to the cc invocation.")
+  in
+  let keep_c_arg =
+    Arg.(value & opt (some string) None & info [ "keep-c" ] ~docv:"PATH"
+           ~doc:"Also write the generated C translation unit to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Compile a program to a standalone native executable through the \
+             C backend: the emitted translation unit bundles a refcounted \
+             copy-on-write tensor runtime and an argv driver (one typed \
+             argument per parameter, result printed in InputForm, SIGINT \
+             aborts with exit code 5), then the system C compiler links it \
+             self-contained.")
+    Term.(const run $ expr_arg $ file_arg $ output_arg $ cc_arg $ cflags_arg
+          $ keep_c_arg $ no_abort $ no_inline $ opt_level $ self
+          $ dump_after_arg $ verify_each_arg)
+
 let jobs_arg =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Shard the work over $(docv) domains (0 = one per core). \
@@ -540,6 +612,9 @@ let fuzz_cmd =
   let backends_arg =
     Arg.(value & opt string "threaded,wvm" & info [ "backends" ] ~docv:"B,B"
            ~doc:"Backends to check differentially: threaded, jit, wvm, c, \
+                 binary (wolfc-build executables run end-to-end: argv \
+                 parsing, the refcounted C tensor runtime, InputForm \
+                 printing and exit codes; skipped without a C toolchain), \
                  serve (replay through an embedded wolfd daemon; point \
                  programs at an external one with $(b,--serve-socket)), \
                  tier, par (compile with --parallel-loops and compare \
@@ -1114,6 +1189,6 @@ let () =
       ~doc:"Wolfram Language compiler reproduction (CGO 2020)."
   in
   exit (Cmd.eval' (Cmd.group info
-                     [ emit_cmd; run_cmd; compile_cmd; eval_cmd; fuzz_cmd;
+                     [ emit_cmd; run_cmd; compile_cmd; build_cmd; eval_cmd; fuzz_cmd;
                        stats_cmd; obs_check_cmd; repl_cmd; cache_cmd;
                        wolfd_cmd; connect_cmd; bench_cmd ]))

@@ -1,0 +1,20 @@
+(** System-C-compiler invocation for [wolfc build]: turn an emitted
+    translation unit (see {!C_emit.emit_standalone}) into a self-contained
+    native executable. *)
+
+val default_cc : unit -> string
+(** [$WOLF_CC] when set and non-empty, else ["cc"]. *)
+
+val available : ?cc:string -> unit -> bool
+(** Whether the compiler responds to [--version].  The default-compiler
+    probe is memoized process-wide; an explicit [?cc] always re-probes. *)
+
+val build :
+  ?cc:string -> ?cflags:string list -> ?keep_c:string ->
+  source:string -> output:string -> unit -> (unit, string) result
+(** Write [source] to a C file, compile it ([cc -O2 ... -lm] plus
+    [cflags], no shell involved), and atomically rename the resulting
+    binary to [output].  [keep_c] writes the C source to the given path
+    and leaves it there; otherwise a temp file is used and removed.  On
+    failure the compiler's diagnostics are returned and [output] is left
+    untouched. *)

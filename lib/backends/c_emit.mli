@@ -1,12 +1,20 @@
 (** Standalone C export (objective F10, the
     [FunctionCompileExportString[…, "C"]] analogue).
 
-    Emits a self-contained C translation unit: a miniature tensor runtime,
-    overflow-checked arithmetic via compiler builtins, and one C function per
-    program function with the CFG rendered as labelled blocks and gotos.  As
-    in the paper's standalone mode, interpreter integration and abortability
-    are disabled: programs using [KernelCall] or [Expression] values are
-    rejected, and [AbortCheck]s are elided. *)
+    Emits a self-contained C translation unit: a miniature tensor runtime
+    (refcounted packed arrays with copy-on-write, mirroring the
+    interpreter's [Tensor.ensure_unique] aliasing semantics), checked
+    allocation, overflow-checked arithmetic via compiler builtins, literal
+    tensor constants materialised as immutable static data, and one C
+    function per program function with the CFG rendered as labelled blocks
+    and gotos.  Interpreter integration is disabled as in the paper's
+    standalone mode: programs using [KernelCall] or [Expression] values are
+    rejected.  Abortability survives without a kernel: every abort site
+    tests a [volatile] stop flag that [wolf_request_stop] (wired to SIGINT
+    by the standalone driver, or called by an embedding host) sets.
+
+    Generated binaries exit with a distinct code per failure kind:
+    2 usage/argument errors, 3 runtime panics, 4 out-of-memory, 5 abort. *)
 
 type emitted = {
   source : string;
@@ -18,6 +26,15 @@ val emit : Wolf_compiler.Pipeline.compiled -> (emitted, string) result
 val emit_with_driver :
   Wolf_compiler.Pipeline.compiled -> args:Wolf_runtime.Rtval.t list ->
   (emitted, string) result
-(** Additionally emits a [main] that calls the entry with the given scalar
-    arguments and prints the result — used by the differential test that
-    compiles the export with the system C compiler and compares output. *)
+(** Additionally emits a [main] that calls the entry with the given
+    arguments baked in as constants and prints the result in InputForm —
+    used by the differential test that compiles the export with the system
+    C compiler and compares output. *)
+
+val emit_standalone :
+  Wolf_compiler.Pipeline.compiled -> (emitted, string) result
+(** Additionally emits a [main(argc, argv)] that installs SIGINT/SIGTERM →
+    [wolf_request_stop] handlers, parses one typed command-line argument
+    per program parameter at run time (integers, reals, True/False, raw
+    strings, and rank-1 brace lists like [{1, 2, 3}]), calls the entry and
+    prints the result in InputForm.  This is the [wolfc build] driver. *)

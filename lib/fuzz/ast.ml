@@ -74,12 +74,31 @@ let real_lit r =
   if Float.is_integer r && Float.abs r < 1e15 then Printf.sprintf "%.1f" r
   else Printf.sprintf "%.17g" r
 
+(* string literal the lexer round-trips byte-for-byte: escape only what it
+   un-escapes (double quote, backslash, newline, tab) and pass every other
+   byte raw — OCaml's [%S] would write non-ASCII bytes as decimal escapes,
+   which the lexer reads as literal digits *)
+let str_lit s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b {|\"|}
+       | '\\' -> Buffer.add_string b {|\\|}
+       | '\n' -> Buffer.add_string b {|\n|}
+       | '\t' -> Buffer.add_string b {|\t|}
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
 let rec expr_src e =
   match e with
   | Int i -> if i < 0 then Printf.sprintf "(%d)" i else string_of_int i
   | Real r -> if r < 0.0 then Printf.sprintf "(%s)" (real_lit r) else real_lit r
   | Bool b -> if b then "True" else "False"
-  | Str s -> Printf.sprintf "%S" s
+  | Str s -> str_lit s
   | Arr xs -> "{" ^ String.concat ", " (List.map string_of_int xs) ^ "}"
   | Var (v, _) -> v
   | Bin (op, _, a, b) -> bin_src op a b

@@ -117,6 +117,21 @@ let scalar_param = function
      | _ -> false)
   | _ -> false
 
+(* parameter shapes the standalone driver can parse from argv: the scalar
+   set plus raw strings and rank-1 packed arrays as brace lists *)
+let binary_param = function
+  | Expr.Normal (Expr.Sym t, [| _; tye |]) when Symbol.name t = "Typed" ->
+    (match tye with
+     | Expr.Str
+         ("MachineInteger" | "Integer64" | "Real64" | "Boolean" | "String") ->
+       true
+     | Expr.Normal
+         (Expr.Str "PackedArray", [| Expr.Str ("Integer64" | "Real64"); Expr.Int 1 |])
+       ->
+       true
+     | _ -> false)
+  | _ -> false
+
 let check_entry ?backends ?levels entry =
   match Parser.parse_opt entry.ce_source with
   | Error e ->
@@ -141,8 +156,15 @@ let check_entry ?backends ?levels entry =
        | _ -> false)
       && not has_function_literal
     in
-    Oracle.check_parsed ?backends ?levels ~wvm_ok:entry.ce_wvm ~c_ok fexpr
-      (Array.of_list entry.ce_args)
+    let binary_ok =
+      (match fexpr with
+       | Expr.Normal (_, [| Expr.Normal (_, params); _ |]) ->
+         Array.for_all binary_param params
+       | _ -> false)
+      && not has_function_literal
+    in
+    Oracle.check_parsed ?backends ?levels ~wvm_ok:entry.ce_wvm ~c_ok ~binary_ok
+      fexpr (Array.of_list entry.ce_args)
 
 (* ---- the campaign ----------------------------------------------------- *)
 

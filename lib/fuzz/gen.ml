@@ -23,7 +23,14 @@ let spend ctx = ctx.fuel <- ctx.fuel - 1
 let vars_of ctx t = List.filter (fun (_, vt) -> vt = t) ctx.vars
 let mutables_of ctx t = List.filter (fun (_, vt) -> vt = t) ctx.mutables
 
-let str_pool = [ "a"; "ok"; "fuzz"; "Wolfram"; "x y"; "0123" ]
+let str_pool =
+  [ "a"; "ok"; "fuzz"; "Wolfram"; "x y"; "0123";
+    (* escape-adjacent entries: bytes >= 128 followed by digits catch
+       printers that write decimal escapes (a lexer reads "\233123" back as
+       six digit characters), quotes and backslashes catch under-escaping —
+       string semantics are UTF-8 bytes end to end, so these flow through
+       every arm including built binaries' argv *)
+    "caf\195\169"; "\233123"; "q\"b\\s" ]
 
 (* ---- leaves ---------------------------------------------------------- *)
 
@@ -239,8 +246,26 @@ let par_loop ctx ~depth =
            While (c, n,
                   [ Assign (r, TReal, Bin ("+", TReal, Var (r, TReal), value)) ]) ]) ]
   in
+  let swap_pair () =
+    (* rotate a loop-carried pair through a temp: after mem2reg +
+       simplify-cfg jump threading the loop's back edge carries a
+       permutation of the header block's own parameters, the shape that
+       requires parallel (two-phase) jump-argument copies in backends that
+       lower block arguments to assignments *)
+    let a = fresh_counter ctx "s" and b = fresh_counter ctx "s" in
+    let tmp = fresh_counter ctx "t" in
+    let k = Rng.range ctx.rng (-5) 5 in
+    add_local a TInt (Int k);
+    add_local b TInt (Int (k + 1 + Rng.range ctx.rng 0 3));
+    add_local tmp TInt (Int 0);
+    [ While (c, n,
+             [ Assign (tmp, TInt, Var (a, TInt));
+               Assign (a, TInt, Var (b, TInt));
+               Assign (b, TInt, Var (tmp, TInt)) ]) ]
+  in
   Rng.weighted ctx.rng
     [ (4, fun () -> reduce "+" 0.0);
+      (2, fun () -> swap_pair ());
       (1, fun () ->
           reduce "*" 1.0
             ~value:(Bin ("+", TReal, Real 1.0, Bin ("*", TReal, Real 0.001, iv))));

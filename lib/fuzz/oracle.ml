@@ -6,13 +6,14 @@ type outcome =
   | Aborted
   | Failed of string
 
-type backend = Threaded | Jit | Wvm | C | Serve | Tier | Par
+type backend = Threaded | Jit | Wvm | C | Binary | Serve | Tier | Par
 
 let backend_name = function
   | Threaded -> "threaded"
   | Jit -> "jit"
   | Wvm -> "wvm"
   | C -> "c"
+  | Binary -> "binary"
   | Serve -> "serve"
   | Tier -> "tier"
   | Par -> "par"
@@ -28,13 +29,14 @@ let backends_of_string s =
     | "jit" :: r -> go (Jit :: acc) r
     | "wvm" :: r -> go (Wvm :: acc) r
     | "c" :: r -> go (C :: acc) r
+    | "binary" :: r -> go (Binary :: acc) r
     | "serve" :: r -> go (Serve :: acc) r
     | "tier" :: r -> go (Tier :: acc) r
     | "par" :: r -> go (Par :: acc) r
     | x :: _ ->
       Error
         (Printf.sprintf
-           "unknown backend %S (threaded,jit,wvm,c,serve,tier,par)" x)
+           "unknown backend %S (threaded,jit,wvm,c,binary,serve,tier,par)" x)
   in
   go [] parts
 
@@ -148,7 +150,7 @@ let target_of = function
   | Threaded -> Wolfram.Threaded
   | Jit -> Wolfram.Jit
   | Wvm -> Wolfram.Bytecode
-  | C | Serve | Tier | Par ->
+  | C | Binary | Serve | Tier | Par ->
     Wolfram.Threaded  (* unused; these have own paths *)
 
 let run_native backend level fexpr args =
@@ -180,36 +182,147 @@ let have_cc () =
     Atomic.set have_cc_state (if yes then 1 else 2);
     yes
 
+(* A C-emitted program carries no interpreter, so unlike the in-process
+   arms it cannot revert to uncompiled evaluation when the compiled code
+   hits a runtime error (Wolfram.call's CompiledCodeFunction fallback).
+   When such a program panics cleanly (exit 3/4), the panic is correct
+   behaviour iff the very same compiled program also raises on the
+   in-process native backend with no fallback — then the arm skips (the
+   divergence from the interpreter reference is the fallback itself, by
+   design).  If the native run succeeds where the emitted C panicked,
+   that is an emitter bug and stays a reported failure. *)
+let compiled_panics c args =
+  match (B.Native.compile c).Wolf_runtime.Rtval.call
+          (Array.map Wolf_runtime.Rtval.of_expr args)
+  with
+  | _ -> false
+  | exception Wolf_base.Abort_signal.Aborted ->
+    Wolf_base.Abort_signal.clear ();
+    false
+  | exception _ -> true
+
 let run_c level fexpr args =
-  guard (fun () ->
-      let c =
-        Wolf_compiler.Pipeline.compile ~options:(fuzz_options level) ~name:"fz"
-          fexpr
-      in
-      let rargs =
-        Array.to_list (Array.map Wolf_runtime.Rtval.of_expr args)
-      in
-      match B.C_emit.emit_with_driver c ~args:rargs with
-      | Error e -> Wolf_base.Errors.compile_errorf "%s" e
-      | Ok emitted ->
-        let dir = Filename.temp_file "wolf_fuzz" "" in
-        Sys.remove dir;
-        Unix.mkdir dir 0o755;
-        let cfile = Filename.concat dir "fz.c" in
-        let exe = Filename.concat dir "fz" in
-        let oc = open_out cfile in
-        output_string oc emitted.B.C_emit.source;
-        close_out oc;
-        let rm () = ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))) in
-        Fun.protect ~finally:rm (fun () ->
-            if Sys.command
-                (Printf.sprintf "cc -O1 -o %s %s -lm 2>%s.log" exe cfile exe)
-               <> 0
-            then Wolf_base.Errors.compile_errorf "cc failed on exported C";
-            let ic = Unix.open_process_in exe in
+  let compiled =
+    match
+      Wolf_compiler.Pipeline.compile ~options:(fuzz_options level) ~name:"fz"
+        fexpr
+    with
+    | c -> Ok c
+    | exception e -> Error (guard (fun () -> raise e))
+  in
+  match compiled with
+  | Error outcome -> Some outcome
+  | Ok c ->
+    let rargs = Array.to_list (Array.map Wolf_runtime.Rtval.of_expr args) in
+    match B.C_emit.emit_with_driver c ~args:rargs with
+    | Error e -> Some (Failed ("compile: " ^ e))
+    | Ok emitted ->
+      let dir = Filename.temp_file "wolf_fuzz" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o755;
+      let cfile = Filename.concat dir "fz.c" in
+      let exe = Filename.concat dir "fz" in
+      let oc = open_out cfile in
+      output_string oc emitted.B.C_emit.source;
+      close_out oc;
+      let rm () = ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))) in
+      Fun.protect ~finally:rm (fun () ->
+          if Sys.command
+              (Printf.sprintf "cc -O1 -o %s %s -lm 2>%s.log" exe cfile exe)
+             <> 0
+          then Some (Failed "compile: cc failed on exported C")
+          else begin
+            (* the emitted program reports panics on stderr (correct for a
+               shipped binary, noise in a campaign): route them away, same
+               courtesy as [Compiled_function.quiet] for in-process arms *)
+            let ic = Unix.open_process_in (Filename.quote exe ^ " 2>/dev/null") in
             let line = try input_line ic with End_of_file -> "" in
-            ignore (Unix.close_process_in ic);
-            Parser.parse (String.trim line)))
+            match Unix.close_process_in ic with
+            | Unix.WEXITED 0 ->
+              Some (guard (fun () -> Parser.parse (String.trim line)))
+            | Unix.WEXITED (3 | 4) when compiled_panics c args -> None
+            | Unix.WEXITED n ->
+              Some (Failed (Printf.sprintf "exported C exited with code %d" n))
+            | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+              Some (Failed (Printf.sprintf "exported C killed by signal %d" n))
+          end)
+
+(* Binary arm: the full [wolfc build] product, end to end.  Unlike the c
+   arm (which bakes the arguments into an emitted [main]), this one goes
+   through [emit_standalone] + [C_build.build] and passes the arguments on
+   the command line, so the run-time argument parsers, the exit-code
+   protocol and the shipped-binary printing all sit inside the tested
+   surface.  Arguments travel as their InputForm (strings as raw bytes —
+   the driver takes string parameters verbatim from argv). *)
+
+let argv_of_expr = function
+  | Expr.Str s -> s
+  | e -> Form.input_form e
+
+let run_binary level fexpr args =
+  let compiled =
+    match
+      Wolf_compiler.Pipeline.compile ~options:(fuzz_options level) ~name:"fz"
+        fexpr
+    with
+    | c -> Ok c
+    | exception e -> Error (guard (fun () -> raise e))
+  in
+  match compiled with
+  | Error outcome -> Some outcome   (* a compile failure is an outcome *)
+  | Ok c ->
+    match B.C_emit.emit_standalone c with
+    | Error _ -> None
+    (* capability gap (e.g. a shape the emitter declares unsupported), not
+       a disagreement: the arm skips rather than fabricating a [Failed] the
+       reference cannot match *)
+    | Ok emitted ->
+      let dir = Filename.temp_file "wolf_fuzz_bin" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o755;
+      let exe = Filename.concat dir "fz" in
+      let rm () =
+        ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+      in
+      Fun.protect ~finally:rm (fun () ->
+          match
+            B.C_build.build ~cflags:[ "-O1" ]
+              ~source:emitted.B.C_emit.source ~output:exe ()
+          with
+          | Error e ->
+            Some (Failed ("compile: cc failed on built binary: " ^ e))
+          | Ok () ->
+            let argv = Array.append [| exe |] (Array.map argv_of_expr args) in
+            (* spawn without a shell (argument bytes must survive verbatim)
+               and with stderr routed away: the binary reports panics there,
+               which is right for a shipped executable and noise here *)
+            let out_r, out_w = Unix.pipe () in
+            let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+            let pid = Unix.create_process exe argv Unix.stdin out_w devnull in
+            Unix.close out_w;
+            Unix.close devnull;
+            let ic = Unix.in_channel_of_descr out_r in
+            let line = try input_line ic with End_of_file -> "" in
+            (* drain the rest so the child never blocks on a full pipe *)
+            (try
+               while true do
+                 ignore (input_line ic)
+               done
+             with End_of_file -> ());
+            let _, status = Unix.waitpid [] pid in
+            close_in ic;
+            match status with
+            | Unix.WEXITED 0 ->
+              Some (guard (fun () -> Parser.parse (String.trim line)))
+            | Unix.WEXITED 5 -> Some Aborted
+            (* 3 runtime panic / 4 OOM: no fallback interpreter inside a
+               shipped binary — correct iff the in-process native run of
+               the same compiled program panics too (see [compiled_panics]) *)
+            | Unix.WEXITED (3 | 4) when compiled_panics c args -> None
+            | Unix.WEXITED n ->
+              Some (Failed (Printf.sprintf "binary exited with code %d" n))
+            | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+              Some (Failed (Printf.sprintf "binary killed by signal %d" n)))
 
 (* ---- serve arm: replay through a wolfd daemon ------------------------
 
@@ -280,6 +393,13 @@ let c_applicable (case : Ast.case) =
   && List.for_all (fun (_, t) -> scalar t) case.Ast.fn.Ast.params
   (* the C emitter rejects residual function values, and at O0 nothing
      promotes a [Function] literal's closure to a direct call *)
+  && not (Ast.uses_closures case.Ast.fn)
+
+(* the standalone driver parses every generated parameter type (integers,
+   reals, booleans, raw strings, rank-1 brace lists) but has no escaped
+   string printer, so string-returning programs stay out of the arm *)
+let binary_applicable (case : Ast.case) =
+  case.Ast.fn.Ast.ret <> Ast.TStr
   && not (Ast.uses_closures case.Ast.fn)
 
 (* ---- abort injection -------------------------------------------------
@@ -508,7 +628,7 @@ let check_par ~level ~abort fexpr args ref_outcome =
 (* ---- the oracle ------------------------------------------------------ *)
 
 let check_parsed ?(backends = [ Threaded; Wvm ]) ?(levels = [ 0; 1; 2 ])
-    ?(abort = true) ~wvm_ok ~c_ok fexpr args =
+    ?(abort = true) ~wvm_ok ~c_ok ?(binary_ok = false) fexpr args =
   Wolfram.init ();
   B.Compiled_function.quiet := true;
   let ref_outcome =
@@ -533,7 +653,16 @@ let check_parsed ?(backends = [ Threaded; Wvm ]) ?(levels = [ 0; 1; 2 ])
            else
              List.filter_map
                (fun lvl ->
-                  mismatch (Printf.sprintf "c/O%d" lvl) (run_c lvl fexpr args))
+                  Option.bind (run_c lvl fexpr args)
+                    (mismatch (Printf.sprintf "c/O%d" lvl)))
+               levels
+         | Binary ->
+           if not binary_ok || not (have_cc ()) then []
+           else
+             List.filter_map
+               (fun lvl ->
+                  Option.bind (run_binary lvl fexpr args)
+                    (mismatch (Printf.sprintf "binary/O%d" lvl)))
                levels
          | Serve -> check_serve fexpr args ref_outcome
          | Tier -> check_tier fexpr args ref_outcome
@@ -581,4 +710,5 @@ let check_case ?backends ?levels ?abort (case : Ast.case) =
       ~wvm_ok:
         (not (Ast.uses_strings case.Ast.fn)
          && not (Ast.uses_closures case.Ast.fn))
-      ~c_ok:(c_applicable case) fexpr args
+      ~c_ok:(c_applicable case)
+      ~binary_ok:(binary_applicable case) fexpr args

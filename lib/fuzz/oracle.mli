@@ -11,12 +11,23 @@ type outcome =
       fallback (F2) re-raising through the interpreter, and the exact
       message depends on the backend's entry point. *)
 
-type backend = Threaded | Jit | Wvm | C | Serve | Tier | Par
+type backend = Threaded | Jit | Wvm | C | Binary | Serve | Tier | Par
 
 val backend_name : backend -> string
 val backends_of_string : string -> (backend list, string) result
 (** Parse a comma-separated [--backends] value:
-    threaded,jit,wvm,c,serve,tier,par.  The [Tier] arm runs each program
+    threaded,jit,wvm,c,binary,serve,tier,par.  The [Binary] arm is the
+    [wolfc build] product end to end: [C_emit.emit_standalone] +
+    [C_build.build], then the executable is spawned with the arguments on
+    its command line (strings as raw bytes, everything else in InputForm),
+    so the run-time argument parsers and the exit-code protocol are inside
+    the tested surface; exit 5 maps to [Aborted], other non-zero exits to
+    [Failed] — except a clean runtime panic (exit 3/4), which is accepted
+    iff the same compiled program also raises on the in-process native
+    backend: a shipped binary carries no interpreter, so it cannot revert
+    to uncompiled evaluation the way [Wolfram.call]'s CompiledCodeFunction
+    fallback does, and that divergence from the interpreter reference is
+    by design (the [C] arm applies the same rule).  The [Tier] arm runs each program
     through a fresh tier controller (threshold 1, promotion via the
     threaded backend): the tier-0 call, the promotion hand-off and the
     promoted call must all agree with the reference; with abort injection
@@ -57,12 +68,14 @@ val par_stats : unit -> int * int
 
 val check_parsed :
   ?backends:backend list -> ?levels:int list -> ?abort:bool ->
-  wvm_ok:bool -> c_ok:bool ->
+  wvm_ok:bool -> c_ok:bool -> ?binary_ok:bool ->
   Wolf_wexpr.Expr.t -> Wolf_wexpr.Expr.t array -> failure list
 (** Differential check of an already-parsed [Function[...]] applied to
     [args] — the corpus-replay entry point.  [abort] (default true) also
     runs the abort-injection property; it is sound for any program since
-    compiled prologues poll the abort flag. *)
+    compiled prologues poll the abort flag.  [binary_ok] (default false)
+    gates the [Binary] arm: the program must have a non-string result and
+    only parameter shapes the standalone driver can parse from argv. *)
 
 val check_case :
   ?backends:backend list -> ?levels:int list -> ?abort:bool -> Ast.case ->

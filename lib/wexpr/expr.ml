@@ -209,13 +209,30 @@ let rec hash = function
   | Normal (h, a) ->
     Array.fold_left (fun acc e -> (acc * 31) + hash e) (hash h * 17) a
 
+(* Only the escapes the lexer undoes: double quote, backslash, newline,
+   tab.  OCaml's [%S] writes decimal escapes for bytes outside printable
+   ASCII, which the lexer would read as literal digit characters — raw
+   bytes round-trip, decimal escapes do not. *)
+let pp_string fmt s =
+  Format.pp_print_char fmt '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Format.pp_print_string fmt {|\"|}
+       | '\\' -> Format.pp_print_string fmt {|\\|}
+       | '\n' -> Format.pp_print_string fmt {|\n|}
+       | '\t' -> Format.pp_print_string fmt {|\t|}
+       | c -> Format.pp_print_char fmt c)
+    s;
+  Format.pp_print_char fmt '"'
+
 let rec pp fmt = function
   | Int i -> Format.pp_print_int fmt i
   | Big b -> Wolf_base.Bignum.pp fmt b
   | Real r ->
     if Float.is_integer r && Float.abs r < 1e16 then Format.fprintf fmt "%.1f" r
     else Format.fprintf fmt "%.17g" r
-  | Str s -> Format.fprintf fmt "%S" s
+  | Str s -> pp_string fmt s
   | Sym s -> Symbol.pp fmt s
   | Tensor t -> pp_tensor fmt t
   | Normal (h, a) ->

@@ -1,0 +1,5 @@
+(* regression: non-ASCII string bytes followed by digits; decimal escapes corrupt them *)
+(* args: {"caf√©"} *)
+(* wvm: false *)
+Function[{Typed[s, "String"]},
+ Total[ToCharacterCode[s <> "È123"]]]

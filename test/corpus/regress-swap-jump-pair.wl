@@ -1,0 +1,10 @@
+(* regression: swap-shaped loop-carried pair; jump-argument copies must be parallel *)
+(* args: {6} *)
+Function[{Typed[n, "MachineInteger"]},
+ Module[{a = 1, b = 2, t = 0, c = 1},
+  While[c <= n,
+   t = a;
+   a = b;
+   b = t;
+   c = c + 1];
+  a*100 + b]]

@@ -1,0 +1,300 @@
+(* C emitter regressions and the [wolfc build] product.
+
+   Four emitter bugs each get a test that pins the emitted source shape
+   (always) and the observed behaviour of the built binary (when a system C
+   compiler is available):
+   - jump arguments are a parallel copy, not a sequence of per-argument
+     copies (a swap-shaped back edge is the distinguishing input);
+   - string constants use hex escapes with literal splicing, never OCaml's
+     decimal escapes (which C reads as octal);
+   - non-finite real constants emit INFINITY/NAN, not the invalid tokens
+     %.17g produces;
+   - tensor allocation checks for overflow/negative sizes and calloc
+     failure, exiting with the OOM code instead of corrupting memory.
+   Plus an end-to-end smoke: standalone binaries built from real programs
+   print byte-identically to the interpreter. *)
+
+open Wolf_wexpr
+open Wolf_compiler
+module B = Wolf_backends
+
+let have_cc = lazy (B.C_build.available ())
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains name src needle =
+  if not (contains src needle) then
+    Alcotest.failf "%s: emitted C lacks %S" name needle
+
+let check_absent name src needle =
+  if contains src needle then
+    Alcotest.failf "%s: emitted C contains forbidden %S" name needle
+
+(* a compiled record whose [program] we can swap for a hand-built WIR: the
+   other fields (resolution, options, timings …) are not read by the
+   emitter *)
+let compiled_shell () =
+  Pipeline.compile ~name:"hand"
+    (Parser.parse {|Function[{Typed[n, "MachineInteger"]}, n]|})
+
+(* compile the emitted unit and run it, returning (exit code, first stdout
+   line); argv entries are passed without a shell so raw bytes survive *)
+let run_built ?(argv = []) source =
+  let dir = Filename.temp_file "wolf_cemit" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let exe = Filename.concat dir "t" in
+  let rm () =
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))
+  in
+  Fun.protect ~finally:rm (fun () ->
+      (match B.C_build.build ~source ~output:exe () with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "cc failed: %s" e);
+      let ic =
+        Unix.open_process_args_in exe (Array.of_list (exe :: argv))
+      in
+      let line = try input_line ic with End_of_file -> "" in
+      let code =
+        match Unix.close_process_in ic with
+        | Unix.WEXITED n -> n
+        | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+      in
+      (code, String.trim line))
+
+(* ---- 1. parallel jump-argument copies -------------------------------- *)
+
+(* A loop header whose back edge permutes its own block parameters:
+   L1(a, b, i) looping to L1(b, a, i+1).  Source-level swaps reach the
+   emitter through fresh copy destinations, so the permuting jump is built
+   by hand — it is what simplify-cfg's jump threading produces when it
+   substitutes a collapsed block's parameters into a back edge.  Five
+   iterations of (1, 2) end at (2, 1): a*100 + b = 201.  Sequential
+   per-argument copies collapse the pair to (2, 2) = 202 on the first
+   iteration. *)
+let swap_program () =
+  let v name = Wir.fresh_var ~name ~ty:Types.int64 () in
+  let a = v "a" and b = v "b" and i = v "i" in
+  let i1 = v "i1" and cond = Wir.fresh_var ~name:"c" ~ty:Types.boolean () in
+  let t1 = v "t1" and t2 = v "t2" in
+  let jump target jargs = Wir.Jump { Wir.target; jargs } in
+  let entry =
+    { Wir.label = 0; bparams = [||]; instrs = [];
+      term =
+        jump 1
+          [| Wir.Oconst (Wir.Cint 1); Wir.Oconst (Wir.Cint 2);
+             Wir.Oconst (Wir.Cint 0) |] }
+  in
+  let header =
+    { Wir.label = 1; bparams = [| a; b; i |];
+      instrs =
+        [ Wir.Call
+            { dst = i1;
+              callee = Wir.Resolved { base = "checked_binary_plus";
+                                      mangled = "checked_binary_plus_i64" };
+              args = [| Wir.Ovar i; Wir.Oconst (Wir.Cint 1) |] };
+          Wir.Call
+            { dst = cond;
+              callee = Wir.Resolved { base = "binary_less";
+                                      mangled = "binary_less_i64" };
+              args = [| Wir.Ovar i; Wir.Oconst (Wir.Cint 5) |] } ];
+      term =
+        Wir.Branch
+          { cond = Wir.Ovar cond;
+            if_true = { Wir.target = 1; jargs = [| Wir.Ovar b; Wir.Ovar a; Wir.Ovar i1 |] };
+            if_false = { Wir.target = 2; jargs = [||] } } }
+  in
+  let exit_b =
+    { Wir.label = 2; bparams = [||];
+      instrs =
+        [ Wir.Call
+            { dst = t1;
+              callee = Wir.Resolved { base = "checked_binary_times";
+                                      mangled = "checked_binary_times_i64" };
+              args = [| Wir.Ovar a; Wir.Oconst (Wir.Cint 100) |] };
+          Wir.Call
+            { dst = t2;
+              callee = Wir.Resolved { base = "checked_binary_plus";
+                                      mangled = "checked_binary_plus_i64" };
+              args = [| Wir.Ovar t1; Wir.Ovar b |] } ];
+      term = Wir.Return (Wir.Ovar t2) }
+  in
+  { Wir.funcs =
+      [ { Wir.fname = "swapf"; fparams = [||]; ret_ty = Some Types.int64;
+          blocks = [ entry; header; exit_b ]; finline = false;
+          fsource = None } ];
+    pmeta = [] }
+
+let test_swap_jump () =
+  let c = { (compiled_shell ()) with Pipeline.program = swap_program () } in
+  match B.C_emit.emit_with_driver c ~args:[] with
+  | Error e -> Alcotest.fail e
+  | Ok emitted ->
+    let src = emitted.B.C_emit.source in
+    (* both temps bind before either parameter is written *)
+    check_contains "swap" src "wolf_tmp0";
+    check_contains "swap" src "wolf_tmp1";
+    if Lazy.force have_cc then begin
+      let code, line = run_built src in
+      Alcotest.(check int) "swap exit" 0 code;
+      Alcotest.(check string) "swapped pair survives the back edge" "201" line
+    end
+
+(* ---- 2. C-safe string escapes ----------------------------------------- *)
+
+let test_string_escapes () =
+  (* byte 233 followed by digits: a decimal escape (OCaml %S) would emit
+     the six characters \233123, which C reads as octal \23 then "3123" —
+     different bytes.  The emitter must hex-escape and splice so the
+     digits cannot extend the escape. *)
+  let gnarly = "\233123" in
+  let src_wl =
+    Printf.sprintf
+      {|Function[{}, Total[ToCharacterCode["%s" <> "q\"b\\s"]]]|} gnarly
+  in
+  let c = Pipeline.compile ~name:"strlit" (Parser.parse src_wl) in
+  match B.C_emit.emit_with_driver c ~args:[] with
+  | Error e -> Alcotest.fail e
+  | Ok emitted ->
+    let src = emitted.B.C_emit.source in
+    check_contains "strlit" src {|\xe9""|};  (* spliced hex escape *)
+    check_absent "strlit" src "\\233";       (* no decimal escapes *)
+    let expected =
+      (* byte sum, computed independently of every printer under test *)
+      let total s = String.fold_left (fun acc ch -> acc + Char.code ch) 0 s in
+      string_of_int (total gnarly + total "q\"b\\s")
+    in
+    if Lazy.force have_cc then begin
+      let code, line = run_built src in
+      Alcotest.(check int) "strlit exit" 0 code;
+      Alcotest.(check string) "bytes round-trip through the C literal"
+        expected line
+    end
+
+(* ---- 3. non-finite real constants ------------------------------------- *)
+
+let test_nonfinite_reals () =
+  let c =
+    Pipeline.compile ~name:"reals"
+      (Parser.parse
+         {|Function[{Typed[a, "Real64"], Typed[b, "Real64"]},
+            If[a > 0.0, 1, 2]]|})
+  in
+  let args = [ Wolf_runtime.Rtval.Real Float.infinity;
+               Wolf_runtime.Rtval.Real Float.nan ] in
+  match B.C_emit.emit_with_driver c ~args with
+  | Error e -> Alcotest.fail e
+  | Ok emitted ->
+    let src = emitted.B.C_emit.source in
+    check_contains "reals" src "INFINITY";
+    check_contains "reals" src "NAN";
+    (* the invalid %.17g spellings never appear as call arguments *)
+    check_absent "reals" src "(inf";
+    check_absent "reals" src " nan";
+    if Lazy.force have_cc then begin
+      let code, line = run_built src in
+      Alcotest.(check int) "reals exit" 0 code;
+      Alcotest.(check string) "infinity compares as infinite" "1" line
+    end
+
+(* ---- 4. guarded tensor allocation ------------------------------------- *)
+
+let test_alloc_guard () =
+  let c =
+    Pipeline.compile ~name:"alloc"
+      (Parser.parse
+         {|Function[{Typed[n, "Integer64"]},
+            Length[ConstantArray[0., n]]]|})
+  in
+  match B.C_emit.emit_standalone c with
+  | Error e -> Alcotest.fail e
+  | Ok emitted ->
+    let src = emitted.B.C_emit.source in
+    check_contains "alloc" src "__builtin_mul_overflow";
+    check_contains "alloc" src "OutOfMemory";
+    if Lazy.force have_cc then begin
+      (* far beyond the byte cap: must exit with the OOM code, not crash *)
+      let code, _ = run_built src ~argv:[ "88888888888888" ] in
+      Alcotest.(check int) "huge allocation exits with the OOM code" 4 code;
+      (* and the argument parser path: junk argv is a usage error *)
+      let code, _ = run_built src ~argv:[ "notanumber" ] in
+      Alcotest.(check int) "bad argument exits with the usage code" 2 code;
+      let code, _ = run_built src ~argv:[] in
+      Alcotest.(check int) "missing argument exits with the usage code" 2 code
+    end
+
+(* ---- 5. build smoke: binaries vs the interpreter ---------------------- *)
+
+let smoke_programs =
+  [ ( "swap-loop",
+      {|Function[{Typed[n, "MachineInteger"]},
+         Module[{a = 1, b = 2, t = 0, c = 1},
+          While[c <= n, t = a; a = b; b = t; c = c + 1];
+          a*100 + b]]|},
+      [ "5" ] );
+    ( "array-arg",
+      {|Function[{Typed[v, "PackedArray"["Integer64", 1]],
+                  Typed[x, "MachineInteger"]},
+         Total[v]*x + Length[v]]|},
+      [ "{1, 2, 3}"; "4" ] );
+    ( "real-ret",
+      {|Function[{Typed[x, "Real64"]}, x*2.0 + 0.5]|},
+      [ "1.25" ] );
+    ( "string-arg",
+      {|Function[{Typed[s, "String"]}, Total[ToCharacterCode[s]]]|},
+      [ "caf\195\169" ] );
+    ( "array-ret",
+      {|Function[{Typed[n, "MachineInteger"]},
+         Reverse[ConstantArray[n, 4]]]|},
+      [ "7" ] ) ]
+
+let test_build_smoke () =
+  if not (Lazy.force have_cc) then ()
+  else
+    List.iter
+      (fun (name, src_wl, argv) ->
+         let fexpr = Parser.parse src_wl in
+         let args =
+           (* interpreter gets the same values the binary parses from argv;
+              string parameters travel as raw bytes on both sides *)
+           List.map
+             (fun (s : string) ->
+                match Parser.parse_opt s with
+                | Ok e when not (contains src_wl {|"String"|}) -> e
+                | _ -> Expr.Str s)
+             argv
+         in
+         let expected =
+           match
+             Wolfram.interpret_expr
+               (Expr.Normal (fexpr, Array.of_list args))
+           with
+           | v -> Form.input_form v
+           | exception e ->
+             Alcotest.failf "%s: interpreter failed: %s" name
+               (Printexc.to_string e)
+         in
+         let c = Pipeline.compile ~name (Parser.parse src_wl) in
+         match B.C_emit.emit_standalone c with
+         | Error e -> Alcotest.failf "%s: %s" name e
+         | Ok emitted ->
+           let code, line = run_built emitted.B.C_emit.source ~argv in
+           Alcotest.(check int) (name ^ " exit") 0 code;
+           Alcotest.(check string)
+             (name ^ " stdout matches interpreter InputForm") expected line)
+      smoke_programs
+
+let tests =
+  [ Alcotest.test_case "jump copies are parallel (swap back edge)" `Slow
+      test_swap_jump;
+    Alcotest.test_case "string constants: hex escapes, spliced" `Slow
+      test_string_escapes;
+    Alcotest.test_case "non-finite real constants are valid C" `Slow
+      test_nonfinite_reals;
+    Alcotest.test_case "tensor allocation guard exits with OOM code" `Slow
+      test_alloc_guard;
+    Alcotest.test_case "built binaries match interpreter InputForm" `Slow
+      test_build_smoke ]

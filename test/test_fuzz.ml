@@ -51,6 +51,18 @@ let test_regressions_on_par () =
   |> List.iter (fun e ->
       check_clean ~backends:[ Oracle.Par ] ~levels:[ 1; 2 ] e)
 
+(* the wolfc-build product: regression reproducers replayed end-to-end as
+   standalone executables (emit_standalone + cc + argv); the oracle skips
+   entries whose shapes the standalone driver cannot parse or print, and
+   the whole arm self-skips without a C toolchain *)
+let test_regressions_on_binary () =
+  Lazy.force entries
+  |> List.filter (fun e ->
+      String.length (Filename.basename e.Driver.ce_path) >= 7
+      && String.sub (Filename.basename e.Driver.ce_path) 0 7 = "regress")
+  |> List.iter (fun e ->
+      check_clean ~backends:[ Oracle.Binary ] ~levels:[ 0; 2 ] e)
+
 (* ---- shrinker properties --------------------------------------------- *)
 
 let gen_case seed =
@@ -119,5 +131,7 @@ let tests =
       test_corpus_replay;
     Alcotest.test_case "regressions on jit" `Slow test_regressions_on_jit;
     Alcotest.test_case "regressions on par (repeated calls)" `Quick
-      test_regressions_on_par ]
+      test_regressions_on_par;
+    Alcotest.test_case "regressions as built binaries" `Slow
+      test_regressions_on_binary ]
   @ qcheck_tests

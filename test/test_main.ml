@@ -17,6 +17,7 @@ let () =
       ("features (Table 1)", Test_features.tests);
       ("appendix (A.6)", Test_appendix.tests);
       ("export (F10)", Test_export.tests);
+      ("cemit (C backend + wolfc build)", Test_cemit.tests);
       ("fuzz (differential)", Test_fuzz.tests);
       ("parallel (domain safety)", Test_parallel.tests);
       ("obs (tracing/metrics/profiling)", Test_obs.tests);
