@@ -78,7 +78,13 @@ bench-parloop-json: build
 # tracing, profiling and metrics all on, then validate every output with
 # wolfc's own checker — the trace must be well-formed Chrome JSON with
 # balanced spans, the metrics export must carry named samples, and a
-# 4-domain fuzz slice must produce at least 4 distinct tracks
+# 4-domain fuzz slice must produce at least 4 distinct tracks.  Then the
+# request-tracing leg: a background wolfd with the flight recorder armed
+# gets one slow request over its latency threshold; the daemon must leave
+# a dump `wolfc flight` can parse, and its trace must hold flow-stitched
+# request spans (>= 2 tracks) each annotated with an outcome.  The daemon
+# is invoked by binary path, not `dune exec`, so the backgrounded process
+# does not contend for dune's build lock.
 obs-smoke: build
 	dune exec bin/wolfc.exe -- run \
 	  -e 'Function[{Typed[n, "Integer64"]}, Module[{s = 0}, Do[s = s + i*i, {i, n}]; s]]' \
@@ -91,6 +97,24 @@ obs-smoke: build
 	dune exec bin/wolfc.exe -- obs-check \
 	  /tmp/wolf_obs_trace.json /tmp/wolf_obs_metrics.json /tmp/wolf_obs_profile.json
 	dune exec bin/wolfc.exe -- obs-check --min-tracks 4 /tmp/wolf_obs_par_trace.json
+	rm -rf /tmp/wolf_obs_flight /tmp/wolf_obs_wolfd.sock
+	./_build/default/bin/wolfc.exe wolfd --socket /tmp/wolf_obs_wolfd.sock \
+	  --quiet --jobs 2 --flight-dir /tmp/wolf_obs_flight \
+	  --flight-threshold-ms 50 \
+	  --trace-out /tmp/wolf_obs_wolfd_trace.json & \
+	for i in $$(seq 1 50); do \
+	  test -S /tmp/wolf_obs_wolfd.sock && break; sleep 0.1; done; \
+	./_build/default/bin/wolfc.exe connect --socket /tmp/wolf_obs_wolfd.sock \
+	  -e 'Total[Range[100]]' >/dev/null; \
+	./_build/default/bin/wolfc.exe connect --socket /tmp/wolf_obs_wolfd.sock \
+	  -e 'Do[Null, {i, 10000000}]' >/dev/null; \
+	./_build/default/bin/wolfc.exe connect --socket /tmp/wolf_obs_wolfd.sock \
+	  --shutdown; \
+	wait
+	test -n "$$(ls /tmp/wolf_obs_flight/*.wfr 2>/dev/null)"
+	./_build/default/bin/wolfc.exe flight /tmp/wolf_obs_flight/*.wfr
+	./_build/default/bin/wolfc.exe obs-check --min-tracks 2 --require-outcomes \
+	  /tmp/wolf_obs_wolfd_trace.json
 
 # service-layer smoke (DESIGN.md "Service layer"): load-test an embedded
 # wolfd daemon — 4 concurrent clients, a mixed eval/compile workload, zero

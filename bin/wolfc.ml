@@ -713,8 +713,107 @@ let compile_cmd =
           $ opt_level $ jobs_arg $ stats_arg $ trace_out_arg $ metrics_out_arg
           $ metrics_format_arg)
 
+(* live daemon view: fetch the stats op over the wire and render a
+   one-screen panel — `wolfc stats --socket` (one-shot or --watch) and
+   `wolfc top` (watch by default) share this loop *)
+
+let fetch_daemon_stats socket =
+  match Wolf_serve.Client.connect socket with
+  | exception e -> Error (Printexc.to_string e)
+  | c ->
+    Fun.protect ~finally:(fun () -> Wolf_serve.Client.close c) @@ fun () ->
+    (match Wolf_serve.Client.stats c with
+     | { Wolf_serve.Protocol.rsp = Ok (Wolf_serve.Protocol.Json frame); _ } ->
+       (match Wolf_obs.Json_min.parse frame with
+        | Ok j ->
+          (match Wolf_obs.Json_min.member "data" j with
+           | Some d -> Ok d
+           | None -> Error "stats reply carries no data")
+        | Error e -> Error ("stats reply is not JSON: " ^ e))
+     | { rsp = Ok _; _ } -> Error "unexpected stats payload"
+     | { rsp = Error (k, m); _ } ->
+       Error (Wolf_serve.Protocol.error_kind_name k ^ ": " ^ m)
+     | exception e -> Error (Printexc.to_string e))
+
+let jnum j name =
+  Option.value ~default:0.0
+    (Option.bind (Wolf_obs.Json_min.member name j) Wolf_obs.Json_min.num)
+
+let jint j name = int_of_float (jnum j name)
+
+let jget j name =
+  Option.value ~default:Wolf_obs.Json_min.Null (Wolf_obs.Json_min.member name j)
+
+let render_daemon_stats ~prev j =
+  let b = Buffer.create 1024 in
+  let uptime = jnum j "uptime_seconds" in
+  let evals = jint j "evals" and compiles = jint j "compiles" in
+  (* per-op rates come from the delta against the previous poll; the first
+     render (or a one-shot) averages over the daemon's whole uptime *)
+  let pe, pc, pt = Option.value ~default:(0, 0, 0.0) prev in
+  let dt = uptime -. pt in
+  let rate now before = if dt <= 0.0 then 0.0 else float_of_int (now - before) /. dt in
+  Printf.bprintf b "wolfd  uptime %.1fs  sessions %d\n" uptime (jint j "sessions");
+  Printf.bprintf b
+    "ops     evals %d (%.1f/s)   compiles %d (%.1f/s)   errors %d\n"
+    evals (rate evals pe) compiles (rate compiles pc) (jint j "errors");
+  Printf.bprintf b "refused overloaded %d   cancelled %d   deadline %d\n"
+    (jint j "overloaded") (jint j "cancelled") (jint j "deadline");
+  let q = jget j "queue" in
+  Printf.bprintf b "queue   depth %d/%d   running %d/%d workers\n"
+    (jint q "depth") (jint q "capacity") (jint q "running") (jint q "jobs");
+  let lat = jget j "latency" in
+  Printf.bprintf b "latency (ms)         p50        p99\n";
+  List.iter
+    (fun phase ->
+       let e = jget lat phase in
+       Printf.bprintf b "  %-12s %9.3f  %9.3f\n" phase
+         (jnum e "p50_ms") (jnum e "p99_ms"))
+    [ "total"; "decode"; "queue_wait"; "lock_wait"; "eval"; "compile"; "encode" ];
+  let f = jget j "flight" in
+  Printf.bprintf b "flight  records %d  dumps %d  suppressed %d\n"
+    (jint f "records") (jint f "dumps") (jint f "suppressed");
+  (Buffer.contents b, (evals, compiles, uptime))
+
+let daemon_stats_loop ~socket ~watch ~interval ~iterations =
+  let prev = ref None in
+  let rec go i =
+    match fetch_daemon_stats socket with
+    | Error e -> Printf.eprintf "stats: %s\n" e; 1
+    | Ok j ->
+      let out, cur = render_daemon_stats ~prev:!prev j in
+      if watch then print_string "\027[H\027[2J";
+      print_string out;
+      flush Stdlib.stdout;
+      prev := Some cur;
+      if (not watch) || (iterations > 0 && i >= iterations) then 0
+      else begin
+        Thread.delay interval;
+        go (i + 1)
+      end
+  in
+  go 1
+
+let watch_flag =
+  Arg.(value & flag & info [ "watch" ]
+         ~doc:"Keep polling and redraw the panel every $(b,--interval) \
+               seconds.")
+
+let interval_arg =
+  Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS"
+         ~doc:"Polling interval for watch mode.")
+
+let iterations_arg =
+  Arg.(value & opt int 0 & info [ "iterations" ] ~docv:"N"
+         ~doc:"Stop watch mode after $(docv) polls (0 = until interrupted); \
+               useful for scripted runs.")
+
 let stats_cmd =
-  let run expr file target opt_level format out =
+  let run expr file target opt_level format out socket watch interval
+      iterations =
+    match socket with
+    | Some socket -> daemon_stats_loop ~socket ~watch ~interval ~iterations
+    | None ->
     Wolfram.init ();
     (* compiling the given program (if any) populates the registry; with no
        program this prints the instruments in their initial state, which is
@@ -734,24 +833,40 @@ let stats_cmd =
           | `Prometheus -> Wolf_obs.Metrics.to_prometheus ()));
     0
   in
+  let socket_opt_arg =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Poll a running wolfd daemon's stats op instead of \
+                 exporting the local registry; combine with $(b,--watch) \
+                 for a live panel.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Compile a program (optional) and export the metrics registry — \
              pass timings, cache occupancy, runtime event counters — as JSON \
-             or Prometheus text.")
+             or Prometheus text.  With $(b,--socket), poll a running wolfd \
+             instead and render its live stats (sessions, rates, queue, \
+             per-phase latency, flight recorder).")
     Term.(const run $ expr_arg $ file_arg $ target_arg $ opt_level
-          $ metrics_format_arg $ metrics_out_arg)
+          $ metrics_format_arg $ metrics_out_arg $ socket_opt_arg
+          $ watch_flag $ interval_arg $ iterations_arg)
 
 (* obs-check: validate observability outputs (used by `make obs-smoke`).
    Trace files get structural checks on top of JSON well-formedness: every
    event carries the trace_event fields, begin/end depths balance per
    track, and the track count can be bounded from below (--min-tracks). *)
 
-let check_trace ~min_tracks json =
+let check_trace ~min_tracks ~require_outcomes json =
   let events = Option.value ~default:Wolf_obs.Json_min.Null
       (Wolf_obs.Json_min.member "traceEvents" json) in
   let events = Wolf_obs.Json_min.to_list events in
-  let depths : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* per-track open-span stacks: depth balance as before, plus enough
+     structure to match each request span's outcome annotation (the
+     outcome may sit on the B or — the usual case — the E event) *)
+  let stacks : (int, (string * string * string option) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let outcomes : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let requests = ref 0 in
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
   List.iteri
@@ -760,29 +875,66 @@ let check_trace ~min_tracks json =
        let field name = member name ev in
        let sfield name = Option.bind (field name) str in
        let nfield name = Option.bind (field name) num in
+       let outcome_arg () =
+         Option.bind (field "args") (fun a -> Option.bind (member "outcome" a) str)
+       in
        (match sfield "name", sfield "ph", nfield "ts", nfield "pid", nfield "tid" with
-        | Some _, Some ph, Some _, Some _, Some tid ->
+        | Some name, Some ph, Some _, Some _, Some tid ->
           let tid = int_of_float tid in
-          let d = Option.value ~default:0 (Hashtbl.find_opt depths tid) in
+          let stack =
+            match Hashtbl.find_opt stacks tid with
+            | Some s -> s
+            | None ->
+              let s = ref [] in
+              Hashtbl.replace stacks tid s;
+              s
+          in
           (match ph with
-           | "B" -> Hashtbl.replace depths tid (d + 1)
+           | "B" ->
+             let cat = Option.value ~default:"" (sfield "cat") in
+             stack := (name, cat, outcome_arg ()) :: !stack
            | "E" ->
-             if d = 0 then err "event %d: E with no open span on tid %d" i tid
-             else Hashtbl.replace depths tid (d - 1)
+             (match !stack with
+              | [] -> err "event %d: E with no open span on tid %d" i tid
+              | (bname, bcat, boutcome) :: rest ->
+                stack := rest;
+                if bname <> name then
+                  err "event %d: E %S closes B %S on tid %d" i name bname tid;
+                if bcat = "serve" && bname = "request" then begin
+                  incr requests;
+                  match (match boutcome with Some o -> Some o | None -> outcome_arg ()) with
+                  | Some o ->
+                    Hashtbl.replace outcomes o
+                      (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes o))
+                  | None ->
+                    if require_outcomes then
+                      err "event %d: request span without args.outcome" i
+                end)
            | "i" -> ()
+           | "s" | "f" ->
+             (* flow events stitch cross-domain spans; an id is what makes
+                the pair a pair, so its absence is structural breakage *)
+             if nfield "id" = None then
+               err "event %d: flow event (%s) without id" i ph
            | ph -> err "event %d: unexpected phase %S" i ph)
         | _ -> err "event %d: missing name/ph/ts/pid/tid" i))
     events;
   Hashtbl.iter
-    (fun tid d -> if d <> 0 then err "tid %d: %d unclosed span(s)" tid d)
-    depths;
-  let tracks = Hashtbl.length depths in
+    (fun tid s ->
+       if !s <> [] then err "tid %d: %d unclosed span(s)" tid (List.length !s))
+    stacks;
+  let tracks = Hashtbl.length stacks in
   if tracks < min_tracks then
     err "expected at least %d track(s), found %d" min_tracks tracks;
-  (List.length events, tracks, List.rev !errors)
+  if require_outcomes && !requests = 0 then
+    err "--require-outcomes: no request spans in trace";
+  let outcome_list =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) outcomes [])
+  in
+  (List.length events, tracks, outcome_list, List.rev !errors)
 
 let obs_check_cmd =
-  let run min_tracks files =
+  let run min_tracks require_outcomes files =
     if files = [] then begin prerr_endline "obs-check: no input files"; exit 2 end;
     let failed = ref false in
     List.iter
@@ -795,10 +947,20 @@ let obs_check_cmd =
          | Ok json ->
            let open Wolf_obs.Json_min in
            if member "traceEvents" json <> None then begin
-             let events, tracks, errors = check_trace ~min_tracks json in
+             let events, tracks, outcomes, errors =
+               check_trace ~min_tracks ~require_outcomes json
+             in
+             let outcome_summary =
+               match outcomes with
+               | [] -> ""
+               | os ->
+                 ", outcomes "
+                 ^ String.concat " "
+                     (List.map (fun (o, n) -> Printf.sprintf "%s=%d" o n) os)
+             in
              if errors = [] then
-               Printf.printf "%s: ok (trace, %d events, %d tracks)\n" file
-                 events tracks
+               Printf.printf "%s: ok (trace, %d events, %d tracks%s)\n" file
+                 events tracks outcome_summary
              else begin
                failed := true;
                Printf.printf "%s: FAILED\n" file;
@@ -841,13 +1003,20 @@ let obs_check_cmd =
            ~doc:"Require trace files to contain at least $(docv) distinct \
                  track (tid) values.")
   in
+  let require_outcomes_arg =
+    Arg.(value & flag & info [ "require-outcomes" ]
+           ~doc:"Require every $(i,request) span in a trace to carry an \
+                 $(i,args.outcome) annotation (and at least one request \
+                 span to exist); outcome counts are printed either way.")
+  in
   let files_arg = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "obs-check"
        ~doc:"Validate observability outputs: JSON well-formedness for any \
-             file, plus per-track span balance and minimum track count for \
-             Chrome traces and shape checks for metrics exports.")
-    Term.(const run $ min_tracks_arg $ files_arg)
+             file, plus per-track span balance, flow-event ids, minimum \
+             track count and request outcomes for Chrome traces and shape \
+             checks for metrics exports.")
+    Term.(const run $ min_tracks_arg $ require_outcomes_arg $ files_arg)
 
 let repl_cmd =
   let run () =
@@ -955,9 +1124,23 @@ let socket_arg =
   Arg.(value & opt string "/tmp/wolfd.sock" & info [ "socket" ] ~docv:"PATH"
          ~doc:"Unix-domain socket path of the daemon.")
 
+let flight_dir_arg =
+  Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR"
+         ~doc:"Enable the flight recorder: requests that end cancelled, \
+               deadline-exceeded or overloaded (or breach \
+               $(b,--flight-threshold-ms)) dump the recent-request rings \
+               to $(docv) as compact binary files readable with \
+               $(b,wolfc flight).")
+
+let flight_threshold_arg =
+  Arg.(value & opt float 0.0 & info [ "flight-threshold-ms" ] ~docv:"MS"
+         ~doc:"Also dump when a request's total latency exceeds $(docv) \
+               milliseconds (0 = outcome-based triggers only).")
+
 let wolfd_cmd =
   let run socket jobs queue max_frame quiet tier tier_threshold disk_cache
-      parallel_loops trace_out metrics_out metrics_format =
+      parallel_loops flight_dir flight_threshold_ms trace_out metrics_out
+      metrics_format =
     with_obs ~trace_out ~metrics_out ~metrics_format @@ fun () ->
     (match parallel_loops with
      | Some j when j > 0 -> Wolf_runtime.Par_runtime.set_jobs j
@@ -971,7 +1154,9 @@ let wolfd_cmd =
         tier;
         tier_threshold;
         disk_cache_dir = resolve_disk_cache disk_cache;
-        parallel_loops = parallel_loops <> None }
+        parallel_loops = parallel_loops <> None;
+        flight_dir;
+        flight_threshold_ms }
     in
     let srv = Wolf_serve.Server.start cfg in
     (* runs until a client sends the shutdown op (or the process is killed;
@@ -1005,11 +1190,11 @@ let wolfd_cmd =
              deadlines and cancellation.")
     Term.(const run $ socket_arg $ jobs_arg $ queue_arg $ max_frame_arg
           $ quiet_arg $ tier_flag $ tier_threshold_arg $ disk_cache_arg
-          $ parallel_loops_arg $ trace_out_arg $ metrics_out_arg
-          $ metrics_format_arg)
+          $ parallel_loops_arg $ flight_dir_arg $ flight_threshold_arg
+          $ trace_out_arg $ metrics_out_arg $ metrics_format_arg)
 
 let connect_cmd =
-  let run socket expr file deadline_ms =
+  let run socket expr file deadline_ms shutdown =
     let c = Wolf_serve.Client.connect socket in
     Fun.protect ~finally:(fun () -> Wolf_serve.Client.close c) @@ fun () ->
     let eval_one src =
@@ -1017,7 +1202,17 @@ let connect_cmd =
       | Ok printed -> print_endline printed; true
       | Error (kind, msg) -> Printf.printf "Error (%s): %s\n" kind msg; false
     in
+    let do_shutdown () =
+      (* the daemon acks before it stops accepting, so this is a clean rpc *)
+      match Wolf_serve.Client.shutdown c with
+      | { Wolf_serve.Protocol.rsp = Ok _; _ } -> true
+      | { rsp = Error (kind, msg); _ } ->
+        Printf.eprintf "shutdown failed (%s): %s\n"
+          (Wolf_serve.Protocol.error_kind_name kind) msg;
+        false
+    in
     match expr, file with
+    | None, None when shutdown -> if do_shutdown () then 0 else 1
     | None, None ->
       (* line-oriented remote REPL *)
       let n = ref 0 in
@@ -1030,17 +1225,62 @@ let connect_cmd =
          done
        with End_of_file | Wolf_serve.Protocol.Closed -> print_newline ());
       0
-    | _ -> if eval_one (read_program expr file) then 0 else 1
+    | _ ->
+      let ok = eval_one (read_program expr file) in
+      let ok = (not shutdown || do_shutdown ()) && ok in
+      if ok then 0 else 1
   in
   let deadline_arg =
     Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
            ~doc:"Per-request deadline forwarded to the daemon.")
   in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Send the shutdown op (after the evaluation, if one was \
+                 given) so scripts can stop a daemon without kill(1).")
+  in
   Cmd.v
     (Cmd.info "connect"
        ~doc:"Evaluate through a running wolfd daemon: one-shot with $(b,-e) \
-             or FILE, interactive otherwise.")
-    Term.(const run $ socket_arg $ expr_arg $ file_arg $ deadline_arg)
+             or FILE, interactive otherwise; $(b,--shutdown) stops the \
+             daemon.")
+    Term.(const run $ socket_arg $ expr_arg $ file_arg $ deadline_arg
+          $ shutdown_arg)
+
+let flight_cmd =
+  let run files =
+    if files = [] then begin prerr_endline "flight: no input files"; exit 2 end;
+    let failed = ref false in
+    List.iter
+      (fun file ->
+         match Wolf_obs.Flight.read_file file with
+         | Error e ->
+           failed := true;
+           Printf.printf "%s: FAILED (%s)\n" file e
+         | Ok d -> Printf.printf "%s:\n%s" file (Wolf_obs.Flight.describe d))
+      files;
+    if !failed then 1 else 0
+  in
+  let files_arg = Arg.(value & pos_all file [] & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "flight"
+       ~doc:"Pretty-print wolfd flight-recorder dumps ($(i,*.wfr) files \
+             written under $(b,--flight-dir)): dump reason, the triggering \
+             request, and each recent request's per-phase timeline with the \
+             domain that ran it.")
+    Term.(const run $ files_arg)
+
+let top_cmd =
+  let run socket interval iterations =
+    daemon_stats_loop ~socket ~watch:true ~interval ~iterations
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live view of a running wolfd daemon: sessions, request rates, \
+             queue depth, per-phase latency percentiles and flight-recorder \
+             activity, redrawn every $(b,--interval) seconds (equivalent to \
+             $(b,wolfc stats --socket … --watch)).")
+    Term.(const run $ socket_arg $ interval_arg $ iterations_arg)
 
 (* bench serve: the protocol load generator (EXPERIMENTS.md E13).  N client
    threads share one daemon; each request's latency is measured around the
@@ -1048,8 +1288,8 @@ let connect_cmd =
    client would feel it. *)
 
 let bench_serve_cmd =
-  let run socket clients requests jobs queue json_out trace_out metrics_out
-      metrics_format =
+  let run socket clients requests jobs queue json_out flight_dir
+      flight_threshold_ms trace_out metrics_out metrics_format =
     if clients <= 0 || requests <= 0 then begin
       prerr_endline "bench serve: --clients and --requests must be positive";
       exit 2
@@ -1068,7 +1308,9 @@ let bench_serve_cmd =
           Wolf_serve.Server.start
             { (Wolf_serve.Server.default_config ~socket_path:p ()) with
               jobs = (if jobs <= 0 then 2 else jobs);
-              queue_capacity = queue }
+              queue_capacity = queue;
+              flight_dir;
+              flight_threshold_ms }
         in
         Some srv, p
     in
@@ -1126,6 +1368,16 @@ let bench_serve_cmd =
          in
          List.iter Thread.join threads);
     let duration = Wolf_obs.Clock.now () -. t0 in
+    (* server-side phase attribution, while the daemon is still up: the gap
+       between client-felt p99 and eval_p99 is framing + queueing, and
+       queue_wait_p99 names the queueing share directly *)
+    let queue_wait_p99, eval_p99 =
+      match fetch_daemon_stats path with
+      | Error _ -> 0.0, 0.0
+      | Ok data ->
+        let lat = jget data "latency" in
+        (jnum (jget lat "queue_wait") "p99_ms", jnum (jget lat "eval") "p99_ms")
+    in
     Array.sort compare lat;
     let pctl p =
       lat.(int_of_float (float_of_int (requests - 1) *. p /. 100.0)) *. 1e3
@@ -1135,9 +1387,11 @@ let bench_serve_cmd =
       Printf.sprintf
         "{\"clients\":%d,\"requests\":%d,\"errors\":%d,\
          \"duration_seconds\":%.4f,\"req_per_s\":%.1f,\
-         \"p50_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f,\"cache\":%s}"
+         \"p50_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f,\
+         \"queue_wait_p99_ms\":%.3f,\"eval_p99_ms\":%.3f,\"cache\":%s}"
         clients requests (Atomic.get errors) duration req_per_s
         (pctl 50.0) (pctl 99.0) (lat.(requests - 1) *. 1e3)
+        queue_wait_p99 eval_p99
         (cache_json (Wolfram.compile_cache_stats ()))
     in
     let oc = open_out json_out in
@@ -1176,8 +1430,8 @@ let bench_serve_cmd =
              eval/compile workload, p50/p99 latency and req/s published as \
              JSON.")
     Term.(const run $ socket_opt_arg $ clients_arg $ requests_arg $ jobs_arg
-          $ queue_arg $ json_arg $ trace_out_arg $ metrics_out_arg
-          $ metrics_format_arg)
+          $ queue_arg $ json_arg $ flight_dir_arg $ flight_threshold_arg
+          $ trace_out_arg $ metrics_out_arg $ metrics_format_arg)
 
 let bench_cmd =
   Cmd.group (Cmd.info "bench" ~doc:"Benchmarks with published JSON results.")
@@ -1191,4 +1445,5 @@ let () =
   exit (Cmd.eval' (Cmd.group info
                      [ emit_cmd; run_cmd; compile_cmd; build_cmd; eval_cmd; fuzz_cmd;
                        stats_cmd; obs_check_cmd; repl_cmd; cache_cmd;
-                       wolfd_cmd; connect_cmd; bench_cmd ]))
+                       wolfd_cmd; connect_cmd; flight_cmd; top_cmd;
+                       bench_cmd ]))

@@ -25,9 +25,12 @@ let with_lock f =
   else begin
     (* the acquisition is the interesting part for tracing: a long
        "kernel-lock" span on one track is time spent queued behind the
-       interpreter serving another domain *)
-    Wolf_obs.Trace.with_span ~cat:"lock" "kernel-lock" (fun () ->
-        Mutex.lock mutex);
+       interpreter serving another domain.  The uncontended case says
+       nothing, so probe with [try_lock] first and only pay for a span
+       when the lock is actually held elsewhere. *)
+    if not (Mutex.try_lock mutex) then
+      Wolf_obs.Trace.with_span ~cat:"lock" "kernel-lock" (fun () ->
+          Mutex.lock mutex);
     Atomic.set owner me;
     Fun.protect
       ~finally:(fun () ->

@@ -95,6 +95,13 @@ let find_gauge ?(labels = []) name =
   Mutex.unlock lock;
   match r with Some (I_gauge g) -> Some (Atomic.get g.g_v) | _ -> None
 
+let find_histogram ?(labels = []) name =
+  let key = ident name (sorted_labels labels) in
+  Mutex.lock lock;
+  let r = Hashtbl.find_opt table key in
+  Mutex.unlock lock;
+  match r with Some (I_histogram h) -> Some h | _ -> None
+
 let default_bounds =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
 
@@ -113,6 +120,51 @@ let observe h v =
   Atomic.incr h.h_counts.(bucket 0);
   float_add h.h_sum v;
   Atomic.incr h.h_count
+
+(* Quantile estimate in the Prometheus histogram_quantile style: find the
+   bucket holding the target rank and interpolate linearly inside it.  The
+   +inf bucket clamps to the last finite bound.  [quantile_sum] merges
+   several series of one family (they share bounds by construction) so an
+   op-agnostic p99 can be read from per-op histograms. *)
+let quantile_sum hs q =
+  match hs with
+  | [] -> 0.0
+  | h0 :: _ ->
+    let n = Array.length h0.h_bounds in
+    let counts = Array.make (n + 1) 0 in
+    List.iter
+      (fun h ->
+         Array.iteri
+           (fun i a -> if i <= n then counts.(i) <- counts.(i) + Atomic.get a)
+           h.h_counts)
+      hs;
+    let total = Array.fold_left ( + ) 0 counts in
+    if total = 0 then 0.0
+    else begin
+      let rank = q *. float_of_int total in
+      let rec go i cum =
+        if i > n then h0.h_bounds.(n - 1)
+        else begin
+          let cum' = cum + counts.(i) in
+          if float_of_int cum' >= rank then begin
+            let lo = if i = 0 then 0.0 else h0.h_bounds.(i - 1) in
+            if i = n then lo
+            else begin
+              let hi = h0.h_bounds.(i) in
+              if counts.(i) = 0 then hi
+              else
+                lo
+                +. (hi -. lo) *. (rank -. float_of_int cum)
+                   /. float_of_int counts.(i)
+            end
+          end
+          else go (i + 1) cum'
+        end
+      in
+      go 0 0
+    end
+
+let quantile h q = quantile_sum [ h ] q
 
 let register_source name f =
   Mutex.lock lock;
@@ -195,12 +247,38 @@ let to_json () =
   Buffer.add_string b "]}";
   Buffer.contents b
 
+(* Exposition-format escaping.  OCaml's [%S] is wrong here: it emits
+   decimal escapes ["\013"] for control bytes, which Prometheus parsers
+   take literally.  Label values escape backslash, double-quote and
+   newline; HELP text escapes only backslash and newline. *)
+let prom_escape ~quote s =
+  let plain =
+    String.for_all
+      (fun c -> c <> '\\' && c <> '\n' && not (quote && c = '"'))
+      s
+  in
+  if plain then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+         match c with
+         | '\\' -> Buffer.add_string b "\\\\"
+         | '\n' -> Buffer.add_string b "\\n"
+         | '"' when quote -> Buffer.add_string b "\\\""
+         | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
 let prom_labels = function
   | [] -> ""
   | ls ->
     "{"
     ^ String.concat ","
-        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape ~quote:true v))
+           ls)
     ^ "}"
 
 let to_prometheus () =
@@ -214,7 +292,9 @@ let to_prometheus () =
        if not (Hashtbl.mem seen_header base) then begin
          Hashtbl.replace seen_header base ();
          if s.s_help <> "" then
-           Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" base s.s_help);
+           Buffer.add_string b
+             (Printf.sprintf "# HELP %s %s\n" base
+                (prom_escape ~quote:false s.s_help));
          Buffer.add_string b
            (Printf.sprintf "# TYPE %s %s\n" base (kind_name s.s_kind))
        end;

@@ -52,6 +52,20 @@ val histogram : ?help:string -> ?labels:(string * string) list ->
 
 val observe : histogram -> float -> unit
 
+val find_histogram : ?labels:(string * string) list -> string -> histogram option
+(** Read a histogram back without creating it — [None] if never
+    registered (or registered as another kind). *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0..1]) by linear
+    interpolation inside the bucket holding the target rank
+    (histogram_quantile-style); 0 when empty, clamped to the last finite
+    bound for observations beyond it. *)
+
+val quantile_sum : histogram list -> float -> float
+(** Like {!quantile} over the merged counts of several same-bounds series
+    (e.g. one family's per-label histograms). *)
+
 val register_source : string -> (unit -> sample list) -> unit
 (** Install (or replace — the name is the identity) a pull-time sample
     producer. *)

@@ -1,0 +1,59 @@
+(* Request-scoped context, propagated across domain hops.
+
+   The ambient slot is domain-local (DLS), which is safe for the places
+   that read it — executor worker domains, tier's promote domain, parloop
+   helpers — because each of those runs one job at a time.  It is NOT safe
+   as an ambient slot on the daemon's accept domain, where many connection
+   systhreads interleave; those callers must build the captured value
+   explicitly with [capture_of] instead of relying on [capture]. *)
+
+type t = {
+  rid : int;
+  label : string;
+  targs : (string * string) list;
+  (* [("trace_id", <encoded label>)], built once at request creation so the
+     hot path (flow events, span labelling) never re-escapes or re-allocates *)
+}
+
+let make ~rid ~label =
+  { rid; label; targs = [ ("trace_id", Trace.arg_str label) ] }
+
+let rid c = c.rid
+let label c = c.label
+
+let slot : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let current () = !(Domain.DLS.get slot)
+
+let with_request c f =
+  let cell = Domain.DLS.get slot in
+  let saved = !cell in
+  cell := Some c;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+type captured = (t * int) option
+
+let none : captured = None
+
+let flow_args c = c.targs
+let span_args = flow_args
+
+let capture_of c : captured =
+  let id = Trace.new_flow_id () in
+  if Trace.enabled () then
+    Trace.flow_start ~id ~cat:"serve" ~args:(flow_args c) "request-flow";
+  Some (c, id)
+
+let capture () : captured =
+  match current () with None -> None | Some c -> capture_of c
+
+let adopt (cap : captured) f =
+  match cap with
+  | None -> f ()
+  | Some (c, id) ->
+    if Trace.enabled () then
+      Trace.flow_finish ~id ~cat:"serve" ~args:(flow_args c) "request-flow";
+    with_request c f
+
+let args_of_current () =
+  match current () with None -> [] | Some c -> flow_args c

@@ -1,0 +1,55 @@
+(** Request-scoped context for cross-domain trace stitching.
+
+    A wolfd request is decoded on the accept domain, runs on an executor
+    worker, and may fan further out (tier background compiles, parloop
+    helper chunks).  The context — request id plus the ["s<sid>.r<rid>"]
+    label used as [trace_id] in spans — is captured explicitly at every
+    submit site and restored into domain-local storage at job start, with a
+    Chrome flow event ([s] at capture, [f] at adopt) drawing the causal
+    arrow between the two tracks.
+
+    The ambient slot is per-domain.  Worker-side domains run one job at a
+    time so [capture]/[current] are safe there; the daemon's accept domain
+    multiplexes connection systhreads, so code on it must pass the context
+    explicitly via [capture_of]. *)
+
+type t
+
+val make : rid:int -> label:string -> t
+(** Build a context; the [trace_id] span argument is encoded once here so
+    per-event labelling on the hot path is allocation-light. *)
+
+val rid : t -> int
+val label : t -> string
+
+val span_args : t -> (string * string) list
+(** The cached [("trace_id", …)] pair, for labelling spans from code that
+    holds the context explicitly (accept-domain paths). *)
+
+val current : unit -> t option
+(** The context adopted by the current domain's running job, if any. *)
+
+val with_request : t -> (unit -> 'a) -> 'a
+(** Run with the ambient context set; restores the previous value. *)
+
+type captured
+(** A context captured at a submit site, tied to a fresh flow id. *)
+
+val none : captured
+
+val capture : unit -> captured
+(** Capture the ambient context (emitting the flow-start inside the
+    caller's current span).  [none] when no context is set. *)
+
+val capture_of : t -> captured
+(** Like {!capture} but from an explicit context — for accept-domain code
+    where the ambient slot cannot be trusted. *)
+
+val adopt : captured -> (unit -> 'a) -> 'a
+(** Run a job under a captured context: emits the flow-finish (call it
+    inside the job's span so the arrow binds to it) and sets the ambient
+    slot for the job's duration. *)
+
+val args_of_current : unit -> (string * string) list
+(** [["trace_id", …]] for the ambient context, or [[]] — for labelling
+    spans in downstream subsystems (tier, parloop). *)

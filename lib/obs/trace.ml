@@ -1,8 +1,9 @@
 type event = {
   ev_name : string;
   ev_cat : string;
-  ev_ph : char;                       (* 'B' | 'E' | 'i' *)
+  ev_ph : char;                       (* 'B' | 'E' | 'i' | 's' | 'f' *)
   ev_ts_ns : int;                     (* Clock.now_ns at emission *)
+  ev_id : int;                        (* flow id for 's'/'f'; 0 = none *)
   ev_args : (string * string) list;   (* values pre-encoded as JSON *)
 }
 
@@ -19,7 +20,8 @@ type buffer = {
   mutable dropped : int;
 }
 
-let dummy_event = { ev_name = ""; ev_cat = ""; ev_ph = 'i'; ev_ts_ns = 0; ev_args = [] }
+let dummy_event =
+  { ev_name = ""; ev_cat = ""; ev_ph = 'i'; ev_ts_ns = 0; ev_id = 0; ev_args = [] }
 
 let enabled_flag = Atomic.make false
 let capacity = Atomic.make (1 lsl 19)
@@ -105,15 +107,24 @@ let push b (ev : event) =
      else b.dropped <- b.dropped + 1);
   Mutex.unlock b.lock
 
-let emit ph ?(cat = "") ?(args = []) name =
+let emit ?(id = 0) ph ?(cat = "") ?(args = []) name =
   if Atomic.get enabled_flag then
     push (Domain.DLS.get buffer_key)
       { ev_name = name; ev_cat = cat; ev_ph = ph; ev_ts_ns = Clock.now_ns ();
-        ev_args = args }
+        ev_id = id; ev_args = args }
 
 let begin_span ?cat ?args name = emit 'B' ?cat ?args name
-let end_span name = emit 'E' name
+let end_span ?args name = emit 'E' ?args name
 let instant ?cat ?args name = emit 'i' ?cat ?args name
+
+(* Flow events stitch spans on different tracks into one causal arrow: the
+   's' binds to the slice enclosing it at the producer, the 'f' to the slice
+   enclosing it at the consumer.  Ids come from one process-wide counter so
+   an (s, f) pair is unambiguous across domains. *)
+let flow_counter = Atomic.make 1
+let new_flow_id () = Atomic.fetch_and_add flow_counter 1
+let flow_start ~id ?cat ?args name = emit ~id 's' ?cat ?args name
+let flow_finish ~id ?cat ?args name = emit ~id 'f' ?cat ?args name
 
 let with_span ?cat ?args name f =
   if not (Atomic.get enabled_flag) then f ()
@@ -170,6 +181,10 @@ let to_json () =
                  (float_of_int (ev.ev_ts_ns - Clock.epoch_ns) /. 1e3)
                  tid);
             if ev.ev_ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
+            if ev.ev_id <> 0 then
+              Buffer.add_string buf (Printf.sprintf ",\"id\":%d" ev.ev_id);
+            (* bind the flow-finish to the enclosing slice, not the next one *)
+            if ev.ev_ph = 'f' then Buffer.add_string buf ",\"bp\":\"e\"";
             (match ev.ev_args with
              | [] -> ()
              | args ->

@@ -39,13 +39,24 @@ val with_span : ?cat:string -> ?args:(string * string) list -> string ->
     {!arg_str}/{!arg_int}.  Balanced under exceptions. *)
 
 val begin_span : ?cat:string -> ?args:(string * string) list -> string -> unit
-val end_span : string -> unit
+val end_span : ?args:(string * string) list -> string -> unit
 (** Explicit pair for spans that cannot be expressed as a [with_span]
-    (e.g. waiting sections inside a condition-variable loop).  Callers own
-    the balance obligation. *)
+    (e.g. waiting sections inside a condition-variable loop, or spans whose
+    args — an outcome — are only known at the end).  Callers own the
+    balance obligation. *)
 
 val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
 (** A zero-duration marker (cache hits/misses, abort requests, …). *)
+
+val new_flow_id : unit -> int
+val flow_start : id:int -> ?cat:string -> ?args:(string * string) list ->
+  string -> unit
+val flow_finish : id:int -> ?cat:string -> ?args:(string * string) list ->
+  string -> unit
+(** Chrome flow events ([ph:"s"]/[ph:"f"]) drawing a causal arrow from the
+    slice enclosing the start to the slice enclosing the finish — emit them
+    inside spans on both sides.  Ids are process-wide; allocate one per
+    hand-off with {!new_flow_id}.  The finish is emitted with [bp:"e"]. *)
 
 val arg_str : string -> string
 val arg_int : int -> string

@@ -76,6 +76,12 @@ let create ?(capacity = 64) ~jobs () =
   t
 
 let submit t job =
+  (* Capture the submitter's request context (if any): the flow-start
+     lands in the submitter's open span, and the worker restores the
+     context — emitting the flow-finish inside its "job" span — before
+     running the thunk, so cross-domain spans stitch under one request. *)
+  let cap = Wolf_obs.Request_ctx.capture () in
+  let job () = Wolf_obs.Request_ctx.adopt cap job in
   Mutex.lock t.lock;
   let r =
     if t.stopping then `Stopped

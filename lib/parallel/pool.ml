@@ -45,7 +45,13 @@ let map ~jobs n (f : int -> 'a) : 'a array =
               continue := false
         done
       in
-      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      let domains =
+        Array.init (jobs - 1) (fun _ ->
+            (* per-domain capture: each spawned worker adopts the caller's
+               request context (tier -O2 compiles under wolfd reach here) *)
+            let cap = Wolf_obs.Request_ctx.capture () in
+            Domain.spawn (fun () -> Wolf_obs.Request_ctx.adopt cap worker))
+      in
       worker ();
       Array.iter Domain.join domains;
       (* Domain.join is the happens-before edge publishing every slot *)

@@ -365,7 +365,8 @@ let parallel_for_map args =
         choose_schedule ~fp ~n ~jobs ~run:(fun s -> ignore (run s))
       in
       Wolf_obs.Trace.with_span ~cat:"parloop"
-        ~args:[ ("schedule", schedule_to_string s) ]
+        ~args:(("schedule", Wolf_obs.Trace.arg_str (schedule_to_string s))
+               :: Wolf_obs.Request_ctx.args_of_current ())
         "parallel_for_map"
         (fun () -> Tensor (run s))
     end
@@ -416,7 +417,8 @@ let parallel_reduce args =
       in
       let s = choose_schedule ~fp ~n ~jobs ~run:(fun s -> ignore (run s)) in
       Wolf_obs.Trace.with_span ~cat:"parloop"
-        ~args:[ ("schedule", schedule_to_string s) ]
+        ~args:(("schedule", Wolf_obs.Trace.arg_str (schedule_to_string s))
+               :: Wolf_obs.Request_ctx.args_of_current ())
         "parallel_reduce"
         (fun () -> run s)
     end

@@ -70,6 +70,8 @@ let stats t = rpc t P.Stats
 
 let metrics ?(format = `Json) t = rpc t (P.Metrics format)
 
+let dump_flight t = rpc t P.Dump_flight
+
 let shutdown t = rpc t P.Shutdown
 
 (* convenience for one-string-in, one-string-out callers (connect REPL,

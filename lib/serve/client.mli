@@ -30,6 +30,7 @@ val compile : ?target:string -> ?opt:int -> t -> string -> Protocol.response
 val cancel : t -> target:int -> Protocol.response
 val stats : t -> Protocol.response
 val metrics : ?format:[ `Json | `Prometheus ] -> t -> Protocol.response
+val dump_flight : t -> Protocol.response
 val shutdown : t -> Protocol.response
 
 val eval_string :

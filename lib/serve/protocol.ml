@@ -54,6 +54,7 @@ type request =
   | Cancel of { target : int }
   | Stats
   | Metrics of [ `Json | `Prometheus ]
+  | Dump_flight
   | Shutdown
 
 type req_frame = { rid : int; req : request }
@@ -81,6 +82,7 @@ let encode_request { rid; req } =
    | Metrics `Json -> Buffer.add_string b ",\"op\":\"metrics\",\"format\":\"json\""
    | Metrics `Prometheus ->
      Buffer.add_string b ",\"op\":\"metrics\",\"format\":\"prometheus\""
+   | Dump_flight -> Buffer.add_string b ",\"op\":\"dump-flight\""
    | Shutdown -> Buffer.add_string b ",\"op\":\"shutdown\"");
   Buffer.add_char b '}';
   Buffer.contents b
@@ -127,6 +129,7 @@ let decode_request payload =
             if str_field j "format" = Some "prometheus" then `Prometheus else `Json
           in
           Ok { rid; req = Metrics fmt }
+        | "dump-flight" -> Ok { rid; req = Dump_flight }
         | "shutdown" -> Ok { rid; req = Shutdown }
         | op -> Error (Printf.sprintf "unknown op %S" op)))
 

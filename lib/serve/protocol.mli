@@ -13,6 +13,7 @@
               | {"id":N, "op":"cancel",  "target_id":N}
               | {"id":N, "op":"stats"}
               | {"id":N, "op":"metrics", "format":("json"|"prometheus")?}
+              | {"id":N, "op":"dump-flight"}
               | {"id":N, "op":"shutdown"}
     response := {"id":N, "ok":true,  ("result":S | "data":J), "micros":N}
               | {"id":N, "ok":false, "kind":S, "error":S, "micros":N}
@@ -44,6 +45,9 @@ type request =
   | Cancel of { target : int }
   | Stats
   | Metrics of [ `Json | `Prometheus ]
+  | Dump_flight
+      (** Force a flight-recorder dump; answers
+          [{"path":(S|null),"records":N}]. *)
   | Shutdown
 
 type req_frame = { rid : int; req : request }

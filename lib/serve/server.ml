@@ -42,13 +42,15 @@ type config = {
   tier_threshold : int;    (** heat before a background -O2 promotion *)
   disk_cache_dir : string option;  (** persistent compile cache, all workers *)
   parallel_loops : bool;   (** compile with data-parallel loop recognition *)
+  flight_dir : string option;      (** flight-recorder dump directory *)
+  flight_threshold_ms : float;     (** slow-request dump trigger; <=0 off *)
 }
 
 let default_config ?(socket_path = "/tmp/wolfd.sock") () =
   { socket_path; jobs = 2; queue_capacity = 64;
     max_frame = P.default_max_frame; log = ignore;
     tier = false; tier_threshold = 12; disk_cache_dir = None;
-    parallel_loops = false }
+    parallel_loops = false; flight_dir = None; flight_threshold_ms = 0.0 }
 
 type rstate = Queued | Running | Evaluating | Done
 
@@ -60,6 +62,13 @@ type pending = {
   mutable p_state : rstate;
   mutable p_cancelled : bool;
   mutable p_deadline_hit : bool;
+  (* request-scoped observability: frame-arrival and admission stamps plus
+     the phase timeline accumulated for the flight record.  Mutated first
+     by the connection thread, then by the one worker that claimed the
+     job — the executor queue's mutex is the happens-before edge. *)
+  p_t0_ns : int;                      (* Clock.now_ns at frame arrival *)
+  mutable p_submit_ns : int;          (* admission (executor submit) *)
+  mutable p_phases : Wolf_obs.Flight.phase list;  (* reverse order *)
 }
 
 type session = {
@@ -125,6 +134,81 @@ let m_deadlined = Wolf_obs.Metrics.counter "serve_deadline"
 let m_seconds = Wolf_obs.Metrics.histogram "serve_request_seconds"
     ~help:"service time of executed requests (queue wait included)"
 
+(* Per-(op, phase) latency histograms.  Finer buckets than the default:
+   phase durations under the daemon's typical sub-millisecond service
+   times need resolution between 10µs and 5s for p50/p99 interpolation to
+   mean anything.  All series share these bounds so [quantile_sum] can
+   merge across ops. *)
+let serve_bounds =
+  [| 1e-5; 2.5e-5; 5e-5; 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3;
+     1e-2; 2.5e-2; 5e-2; 0.1; 0.25; 0.5; 1.0; 2.5; 5.0 |]
+
+(* Memoized handles: [Metrics.histogram] takes the registry's global mutex
+   on every call, and the phase timeline observes up to eight series per
+   request from every worker at once.  The (op, phase) space is tiny, so a
+   lock-free assoc snapshot in an atomic makes the steady-state lookup a
+   short list walk with no contention. *)
+let phase_hists :
+  ((string * string) * Wolf_obs.Metrics.histogram) list Atomic.t =
+  Atomic.make []
+
+let phase_hist ~op ~phase =
+  let key = (op, phase) in
+  let rec find = function
+    | [] -> None
+    | (k, h) :: tl -> if k = key then Some h else find tl
+  in
+  match find (Atomic.get phase_hists) with
+  | Some h -> h
+  | None ->
+    let h =
+      Wolf_obs.Metrics.histogram "serve_request_seconds"
+        ~help:"request latency by op and phase (seconds)"
+        ~labels:[ ("op", op); ("phase", phase) ] ~bounds:serve_bounds
+    in
+    let rec publish () =
+      let cur = Atomic.get phase_hists in
+      match find cur with
+      | Some h' -> h'
+      | None ->
+        if Atomic.compare_and_set phase_hists cur ((key, h) :: cur) then h
+        else publish ()
+    in
+    publish ()
+
+let observe_phase ~op ~phase seconds =
+  Wolf_obs.Metrics.observe (phase_hist ~op ~phase) seconds
+
+let ns_s ns = float_of_int ns *. 1e-9
+
+(* Append to the request's phase timeline (flight record) and the matching
+   histogram in one step; the domain id pins where the phase ran. *)
+let add_phase p phase start_ns dur_ns =
+  p.p_phases <-
+    { Wolf_obs.Flight.ph_name = phase; ph_domain = (Domain.self () :> int);
+      ph_start_ns = start_ns; ph_dur_ns = dur_ns }
+    :: p.p_phases;
+  observe_phase ~op:p.p_op ~phase (ns_s dur_ns)
+
+let trace_label p = Printf.sprintf "s%d.r%d" p.p_sid p.p_rid
+
+let outcome_of = function
+  | Ok _ -> "ok"
+  | Error (kind, _) -> P.error_kind_name kind
+
+(* Completed-request bookkeeping shared by every terminal path: the total
+   phase histogram and the flight-recorder record (whose outcome or total
+   latency may trigger a ring dump). *)
+let record_flight p rsp =
+  let total = Wolf_obs.Clock.now_ns () - p.p_t0_ns in
+  observe_phase ~op:p.p_op ~phase:"total" (ns_s total);
+  ignore
+    (Wolf_obs.Flight.record
+       { Wolf_obs.Flight.fr_rid = p.p_rid; fr_sid = p.p_sid;
+         fr_label = trace_label p; fr_op = p.p_op;
+         fr_outcome = outcome_of rsp; fr_start_ns = p.p_t0_ns;
+         fr_total_ns = total; fr_phases = List.rev p.p_phases })
+
 (* The pull-time source is (re-)registered at every [start]: the name is
    the identity, so a daemon restarted in the same process replaces the
    closure capturing the dead instance instead of erroring or leaking a
@@ -183,6 +267,24 @@ let reply t sess ~rid ~t0 rsp =
    | Error _ -> Atomic.incr t.errors
    | Ok _ -> ());
   send t sess { P.rsp_id = rid; rsp; micros }
+
+(* Terminal replies that never reach a worker (overloaded, bad-frame,
+   oversize, shutting-down, duplicate rid) still deserve a trace: a
+   zero-child "request" span on the connection thread whose end carries
+   the outcome, so [wolfc obs-check --require-outcomes] sees every reply
+   accounted for. *)
+let reply_with_span t sess ~rid ~t0 ~op rsp =
+  let traced = Wolf_obs.Trace.enabled () in
+  if traced then
+    Wolf_obs.Trace.begin_span ~cat:"serve" "request"
+      ~args:
+        [ ("trace_id",
+           Wolf_obs.Trace.arg_str (Printf.sprintf "s%d.r%d" sess.s_id rid));
+          ("op", Wolf_obs.Trace.arg_str op) ];
+  reply t sess ~rid ~t0 rsp;
+  if traced then
+    Wolf_obs.Trace.end_span "request"
+      ~args:[ ("outcome", Wolf_obs.Trace.arg_str (outcome_of rsp)) ]
 
 (* ---- the work itself -------------------------------------------------- *)
 
@@ -279,7 +381,11 @@ let eval_expr t sess (expr : Expr.t) =
    lock, so no other evaluation — daemon or in-process — can observe the
    session's state, and the state swap cannot tear. *)
 let run_eval t sess p code =
+  let lock_t0 = Wolf_obs.Clock.now_ns () in
   Wolf_base.Kernel_lock.with_lock @@ fun () ->
+  (* the lock acquisition span itself comes from Kernel_lock (cat "lock");
+     here we only attribute the wait to this request's timeline *)
+  add_phase p "lock_wait" lock_t0 (Wolf_obs.Clock.now_ns () - lock_t0);
   let proceed =
     with_reg t (fun () ->
         if p.p_cancelled then `Cancelled
@@ -310,6 +416,16 @@ let run_eval t sess p code =
       Wolf_kernel.Session.seed_constants ();
       sess.s_seeded <- true
     end;
+    let eval_t0 = Wolf_obs.Clock.now_ns () in
+    (* the phase must land even when the eval is shot mid-flight (cancel,
+       deadline): the protect below still runs before the span closes *)
+    Fun.protect
+      ~finally:(fun () ->
+          add_phase p "eval" eval_t0 (Wolf_obs.Clock.now_ns () - eval_t0))
+    @@ fun () ->
+    Wolf_obs.Trace.with_span ~cat:"serve" "eval"
+      ~args:(Wolf_obs.Request_ctx.args_of_current ())
+    @@ fun () ->
     (match Parser.parse_opt code with
      | Error e -> Error (P.Parse_error, e)
      | Ok expr ->
@@ -337,30 +453,65 @@ let run_eval t sess p code =
         | exception exn -> Error (P.Eval_failed, Printexc.to_string exn)))
 
 let job t sess p ~t0 work =
-  let trace_id = Printf.sprintf "s%d.r%d" p.p_sid p.p_rid in
-  Wolf_obs.Trace.with_span ~cat:"serve" "request"
-    ~args:[ ("trace_id", Wolf_obs.Trace.arg_str trace_id);
-            ("op", Wolf_obs.Trace.arg_str p.p_op) ]
-  @@ fun () ->
-  let claim =
-    with_reg t (fun () ->
-        if p.p_cancelled then `Cancelled
-        else if deadline_passed p then `Deadline
-        else begin p.p_state <- Running; `Go end)
-  in
+  let start_ns = Wolf_obs.Clock.now_ns () in
+  (* queue wait = admission → job start.  It belongs to no track's call
+     stack (the request was nowhere while queued), so it is attributed by
+     the flow-event gap plus this phase entry and an instant marker, not a
+     retroactive span. *)
+  add_phase p "queue_wait" p.p_submit_ns (start_ns - p.p_submit_ns);
+  let traced = Wolf_obs.Trace.enabled () in
+  if traced then begin
+    (* the ambient context was restored by [adopt]; its trace_id arg is
+       pre-encoded, so labelling here costs two small list cells *)
+    let targs = Wolf_obs.Request_ctx.args_of_current () in
+    Wolf_obs.Trace.begin_span ~cat:"serve" "request"
+      ~args:(("op", Wolf_obs.Trace.arg_str p.p_op) :: targs);
+    Wolf_obs.Trace.instant ~cat:"serve" "queue-wait"
+      ~args:
+        (("micros", Wolf_obs.Trace.arg_int ((start_ns - p.p_submit_ns) / 1000))
+         :: targs)
+  end;
+  let outcome = ref "ok" in
   let rsp =
-    match claim with
-    | `Cancelled -> Error (P.Cancelled, "cancelled while queued")
-    | `Deadline -> Error (P.Deadline, "deadline expired while queued")
-    | `Go -> work ()
+    Fun.protect
+      ~finally:(fun () ->
+          if traced then
+            Wolf_obs.Trace.end_span "request"
+              ~args:[ ("outcome", Wolf_obs.Trace.arg_str !outcome) ])
+    @@ fun () ->
+    let claim =
+      with_reg t (fun () ->
+          if p.p_cancelled then `Cancelled
+          else if deadline_passed p then `Deadline
+          else begin p.p_state <- Running; `Go end)
+    in
+    let rsp =
+      match claim with
+      | `Cancelled -> Error (P.Cancelled, "cancelled while queued")
+      | `Deadline -> Error (P.Deadline, "deadline expired while queued")
+      | `Go ->
+        let work_t0 = Wolf_obs.Clock.now_ns () in
+        let r = work () in
+        (* eval phases (lock wait, eval) are recorded inside run_eval;
+           compile is opaque from here, so time it as one phase *)
+        if p.p_op = "compile" then
+          add_phase p "compile" work_t0 (Wolf_obs.Clock.now_ns () - work_t0);
+        r
+    in
+    (match claim with
+     | `Go -> Wolf_obs.Metrics.observe m_seconds (Wolf_obs.Clock.now () -. t0)
+     | _ -> ());
+    outcome := outcome_of rsp;
+    with_reg t (fun () ->
+        p.p_state <- Done;
+        Hashtbl.remove sess.s_pending p.p_rid);
+    let enc_t0 = Wolf_obs.Clock.now_ns () in
+    Wolf_obs.Trace.with_span ~cat:"serve" "encode" (fun () ->
+        reply t sess ~rid:p.p_rid ~t0 rsp);
+    add_phase p "encode" enc_t0 (Wolf_obs.Clock.now_ns () - enc_t0);
+    rsp
   in
-  (match claim with
-   | `Go -> Wolf_obs.Metrics.observe m_seconds (Wolf_obs.Clock.now () -. t0)
-   | _ -> ());
-  with_reg t (fun () ->
-      p.p_state <- Done;
-      Hashtbl.remove sess.s_pending p.p_rid);
-  reply t sess ~rid:p.p_rid ~t0 rsp
+  record_flight p rsp
 
 (* ---- control operations (inline on the connection thread) ------------- *)
 
@@ -372,15 +523,50 @@ let cache_json () =
     s.Wolf_compiler.Compile_cache.lookups s.hits s.misses s.waits s.evictions
     s.entries s.bytes
 
+(* p50/p99 per phase read back from the (op, phase) histograms; phases
+   that both ops share are merged with [quantile_sum].  Milliseconds, like
+   the bench report. *)
+let latency_json () =
+  let find op phase =
+    Wolf_obs.Metrics.find_histogram "serve_request_seconds"
+      ~labels:[ ("op", op); ("phase", phase) ]
+  in
+  let quant hs q =
+    match hs with
+    | [] -> 0.0
+    | hs -> Wolf_obs.Metrics.quantile_sum hs q *. 1e3
+  in
+  let entry name hs =
+    Printf.sprintf "\"%s\":{\"p50_ms\":%.3f,\"p99_ms\":%.3f}"
+      name (quant hs 0.5) (quant hs 0.99)
+  in
+  let merged phase =
+    List.filter_map (fun op -> find op phase) [ "eval"; "compile" ]
+  in
+  let solo op phase = Option.to_list (find op phase) in
+  "{"
+  ^ String.concat ","
+      [ entry "total" (merged "total");
+        entry "decode" (merged "decode");
+        entry "queue_wait" (merged "queue_wait");
+        entry "lock_wait" (solo "eval" "lock_wait");
+        entry "eval" (solo "eval" "eval");
+        entry "compile" (solo "compile" "compile");
+        entry "encode" (merged "encode") ]
+  ^ "}"
+
 let stats_json t =
   let xs = Wolf_parallel.Executor.stats t.exec in
   let sessions = with_reg t (fun () -> Hashtbl.length t.sessions) in
+  let fl_records, fl_dumps, fl_suppressed = Wolf_obs.Flight.stats () in
   Printf.sprintf
     "{\"sessions\":%d,\"uptime_seconds\":%.3f,\
      \"evals\":%d,\"compiles\":%d,\"cancels\":%d,\
      \"overloaded\":%d,\"cancelled\":%d,\"deadline\":%d,\"errors\":%d,\
      \"queue\":{\"depth\":%d,\"running\":%d,\"capacity\":%d,\"jobs\":%d,\
      \"executed\":%d,\"crashed\":%d},\
+     \"latency\":%s,\
+     \"flight\":{\"records\":%d,\"dumps\":%d,\"suppressed\":%d},\
      \"cache\":%s}"
     sessions
     (Wolf_obs.Clock.now () -. t.started_at)
@@ -389,6 +575,8 @@ let stats_json t =
     (Atomic.get t.deadlined) (Atomic.get t.errors)
     xs.Wolf_parallel.Executor.queued xs.running xs.capacity xs.jobs
     xs.executed xs.crashed
+    (latency_json ())
+    fl_records fl_dumps fl_suppressed
     (cache_json ())
 
 let handle_cancel t sess ~target =
@@ -441,7 +629,7 @@ let disconnect t sess =
   if shoot then Wolf_base.Abort_signal.request ();
   mark_conn_dead t sess
 
-let handle_request t sess ~t0 { P.rid; req } =
+let handle_request t sess ~t0 ~t0_ns ~decode_ns { P.rid; req } =
   match req with
   | P.Stats -> reply t sess ~rid ~t0 (Ok (P.Json (stats_json t)))
   | P.Metrics `Json -> reply t sess ~rid ~t0 (Ok (P.Json (Wolf_obs.Metrics.to_json ())))
@@ -449,11 +637,25 @@ let handle_request t sess ~t0 { P.rid; req } =
     reply t sess ~rid ~t0 (Ok (P.Text (Wolf_obs.Metrics.to_prometheus ())))
   | P.Cancel { target } ->
     reply t sess ~rid ~t0 (Ok (P.Text (handle_cancel t sess ~target)))
+  | P.Dump_flight ->
+    let path, records = Wolf_obs.Flight.dump ~reason:"manual" () in
+    let path_json =
+      match path with
+      | None -> "null"
+      | Some s -> "\"" ^ Wolf_obs.Json_min.escape s ^ "\""
+    in
+    reply t sess ~rid ~t0
+      (Ok (P.Json (Printf.sprintf "{\"path\":%s,\"records\":%d}" path_json records)))
   | P.Shutdown ->
     t.cfg.log (Printf.sprintf "session %d requested shutdown" sess.s_id);
     reply t sess ~rid ~t0 (Ok (P.Text "stopping"));
     ignore (request_stop t)
   | P.Eval _ | P.Compile _ ->
+    let op, deadline_ms =
+      match req with
+      | P.Eval { deadline_ms; _ } -> "eval", deadline_ms
+      | _ -> "compile", None
+    in
     let stopping =
       Mutex.lock t.stop_mu;
       let s = t.stop_requested in
@@ -461,19 +663,17 @@ let handle_request t sess ~t0 { P.rid; req } =
       s
     in
     if stopping then
-      reply t sess ~rid ~t0 (Error (P.Shutting_down, "daemon is shutting down"))
+      reply_with_span t sess ~rid ~t0 ~op
+        (Error (P.Shutting_down, "daemon is shutting down"))
     else begin
-      let op, deadline_ms =
-        match req with
-        | P.Eval { deadline_ms; _ } -> "eval", deadline_ms
-        | _ -> "compile", None
-      in
       let p =
         { p_rid = rid; p_op = op; p_sid = sess.s_id;
           p_deadline =
             Option.map (fun ms -> t0 +. float_of_int ms /. 1e3) deadline_ms;
-          p_state = Queued; p_cancelled = false; p_deadline_hit = false }
+          p_state = Queued; p_cancelled = false; p_deadline_hit = false;
+          p_t0_ns = t0_ns; p_submit_ns = t0_ns; p_phases = [] }
       in
+      add_phase p "decode" t0_ns decode_ns;
       let fresh =
         with_reg t (fun () ->
             if Hashtbl.mem sess.s_pending rid then false
@@ -484,7 +684,7 @@ let handle_request t sess ~t0 { P.rid; req } =
             end)
       in
       if not fresh then
-        reply t sess ~rid ~t0
+        reply_with_span t sess ~rid ~t0 ~op
           (Error (P.Bad_frame, Printf.sprintf "request id %d already in flight" rid))
       else begin
         let work () =
@@ -498,21 +698,44 @@ let handle_request t sess ~t0 { P.rid; req } =
               ~parallel_loops:t.cfg.parallel_loops
           | _ -> assert false
         in
-        match
-          Wolf_parallel.Executor.submit t.exec (fun () -> job t sess p ~t0 work)
-        with
+        (* The admit span is the flow-start's anchor on the accept track:
+           the worker's request span carries the matching flow-finish, so
+           the queue wait renders as the arrow's gap.  The context is
+           passed explicitly — DLS on this domain is shared by every
+           connection thread and cannot be trusted as an ambient slot. *)
+        let ctx = Wolf_obs.Request_ctx.make ~rid ~label:(trace_label p) in
+        let admit_args =
+          if Wolf_obs.Trace.enabled () then
+            ("op", Wolf_obs.Trace.arg_str op)
+            :: Wolf_obs.Request_ctx.span_args ctx
+          else []
+        in
+        let submitted =
+          Wolf_obs.Trace.with_span ~cat:"serve" "admit" ~args:admit_args
+          @@ fun () ->
+          let cap = Wolf_obs.Request_ctx.capture_of ctx in
+          p.p_submit_ns <- Wolf_obs.Clock.now_ns ();
+          Wolf_parallel.Executor.submit t.exec (fun () ->
+              Wolf_obs.Request_ctx.adopt cap (fun () -> job t sess p ~t0 work))
+        in
+        match submitted with
         | `Accepted -> Wolf_obs.Metrics.incr m_requests
         | `Saturated ->
           with_reg t (fun () -> Hashtbl.remove sess.s_pending rid);
           let xs = Wolf_parallel.Executor.stats t.exec in
-          reply t sess ~rid ~t0
-            (Error
-               (P.Overloaded,
-                Printf.sprintf "queue full (%d waiting, capacity %d)"
-                  xs.Wolf_parallel.Executor.queued xs.capacity))
+          let rsp =
+            Error
+              (P.Overloaded,
+               Printf.sprintf "queue full (%d waiting, capacity %d)"
+                 xs.Wolf_parallel.Executor.queued xs.capacity)
+          in
+          reply_with_span t sess ~rid ~t0 ~op rsp;
+          record_flight p rsp
         | `Stopped ->
           with_reg t (fun () -> Hashtbl.remove sess.s_pending rid);
-          reply t sess ~rid ~t0 (Error (P.Shutting_down, "daemon is shutting down"))
+          let rsp = Error (P.Shutting_down, "daemon is shutting down") in
+          reply_with_span t sess ~rid ~t0 ~op rsp;
+          record_flight p rsp
       end
     end
 
@@ -522,7 +745,7 @@ let conn_loop t sess =
     match P.read_frame ~max_frame:t.cfg.max_frame sess.s_ic with
     | Error `Eof -> continue := false
     | Error (`Oversize n) ->
-      reply t sess ~rid:0 ~t0:(Wolf_obs.Clock.now ())
+      reply_with_span t sess ~rid:0 ~t0:(Wolf_obs.Clock.now ()) ~op:"frame"
         (Error
            (P.Oversize,
             Printf.sprintf "frame of %d bytes exceeds limit %d" n t.cfg.max_frame));
@@ -530,9 +753,16 @@ let conn_loop t sess =
       continue := false
     | Ok payload ->
       let t0 = Wolf_obs.Clock.now () in
-      (match P.decode_request payload with
-       | Error e -> reply t sess ~rid:0 ~t0 (Error (P.Bad_frame, e))
-       | Ok frame -> handle_request t sess ~t0 frame)
+      let t0_ns = Wolf_obs.Clock.now_ns () in
+      let decoded =
+        Wolf_obs.Trace.with_span ~cat:"serve" "decode" (fun () ->
+            P.decode_request payload)
+      in
+      let decode_ns = Wolf_obs.Clock.now_ns () - t0_ns in
+      (match decoded with
+       | Error e ->
+         reply_with_span t sess ~rid:0 ~t0 ~op:"frame" (Error (P.Bad_frame, e))
+       | Ok frame -> handle_request t sess ~t0 ~t0_ns ~decode_ns frame)
   done;
   disconnect t sess;
   t.cfg.log (Printf.sprintf "session %d disconnected" sess.s_id);
@@ -614,6 +844,11 @@ let start cfg =
           (Printf.sprintf "wolfd: disk cache %s unavailable (%s)" dir
              (Printexc.to_string exn)))
    | None -> ());
+  (* flight recorder is process-global state, like the metrics registry:
+     the daemon configures it at start (and a later daemon in the same
+     process reconfigures it — last one wins, mirroring register_source) *)
+  Wolf_obs.Flight.set_dir cfg.flight_dir;
+  Wolf_obs.Flight.set_threshold_ms cfg.flight_threshold_ms;
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
    | _ -> () | exception _ -> ());
   if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;

@@ -33,11 +33,19 @@ type config = {
   parallel_loops : bool;
   (** Compile requests recognise data-parallel counted loops and run them
       chunked on the domain pool ({!Wolf_compiler.Opt_parloop}). *)
+  flight_dir : string option;
+  (** When set, the {!Wolf_obs.Flight} recorder dumps its rings here
+      whenever a request ends cancelled / deadline-exceeded / overloaded
+      or breaches [flight_threshold_ms]. *)
+  flight_threshold_ms : float;
+  (** Slow-request dump trigger in milliseconds; [<= 0] (the default)
+      keeps only the outcome-based triggers. *)
 }
 
 val default_config : ?socket_path:string -> unit -> config
 (** [/tmp/wolfd.sock], 2 worker domains, queue of 64, 4 MiB frames,
-    silent log, tiering off (threshold 12), no disk cache. *)
+    silent log, tiering off (threshold 12), no disk cache, no flight
+    directory. *)
 
 type t
 

@@ -145,7 +145,8 @@ let promote_now t =
   let t0 = Unix.gettimeofday () in
   match
     Wolf_obs.Trace.with_span ~cat:"tier" "tier-promote"
-      ~args:[ ("function", Wolf_obs.Trace.arg_str t.tr_name) ]
+      ~args:(("function", Wolf_obs.Trace.arg_str t.tr_name)
+             :: Wolf_obs.Request_ctx.args_of_current ())
       t.promote
   with
   | fn ->

@@ -21,6 +21,7 @@ let () =
       ("fuzz (differential)", Test_fuzz.tests);
       ("parallel (domain safety)", Test_parallel.tests);
       ("obs (tracing/metrics/profiling)", Test_obs.tests);
+      ("obs-request (request tracing + flight recorder)", Test_obs_request.tests);
       ("serve (wolfd daemon)", Test_serve.tests);
       ("tier (adaptive execution + disk cache)", Test_tier.tests);
       ("parloop (data-parallel loops)", Test_parloop.tests) ]

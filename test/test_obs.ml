@@ -387,6 +387,222 @@ let test_cache_waits_counted () =
   Alcotest.(check bool) "waits annotated" true (s.Compile_cache.waits >= 1)
 
 (* ------------------------------------------------------------------ *)
+(* Prometheus escaping: label values and HELP text must survive        *)
+
+let prom_has prom needle =
+  let nl = String.length needle and pl = String.length prom in
+  let rec go i = i + nl <= pl && (String.sub prom i nl = needle || go (i + 1)) in
+  go 0
+
+let test_prom_escaping () =
+  Metrics.reset ();
+  (* quotes, backslashes and newlines are exactly the three characters the
+     exposition format escapes in label values; a bare %S would emit OCaml
+     decimal escapes Prometheus rejects *)
+  Metrics.incr
+    (Metrics.counter ~labels:[ ("expr", "f[\"x\\n\"]\nline2\\end") ]
+       "obs_esc_events");
+  Metrics.set_gauge
+    (Metrics.gauge ~help:"help with \\ backslash\nand newline" "obs_esc_depth")
+    1.0;
+  let prom = Metrics.to_prometheus () in
+  Alcotest.(check bool) "label value escaped" true
+    (prom_has prom
+       "obs_esc_events_total{expr=\"f[\\\"x\\\\n\\\"]\\nline2\\\\end\"} 1");
+  Alcotest.(check bool) "no decimal escapes" false (prom_has prom "\\010");
+  (* HELP escapes backslash + newline but NOT quotes *)
+  Alcotest.(check bool) "help escaped" true
+    (prom_has prom "# HELP obs_esc_depth help with \\\\ backslash\\nand newline");
+  (* every emitted line is a comment or has the sample shape — i.e. the
+     newline inside the label value did not split a sample in two *)
+  List.iter
+    (fun line ->
+       if line <> "" && line.[0] <> '#' then
+         Alcotest.(check bool)
+           (Printf.sprintf "sample line has a value: %S" line) true
+           (String.contains line ' '
+            && (not (String.contains line '{')
+                || String.contains line '}')))
+    (String.split_on_char '\n' prom);
+  (* the JSON exporter handles the same values via Json_min.escape *)
+  ignore (Json_min.parse_exn (Metrics.to_json ()))
+
+(* ------------------------------------------------------------------ *)
+(* Histogram quantiles (the stats-op latency section is built on this)  *)
+
+let test_histogram_quantile () =
+  Metrics.reset ();
+  let bounds = [| 0.001; 0.01; 0.1; 1.0 |] in
+  let h = Metrics.histogram ~bounds ~labels:[ ("op", "a") ] "obs_q_lat" in
+  Alcotest.(check (float 1e-9)) "empty histogram" 0.0 (Metrics.quantile h 0.5);
+  (* 90 observations in (0.001, 0.01], 10 in (0.1, 1.0] *)
+  for _ = 1 to 90 do Metrics.observe h 0.005 done;
+  for _ = 1 to 10 do Metrics.observe h 0.5 done;
+  let p50 = Metrics.quantile h 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 inside its bucket (%g)" p50) true
+    (p50 > 0.001 && p50 <= 0.01);
+  let p99 = Metrics.quantile h 0.99 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 in the slow bucket (%g)" p99) true
+    (p99 > 0.1 && p99 <= 1.0);
+  (* beyond the last finite bound: clamped, not infinite *)
+  let h2 = Metrics.histogram ~bounds ~labels:[ ("op", "b") ] "obs_q_lat" in
+  Metrics.observe h2 50.0;
+  Alcotest.(check (float 1e-9)) "overflow clamps to last bound" 1.0
+    (Metrics.quantile h2 0.99);
+  (* merging the family behaves like one series with the union of counts *)
+  let merged = Metrics.quantile_sum [ h; h2 ] 0.5 in
+  Alcotest.(check bool) "merged p50 still in the fast bucket" true
+    (merged > 0.001 && merged <= 0.01);
+  Alcotest.(check bool) "find_histogram finds the labelled series" true
+    (Metrics.find_histogram ~labels:[ ("op", "a") ] "obs_q_lat" = Some h);
+  Alcotest.(check bool) "find_histogram misses unknown labels" true
+    (Metrics.find_histogram ~labels:[ ("op", "zz") ] "obs_q_lat" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Flow events: the cross-domain stitch used by request tracing         *)
+
+let test_trace_flow () =
+  with_tracing (fun () ->
+      let id = Trace.new_flow_id () in
+      Trace.with_span ~cat:"test" "producer" (fun () ->
+          Trace.flow_start ~id ~cat:"test" "hop");
+      Trace.with_span ~cat:"test" "consumer" (fun () ->
+          Trace.flow_finish ~id ~cat:"test" "hop"));
+  let events = parsed_events () in
+  let flow ph =
+    match
+      List.find_opt (fun ev -> ev_str "ph" ev = Some ph) events
+    with
+    | Some ev -> ev
+    | None -> Alcotest.failf "no %s event" ph
+  in
+  let s = flow "s" and f = flow "f" in
+  Alcotest.(check (option string)) "names match" (ev_str "name" s) (ev_str "name" f);
+  (match ev_num "id" s, ev_num "id" f with
+   | Some a, Some b -> Alcotest.(check (float 0.0)) "ids match" a b
+   | _ -> Alcotest.fail "flow event without id");
+  (* binding point "enclosing slice" is what makes the arrow attach to the
+     consumer span rather than to the next slice to start *)
+  Alcotest.(check (option string)) "f carries bp=e" (Some "e")
+    (Option.bind (Json_min.member "bp" f) Json_min.str);
+  Alcotest.(check bool) "s has no bp" true (Json_min.member "bp" s = None);
+  (* distinct ids from the allocator *)
+  Alcotest.(check bool) "allocator advances" true
+    (Trace.new_flow_id () <> Trace.new_flow_id ())
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: codec, rings, triggers                              *)
+
+let flight_record ?(rid = 1) ?(sid = 2) ?(outcome = "ok") ?(total_ns = 5_000_000)
+    () =
+  { Flight.fr_rid = rid; fr_sid = sid;
+    fr_label = Printf.sprintf "s%d.r%d" sid rid;
+    fr_op = "eval"; fr_outcome = outcome;
+    fr_start_ns = 1_000_000; fr_total_ns = total_ns;
+    fr_phases =
+      [ { Flight.ph_name = "decode"; ph_domain = 0; ph_start_ns = 1_000_000;
+          ph_dur_ns = 10_000 };
+        { Flight.ph_name = "eval"; ph_domain = 1; ph_start_ns = 1_020_000;
+          ph_dur_ns = total_ns - 20_000 } ] }
+
+let test_flight_codec () =
+  let r = flight_record ~rid:42 ~outcome:"deadline" () in
+  let enc = Flight.encode_record r in
+  let pos = ref 0 in
+  let d = Flight.decode_record enc pos in
+  Alcotest.(check int) "whole string consumed" (String.length enc) !pos;
+  Alcotest.(check bool) "roundtrip" true (d = r);
+  (* truncation is detected, not misread *)
+  (try
+     ignore (Flight.decode_record (String.sub enc 0 (String.length enc - 3))
+               (ref 0));
+     Alcotest.fail "truncated record decoded"
+   with _ -> ());
+  (* a file of garbage is an error, not an exception *)
+  let tmp = Filename.temp_file "wolf_flight" ".wfr" in
+  Fun.protect ~finally:(fun () -> Sys.remove tmp) (fun () ->
+      let oc = open_out_bin tmp in
+      output_string oc "not a flight file at all";
+      close_out oc;
+      match Flight.read_file tmp with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "garbage accepted")
+
+let test_flight_ring_and_triggers () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wolf_flight_test_%d" (Unix.getpid ()))
+  in
+  Flight.reset ();
+  Flight.set_dir (Some dir);
+  Flight.set_threshold_ms 100.0;
+  Flight.set_suppress_window_ms 10_000.0;
+  Fun.protect
+    ~finally:(fun () ->
+      Flight.set_dir None;
+      Flight.set_threshold_ms 0.0;
+      Flight.set_suppress_window_ms 100.0;
+      Flight.reset ();
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+  @@ fun () ->
+  (* healthy requests accumulate without dumping *)
+  for i = 1 to 5 do
+    match Flight.record (flight_record ~rid:i ()) with
+    | None -> ()
+    | Some p -> Alcotest.failf "ok record dumped to %s" p
+  done;
+  Alcotest.(check int) "snapshot holds them" 5
+    (List.length (Flight.snapshot ()));
+  (* a deadline outcome triggers a dump carrying the ring *)
+  let path =
+    match Flight.record (flight_record ~rid:6 ~outcome:"deadline" ()) with
+    | Some p -> p
+    | None -> Alcotest.fail "deadline record did not dump"
+  in
+  (match Flight.read_file path with
+   | Error e -> Alcotest.failf "dump unreadable: %s" e
+   | Ok d ->
+     Alcotest.(check string) "reason" "deadline" d.Flight.d_reason;
+     (match d.Flight.d_trigger with
+      | Some t -> Alcotest.(check int) "trigger is the offender" 6 t.Flight.fr_rid
+      | None -> Alcotest.fail "dump without trigger");
+     Alcotest.(check int) "all six records present" 6
+       (List.length d.Flight.d_records);
+     (* the pretty-printer renders every record with its phases *)
+     let text = Flight.describe d in
+     Alcotest.(check bool) "describe mentions the trigger" true
+       (prom_has text "s2.r6");
+     Alcotest.(check bool) "describe shows phase domains" true
+       (prom_has text "dom1"));
+  (* inside the suppression window a second trigger only counts *)
+  (match Flight.record (flight_record ~rid:7 ~outcome:"cancelled" ()) with
+   | None -> ()
+   | Some p -> Alcotest.failf "suppression window ignored (%s)" p);
+  (* slow-but-ok requests trigger via the latency threshold (window keeps
+     this one suppressed too — the counter proves the trigger fired) *)
+  ignore (Flight.record (flight_record ~rid:8 ~total_ns:250_000_000 ()));
+  let records, dumps, suppressed = Flight.stats () in
+  Alcotest.(check int) "records counted" 8 records;
+  Alcotest.(check int) "one dump written" 1 dumps;
+  Alcotest.(check int) "two suppressed" 2 suppressed;
+  (* ring capacity bounds memory: old records fall off *)
+  Flight.reset ();
+  for i = 1 to 1000 do ignore (Flight.record (flight_record ~rid:i ())) done;
+  let snap = Flight.snapshot () in
+  Alcotest.(check bool)
+    (Printf.sprintf "ring bounded (%d)" (List.length snap)) true
+    (List.length snap <= 256);
+  (* and it keeps the newest, not the oldest *)
+  Alcotest.(check bool) "newest survive" true
+    (List.exists (fun r -> r.Flight.fr_rid = 1000) snap)
+
+(* ------------------------------------------------------------------ *)
 (* --timings totals: each second reported exactly once (satellite 1)    *)
 
 let test_pass_totals () =
@@ -433,8 +649,13 @@ let tests =
     Alcotest.test_case "trace: balanced under exceptions" `Quick test_trace_exception_balance;
     Alcotest.test_case "trace: 4-domain stress, distinct tracks" `Quick test_trace_multidomain;
     Alcotest.test_case "trace: bounded buffer stays balanced" `Quick test_trace_bounded;
+    Alcotest.test_case "trace: flow events carry ids and bind enclosing" `Quick test_trace_flow;
     Alcotest.test_case "metrics: counters, gauges, histograms" `Quick test_metrics_registry;
     Alcotest.test_case "metrics: JSON + prometheus exporters" `Quick test_metrics_exporters;
+    Alcotest.test_case "metrics: prometheus escaping of labels and help" `Quick test_prom_escaping;
+    Alcotest.test_case "metrics: histogram quantiles incl. merge + clamp" `Quick test_histogram_quantile;
+    Alcotest.test_case "flight: binary codec roundtrips, rejects junk" `Quick test_flight_codec;
+    Alcotest.test_case "flight: rings, triggers, suppression, bounds" `Quick test_flight_ring_and_triggers;
     Alcotest.test_case "profile: self vs total time" `Quick test_profile_self_time;
     Alcotest.test_case "profile: disabled wrapper records nothing" `Quick test_profile_disabled_is_free;
     Alcotest.test_case "profile: end-to-end via Options.profile" `Quick test_profile_via_compile;

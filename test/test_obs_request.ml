@@ -1,0 +1,237 @@
+(* Request-scoped tracing through a live daemon (the observability
+   tentpole): one eval must produce exactly one request root span whose
+   flow events stitch the accept domain to the worker domain, with the
+   tier promotion it spawned carrying the same trace_id; and a
+   deadline-exceeded request must leave a flight-recorder dump whose
+   phases span at least two domains. *)
+
+module P = Wolf_serve.Protocol
+module C = Wolf_serve.Client
+module S = Wolf_serve.Server
+open Wolf_obs
+
+let with_server ?(tier = false) ?(tier_threshold = 12) ?(flight_dir = None)
+    ?(flight_threshold_ms = 0.0) f =
+  let path = Filename.temp_file "wolfd_obs" ".sock" in
+  let srv =
+    S.start
+      { (S.default_config ~socket_path:path ()) with
+        S.jobs = 2; tier; tier_threshold; flight_dir; flight_threshold_ms }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        S.stop srv;
+        if Sys.file_exists path then (try Sys.remove path with _ -> ()))
+    (fun () -> f srv path)
+
+let until ?(timeout = 10.0) ?(what = "condition") pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let ev_str name ev = Option.bind (Json_min.member name ev) Json_min.str
+let ev_num name ev = Option.bind (Json_min.member name ev) Json_min.num
+let ev_int name ev = Option.map int_of_float (ev_num name ev)
+
+let arg_str name ev =
+  Option.bind (Json_min.member "args" ev) (fun a ->
+      Option.bind (Json_min.member name a) Json_min.str)
+
+(* ------------------------------------------------------------------ *)
+
+let test_request_stitched_across_domains () =
+  Trace.reset ();
+  Trace.enable ();
+  let events =
+    Fun.protect ~finally:(fun () -> Trace.disable ()) @@ fun () ->
+    with_server ~tier:true ~tier_threshold:1 @@ fun _srv path ->
+    let c = C.connect path in
+    Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+    let src =
+      "Function[{Typed[n, \"MachineInteger\"]}, \
+       Module[{s = 0}, Do[s = s + i, {i, 1, n}]; s]][100]"
+    in
+    (match C.eval c src with
+     | { P.rsp = Ok (P.Text "5050"); _ } -> ()
+     | { P.rsp = Ok _; _ } -> Alcotest.fail "unexpected eval payload"
+     | { P.rsp = Error (k, m); _ } ->
+       Alcotest.failf "eval failed (%s): %s" (P.error_kind_name k) m);
+    (* the single call crossed the heat threshold; wait for the background
+       promotion so its span (and flow pair) is in the captured window *)
+    Wolfram.Tier.drain ();
+    let json = Json_min.parse_exn (Trace.to_json ()) in
+    Json_min.to_list
+      (Option.value ~default:Json_min.Null (Json_min.member "traceEvents" json))
+  in
+  (* balance per track, accepting the full phase alphabet *)
+  let depths = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+       let tid = Option.value ~default:(-1) (ev_int "tid" ev) in
+       let d = Option.value ~default:0 (Hashtbl.find_opt depths tid) in
+       match ev_str "ph" ev with
+       | Some "B" -> Hashtbl.replace depths tid (d + 1)
+       | Some "E" ->
+         if d = 0 then Alcotest.failf "tid %d: E below depth 0" tid;
+         Hashtbl.replace depths tid (d - 1)
+       | Some ("i" | "s" | "f") -> ()
+       | _ -> Alcotest.fail "unexpected phase")
+    events;
+  Hashtbl.iter
+    (fun tid d -> if d <> 0 then Alcotest.failf "tid %d: %d unclosed" tid d)
+    depths;
+  (* exactly one request root, on the worker that ran it, with its outcome *)
+  let roots =
+    List.filter
+      (fun ev ->
+         ev_str "ph" ev = Some "B" && ev_str "name" ev = Some "request"
+         && ev_str "cat" ev = Some "serve")
+      events
+  in
+  Alcotest.(check int) "one request root" 1 (List.length roots);
+  let root = List.hd roots in
+  let trace_id =
+    match arg_str "trace_id" root with
+    | Some t -> t
+    | None -> Alcotest.fail "request root without trace_id"
+  in
+  let root_end =
+    List.find_opt
+      (fun ev ->
+         ev_str "ph" ev = Some "E" && ev_str "name" ev = Some "request"
+         && ev_int "tid" ev = ev_int "tid" root)
+      events
+  in
+  (match root_end with
+   | None -> Alcotest.fail "request root never closed"
+   | Some e ->
+     let outcome =
+       match arg_str "outcome" e, arg_str "outcome" root with
+       | Some o, _ | None, Some o -> o
+       | None, None -> Alcotest.fail "request span without outcome"
+     in
+     Alcotest.(check string) "outcome annotated" "ok" outcome);
+  (* the flow pair stitches two different tracks: 's' on the conn thread
+     (accept domain), 'f' inside the worker's job slice *)
+  let flows ph =
+    List.filter_map
+      (fun ev ->
+         if ev_str "ph" ev = Some ph then
+           match ev_int "id" ev, ev_int "tid" ev with
+           | Some id, Some tid -> Some (id, tid)
+           | _ -> Alcotest.failf "flow %s without id/tid" ph
+         else None)
+      events
+  in
+  let starts = flows "s" and finishes = flows "f" in
+  Alcotest.(check bool) "at least one flow start" true (starts <> []);
+  let stitched =
+    List.exists
+      (fun (id, stid) ->
+         List.exists (fun (id', ftid) -> id' = id && ftid <> stid) finishes)
+      starts
+  in
+  Alcotest.(check bool) "a flow pair crosses domains" true stitched;
+  (* the background -O2 promotion inherited the request identity *)
+  let promote =
+    List.find_opt
+      (fun ev ->
+         ev_str "name" ev = Some "tier-promote" && ev_str "ph" ev = Some "B")
+      events
+  in
+  (match promote with
+   | None -> Alcotest.fail "no tier-promote span in the window"
+   | Some ev ->
+     Alcotest.(check (option string)) "promotion carries the trace_id"
+       (Some trace_id) (arg_str "trace_id" ev))
+
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_leaves_flight_dump () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "wolf_flight_req_%d" (Unix.getpid ()))
+  in
+  Flight.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+        Flight.reset ();
+        if Sys.file_exists dir then begin
+          Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+            (Sys.readdir dir);
+          Unix.rmdir dir
+        end)
+  @@ fun () ->
+  with_server ~flight_dir:(Some dir) @@ fun _srv path ->
+  let c = C.connect path in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  (match C.eval ~deadline_ms:30 c "Do[Null, {i, 100000000}]" with
+   | { P.rsp = Error (P.Deadline, _); _ } -> ()
+   | { P.rsp = Error (k, m); _ } ->
+     Alcotest.failf "expected deadline, got %s: %s" (P.error_kind_name k) m
+   | { P.rsp = Ok _; _ } -> Alcotest.fail "long eval beat its deadline");
+  let dump_files () =
+    if not (Sys.file_exists dir) then [||]
+    else
+      Array.of_list
+        (List.filter
+           (fun f -> Filename.check_suffix f ".wfr")
+           (Array.to_list (Sys.readdir dir)))
+  in
+  until ~what:"flight dump file" (fun () -> Array.length (dump_files ()) > 0);
+  let file = Filename.concat dir (dump_files ()).(0) in
+  match Flight.read_file file with
+  | Error e -> Alcotest.failf "dump unreadable: %s" e
+  | Ok d ->
+    Alcotest.(check string) "dump reason" "deadline" d.Flight.d_reason;
+    let t =
+      match d.Flight.d_trigger with
+      | Some t -> t
+      | None -> Alcotest.fail "dump without a trigger record"
+    in
+    Alcotest.(check string) "trigger outcome" "deadline" t.Flight.fr_outcome;
+    Alcotest.(check string) "trigger op" "eval" t.Flight.fr_op;
+    let phase_names =
+      List.map (fun p -> p.Flight.ph_name) t.Flight.fr_phases
+    in
+    List.iter
+      (fun want ->
+         if not (List.mem want phase_names) then
+           Alcotest.failf "trigger lacks phase %s (has: %s)" want
+             (String.concat ", " phase_names))
+      [ "decode"; "queue_wait"; "eval" ];
+    (* decode ran on the accept domain, the rest on a worker: the timeline
+       genuinely crosses domains *)
+    let domains =
+      List.sort_uniq compare
+        (List.map (fun p -> p.Flight.ph_domain) t.Flight.fr_phases)
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "phases span >= 2 domains (saw %d)"
+         (List.length domains))
+      true
+      (List.length domains >= 2);
+    (* phases are chronological and inside the request envelope *)
+    ignore
+      (List.fold_left
+         (fun prev p ->
+            if p.Flight.ph_start_ns < prev then
+              Alcotest.fail "phases out of order";
+            p.Flight.ph_start_ns)
+         min_int t.Flight.fr_phases);
+    Alcotest.(check bool) "total covers the eval" true
+      (t.Flight.fr_total_ns >= 25_000_000)
+
+let tests =
+  [ Alcotest.test_case "request root stitched across domains" `Quick
+      test_request_stitched_across_domains;
+    Alcotest.test_case "deadline request leaves a readable flight dump"
+      `Quick test_deadline_leaves_flight_dump ]

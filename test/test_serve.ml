@@ -70,7 +70,8 @@ let test_protocol_roundtrip () =
       { P.rid = 4; req = P.Cancel { target = 2 } };
       { P.rid = 5; req = P.Stats };
       { P.rid = 6; req = P.Metrics `Prometheus };
-      { P.rid = 7; req = P.Shutdown } ]
+      { P.rid = 7; req = P.Dump_flight };
+      { P.rid = 8; req = P.Shutdown } ]
   in
   List.iter
     (fun r ->
@@ -407,6 +408,43 @@ let test_fuzz_serve_arm () =
     report.Wolf_fuzz.Driver.disagreements
 
 (* ------------------------------------------------------------------ *)
+(* dump-flight op: a manual flight dump over the wire                   *)
+
+let test_dump_flight_op () =
+  Wolf_obs.Flight.reset ();
+  with_server @@ fun _ path ->
+  let c = C.connect path in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  check_eval c "warm the ring" "1 + 1" "2";
+  let dump () =
+    match C.dump_flight c with
+    | { P.rsp = Ok (P.Json frame); _ } ->
+      let j = Wolf_obs.Json_min.parse_exn frame in
+      let data =
+        match Wolf_obs.Json_min.member "data" j with
+        | Some d -> d
+        | None -> Alcotest.fail "dump-flight reply without data"
+      in
+      (* no --flight-dir on this daemon: the op still answers, with a null
+         path and the ring population *)
+      Alcotest.(check bool) "path is null" true
+        (Wolf_obs.Json_min.member "path" data = Some Wolf_obs.Json_min.Null);
+      (match
+         Option.bind (Wolf_obs.Json_min.member "records" data)
+           Wolf_obs.Json_min.num
+       with
+       | Some n -> int_of_float n
+       | None -> Alcotest.fail "dump-flight reply without records")
+    | { P.rsp = Ok (P.Text t); _ } ->
+      Alcotest.failf "dump-flight answered text: %s" t
+    | { P.rsp = Error (k, m); _ } ->
+      Alcotest.failf "dump-flight failed (%s): %s" (P.error_kind_name k) m
+  in
+  (* the worker appends its flight record after sending the eval reply, so
+     the ring may trail the response by a beat *)
+  until ~what:"the eval to be recorded" (fun () -> dump () >= 1)
+
+(* ------------------------------------------------------------------ *)
 (* Tiered evaluation inside the daemon                                  *)
 
 let test_tier_eval () =
@@ -458,5 +496,7 @@ let tests =
       test_metrics_reregistration;
     Alcotest.test_case "fuzz: serve arm, 0 disagreements" `Quick
       test_fuzz_serve_arm;
+    Alcotest.test_case "dump-flight: manual dump op answers" `Quick
+      test_dump_flight_op;
     Alcotest.test_case "tier: session promotion, stable replies" `Quick
       test_tier_eval ]
